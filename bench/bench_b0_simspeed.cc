@@ -1,0 +1,93 @@
+/**
+ * @file
+ * B0 — simulator engine throughput (google-benchmark).
+ *
+ * Not a paper figure: measures how many simulated instructions per
+ * host-second each core model achieves, so users can size experiments.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "sim/machine.hh"
+#include "workloads/workloads.hh"
+
+using namespace sst;
+
+namespace
+{
+
+Workload &
+cachedWorkload()
+{
+    static Workload wl = [] {
+        WorkloadParams p;
+        p.lengthScale = 0.1;
+        return makeWorkload("oltp_mix", p);
+    }();
+    return wl;
+}
+
+void
+runModel(benchmark::State &state, const char *preset)
+{
+    Workload &wl = cachedWorkload();
+    std::uint64_t insts = 0;
+    for (auto _ : state) {
+        Machine machine(makePreset(preset), wl.program);
+        RunResult r = machine.run();
+        insts += r.insts;
+        benchmark::DoNotOptimize(r.cycles);
+    }
+    state.counters["sim_insts_per_s"] = benchmark::Counter(
+        static_cast<double>(insts), benchmark::Counter::kIsRate);
+}
+
+void
+BM_InOrder(benchmark::State &state)
+{
+    runModel(state, "inorder");
+}
+
+void
+BM_Scout(benchmark::State &state)
+{
+    runModel(state, "scout");
+}
+
+void
+BM_Sst4(benchmark::State &state)
+{
+    runModel(state, "sst4");
+}
+
+void
+BM_OooLarge(benchmark::State &state)
+{
+    runModel(state, "ooo-large");
+}
+
+void
+BM_FunctionalOnly(benchmark::State &state)
+{
+    Workload &wl = cachedWorkload();
+    std::uint64_t insts = 0;
+    for (auto _ : state) {
+        MemoryImage mem;
+        mem.loadSegments(wl.program);
+        Executor exec(wl.program, mem);
+        ArchState st;
+        insts += exec.run(st, 100'000'000ULL);
+    }
+    state.counters["sim_insts_per_s"] = benchmark::Counter(
+        static_cast<double>(insts), benchmark::Counter::kIsRate);
+}
+
+} // namespace
+
+BENCHMARK(BM_FunctionalOnly)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_InOrder)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Scout)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Sst4)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_OooLarge)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

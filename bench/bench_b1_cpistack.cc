@@ -1,0 +1,65 @@
+/**
+ * @file
+ * B1 — where the cycles go: CPI stacks per core model.
+ *
+ * Decomposes each model's cycles-per-instruction into the stall
+ * categories its pipeline accounts (committing, operand-use stalls,
+ * front-end stalls, structural stalls, SST-specific stalls and wasted
+ * rollback work). Not a paper figure, but the analysis view that makes
+ * F2's speedups legible: the in-order baseline drowns in use-stalls on
+ * commercial code; SST converts them into overlapped misses at the
+ * price of some rollback waste.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+
+using namespace sst;
+using namespace sst::bench;
+
+int
+main()
+{
+    banner("B1", "CPI stacks (cycles per 1k retired instructions)");
+    setVerbose(false);
+
+    const std::vector<std::string> workloads = {"oltp_mix", "hash_join",
+                                                "compute_kernel"};
+    WorkloadSet set;
+
+    for (const auto &wname : workloads) {
+        const Workload &wl = set.get(wname);
+
+        Table t("B1: " + wname);
+        t.setHeader({"preset", "CPI", "use-stall/1k", "fetch-stall/1k",
+                     "dq-full/1k", "ssq-full/1k", "discarded insts/1k",
+                     "rollbacks/1k"});
+        for (const std::string &p :
+             {std::string("inorder"), std::string("scout"),
+              std::string("sst2"), std::string("sst4")}) {
+            RunResult r = runPreset(p, wl);
+            double per1k = 1000.0 / static_cast<double>(r.insts);
+            double cpi = static_cast<double>(r.cycles)
+                         / static_cast<double>(r.insts);
+            double use = p == "inorder"
+                             ? statOf(r, ".stall_use_cycles") * per1k
+                             : statOf(r, ".ahead_stall_use") * per1k;
+            double fetch = statOf(r, ".stall_fetch_cycles") * per1k;
+            double dq = statOf(r, ".dq_full_stalls") * per1k;
+            double ssq = statOf(r, ".ssq_full_stalls") * per1k;
+            double disc = statOf(r, ".discarded_insts") * per1k;
+            double rb = (statOf(r, ".fail_branch")
+                         + statOf(r, ".fail_jump")
+                         + statOf(r, ".fail_mem")
+                         + statOf(r, ".scout_ends"))
+                        * per1k;
+            t.addRow({p, Table::num(cpi, 2), Table::num(use, 1),
+                      Table::num(fetch, 1), Table::num(dq, 1),
+                      Table::num(ssq, 1), Table::num(disc, 1),
+                      Table::num(rb, 2)});
+        }
+        t.print();
+    }
+    return 0;
+}

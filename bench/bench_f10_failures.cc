@@ -1,0 +1,65 @@
+/**
+ * @file
+ * F10 — fail-speculation breakdown.
+ *
+ * Every way an SST epoch can die, per workload: deferred-branch
+ * mispredicts, deferred-jump target mispredicts, memory disambiguation
+ * conflicts — plus the stall (not fail) events: DQ full, SSQ full,
+ * unpredictable NA jumps. Expected shape: branch fails dominate on
+ * data-dependent-branch workloads (btree, oltp, merge); conflicts are
+ * rare everywhere.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+
+using namespace sst;
+using namespace sst::bench;
+
+int
+main()
+{
+    banner("F10", "why speculation fails (per 100k retired insts)");
+    setVerbose(false);
+
+    WorkloadSet set;
+    Table t("sst4 rollback and stall profile");
+    t.setHeader({"workload", "ckpts", "commits", "fail.branch",
+                 "fail.jump", "fail.mem", "discarded%", "dq stall/1k",
+                 "ssq stall/1k"});
+
+    std::vector<std::vector<std::string>> csv;
+    for (const auto &wname : allWorkloadNames()) {
+        const Workload &wl = set.get(wname);
+        RunResult r = runPreset("sst4", wl);
+        double per100k = 100000.0 / static_cast<double>(r.insts);
+        double ckpts = statOf(r, ".checkpoints_taken");
+        double commits = statOf(r, ".epochs_committed");
+        double fb = statOf(r, ".fail_branch") * per100k;
+        double fj = statOf(r, ".fail_jump") * per100k;
+        double fm = statOf(r, ".fail_mem") * per100k;
+        double discarded = 100.0 * statOf(r, ".discarded_insts")
+                           / (statOf(r, ".discarded_insts")
+                              + static_cast<double>(r.insts));
+        double dq = statOf(r, ".dq_full_stalls") * 1000.0
+                    / static_cast<double>(r.insts);
+        double ssq = statOf(r, ".ssq_full_stalls") * 1000.0
+                     / static_cast<double>(r.insts);
+        t.addRow({wname, Table::num(ckpts, 0), Table::num(commits, 0),
+                  Table::num(fb, 1), Table::num(fj, 1),
+                  Table::num(fm, 2), Table::num(discarded, 1),
+                  Table::num(dq, 1), Table::num(ssq, 1)});
+        csv.push_back({wname, Table::num(fb, 3), Table::num(fj, 3),
+                       Table::num(fm, 3), Table::num(discarded, 3)});
+    }
+    t.setCaption("discarded% = speculative instructions thrown away by "
+                 "rollbacks, relative to all executed.");
+    t.print();
+
+    emitCsv("f10_failures",
+            {"workload", "fail_branch", "fail_jump", "fail_mem",
+             "discarded_pct"},
+            csv);
+    return 0;
+}

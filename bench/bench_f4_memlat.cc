@@ -1,0 +1,65 @@
+/**
+ * @file
+ * F4 — sensitivity to memory latency.
+ *
+ * The paper positions SST as a memory-wall response: the longer the
+ * miss, the more work the ahead strand can overlap. Expected shape:
+ * SST's speedup over in-order (and its edge over OoO, whose window is
+ * fixed) grows with DRAM latency.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+
+using namespace sst;
+using namespace sst::bench;
+
+int
+main()
+{
+    banner("F4", "speedup vs in-order as DRAM latency grows");
+    setVerbose(false);
+
+    const std::vector<unsigned> latencies = {60, 120, 240, 480, 800};
+    const std::vector<std::string> presets = {"scout", "sst4",
+                                              "ooo-large"};
+    const std::vector<std::string> workloads = {"hash_join", "oltp_mix",
+                                                "compute_kernel"};
+    WorkloadSet set;
+
+    std::vector<std::vector<std::string>> csv;
+    for (const auto &wname : workloads) {
+        const Workload &wl = set.get(wname);
+        Table t("F4: " + wname + " — speedup vs in-order");
+        std::vector<std::string> header = {"dram_base_latency"};
+        for (const auto &p : presets)
+            header.push_back(p);
+        t.setHeader(header);
+        for (unsigned lat : latencies) {
+            auto with_lat = [lat](MachineConfig &c) {
+                c.mem.dram.baseLatency = lat;
+            };
+            RunResult base = runConfigured("inorder", wl, with_lat);
+            std::vector<std::string> row = {std::to_string(lat)};
+            std::vector<std::string> csv_row = {wname,
+                                                std::to_string(lat)};
+            for (const auto &p : presets) {
+                RunResult r = runConfigured(p, wl, with_lat);
+                double speedup = static_cast<double>(base.cycles)
+                                 / static_cast<double>(r.cycles);
+                row.push_back(Table::num(speedup, 2));
+                csv_row.push_back(Table::num(speedup, 4));
+            }
+            t.addRow(row);
+            csv.push_back(csv_row);
+        }
+        t.print();
+    }
+
+    std::vector<std::string> csv_header = {"workload", "latency"};
+    for (const auto &p : presets)
+        csv_header.push_back(p);
+    emitCsv("f4_memlat", csv_header, csv);
+    return 0;
+}

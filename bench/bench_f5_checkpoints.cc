@@ -1,0 +1,64 @@
+/**
+ * @file
+ * F5 — checkpoint-count ablation (1, 2, 4, 8).
+ *
+ * More checkpoints let the behind strand commit epoch i while the ahead
+ * strand speculates in epochs i+1..k, and bound how much work one
+ * rollback destroys. Expected shape: diminishing returns past ~2-4 (the
+ * ROCK chip shipped with 2).
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+
+using namespace sst;
+using namespace sst::bench;
+
+int
+main()
+{
+    banner("F5", "SST speedup vs in-order as checkpoint count varies");
+    setVerbose(false);
+
+    const std::vector<unsigned> counts = {1, 2, 4, 8};
+    WorkloadSet set;
+
+    Table t("speedup vs in-order by checkpoint count");
+    std::vector<std::string> header = {"workload"};
+    for (unsigned c : counts)
+        header.push_back("ckpt=" + std::to_string(c));
+    t.setHeader(header);
+
+    std::vector<std::vector<std::string>> csv;
+    std::map<unsigned, std::vector<double>> agg;
+    for (const auto &wname : commercialWorkloadNames()) {
+        const Workload &wl = set.get(wname);
+        RunResult base = runPreset("inorder", wl);
+        std::vector<std::string> row = {wname};
+        std::vector<std::string> csv_row = {wname};
+        for (unsigned c : counts) {
+            RunResult r = runConfigured("sst4", wl, [c](MachineConfig &m) {
+                m.core.checkpoints = c;
+            });
+            double speedup = static_cast<double>(base.cycles)
+                             / static_cast<double>(r.cycles);
+            row.push_back(Table::num(speedup, 2));
+            csv_row.push_back(Table::num(speedup, 4));
+            agg[c].push_back(speedup);
+        }
+        t.addRow(row);
+        csv.push_back(csv_row);
+    }
+    std::vector<std::string> row = {"GEOMEAN"};
+    for (unsigned c : counts)
+        row.push_back(Table::num(geomean(agg[c]), 2));
+    t.addRow(row);
+    t.print();
+
+    std::vector<std::string> csv_header = {"workload"};
+    for (unsigned c : counts)
+        csv_header.push_back("ckpt" + std::to_string(c));
+    emitCsv("f5_checkpoints", csv_header, csv);
+    return 0;
+}

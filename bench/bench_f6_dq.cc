@@ -1,0 +1,74 @@
+/**
+ * @file
+ * F6 — deferred-queue size sweep.
+ *
+ * The DQ bounds how many miss-dependent instructions the ahead strand
+ * can park; when it fills, the strand stalls and SST degrades toward
+ * stall-on-use. Expected shape: performance climbs with DQ size and
+ * saturates once the queue covers the dependence cone of outstanding
+ * misses; dq-full stall cycles fall correspondingly.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+
+using namespace sst;
+using namespace sst::bench;
+
+int
+main()
+{
+    banner("F6", "SST sensitivity to deferred-queue capacity");
+    setVerbose(false);
+
+    const std::vector<unsigned> sizes = {8, 16, 32, 64, 128, 256};
+    WorkloadSet set;
+
+    std::vector<std::vector<std::string>> csv;
+    Table t("speedup vs in-order by DQ size (sst4)");
+    std::vector<std::string> header = {"workload"};
+    for (unsigned s : sizes)
+        header.push_back("dq=" + std::to_string(s));
+    t.setHeader(header);
+
+    Table stalls("dq-full stall cycles per 1k insts");
+    stalls.setHeader(header);
+
+    std::map<unsigned, std::vector<double>> agg;
+    for (const auto &wname : commercialWorkloadNames()) {
+        const Workload &wl = set.get(wname);
+        RunResult base = runPreset("inorder", wl);
+        std::vector<std::string> row = {wname};
+        std::vector<std::string> srow = {wname};
+        std::vector<std::string> csv_row = {wname};
+        for (unsigned s : sizes) {
+            RunResult r = runConfigured("sst4", wl, [s](MachineConfig &m) {
+                m.core.dqEntries = s;
+            });
+            double speedup = static_cast<double>(base.cycles)
+                             / static_cast<double>(r.cycles);
+            row.push_back(Table::num(speedup, 2));
+            csv_row.push_back(Table::num(speedup, 4));
+            agg[s].push_back(speedup);
+            double stall = statOf(r, ".dq_full_stalls") * 1000.0
+                           / static_cast<double>(r.insts);
+            srow.push_back(Table::num(stall, 1));
+        }
+        t.addRow(row);
+        stalls.addRow(srow);
+        csv.push_back(csv_row);
+    }
+    std::vector<std::string> row = {"GEOMEAN"};
+    for (unsigned s : sizes)
+        row.push_back(Table::num(geomean(agg[s]), 2));
+    t.addRow(row);
+    t.print();
+    stalls.print();
+
+    std::vector<std::string> csv_header = {"workload"};
+    for (unsigned s : sizes)
+        csv_header.push_back("dq" + std::to_string(s));
+    emitCsv("f6_dq", csv_header, csv);
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * F7 — speculative store queue sweep + lazy disambiguation cost.
+ *
+ * The SSQ holds every speculative store (plus reservations for deferred
+ * ones) until its epoch commits; exhaustion stalls the ahead strand.
+ * The second table prices lazy disambiguation: conflict rollbacks per
+ * 100k instructions. Expected shape: store-heavy workloads need tens of
+ * entries; conflicts stay rare.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+
+using namespace sst;
+using namespace sst::bench;
+
+int
+main()
+{
+    banner("F7", "SSQ capacity sweep and disambiguation conflicts");
+    setVerbose(false);
+
+    const std::vector<unsigned> sizes = {4, 8, 16, 32, 64};
+    const std::vector<std::string> workloads = {"oltp_mix", "stream",
+                                                "sorted_merge",
+                                                "graph_scan"};
+    WorkloadSet set;
+
+    Table t("speedup vs in-order by SSQ size (sst4)");
+    std::vector<std::string> header = {"workload"};
+    for (unsigned s : sizes)
+        header.push_back("ssq=" + std::to_string(s));
+    t.setHeader(header);
+
+    Table stalls("ssq-full stall cycles per 1k insts / mem-conflict "
+                 "rollbacks per 100k insts");
+    stalls.setHeader(header);
+
+    std::vector<std::vector<std::string>> csv;
+    for (const auto &wname : workloads) {
+        const Workload &wl = set.get(wname);
+        RunResult base = runPreset("inorder", wl);
+        std::vector<std::string> row = {wname};
+        std::vector<std::string> srow = {wname};
+        std::vector<std::string> csv_row = {wname};
+        for (unsigned s : sizes) {
+            RunResult r = runConfigured("sst4", wl, [s](MachineConfig &m) {
+                m.core.ssqEntries = s;
+            });
+            double speedup = static_cast<double>(base.cycles)
+                             / static_cast<double>(r.cycles);
+            row.push_back(Table::num(speedup, 2));
+            csv_row.push_back(Table::num(speedup, 4));
+            double stall = statOf(r, ".ssq_full_stalls") * 1000.0
+                           / static_cast<double>(r.insts);
+            double conflicts = statOf(r, ".fail_mem") * 100000.0
+                               / static_cast<double>(r.insts);
+            srow.push_back(Table::num(stall, 1) + " / "
+                           + Table::num(conflicts, 2));
+        }
+        t.addRow(row);
+        stalls.addRow(srow);
+        csv.push_back(csv_row);
+    }
+    t.print();
+    stalls.print();
+
+    std::vector<std::string> csv_header = {"workload"};
+    for (unsigned s : sizes)
+        csv_header.push_back("ssq" + std::to_string(s));
+    emitCsv("f7_ssq", csv_header, csv);
+    return 0;
+}

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * F9 — CMP throughput: the reason ROCK exists.
+ *
+ * Part 1: aggregate IPC of 1..16 cores sharing one L2 + DRAM, per core
+ * type (bandwidth contention bends the curves).
+ * Part 2: area-equalised chips — under a fixed core-area budget, the
+ * cheaper SST core buys more cores than ooo-large; total chip
+ * throughput is the paper's real selling point.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "power/model.hh"
+#include "sim/cmp.hh"
+
+using namespace sst;
+using namespace sst::bench;
+
+namespace
+{
+
+/** Build n same-kind workloads with distinct seeds. */
+std::vector<Workload>
+buildWorkloads(unsigned n)
+{
+    std::vector<Workload> out;
+    for (unsigned i = 0; i < n; ++i) {
+        WorkloadParams p = benchWorkloadParams();
+        p.lengthScale *= 0.15; // CMP runs n programs; keep each short
+        p.seed = 42 + i;
+        out.push_back(makeWorkload("oltp_mix", p));
+    }
+    return out;
+}
+
+CmpResult
+runCmp(const std::string &preset, const std::vector<Workload> &wls,
+       unsigned n)
+{
+    std::vector<const Program *> progs;
+    for (unsigned i = 0; i < n; ++i)
+        progs.push_back(&wls[i].program);
+    Cmp cmp(makePreset(preset), progs);
+    CmpResult r = cmp.run();
+    fatal_if(!r.finished, "CMP %s x%u did not finish", preset.c_str(),
+             n);
+    return r;
+}
+
+/** Per-core area of a preset under the proxy model. */
+double
+coreArea(const std::string &preset, const std::vector<Workload> &wls)
+{
+    Machine machine(makePreset(preset), wls[0].program);
+    machine.run();
+    return estimatePower(machine.core()).coreArea;
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("F9", "CMP throughput scaling and area-equalised chips");
+    setVerbose(false);
+
+    const std::vector<unsigned> core_counts = {1, 2, 4, 8, 16};
+    const std::vector<std::string> presets = {"inorder", "sst2",
+                                              "ooo-large"};
+    std::vector<Workload> wls = buildWorkloads(16);
+
+    Table t("aggregate IPC, oltp_mix per core, shared L2 + DRAM");
+    std::vector<std::string> header = {"cores"};
+    for (const auto &p : presets)
+        header.push_back(p);
+    t.setHeader(header);
+
+    std::vector<std::vector<std::string>> csv;
+    std::map<std::string, std::map<unsigned, double>> thr;
+    for (unsigned n : core_counts) {
+        std::vector<std::string> row = {std::to_string(n)};
+        std::vector<std::string> csv_row = {std::to_string(n)};
+        for (const auto &p : presets) {
+            CmpResult r = runCmp(p, wls, n);
+            thr[p][n] = r.aggregateIpc;
+            row.push_back(Table::num(r.aggregateIpc, 3));
+            csv_row.push_back(Table::num(r.aggregateIpc, 4));
+        }
+        t.addRow(row);
+        csv.push_back(csv_row);
+    }
+    t.print();
+    emitCsv("f9_cmp", header, csv);
+
+    // Part 2: area-equalised chips.
+    double area_sst = coreArea("sst2", wls);
+    double area_ooo = coreArea("ooo-large", wls);
+    double budget = 16.0 * area_sst; // a "16 SST cores" die
+    unsigned n_sst = 16;
+    unsigned n_ooo = std::max(
+        1u, static_cast<unsigned>(budget / area_ooo));
+    n_ooo = std::min(n_ooo, 16u);
+
+    Table eq("area-equalised chip throughput (budget = 16 SST cores)");
+    eq.setHeader({"chip", "cores", "core area", "chip core-area",
+                  "aggregate IPC"});
+    CmpResult r_sst = runCmp("sst2", wls, n_sst);
+    CmpResult r_ooo = runCmp("ooo-large", wls, n_ooo);
+    eq.addRow({"SST-2 chip", std::to_string(n_sst),
+               Table::num(area_sst, 2), Table::num(n_sst * area_sst, 1),
+               Table::num(r_sst.aggregateIpc, 3)});
+    eq.addRow({"OoO-large chip", std::to_string(n_ooo),
+               Table::num(area_ooo, 2), Table::num(n_ooo * area_ooo, 1),
+               Table::num(r_ooo.aggregateIpc, 3)});
+    eq.setCaption("equal silicon, different core counts: the CMP "
+                  "argument for SST.");
+    eq.print();
+    std::printf("\nHEADLINE: equal-area chip throughput SST/OoO = "
+                "%.2fx\n",
+                r_sst.aggregateIpc / r_ooo.aggregateIpc);
+    return 0;
+}

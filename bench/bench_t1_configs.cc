@@ -1,0 +1,77 @@
+/**
+ * @file
+ * T1 — simulated machine configurations (the paper's methodology
+ * table). Prints every preset's core and memory parameters so each
+ * figure's experimental setup is self-documenting.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "power/model.hh"
+
+using namespace sst;
+using namespace sst::bench;
+
+int
+main()
+{
+    banner("T1", "simulated machine configurations");
+
+    Table t("machine configurations");
+    t.setHeader({"preset", "model", "width", "ckpts", "DQ", "SSQ", "ROB",
+                 "IQ", "LSQ", "predictor"});
+    for (const auto &name : presetNames()) {
+        MachineConfig c = makePreset(name);
+        bool is_sst = c.model == "sst";
+        bool is_ooo = c.model == "ooo";
+        t.addRow({name, c.model, std::to_string(c.core.fetchWidth),
+                  is_sst ? std::to_string(c.core.checkpoints) : "-",
+                  is_sst && !c.core.discardSpecWork
+                      ? std::to_string(c.core.dqEntries)
+                      : "-",
+                  is_sst ? std::to_string(c.core.ssqEntries) : "-",
+                  is_ooo ? std::to_string(c.core.robEntries) : "-",
+                  is_ooo ? std::to_string(c.core.issueQueueEntries) : "-",
+                  is_ooo ? std::to_string(c.core.lsqEntries) : "-",
+                  c.core.predictor});
+    }
+    t.setCaption("scout = SST hardware with speculative work discarded "
+                 "(runahead prefetcher).");
+    t.print();
+
+    MachineConfig base = makePreset("inorder");
+    Table m("shared memory hierarchy");
+    m.setHeader({"component", "parameters"});
+    auto cache_row = [&](const CacheParams &c) {
+        char buf[128];
+        std::snprintf(buf, sizeof(buf),
+                      "%llu KB, %u-way, %u B lines, %u-cycle hit",
+                      static_cast<unsigned long long>(c.sizeBytes / 1024),
+                      c.assoc, c.lineBytes, c.hitLatency);
+        return std::string(buf);
+    };
+    m.addRow({"L1I", cache_row(base.mem.l1i)});
+    m.addRow({"L1D", cache_row(base.mem.l1d)});
+    m.addRow({"L2 (shared)", cache_row(base.mem.l2)});
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "%u banks, %u-cycle base + %u CAS (+%u row miss), "
+                  "%u-cycle channel/line",
+                  base.mem.dram.banks, base.mem.dram.baseLatency,
+                  base.mem.dram.tCas, base.mem.dram.tRcdRp,
+                  base.mem.dram.channelCycles);
+    m.addRow({"DRAM", buf});
+    m.addRow({"MSHRs/core", std::to_string(base.mem.l1MshrEntries)});
+    m.print();
+
+    Table w("workloads");
+    w.setHeader({"name", "class", "~dyn insts (scale=1)"});
+    for (const auto &name : allWorkloadNames()) {
+        Workload wl = makeWorkload(name);
+        w.addRow({wl.name, wl.category,
+                  std::to_string(wl.approxDynInsts)});
+    }
+    w.print();
+    return 0;
+}

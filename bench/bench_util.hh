@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Shared helpers for the paper-reproduction bench binaries.
+ *
+ * Every bench prints (a) a human-readable table and (b) a CSV block
+ * bracketed by BEGIN_CSV/END_CSV for plotting. Scale all run lengths
+ * with the SST_BENCH_SCALE environment variable (default 1.0).
+ */
+
+#ifndef SSTSIM_BENCH_BENCH_UTIL_HH
+#define SSTSIM_BENCH_BENCH_UTIL_HH
+
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "sim/machine.hh"
+#include "workloads/workloads.hh"
+
+namespace sst::bench
+{
+
+/** Run-length multiplier from SST_BENCH_SCALE (default 1). */
+inline double
+benchScale()
+{
+    if (const char *env = std::getenv("SST_BENCH_SCALE"))
+        return std::max(0.01, std::atof(env));
+    return 1.0;
+}
+
+/** Standard workload parameters for benches. */
+inline WorkloadParams
+benchWorkloadParams()
+{
+    WorkloadParams p;
+    p.lengthScale = 0.5 * benchScale();
+    return p;
+}
+
+/** Build and cache workloads by name. */
+class WorkloadSet
+{
+  public:
+    explicit WorkloadSet(WorkloadParams params = benchWorkloadParams())
+        : params_(params)
+    {}
+
+    const Workload &
+    get(const std::string &name)
+    {
+        auto it = cache_.find(name);
+        if (it == cache_.end())
+            it = cache_.emplace(name, makeWorkload(name, params_)).first;
+        return it->second;
+    }
+
+  private:
+    WorkloadParams params_;
+    std::map<std::string, Workload> cache_;
+};
+
+/** Geometric mean of a non-empty vector. */
+inline double
+geomean(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (double x : v)
+        acc += std::log(std::max(x, 1e-12));
+    return std::exp(acc / static_cast<double>(v.size()));
+}
+
+/** Run one preset (with optional config mutation) on one workload. */
+template <typename Mutator>
+RunResult
+runConfigured(const std::string &preset, const Workload &wl,
+              Mutator &&mutate)
+{
+    MachineConfig cfg = makePreset(preset);
+    mutate(cfg);
+    Machine machine(cfg, wl.program);
+    RunResult r = machine.run();
+    fatal_if(!r.finished, "%s on %s did not finish", preset.c_str(),
+             wl.name.c_str());
+    return r;
+}
+
+inline RunResult
+runPreset(const std::string &preset, const Workload &wl)
+{
+    return runConfigured(preset, wl, [](MachineConfig &) {});
+}
+
+/** Fetch a stat by suffix from a RunResult. */
+inline double
+statOf(const RunResult &r, const std::string &suffix)
+{
+    for (const auto &kv : r.stats)
+        if (kv.first.size() >= suffix.size()
+            && kv.first.compare(kv.first.size() - suffix.size(),
+                                suffix.size(), suffix)
+                   == 0)
+            return kv.second;
+    return 0.0;
+}
+
+/** Print the standard bench banner. */
+inline void
+banner(const std::string &id, const std::string &what)
+{
+    std::printf("\n##########################################################"
+                "############\n");
+    std::printf("## %s — %s\n", id.c_str(), what.c_str());
+    std::printf("## (shape reproduction; absolute numbers are from this "
+                "simulator,\n##  not the paper's testbed)\n");
+    std::printf("############################################################"
+                "##########\n");
+}
+
+} // namespace sst::bench
+
+#endif // SSTSIM_BENCH_BENCH_UTIL_HH

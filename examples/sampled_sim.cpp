@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Sampled simulation demo: estimate a long workload's IPC from
+ * detailed sample windows separated by warmed functional fast-forward,
+ * and compare the estimate (and host-time cost) against the full
+ * detailed run.
+ *
+ * Usage: sampled_sim [preset=sst2] [workload=oltp_mix]
+ *                    [detail=5000] [skip=20000] [length_scale=2.0]
+ */
+
+#include <chrono>
+#include <cstdio>
+
+#include "common/config.hh"
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "sim/sampling.hh"
+#include "workloads/workloads.hh"
+
+using namespace sst;
+
+int
+main(int argc, char **argv)
+{
+    Config cfg;
+    cfg.parseArgs(argc, argv);
+    setVerbose(false);
+
+    WorkloadParams wp;
+    wp.lengthScale = cfg.getDouble("length_scale", 2.0);
+    Workload wl = makeWorkload(cfg.getString("workload", "oltp_mix"), wp);
+    std::string preset = cfg.getString("preset", "sst2");
+
+    using clk = std::chrono::steady_clock;
+
+    auto t0 = clk::now();
+    RunResult full = runOn(preset, wl.program);
+    auto t1 = clk::now();
+
+    SampleParams sp;
+    sp.detailInsts = cfg.getUint("detail", 5000);
+    sp.skipInsts = cfg.getUint("skip", 20000);
+    SampledResult sampled = runSampled(makePreset(preset), wl.program, sp);
+    auto t2 = clk::now();
+
+    auto ms = [](auto a, auto b) {
+        return std::chrono::duration_cast<std::chrono::milliseconds>(b
+                                                                     - a)
+            .count();
+    };
+
+    Table t("sampled vs full detailed simulation (" + preset + " on "
+            + wl.name + ")");
+    t.setHeader({"method", "IPC", "insts simulated in detail",
+                 "host ms"});
+    t.addRow({"full detail", Table::num(full.ipc, 4),
+              std::to_string(full.insts),
+              std::to_string(ms(t0, t1))});
+    t.addRow({"sampled", Table::num(sampled.ipc, 4),
+              std::to_string(sampled.detailedInsts),
+              std::to_string(ms(t1, t2))});
+    t.setCaption("windows: " + std::to_string(sampled.windowIpc.size())
+                 + ", window IPC stddev "
+                 + Table::num(sampled.ipcStddev(), 4) + ", error "
+                 + Table::num(100.0 * std::abs(sampled.ipc - full.ipc)
+                                  / full.ipc,
+                              1)
+                 + "%");
+    t.print();
+    return 0;
+}

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Extract the BEGIN_CSV/END_CSV blocks that every bench binary emits.
+
+Usage:
+    for b in build/bench/bench_*; do $b; done > bench_output.txt
+    python3 scripts/extract_results.py bench_output.txt -o results/
+
+Writes one <tag>.csv per block (f2_speedup.csv, f4_memlat.csv, ...).
+If matplotlib is importable, also renders a quick line/bar chart per
+block into <tag>.png; otherwise it just writes the CSVs.
+"""
+
+import argparse
+import csv
+import os
+import sys
+
+
+def extract_blocks(lines):
+    """Yield (tag, header, rows) per CSV block."""
+    tag, rows = None, []
+    for line in lines:
+        line = line.rstrip("\n")
+        if line.startswith("BEGIN_CSV "):
+            tag, rows = line.split(" ", 1)[1], []
+        elif line.startswith("END_CSV ") and tag is not None:
+            if rows:
+                yield tag, rows[0], rows[1:]
+            tag = None
+        elif tag is not None:
+            rows.append(line.split(","))
+
+
+def maybe_plot(tag, header, rows, outdir):
+    try:
+        import matplotlib
+
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        return False
+    labels = [r[0] for r in rows]
+    numeric_cols = []
+    for c in range(1, len(header)):
+        try:
+            numeric_cols.append(
+                (header[c], [float(r[c]) for r in rows]))
+        except (ValueError, IndexError):
+            return False
+    if not numeric_cols:
+        return False
+    fig, ax = plt.subplots(figsize=(8, 4.5))
+    x = range(len(labels))
+    for name, series in numeric_cols:
+        ax.plot(x, series, marker="o", label=name)
+    ax.set_xticks(list(x))
+    ax.set_xticklabels(labels, rotation=30, ha="right")
+    ax.set_title(tag)
+    ax.legend(fontsize=8)
+    ax.grid(True, alpha=0.3)
+    fig.tight_layout()
+    fig.savefig(os.path.join(outdir, tag + ".png"), dpi=120)
+    plt.close(fig)
+    return True
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("input", help="bench output file ('-' for stdin)")
+    ap.add_argument("-o", "--outdir", default="results")
+    args = ap.parse_args()
+
+    src = sys.stdin if args.input == "-" else open(args.input)
+    os.makedirs(args.outdir, exist_ok=True)
+
+    count = 0
+    for tag, header, rows in extract_blocks(src):
+        path = os.path.join(args.outdir, tag + ".csv")
+        with open(path, "w", newline="") as f:
+            w = csv.writer(f)
+            w.writerow(header)
+            w.writerows(rows)
+        plotted = maybe_plot(tag, header, rows, args.outdir)
+        print(f"{tag}: {len(rows)} rows -> {path}"
+              + (" (+png)" if plotted else ""))
+        count += 1
+    if count == 0:
+        print("no CSV blocks found", file=sys.stderr)
+        sys.exit(1)
+
+
+if __name__ == "__main__":
+    main()

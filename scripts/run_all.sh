@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Build everything, run the test suite, regenerate every paper
+# table/figure, and extract the CSV series.
+#
+# Usage: scripts/run_all.sh [bench-scale]
+#   bench-scale: SST_BENCH_SCALE for the sweep (default 1 = full runs;
+#                use e.g. 0.2 for a quick pass).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SCALE="${1:-1}"
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure 2>&1 | tee test_output.txt
+
+: > bench_output.txt
+for b in build/bench/bench_*; do
+    echo ">>> $(basename "$b")"
+    SST_BENCH_SCALE="$SCALE" "$b" 2>&1 | tee -a bench_output.txt
+done
+
+python3 scripts/extract_results.py bench_output.txt -o results/
+echo "done: test_output.txt, bench_output.txt, results/"

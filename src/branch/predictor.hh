@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Branch direction predictors, branch target buffer, and return-address
+ * stack.
+ *
+ * SST leans on the branch predictor harder than a conventional pipeline:
+ * a branch whose operands are NA cannot be resolved by the ahead strand
+ * at all, so it is *predicted and deferred*, and a wrong prediction is
+ * only discovered at DQ replay — costing a full checkpoint rollback.
+ * bench_f11 sweeps predictor quality to expose that sensitivity.
+ */
+
+#ifndef SSTSIM_BRANCH_PREDICTOR_HH
+#define SSTSIM_BRANCH_PREDICTOR_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace sst
+{
+
+/** Direction predictor interface. PCs are instruction indices. */
+class BranchPredictor
+{
+  public:
+    virtual ~BranchPredictor() = default;
+
+    /** Predict the direction of the branch at @p pc. */
+    virtual bool predict(std::uint64_t pc) = 0;
+
+    /** Train with the resolved direction (tables + history). */
+    virtual void update(std::uint64_t pc, bool taken) = 0;
+
+    /**
+     * Train the tables only, without shifting global history. Used for
+     * deferred branches, whose predicted direction was already shifted
+     * into the history speculatively at predict time (see
+     * shiftHistory); shifting again at verification would double-count.
+     */
+    virtual void train(std::uint64_t pc, bool taken)
+    {
+        update(pc, taken);
+    }
+
+    /**
+     * Train the tables for a branch predicted under @p history (the
+     * snapshot captured at prediction time). Indexed predictors must
+     * hit the same entry the prediction read, or a repeatedly-wrong
+     * deferred branch never converges. Default ignores the history.
+     */
+    virtual void trainAt(std::uint64_t pc, bool taken,
+                         std::uint64_t /*history*/)
+    {
+        train(pc, taken);
+    }
+
+    /**
+     * Speculatively shift a predicted direction into the global
+     * history (real front ends do this at fetch). Rollback repairs it
+     * via restoreHistory(). No-op for history-less predictors.
+     */
+    virtual void shiftHistory(bool /*taken*/) {}
+
+    /**
+     * Checkpoint/restore of speculative history (global history
+     * registers); table state is left speculatively updated, as real
+     * hardware does.
+     */
+    virtual std::uint64_t snapshotHistory() const { return 0; }
+    virtual void restoreHistory(std::uint64_t) {}
+
+    virtual const char *name() const = 0;
+};
+
+/** Always-predict-not-taken strawman. */
+class StaticPredictor : public BranchPredictor
+{
+  public:
+    bool predict(std::uint64_t) override { return false; }
+    void update(std::uint64_t, bool) override {}
+    const char *name() const override { return "static"; }
+};
+
+/** Classic 2-bit saturating counter table. */
+class BimodalPredictor : public BranchPredictor
+{
+  public:
+    explicit BimodalPredictor(unsigned tableBits = 12);
+
+    bool predict(std::uint64_t pc) override;
+    void update(std::uint64_t pc, bool taken) override;
+    const char *name() const override { return "bimodal"; }
+
+  private:
+    unsigned index(std::uint64_t pc) const;
+    std::vector<std::uint8_t> table_;
+    unsigned mask_;
+};
+
+/** Gshare: global history XOR pc indexing a 2-bit table. */
+class GsharePredictor : public BranchPredictor
+{
+  public:
+    explicit GsharePredictor(unsigned tableBits = 14,
+                             unsigned historyBits = 12);
+
+    bool predict(std::uint64_t pc) override;
+    void update(std::uint64_t pc, bool taken) override;
+    void train(std::uint64_t pc, bool taken) override;
+    void trainAt(std::uint64_t pc, bool taken,
+                 std::uint64_t history) override;
+    void shiftHistory(bool taken) override;
+    std::uint64_t snapshotHistory() const override { return history_; }
+    void restoreHistory(std::uint64_t h) override { history_ = h; }
+    const char *name() const override { return "gshare"; }
+
+  private:
+    unsigned index(std::uint64_t pc) const;
+    std::vector<std::uint8_t> table_;
+    unsigned mask_;
+    std::uint64_t history_ = 0;
+    std::uint64_t historyMask_;
+};
+
+/** Tournament: bimodal vs gshare with a 2-bit chooser. */
+class TournamentPredictor : public BranchPredictor
+{
+  public:
+    TournamentPredictor(unsigned tableBits = 13, unsigned historyBits = 12);
+
+    bool predict(std::uint64_t pc) override;
+    void update(std::uint64_t pc, bool taken) override;
+    void train(std::uint64_t pc, bool taken) override;
+    void trainAt(std::uint64_t pc, bool taken,
+                 std::uint64_t history) override;
+    void shiftHistory(bool taken) override;
+    std::uint64_t snapshotHistory() const override;
+    void restoreHistory(std::uint64_t h) override;
+    const char *name() const override { return "tournament"; }
+
+  private:
+    BimodalPredictor bimodal_;
+    GsharePredictor gshare_;
+    std::vector<std::uint8_t> chooser_;
+    unsigned mask_;
+    bool lastBimodal_ = false;
+    bool lastGshare_ = false;
+};
+
+/** Construct a predictor by name ("static|bimodal|gshare|tournament"). */
+std::unique_ptr<BranchPredictor> makePredictor(const std::string &kind);
+
+/**
+ * Branch target buffer: maps branch PC to target PC for fetch redirect
+ * before decode. Direct-mapped with tags.
+ */
+class Btb
+{
+  public:
+    explicit Btb(unsigned entries = 4096);
+
+    /** @return predicted target or invalid when not present. */
+    std::uint64_t lookup(std::uint64_t pc) const;
+    void update(std::uint64_t pc, std::uint64_t target);
+
+    static constexpr std::uint64_t invalidTarget = ~std::uint64_t{0};
+
+  private:
+    struct Entry
+    {
+        std::uint64_t tag = ~std::uint64_t{0};
+        std::uint64_t target = 0;
+    };
+    std::vector<Entry> entries_;
+    unsigned mask_;
+};
+
+/** Return-address stack for JAL(link)/JALR(return) pairs. */
+class ReturnAddressStack
+{
+  public:
+    explicit ReturnAddressStack(unsigned depth = 16);
+
+    void push(std::uint64_t returnPc);
+    /** Pop a prediction; returns invalid when empty. */
+    std::uint64_t pop();
+    void reset() { top_ = 0; count_ = 0; }
+
+    static constexpr std::uint64_t invalidTarget = ~std::uint64_t{0};
+
+  private:
+    std::vector<std::uint64_t> stack_;
+    unsigned top_ = 0;
+    unsigned count_ = 0;
+};
+
+} // namespace sst
+
+#endif // SSTSIM_BRANCH_PREDICTOR_HH

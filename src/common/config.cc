@@ -1,0 +1,178 @@
+#include "common/config.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace sst
+{
+
+void
+Config::set(const std::string &key, const std::string &value)
+{
+    values_[key] = value;
+}
+
+void
+Config::set(const std::string &key, const char *value)
+{
+    values_[key] = value;
+}
+
+void
+Config::set(const std::string &key, std::int64_t value)
+{
+    values_[key] = std::to_string(value);
+}
+
+void
+Config::set(const std::string &key, std::uint64_t value)
+{
+    values_[key] = std::to_string(value);
+}
+
+void
+Config::set(const std::string &key, int value)
+{
+    values_[key] = std::to_string(value);
+}
+
+void
+Config::set(const std::string &key, double value)
+{
+    values_[key] = std::to_string(value);
+}
+
+void
+Config::set(const std::string &key, bool value)
+{
+    values_[key] = value ? "true" : "false";
+}
+
+bool
+Config::has(const std::string &key) const
+{
+    return values_.count(key) != 0;
+}
+
+std::string
+Config::getString(const std::string &key, const std::string &def) const
+{
+    auto it = values_.find(key);
+    if (it == values_.end()) {
+        defaults_[key] = def;
+        return def;
+    }
+    return it->second;
+}
+
+std::int64_t
+Config::getInt(const std::string &key, std::int64_t def) const
+{
+    auto it = values_.find(key);
+    if (it == values_.end()) {
+        defaults_[key] = std::to_string(def);
+        return def;
+    }
+    char *end = nullptr;
+    std::int64_t v = std::strtoll(it->second.c_str(), &end, 0);
+    fatal_if(end == it->second.c_str() || *end != '\0',
+             "config key '%s': '%s' is not an integer", key.c_str(),
+             it->second.c_str());
+    return v;
+}
+
+std::uint64_t
+Config::getUint(const std::string &key, std::uint64_t def) const
+{
+    auto it = values_.find(key);
+    if (it == values_.end()) {
+        defaults_[key] = std::to_string(def);
+        return def;
+    }
+    char *end = nullptr;
+    std::uint64_t v = std::strtoull(it->second.c_str(), &end, 0);
+    fatal_if(end == it->second.c_str() || *end != '\0',
+             "config key '%s': '%s' is not an unsigned integer",
+             key.c_str(), it->second.c_str());
+    return v;
+}
+
+double
+Config::getDouble(const std::string &key, double def) const
+{
+    auto it = values_.find(key);
+    if (it == values_.end()) {
+        defaults_[key] = std::to_string(def);
+        return def;
+    }
+    char *end = nullptr;
+    double v = std::strtod(it->second.c_str(), &end);
+    fatal_if(end == it->second.c_str() || *end != '\0',
+             "config key '%s': '%s' is not a number", key.c_str(),
+             it->second.c_str());
+    return v;
+}
+
+bool
+Config::getBool(const std::string &key, bool def) const
+{
+    auto it = values_.find(key);
+    if (it == values_.end()) {
+        defaults_[key] = def ? "true" : "false";
+        return def;
+    }
+    const std::string &s = it->second;
+    if (s == "true" || s == "1" || s == "yes" || s == "on")
+        return true;
+    if (s == "false" || s == "0" || s == "no" || s == "off")
+        return false;
+    fatal("config key '%s': '%s' is not a boolean", key.c_str(), s.c_str());
+}
+
+void
+Config::parseAssignment(const std::string &text)
+{
+    auto eq = text.find('=');
+    fatal_if(eq == std::string::npos || eq == 0,
+             "expected key=value, got '%s'", text.c_str());
+    set(text.substr(0, eq), text.substr(eq + 1));
+}
+
+void
+Config::parseArgs(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i)
+        parseAssignment(argv[i]);
+}
+
+void
+Config::merge(const Config &other)
+{
+    for (const auto &kv : other.values_)
+        values_[kv.first] = kv.second;
+}
+
+std::vector<std::pair<std::string, std::string>>
+Config::items() const
+{
+    std::map<std::string, std::string> all = defaults_;
+    for (const auto &kv : values_)
+        all[kv.first] = kv.second;
+    return {all.begin(), all.end()};
+}
+
+std::string
+Config::dump() const
+{
+    std::string out;
+    for (const auto &kv : items()) {
+        out += kv.first;
+        out += " = ";
+        out += kv.second;
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace sst

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Flat key/value configuration store with typed accessors.
+ *
+ * Keys are dotted strings ("l1d.size_kb", "core.fetch_width"). Values are
+ * stored as strings and converted on read; a read with a default records
+ * the default so that dump() shows the full effective configuration.
+ */
+
+#ifndef SSTSIM_COMMON_CONFIG_HH
+#define SSTSIM_COMMON_CONFIG_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sst
+{
+
+/** Mutable configuration dictionary. */
+class Config
+{
+  public:
+    Config() = default;
+
+    /** Set (or overwrite) a key from a string value. */
+    void set(const std::string &key, const std::string &value);
+    /** Without this overload a string literal would bind to the bool
+     *  overload (pointer conversion outranks user-defined). */
+    void set(const std::string &key, const char *value);
+    void set(const std::string &key, std::int64_t value);
+    void set(const std::string &key, std::uint64_t value);
+    void set(const std::string &key, int value);
+    void set(const std::string &key, double value);
+    void set(const std::string &key, bool value);
+
+    /** @return true when @p key has been set or defaulted. */
+    bool has(const std::string &key) const;
+
+    /**
+     * Typed getters. The @p def value is returned (and recorded) when the
+     * key is absent; a malformed stored value is a user error (fatal).
+     */
+    std::string getString(const std::string &key,
+                          const std::string &def) const;
+    std::int64_t getInt(const std::string &key, std::int64_t def) const;
+    std::uint64_t getUint(const std::string &key, std::uint64_t def) const;
+    double getDouble(const std::string &key, double def) const;
+    bool getBool(const std::string &key, bool def) const;
+
+    /**
+     * Parse one "key=value" assignment (as accepted on example/bench
+     * command lines). Malformed input is fatal.
+     */
+    void parseAssignment(const std::string &text);
+
+    /** Parse argv-style overrides; non-assignments are fatal. */
+    void parseArgs(int argc, char **argv);
+
+    /** Merge @p other into this config, overwriting duplicates. */
+    void merge(const Config &other);
+
+    /** All key/value pairs in key order (effective config). */
+    std::vector<std::pair<std::string, std::string>> items() const;
+
+    /** Render the effective config as "key = value" lines. */
+    std::string dump() const;
+
+  private:
+    std::map<std::string, std::string> values_;
+    /** Defaults observed through getters, for dump() completeness. */
+    mutable std::map<std::string, std::string> defaults_;
+};
+
+} // namespace sst
+
+#endif // SSTSIM_COMMON_CONFIG_HH

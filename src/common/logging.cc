@@ -1,0 +1,76 @@
+#include "common/logging.hh"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace sst
+{
+
+namespace
+{
+bool verboseFlag = true;
+} // namespace
+
+void
+setVerbose(bool on)
+{
+    verboseFlag = on;
+}
+
+bool
+verbose()
+{
+    return verboseFlag;
+}
+
+namespace log_detail
+{
+
+std::string
+format(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    va_list ap2;
+    va_copy(ap2, ap);
+    int n = std::vsnprintf(nullptr, 0, fmt, ap);
+    va_end(ap);
+    std::string out;
+    if (n > 0) {
+        out.resize(static_cast<size_t>(n) + 1);
+        std::vsnprintf(out.data(), out.size(), fmt, ap2);
+        out.resize(static_cast<size_t>(n));
+    }
+    va_end(ap2);
+    return out;
+}
+
+void
+terminatePanic(const std::string &msg, const char *file, int line)
+{
+    std::fprintf(stderr, "panic: %s\n  at %s:%d\n", msg.c_str(), file, line);
+    std::abort();
+}
+
+void
+terminateFatal(const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    std::exit(1);
+}
+
+void
+emitWarn(const std::string &msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+emitInform(const std::string &msg)
+{
+    if (verboseFlag)
+        std::fprintf(stdout, "info: %s\n", msg.c_str());
+}
+
+} // namespace log_detail
+} // namespace sst

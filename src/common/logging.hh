@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Error and status reporting, following the gem5 panic/fatal convention:
+ * panic() for simulator bugs (should never happen), fatal() for user
+ * errors (bad configuration), warn()/inform() for status.
+ */
+
+#ifndef SSTSIM_COMMON_LOGGING_HH
+#define SSTSIM_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace sst
+{
+
+namespace log_detail
+{
+
+[[noreturn]] void terminatePanic(const std::string &msg, const char *file,
+                                 int line);
+[[noreturn]] void terminateFatal(const std::string &msg);
+void emitWarn(const std::string &msg);
+void emitInform(const std::string &msg);
+
+/** printf-style formatting into a std::string. */
+std::string format(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace log_detail
+
+/** Enable/disable inform() output (benches silence it). */
+void setVerbose(bool on);
+bool verbose();
+
+} // namespace sst
+
+/**
+ * Abort with a message. Use for conditions that indicate a simulator bug,
+ * never a user mistake.
+ */
+#define panic(...)                                                          \
+    ::sst::log_detail::terminatePanic(                                      \
+        ::sst::log_detail::format(__VA_ARGS__), __FILE__, __LINE__)
+
+/** Exit(1) with a message. Use for user errors (bad config, bad input). */
+#define fatal(...)                                                          \
+    ::sst::log_detail::terminateFatal(::sst::log_detail::format(__VA_ARGS__))
+
+/** panic() when a condition that must hold does not. */
+#define panic_if(cond, ...)                                                 \
+    do {                                                                    \
+        if (cond)                                                           \
+            panic(__VA_ARGS__);                                             \
+    } while (0)
+
+/** fatal() when a user-facing precondition is violated. */
+#define fatal_if(cond, ...)                                                 \
+    do {                                                                    \
+        if (cond)                                                           \
+            fatal(__VA_ARGS__);                                             \
+    } while (0)
+
+/** Non-fatal warning to stderr. */
+#define warn(...)                                                           \
+    ::sst::log_detail::emitWarn(::sst::log_detail::format(__VA_ARGS__))
+
+/** Informational message to stdout (suppressed when not verbose). */
+#define inform(...)                                                         \
+    ::sst::log_detail::emitInform(::sst::log_detail::format(__VA_ARGS__))
+
+#endif // SSTSIM_COMMON_LOGGING_HH

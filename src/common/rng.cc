@@ -1,0 +1,110 @@
+#include "common/rng.hh"
+
+#include <cmath>
+
+namespace sst
+{
+
+namespace
+{
+
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+void
+Rng::reseed(std::uint64_t seed)
+{
+    std::uint64_t s = seed;
+    for (auto &w : state_)
+        w = splitmix64(s);
+}
+
+std::uint64_t
+Rng::next()
+{
+    std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+std::uint64_t
+Rng::below(std::uint64_t bound)
+{
+    if (bound == 0)
+        return 0;
+    // Lemire's nearly-divisionless method (64x64 -> 128 multiply).
+    unsigned __int128 m =
+        static_cast<unsigned __int128>(next()) * bound;
+    return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t
+Rng::range(std::int64_t lo, std::int64_t hi)
+{
+    if (hi <= lo)
+        return lo;
+    std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(below(span));
+}
+
+double
+Rng::real()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t
+Rng::zipf(std::uint64_t n, double s)
+{
+    if (n <= 1)
+        return 0;
+    if (s <= 0.0)
+        return below(n);
+    // Rejection-inversion sampling (Hormann & Derflinger).
+    const double nd = static_cast<double>(n);
+    auto h = [s](double x) {
+        return s == 1.0 ? std::log(x) : std::pow(x, 1.0 - s) / (1.0 - s);
+    };
+    auto hInv = [s](double x) {
+        return s == 1.0 ? std::exp(x)
+                        : std::pow((1.0 - s) * x, 1.0 / (1.0 - s));
+    };
+    const double hx0 = h(0.5) - std::pow(1.0, -s);
+    const double hn = h(nd + 0.5);
+    for (int tries = 0; tries < 64; ++tries) {
+        double u = hx0 + real() * (hn - hx0);
+        double x = hInv(u);
+        std::uint64_t k = static_cast<std::uint64_t>(x + 0.5);
+        if (k < 1)
+            k = 1;
+        if (k > n)
+            k = n;
+        double kd = static_cast<double>(k);
+        if (u >= h(kd + 0.5) - std::pow(kd, -s))
+            return k - 1;
+    }
+    return below(n);
+}
+
+} // namespace sst

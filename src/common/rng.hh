@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Every stochastic choice in sstsim (workload data layouts, random
+ * replacement, fuzz tests) flows through Rng so that runs are exactly
+ * reproducible from a 64-bit seed. The generator is xoshiro256** seeded
+ * via SplitMix64, which is the reference seeding procedure.
+ */
+
+#ifndef SSTSIM_COMMON_RNG_HH
+#define SSTSIM_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace sst
+{
+
+/** Self-contained xoshiro256** generator. */
+class Rng
+{
+  public:
+    /** Construct from a seed; equal seeds yield equal streams. */
+    explicit Rng(std::uint64_t seed = 0x5eedbeefULL) { reseed(seed); }
+
+    /** Reset the stream to the state derived from @p seed. */
+    void reseed(std::uint64_t seed);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound) using Lemire reduction. @p bound>0. */
+    std::uint64_t below(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double real();
+
+    /** Bernoulli trial with probability @p p of returning true. */
+    bool chance(double p) { return real() < p; }
+
+    /**
+     * Zipf-distributed index in [0, n) with skew @p s (s=0 is uniform).
+     * Uses rejection-inversion; suitable for hot/cold key popularity in
+     * the OLTP-style workload generators.
+     */
+    std::uint64_t zipf(std::uint64_t n, double s);
+
+  private:
+    std::uint64_t state_[4];
+};
+
+} // namespace sst
+
+#endif // SSTSIM_COMMON_RNG_HH

@@ -1,0 +1,176 @@
+#include "common/stats.hh"
+
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace sst
+{
+
+void
+Distribution::init(std::uint64_t max, unsigned buckets)
+{
+    panic_if(buckets == 0, "Distribution needs at least one bucket");
+    buckets_.assign(buckets, 0);
+    width_ = max / buckets;
+    if (width_ == 0)
+        width_ = 1;
+}
+
+void
+Distribution::sample(std::uint64_t v)
+{
+    ++count_;
+    sum_ += v;
+    if (v > maxSample_)
+        maxSample_ = v;
+    if (buckets_.empty()) {
+        ++overflow_;
+        return;
+    }
+    std::uint64_t idx = v / width_;
+    if (idx >= buckets_.size())
+        ++overflow_;
+    else
+        ++buckets_[idx];
+}
+
+double
+Distribution::mean() const
+{
+    return count_ ? static_cast<double>(sum_) / static_cast<double>(count_)
+                  : 0.0;
+}
+
+void
+Distribution::reset()
+{
+    for (auto &b : buckets_)
+        b = 0;
+    count_ = sum_ = overflow_ = maxSample_ = 0;
+}
+
+StatGroup::~StatGroup()
+{
+    for (auto *s : scalars_)
+        delete s;
+    for (auto *d : dists_)
+        delete d;
+}
+
+Scalar &
+StatGroup::addScalar(const std::string &name, const std::string &desc)
+{
+    auto *entry = new NamedScalar{name, desc, Scalar{}};
+    scalars_.push_back(entry);
+    return entry->stat;
+}
+
+Distribution &
+StatGroup::addDist(const std::string &name, const std::string &desc,
+                   std::uint64_t max, unsigned buckets)
+{
+    auto *entry = new NamedDist{name, desc, Distribution{}};
+    entry->stat.init(max, buckets);
+    dists_.push_back(entry);
+    return entry->stat;
+}
+
+void
+StatGroup::addFormula(const std::string &name, const std::string &desc,
+                      std::function<double()> fn)
+{
+    formulas_.push_back(NamedFormula{name, desc, std::move(fn)});
+}
+
+void
+StatGroup::addChild(StatGroup &child)
+{
+    // Idempotent: re-attaching (e.g. a CorePort shared by successive
+    // sampled cores) must not duplicate the subtree.
+    for (const auto *c : children_)
+        if (c == &child)
+            return;
+    children_.push_back(&child);
+}
+
+std::string
+StatGroup::dump(const std::string &prefix) const
+{
+    std::string full = prefix.empty() ? name_ : prefix + "." + name_;
+    std::string out;
+    char buf[256];
+    for (const auto *s : scalars_) {
+        std::snprintf(buf, sizeof(buf), "%-48s %14llu  # %s\n",
+                      (full + "." + s->name).c_str(),
+                      static_cast<unsigned long long>(s->stat.value()),
+                      s->desc.c_str());
+        out += buf;
+    }
+    for (const auto &f : formulas_) {
+        std::snprintf(buf, sizeof(buf), "%-48s %14.4f  # %s\n",
+                      (full + "." + f.name).c_str(), f.fn(),
+                      f.desc.c_str());
+        out += buf;
+    }
+    for (const auto *d : dists_) {
+        std::snprintf(buf, sizeof(buf),
+                      "%-48s mean=%.2f max=%llu n=%llu  # %s\n",
+                      (full + "." + d->name).c_str(), d->stat.mean(),
+                      static_cast<unsigned long long>(d->stat.maxSample()),
+                      static_cast<unsigned long long>(d->stat.count()),
+                      d->desc.c_str());
+        out += buf;
+    }
+    for (const auto *c : children_)
+        out += c->dump(full);
+    return out;
+}
+
+std::string
+StatGroup::dumpJson() const
+{
+    std::string out = "{\n";
+    bool first = true;
+    char buf[64];
+    for (const auto &kv : flatten()) {
+        if (!first)
+            out += ",\n";
+        first = false;
+        std::snprintf(buf, sizeof(buf), "%.6g", kv.second);
+        out += "  \"" + kv.first + "\": " + buf;
+    }
+    out += "\n}\n";
+    return out;
+}
+
+std::map<std::string, double>
+StatGroup::flatten(const std::string &prefix) const
+{
+    std::string full = prefix.empty() ? name_ : prefix + "." + name_;
+    std::map<std::string, double> out;
+    for (const auto *s : scalars_)
+        out[full + "." + s->name] = static_cast<double>(s->stat.value());
+    for (const auto &f : formulas_)
+        out[full + "." + f.name] = f.fn();
+    for (const auto *d : dists_)
+        out[full + "." + d->name + ".mean"] = d->stat.mean();
+    for (const auto *c : children_) {
+        auto sub = c->flatten(full);
+        out.insert(sub.begin(), sub.end());
+    }
+    return out;
+}
+
+void
+StatGroup::reset()
+{
+    for (auto *s : scalars_)
+        s->stat.reset();
+    for (auto *d : dists_)
+        d->stat.reset();
+    for (auto *c : children_)
+        c->reset();
+}
+
+} // namespace sst

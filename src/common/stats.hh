@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Minimal statistics package in the spirit of gem5's Stats:: layer.
+ *
+ * A StatGroup owns named Scalar counters, Distributions (fixed-bucket
+ * histograms) and Formulas (lazily evaluated ratios of other stats).
+ * Groups nest; dump() renders "group.sub.stat value # desc" lines.
+ */
+
+#ifndef SSTSIM_COMMON_STATS_HH
+#define SSTSIM_COMMON_STATS_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sst
+{
+
+/** A simple saturating-free 64-bit event counter. */
+class Scalar
+{
+  public:
+    Scalar() = default;
+
+    Scalar &operator++() { ++value_; return *this; }
+    Scalar &operator+=(std::uint64_t n) { value_ += n; return *this; }
+    void set(std::uint64_t v) { value_ = v; }
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/**
+ * Fixed-bucket histogram over [0, max); samples >= max land in the
+ * overflow bucket. Tracks sum/count so mean() is exact even when samples
+ * overflow the bucketed range.
+ */
+class Distribution
+{
+  public:
+    Distribution() = default;
+
+    /** Configure @p buckets equal-width buckets over [0, max). */
+    void init(std::uint64_t max, unsigned buckets);
+
+    void sample(std::uint64_t v);
+
+    std::uint64_t count() const { return count_; }
+    std::uint64_t sum() const { return sum_; }
+    std::uint64_t maxSample() const { return maxSample_; }
+    double mean() const;
+    const std::vector<std::uint64_t> &buckets() const { return buckets_; }
+    std::uint64_t overflow() const { return overflow_; }
+    std::uint64_t bucketWidth() const { return width_; }
+    void reset();
+
+  private:
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t width_ = 1;
+    std::uint64_t count_ = 0;
+    std::uint64_t sum_ = 0;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t maxSample_ = 0;
+};
+
+/**
+ * Named collection of statistics. Cores and memory components each hold
+ * one; the System aggregates them for reporting.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    StatGroup(const StatGroup &) = delete;
+    StatGroup &operator=(const StatGroup &) = delete;
+
+    /** Register a counter; the group keeps a non-owning pointer. */
+    Scalar &addScalar(const std::string &name, const std::string &desc);
+
+    /** Register a distribution. */
+    Distribution &addDist(const std::string &name, const std::string &desc,
+                          std::uint64_t max, unsigned buckets);
+
+    /** Register a lazily evaluated derived value. */
+    void addFormula(const std::string &name, const std::string &desc,
+                    std::function<double()> fn);
+
+    /** Attach a child group (non-owning). */
+    void addChild(StatGroup &child);
+
+    const std::string &name() const { return name_; }
+
+    /** Render all stats (recursively) as text lines. */
+    std::string dump(const std::string &prefix = "") const;
+
+    /** Render all stats (recursively) as a flat JSON object whose keys
+     *  are the dotted stat names. */
+    std::string dumpJson() const;
+
+    /** Flat name->value view of scalars and formulas (for tests). */
+    std::map<std::string, double> flatten(const std::string &prefix
+                                          = "") const;
+
+    /** Zero all scalars and distributions (recursively). */
+    void reset();
+
+  private:
+    struct NamedScalar
+    {
+        std::string name;
+        std::string desc;
+        Scalar stat;
+    };
+    struct NamedDist
+    {
+        std::string name;
+        std::string desc;
+        Distribution stat;
+    };
+    struct NamedFormula
+    {
+        std::string name;
+        std::string desc;
+        std::function<double()> fn;
+    };
+
+    std::string name_;
+    // Deques-by-proxy: deque-like stability is required because callers
+    // keep references; std::deque keeps references valid across growth.
+    std::vector<NamedScalar *> scalars_;
+    std::vector<NamedDist *> dists_;
+    std::vector<NamedFormula> formulas_;
+    std::vector<StatGroup *> children_;
+
+  public:
+    ~StatGroup();
+};
+
+} // namespace sst
+
+#endif // SSTSIM_COMMON_STATS_HH

@@ -1,0 +1,93 @@
+#include "common/table.hh"
+
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace sst
+{
+
+void
+Table::setHeader(std::vector<std::string> header)
+{
+    header_ = std::move(header);
+}
+
+void
+Table::addRow(std::vector<std::string> row)
+{
+    panic_if(!header_.empty() && row.size() != header_.size(),
+             "table '%s': row has %zu cells, header has %zu",
+             title_.c_str(), row.size(), header_.size());
+    rows_.push_back(std::move(row));
+}
+
+std::string
+Table::num(double v, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+    return buf;
+}
+
+std::string
+Table::render() const
+{
+    std::vector<size_t> widths(header_.size(), 0);
+    for (size_t i = 0; i < header_.size(); ++i)
+        widths[i] = header_[i].size();
+    for (const auto &row : rows_)
+        for (size_t i = 0; i < row.size(); ++i)
+            if (i < widths.size() && row[i].size() > widths[i])
+                widths[i] = row[i].size();
+
+    auto renderRow = [&](const std::vector<std::string> &row) {
+        std::string line = "| ";
+        for (size_t i = 0; i < row.size(); ++i) {
+            line += row[i];
+            line.append(widths[i] - row[i].size(), ' ');
+            line += " | ";
+        }
+        if (!line.empty())
+            line.pop_back();
+        line += "\n";
+        return line;
+    };
+
+    std::string out = "\n== " + title_ + " ==\n";
+    out += renderRow(header_);
+    std::string rule = "|";
+    for (size_t w : widths)
+        rule += std::string(w + 2, '-') + "|";
+    out += rule + "\n";
+    for (const auto &row : rows_)
+        out += renderRow(row);
+    if (!caption_.empty())
+        out += caption_ + "\n";
+    return out;
+}
+
+void
+Table::print() const
+{
+    std::fputs(render().c_str(), stdout);
+    std::fflush(stdout);
+}
+
+void
+emitCsv(const std::string &tag, const std::vector<std::string> &header,
+        const std::vector<std::vector<std::string>> &rows)
+{
+    std::printf("BEGIN_CSV %s\n", tag.c_str());
+    for (size_t i = 0; i < header.size(); ++i)
+        std::printf("%s%s", header[i].c_str(),
+                    i + 1 < header.size() ? "," : "\n");
+    for (const auto &row : rows)
+        for (size_t i = 0; i < row.size(); ++i)
+            std::printf("%s%s", row[i].c_str(),
+                        i + 1 < row.size() ? "," : "\n");
+    std::printf("END_CSV %s\n", tag.c_str());
+    std::fflush(stdout);
+}
+
+} // namespace sst

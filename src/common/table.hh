@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Plain-text table rendering for the benchmark harnesses. Every bench
+ * binary prints its paper-figure data through Table so the output format
+ * is uniform and machine-greppable.
+ */
+
+#ifndef SSTSIM_COMMON_TABLE_HH
+#define SSTSIM_COMMON_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace sst
+{
+
+/** Column-aligned text table with a title and optional caption. */
+class Table
+{
+  public:
+    explicit Table(std::string title) : title_(std::move(title)) {}
+
+    /** Set the header row. Must be called before addRow(). */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append a data row; must match the header's column count. */
+    void addRow(std::vector<std::string> row);
+
+    /** Convenience: format a double with @p decimals digits. */
+    static std::string num(double v, int decimals = 2);
+
+    /** Free-form caption printed under the table. */
+    void setCaption(std::string caption) { caption_ = std::move(caption); }
+
+    /** Render to a string (also used by print()). */
+    std::string render() const;
+
+    /** Print to stdout. */
+    void print() const;
+
+  private:
+    std::string title_;
+    std::string caption_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/**
+ * Emit a CSV block bracketed by BEGIN/END markers so plotting scripts can
+ * extract a figure's series from bench output.
+ */
+void emitCsv(const std::string &tag,
+             const std::vector<std::string> &header,
+             const std::vector<std::vector<std::string>> &rows);
+
+} // namespace sst
+
+#endif // SSTSIM_COMMON_TABLE_HH

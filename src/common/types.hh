@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every sstsim library.
+ */
+
+#ifndef SSTSIM_COMMON_TYPES_HH
+#define SSTSIM_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace sst
+{
+
+/** Byte address in the simulated physical address space. */
+using Addr = std::uint64_t;
+
+/** Simulated clock cycle (monotonic, starts at 0). */
+using Cycle = std::uint64_t;
+
+/** Architectural register index (x0..x31). */
+using RegId = std::uint8_t;
+
+/** Dynamic instruction sequence number (commit order). */
+using SeqNum = std::uint64_t;
+
+/** Number of architectural integer registers. x0 is hardwired to zero. */
+constexpr unsigned numArchRegs = 32;
+
+/** Sentinel for "no cycle" / "not scheduled". */
+constexpr Cycle invalidCycle = std::numeric_limits<Cycle>::max();
+
+/** Sentinel for "no address". */
+constexpr Addr invalidAddr = std::numeric_limits<Addr>::max();
+
+} // namespace sst
+
+#endif // SSTSIM_COMMON_TYPES_HH

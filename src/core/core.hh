@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Abstract timing-core interface plus shared pipeline plumbing.
+ *
+ * All four core models (in-order, out-of-order, hardware scout, SST)
+ * derive from Core: they consume one Program, share the functional
+ * semantics in src/func, issue memory traffic through a CorePort, and
+ * are driven cycle-by-cycle via tick(). Every model must end with an
+ * architectural state identical to the golden Executor's — the
+ * differential property tests enforce this.
+ */
+
+#ifndef SSTSIM_CORE_CORE_HH
+#define SSTSIM_CORE_CORE_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "branch/predictor.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "func/executor.hh"
+#include "mem/hierarchy.hh"
+#include "isa/program.hh"
+
+namespace sst
+{
+
+/** Knobs shared by all core models (each model reads the subset it
+ *  implements; presets in src/sim set these per machine config). */
+struct CoreParams
+{
+    std::string name = "core";
+
+    // Front end / simple pipeline.
+    unsigned fetchWidth = 2;
+    unsigned pipelineDepth = 12;   ///< mispredict redirect penalty
+    std::string predictor = "gshare";
+
+    // In-order store buffer.
+    unsigned storeBufferEntries = 8;
+
+    // Out-of-order machine.
+    unsigned robEntries = 128;
+    unsigned issueQueueEntries = 32;
+    unsigned lsqEntries = 32;
+    unsigned issueWidth = 4;
+
+    // SST machine.
+    unsigned checkpoints = 4;
+    unsigned dqEntries = 64;
+    unsigned ssqEntries = 32;
+    /** Hardware-scout mode: discard all speculative work on miss return
+     *  (1-checkpoint runahead prefetcher). */
+    bool discardSpecWork = false;
+
+    // --- SST design-space knobs (ablations; defaults = paper config) --
+    /** Only enter speculation for loads that also miss the L2 (short
+     *  L2 hits are cheaper to scoreboard than to checkpoint). */
+    bool deferOnL2MissOnly = false;
+    /** Max deferred (predicted-unverified) branches per speculation
+     *  region before the ahead strand stalls instead of guessing.
+     *  0 = unlimited (the default aggressive policy). */
+    unsigned maxDeferredBranches = 0;
+    /** Track speculative-load/deferred-store conflicts at cache-line
+     *  granularity (the realistic s-bit mechanism: cheaper hardware,
+     *  false-sharing aborts) instead of exact byte ranges. */
+    bool lineGranularConflicts = false;
+};
+
+/** Base class: owns arch state, predictor, fetch timing and stats. */
+class Core
+{
+  public:
+    Core(const CoreParams &params, const Program &program,
+         MemoryImage &memory, CorePort &port);
+    virtual ~Core() = default;
+
+    Core(const Core &) = delete;
+    Core &operator=(const Core &) = delete;
+
+    /** Advance one clock cycle. */
+    void tick();
+
+    /** True once HALT has architecturally committed. */
+    bool halted() const { return arch_.halted; }
+
+    Cycle cycles() const { return now_; }
+    std::uint64_t instsRetired() const { return committed_.value(); }
+    double ipc() const;
+
+    const ArchState &archState() const { return arch_; }
+    StatGroup &stats() { return stats_; }
+    const CoreParams &params() const { return params_; }
+    CorePort &port() { return port_; }
+
+    /** Short model identifier ("inorder", "ooo", "scout", "sst"). */
+    virtual const char *model() const = 0;
+
+    /**
+     * Start execution from @p state at absolute cycle @p start_cycle
+     * instead of from reset. Used by the sampled-simulation runner: the
+     * cycle offset keeps this core's clock aligned with the shared
+     * memory system's busy-until state left by earlier samples. Must be
+     * called before the first tick().
+     */
+    void warmStart(const ArchState &state, Cycle start_cycle);
+
+    /** First cycle of this core's execution (0 unless warm-started). */
+    Cycle startCycle() const { return startCycle_; }
+
+    /**
+     * Attach a pipeline-event trace sink. When set, the core emits one
+     * line per microarchitectural event ("C123 TRIGGER pc=7 ..."),
+     * which the asm_playground example renders as a timeline. Null
+     * disables tracing (the default; tracing is not free).
+     */
+    void setTraceSink(std::function<void(const std::string &)> sink)
+    {
+        traceSink_ = std::move(sink);
+    }
+
+  protected:
+    /** True when someone is listening; guard any formatting work. */
+    bool tracing() const { return static_cast<bool>(traceSink_); }
+
+    /** Emit one trace event, prefixed with the current cycle. */
+    void trace(const char *fmt, ...) __attribute__((format(printf, 2, 3)));
+
+  private:
+    std::function<void(const std::string &)> traceSink_;
+    Cycle startCycle_ = 0;
+
+  protected:
+    /** One cycle of model-specific work (now_ already advanced). */
+    virtual void cycle() = 0;
+
+    /**
+     * Fetch-timing helper: returns the cycle at which the instruction at
+     * @p pc can enter the pipeline, issuing an I-cache access when @p pc
+     * crosses into a new line.
+     */
+    Cycle fetchReady(std::uint64_t pc);
+
+    /** Train predictor/BTB and decide the redirect penalty. @return true
+     *  when the front end predicted this control transfer correctly. */
+    bool resolveControl(const Inst &inst, std::uint64_t pc,
+                        std::uint64_t nextPc, bool taken);
+
+    const CoreParams params_;
+    const Program &program_;
+    MemoryImage &memory_;
+    CorePort &port_;
+
+    /** Committed architectural state. */
+    ArchState arch_;
+
+    Cycle now_ = 0;
+
+    std::unique_ptr<BranchPredictor> predictor_;
+    Btb btb_;
+    ReturnAddressStack ras_;
+
+    StatGroup stats_;
+    Scalar &committed_;
+    Scalar &cyclesStat_;
+    Scalar &branches_;
+    Scalar &mispredicts_;
+    Scalar &loadsExecuted_;
+    Scalar &storesExecuted_;
+
+    /** I-fetch line tracking. */
+    Addr lastFetchLine_ = invalidAddr;
+    Cycle fetchLineReady_ = 0;
+};
+
+} // namespace sst
+
+#endif // SSTSIM_CORE_CORE_HH

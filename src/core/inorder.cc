@@ -1,0 +1,139 @@
+#include "core/inorder.hh"
+
+#include "common/logging.hh"
+
+namespace sst
+{
+
+InOrderCore::InOrderCore(const CoreParams &params, const Program &program,
+                         MemoryImage &memory, CorePort &port)
+    : Core(params, program, memory, port),
+      exec_(program, memory),
+      stallUseCycles_(stats_.addScalar("stall_use_cycles",
+                                       "cycles stalled on operand use")),
+      stallStoreBufCycles_(stats_.addScalar(
+          "stall_storebuf_cycles", "cycles stalled on full store buffer")),
+      stallFetchCycles_(stats_.addScalar("stall_fetch_cycles",
+                                         "cycles stalled on I-fetch"))
+{
+}
+
+void
+InOrderCore::cycle()
+{
+    drainStoreBuffer();
+    if (arch_.halted)
+        return;
+    for (unsigned slot = 0; slot < params_.fetchWidth; ++slot) {
+        if (arch_.halted || !issueOne())
+            break;
+    }
+}
+
+void
+InOrderCore::drainStoreBuffer()
+{
+    // One store per cycle leaves the buffer when the L1 can take it.
+    if (storeBuffer_.empty())
+        return;
+    PendingStore &st = storeBuffer_.front();
+    if (st.issuableAt > now_)
+        return;
+    auto res = port_.access(AccessType::Store, st.addr, now_);
+    if (res.rejected) {
+        st.issuableAt = res.retryCycle;
+        return;
+    }
+    storeBuffer_.pop_front();
+}
+
+bool
+InOrderCore::issueOne()
+{
+    if (frontEndReadyAt_ > now_) {
+        ++stallFetchCycles_;
+        return false;
+    }
+    std::uint64_t pc = arch_.pc;
+    Cycle fetchAt = fetchReady(pc);
+    if (fetchAt > now_) {
+        frontEndReadyAt_ = fetchAt;
+        ++stallFetchCycles_;
+        return false;
+    }
+
+    const Inst &inst = program_.at(pc);
+    const OpInfo &info = opInfo(inst.op);
+
+    // Scoreboard: every source must be ready this cycle (x0 always is).
+    auto ready = [&](RegId r) { return r == 0 || regReady_[r] <= now_; };
+    if ((info.readsRs1 && !ready(inst.rs1))
+        || (info.readsRs2 && !ready(inst.rs2))) {
+        ++stallUseCycles_;
+        return false;
+    }
+
+    // Structural hazards before committing to execute.
+    if (info.cls == OpClass::IntDiv || info.cls == OpClass::FpDiv) {
+        if (divBusyUntil_ > now_) {
+            ++stallUseCycles_;
+            return false;
+        }
+    }
+    if (isStore(inst.op)
+        && storeBuffer_.size() >= params_.storeBufferEntries) {
+        ++stallStoreBufCycles_;
+        return false;
+    }
+    if (isLoad(inst.op)) {
+        // Probe without committing: a rejected load (no MSHR) must retry.
+        Addr addr = semantics::effectiveAddr(inst, arch_.reg(inst.rs1));
+        auto res = port_.access(AccessType::Load, addr, now_);
+        if (res.rejected) {
+            ++stallUseCycles_;
+            return false;
+        }
+        exec_.step(arch_);
+        ++loadsExecuted_;
+        regReady_[inst.rd] = res.readyCycle;
+        ++committed_;
+        return true;
+    }
+
+    StepInfo step = exec_.step(arch_);
+    ++committed_;
+
+    switch (info.cls) {
+      case OpClass::Store:
+        ++storesExecuted_;
+        storeBuffer_.push_back(
+            PendingStore{step.effAddr, step.memSize, now_});
+        break;
+      case OpClass::Branch:
+      case OpClass::Jump: {
+        if (info.writesRd)
+            regReady_[inst.rd] = now_ + 1;
+        bool correct =
+            resolveControl(inst, pc, step.nextPc, step.taken);
+        if (!correct)
+            frontEndReadyAt_ = now_ + params_.pipelineDepth;
+        else if (step.taken)
+            frontEndReadyAt_ = now_ + 1; // taken-branch fetch bubble
+        break;
+      }
+      case OpClass::IntDiv:
+      case OpClass::FpDiv:
+        divBusyUntil_ = now_ + info.latency;
+        regReady_[inst.rd] = now_ + info.latency;
+        break;
+      case OpClass::Other:
+        break;
+      default:
+        if (info.writesRd)
+            regReady_[inst.rd] = now_ + info.latency;
+        break;
+    }
+    return true;
+}
+
+} // namespace sst

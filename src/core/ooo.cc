@@ -1,0 +1,249 @@
+#include "core/ooo.hh"
+
+#include "common/logging.hh"
+
+namespace sst
+{
+
+OoOCore::OoOCore(const CoreParams &params, const Program &program,
+                 MemoryImage &memory, CorePort &port)
+    : Core(params, program, memory, port),
+      exec_(program, memory),
+      robFullCycles_(stats_.addScalar("rob_full_cycles",
+                                      "dispatch stalls on full ROB")),
+      iqFullCycles_(stats_.addScalar("iq_full_cycles",
+                                     "dispatch stalls on full issue Q")),
+      lsqFullCycles_(stats_.addScalar("lsq_full_cycles",
+                                      "dispatch stalls on full LSQ")),
+      robOccupancy_(stats_.addDist("rob_occupancy",
+                                   "ROB entries in use per cycle",
+                                   params.robEntries + 1, 16))
+{
+}
+
+void
+OoOCore::cycle()
+{
+    robOccupancy_.sample(rob_.size());
+    commitStage();
+    if (arch_.halted)
+        return;
+    issueStage();
+    dispatchStage();
+}
+
+OoOCore::RobEntry *
+OoOCore::entryFor(SeqNum seq)
+{
+    if (rob_.empty() || seq < rob_.front().seq
+        || seq > rob_.back().seq)
+        return nullptr;
+    return &rob_[seq - rob_.front().seq];
+}
+
+bool
+OoOCore::producerDone(SeqNum seq, Cycle &readyAt)
+{
+    if (seq == 0)
+        return true;
+    RobEntry *prod = entryFor(seq);
+    if (!prod)
+        return true; // already committed
+    if (prod->state == State::Waiting)
+        return false;
+    readyAt = std::max(readyAt, prod->doneCycle);
+    return prod->doneCycle <= now_;
+}
+
+OoOCore::RobEntry *
+OoOCore::olderStoreFor(const RobEntry &load)
+{
+    RobEntry *best = nullptr;
+    for (auto &e : rob_) {
+        if (e.seq >= load.seq)
+            break;
+        if (!e.isSt)
+            continue;
+        Addr lo = std::max(e.step.effAddr, load.step.effAddr);
+        Addr hi = std::min(e.step.effAddr + e.step.memSize,
+                           load.step.effAddr + load.step.memSize);
+        if (lo < hi)
+            best = &e; // youngest older overlapping store wins
+    }
+    return best;
+}
+
+void
+OoOCore::commitStage()
+{
+    unsigned width = params_.fetchWidth;
+    while (width-- > 0 && !rob_.empty()) {
+        RobEntry &head = rob_.front();
+        if (head.state == State::Waiting || head.doneCycle > now_)
+            break;
+        if (head.isSt) {
+            // Retire the store into the cache; a rejected access stalls
+            // commit (finite write resources).
+            auto res =
+                port_.access(AccessType::Store, head.step.effAddr, now_);
+            if (res.rejected)
+                break;
+            ++storesExecuted_;
+        }
+        if (head.inst.op == Opcode::HALT)
+            arch_.halted = true;
+        if (lastProducer_[head.inst.rd] == head.seq)
+            lastProducer_[head.inst.rd] = 0;
+        ++committed_;
+        rob_.pop_front();
+        if (arch_.halted)
+            return;
+    }
+}
+
+void
+OoOCore::issueStage()
+{
+    unsigned slots = params_.issueWidth;
+    for (auto &e : rob_) {
+        if (slots == 0)
+            break;
+        if (e.state == State::Issued && e.doneCycle <= now_)
+            e.state = State::Done;
+        if (e.state != State::Waiting)
+            continue;
+        if (e.retryAt > now_)
+            continue;
+
+        Cycle readyAt = 0;
+        bool r1 = producerDone(e.src1Producer, readyAt);
+        bool r2 = producerDone(e.src2Producer, readyAt);
+        if (!r1 || !r2)
+            continue;
+
+        const OpInfo &info = opInfo(e.inst.op);
+        if ((info.cls == OpClass::IntDiv || info.cls == OpClass::FpDiv)
+            && divBusyUntil_ > now_)
+            continue;
+
+        if (e.isLd) {
+            if (RobEntry *st = olderStoreFor(e)) {
+                if (st->state == State::Waiting)
+                    continue; // store data not ready; try later
+                // Forward from the in-flight store.
+                e.doneCycle = std::max(now_, st->doneCycle) + 1;
+            } else {
+                auto res = port_.access(AccessType::Load,
+                                        e.step.effAddr, now_);
+                if (res.rejected) {
+                    e.retryAt = res.retryCycle;
+                    continue;
+                }
+                e.doneCycle = res.readyCycle;
+                ++loadsExecuted_;
+            }
+        } else if (e.isSt) {
+            e.doneCycle = now_ + 1; // address+data captured
+        } else {
+            e.doneCycle = now_ + info.latency;
+            if (info.cls == OpClass::IntDiv || info.cls == OpClass::FpDiv)
+                divBusyUntil_ = e.doneCycle;
+        }
+
+        e.state = State::Issued;
+        --slots;
+        --iqOccupancy_;
+
+        // A mispredicted control instruction redirects fetch when it
+        // resolves.
+        if (e.mispredicted && redirectBlockedOn_ == e.seq) {
+            frontEndReadyAt_ =
+                std::max(frontEndReadyAt_,
+                         e.doneCycle + params_.pipelineDepth);
+            redirectBlockedOn_ = 0;
+        }
+    }
+
+    // LSQ entries free at commit; model occupancy from ROB contents.
+    lsqOccupancy_ = 0;
+    for (auto &e : rob_)
+        if (e.isLd || e.isSt)
+            ++lsqOccupancy_;
+}
+
+void
+OoOCore::dispatchStage()
+{
+    if (fetchHalted_ || redirectBlockedOn_ != 0
+        || frontEndReadyAt_ > now_)
+        return;
+
+    for (unsigned slot = 0; slot < params_.fetchWidth; ++slot) {
+        if (rob_.size() >= params_.robEntries) {
+            ++robFullCycles_;
+            return;
+        }
+        if (iqOccupancy_ >= params_.issueQueueEntries) {
+            ++iqFullCycles_;
+            return;
+        }
+        std::uint64_t pc = arch_.pc;
+        const Inst &inst = program_.at(pc);
+        if (isMem(inst.op) && lsqOccupancy_ >= params_.lsqEntries) {
+            ++lsqFullCycles_;
+            return;
+        }
+        Cycle fetchAt = fetchReady(pc);
+        if (fetchAt > now_) {
+            frontEndReadyAt_ = fetchAt;
+            return;
+        }
+
+        RobEntry e;
+        e.seq = nextSeq_++;
+        e.pc = pc;
+        e.inst = inst;
+        e.src1Producer =
+            opInfo(inst.op).readsRs1 ? lastProducer_[inst.rs1] : 0;
+        e.src2Producer =
+            opInfo(inst.op).readsRs2 ? lastProducer_[inst.rs2] : 0;
+        e.isLd = isLoad(inst.op);
+        e.isSt = isStore(inst.op);
+
+        // Functional execution at dispatch (fetch is always on the
+        // correct path in this model).
+        e.step = exec_.step(arch_);
+        if (e.step.halted) {
+            // Drain the window; commit of HALT ends the simulation.
+            arch_.halted = false;
+            fetchHalted_ = true;
+        }
+
+        if (opInfo(inst.op).writesRd && inst.rd != 0)
+            lastProducer_[inst.rd] = e.seq;
+        ++iqOccupancy_;
+        if (e.isLd || e.isSt)
+            ++lsqOccupancy_;
+
+        bool isCtrl = isControl(inst.op);
+        if (isCtrl) {
+            bool correct =
+                resolveControl(inst, pc, e.step.nextPc, e.step.taken);
+            if (!correct) {
+                e.mispredicted = true;
+                redirectBlockedOn_ = e.seq;
+            }
+        }
+        rob_.push_back(std::move(e));
+
+        if (fetchHalted_ || redirectBlockedOn_ != 0)
+            return;
+        if (isCtrl && rob_.back().step.taken) {
+            // Taken-branch fetch bubble ends the dispatch group.
+            frontEndReadyAt_ = now_ + 1;
+            return;
+        }
+    }
+}
+
+} // namespace sst

@@ -1,0 +1,1015 @@
+#include "core/sst.hh"
+
+#include "common/logging.hh"
+
+namespace sst
+{
+
+SstCore::SstCore(const CoreParams &params, const Program &program,
+                 MemoryImage &memory, CorePort &port)
+    : Core(params, program, memory, port),
+      checkpointsTaken_(stats_.addScalar("checkpoints_taken",
+                                         "speculation epochs opened")),
+      epochsCommitted_(stats_.addScalar("epochs_committed",
+                                        "epochs retired via replay")),
+      fullCommits_(stats_.addScalar("full_commits",
+                                    "speculation regions fully retired")),
+      deferredInsts_(stats_.addScalar("deferred_insts",
+                                      "instructions parked in the DQ")),
+      replayedInsts_(stats_.addScalar("replayed_insts",
+                                      "DQ entries executed by the "
+                                      "behind strand")),
+      redeferredInsts_(stats_.addScalar("redeferred_insts",
+                                        "DQ entries deferred again "
+                                        "during replay")),
+      specLoads_(stats_.addScalar("spec_loads",
+                                  "loads executed speculatively by the "
+                                  "ahead strand")),
+      failBranch_(stats_.addScalar("fail_branch",
+                                   "rollbacks: deferred branch "
+                                   "mispredicted")),
+      failJump_(stats_.addScalar("fail_jump",
+                                 "rollbacks: deferred indirect jump "
+                                 "mispredicted")),
+      failMem_(stats_.addScalar("fail_mem",
+                                "rollbacks: load/store disambiguation "
+                                "conflict")),
+      scoutEnds_(stats_.addScalar("scout_ends",
+                                  "scout regions ended by miss return")),
+      dqFullStallCycles_(stats_.addScalar("dq_full_stalls",
+                                          "ahead stalls: DQ full")),
+      ssqFullStallCycles_(stats_.addScalar("ssq_full_stalls",
+                                           "ahead stalls: SSQ full")),
+      naJumpStallCycles_(stats_.addScalar("na_jump_stalls",
+                                          "ahead stalls: unpredictable "
+                                          "NA jump target")),
+      branchThrottleStallCycles_(
+          stats_.addScalar("branch_throttle_stalls",
+                           "ahead stalls: deferred-branch limit")),
+      aheadStallUseCycles_(stats_.addScalar("ahead_stall_use",
+                                            "ahead stalls: operand not "
+                                            "ready")),
+      discardedInsts_(stats_.addScalar("discarded_insts",
+                                       "speculative instructions thrown "
+                                       "away by rollbacks")),
+      dqOccDist_(stats_.addDist("dq_occupancy",
+                                "deferred-queue entries while "
+                                "speculating",
+                                params.dqEntries + 1, 16)),
+      epochInsts_(stats_.addDist("epoch_insts",
+                                 "instructions committed per epoch",
+                                 4096, 32))
+{
+    fatal_if(params.checkpoints == 0, "SST needs at least one checkpoint");
+    fatal_if(params.discardSpecWork && params.checkpoints != 1,
+             "hardware-scout mode is single-checkpoint by definition");
+}
+
+unsigned
+SstCore::dqOccupancy() const
+{
+    unsigned n = 0;
+    for (const auto &e : epochs_)
+        n += static_cast<unsigned>(e.dq.size() + e.redeferred.size());
+    return n;
+}
+
+std::uint64_t
+SstCore::specMemRead(Addr addr, unsigned size, SeqNum before) const
+{
+    std::uint64_t v = memory_.read(addr, size);
+    for (const auto &st : ssq_) {
+        if (st.seq >= before)
+            break;
+        if (!st.resolved)
+            continue;
+        Addr lo = std::max(st.addr, addr);
+        Addr hi = std::min(st.addr + st.size, addr + size);
+        for (Addr a = lo; a < hi; ++a) {
+            unsigned dst_sh = static_cast<unsigned>(a - addr) * 8;
+            unsigned src_sh = static_cast<unsigned>(a - st.addr) * 8;
+            std::uint64_t byte = (st.value >> src_sh) & 0xff;
+            v = (v & ~(std::uint64_t{0xff} << dst_sh)) | (byte << dst_sh);
+        }
+    }
+    return v;
+}
+
+void
+SstCore::publishReplayValue(SeqNum seq, RegId rd, std::uint64_t value,
+                            Cycle ready)
+{
+    if (rd == 0)
+        return;
+    if (na_[rd] && naWriter_[rd] == seq) {
+        specRegs_[rd] = value;
+        na_[rd] = false;
+        naWriter_[rd] = 0;
+        specReady_[rd] = ready;
+    }
+    for (auto &epoch : epochs_) {
+        if (epoch.na[rd] && epoch.naWriter[rd] == seq) {
+            epoch.regs[rd] = value;
+            epoch.na[rd] = false;
+            epoch.naWriter[rd] = 0;
+        }
+    }
+}
+
+void
+SstCore::defer(DqEntry entry, bool reserve_ssq_slot)
+{
+    ++deferredInsts_;
+    if (tracing())
+        trace("DEFER seq=%llu pc=%llu %s",
+              static_cast<unsigned long long>(entry.seq),
+              static_cast<unsigned long long>(entry.pc),
+              opInfo(entry.inst.op).mnemonic);
+    if (params_.discardSpecWork)
+        return; // scout: the parked work is simply dropped
+    if (reserve_ssq_slot) {
+        // Reserve the store's SSQ slot now so replay can never deadlock
+        // on a full queue; the address is recorded when known so younger
+        // loads can defer on the memory dependence instead of guessing.
+        SsqEntry slot;
+        slot.seq = entry.seq;
+        slot.resolved = false;
+        if (entry.src1.used && entry.src1.captured) {
+            slot.addr = semantics::effectiveAddr(
+                entry.inst, entry.src1.value);
+            slot.size = memAccessSize(entry.inst.op);
+        }
+        ssq_.push_back(slot);
+    }
+    epochs_.back().dq.push_back(std::move(entry));
+}
+
+void
+SstCore::resolveSsqPlaceholder(SeqNum seq, Addr addr, unsigned size,
+                               std::uint64_t value)
+{
+    for (auto &st : ssq_) {
+        if (st.seq == seq) {
+            panic_if(st.resolved, "SSQ placeholder %llu already resolved",
+                     static_cast<unsigned long long>(seq));
+            st.resolved = true;
+            st.addr = addr;
+            st.size = size;
+            st.value = value;
+            return;
+        }
+    }
+    panic("no SSQ placeholder for store seq %llu",
+          static_cast<unsigned long long>(seq));
+}
+
+void
+SstCore::drainSsqUpTo(SeqNum bound)
+{
+    auto it = ssq_.begin();
+    while (it != ssq_.end() && it->seq < bound) {
+        panic_if(!it->resolved,
+                 "committing epoch with unresolved store seq %llu",
+                 static_cast<unsigned long long>(it->seq));
+        memory_.write(it->addr, it->value, it->size);
+        storeBuffer_.push_back(PendingStore{it->addr, it->size, now_});
+        ++storesExecuted_;
+        ++it;
+    }
+    ssq_.erase(ssq_.begin(), it);
+}
+
+void
+SstCore::logSpecLoad(SeqNum seq, Addr addr, unsigned size)
+{
+    if (params_.lineGranularConflicts) {
+        // s-bit style tracking: one bit per L1 line. Cheaper hardware,
+        // but false sharing within a line forces spurious rollbacks.
+        loadLog_.push_back(SpecLoad{seq, port_.l1d().lineAddr(addr),
+                                    port_.l1d().params().lineBytes});
+    } else {
+        loadLog_.push_back(SpecLoad{seq, addr, size});
+    }
+}
+
+bool
+SstCore::storeConflicts(SeqNum store_seq, Addr addr,
+                        unsigned size) const
+{
+    Addr lo_a = addr;
+    Addr hi_a = addr + size;
+    if (params_.lineGranularConflicts) {
+        lo_a = addr & ~static_cast<Addr>(port_.l1d().params().lineBytes
+                                         - 1);
+        hi_a = lo_a + port_.l1d().params().lineBytes;
+    }
+    for (const auto &ld : loadLog_) {
+        if (ld.seq <= store_seq)
+            continue;
+        Addr lo = std::max(ld.addr, lo_a);
+        Addr hi = std::min(ld.addr + ld.size, hi_a);
+        if (lo < hi)
+            return true;
+    }
+    return false;
+}
+
+void
+SstCore::drainStoreBuffer()
+{
+    if (storeBuffer_.empty())
+        return;
+    PendingStore &st = storeBuffer_.front();
+    if (st.issuableAt > now_)
+        return;
+    auto res = port_.access(AccessType::Store, st.addr, now_);
+    if (res.rejected) {
+        st.issuableAt = res.retryCycle;
+        return;
+    }
+    storeBuffer_.pop_front();
+}
+
+void
+SstCore::cycle()
+{
+    drainStoreBuffer();
+    if (epochs_.empty()) {
+        normalCycle();
+        return;
+    }
+
+    dqOccDist_.sample(dqOccupancy());
+    unsigned behind_slots = 0;
+    if (!params_.discardSpecWork) {
+        behind_slots = aheadHalted_ ? params_.fetchWidth
+                                    : std::max(1u, params_.fetchWidth / 2);
+    }
+    unsigned used = behind_slots ? replayStrand(behind_slots) : 0;
+    if (!epochs_.empty()) {
+        unsigned ahead_slots =
+            params_.fetchWidth > used ? params_.fetchWidth - used : 0;
+        aheadStrand(ahead_slots);
+    }
+    tryCommit();
+}
+
+void
+SstCore::normalCycle()
+{
+    for (unsigned slot = 0; slot < params_.fetchWidth; ++slot) {
+        if (arch_.halted || !epochs_.empty())
+            break;
+        if (!normalIssueOne())
+            break;
+    }
+}
+
+bool
+SstCore::normalIssueOne()
+{
+    if (frontEndReadyAt_ > now_)
+        return false;
+    std::uint64_t pc = arch_.pc;
+    Cycle fetch_at = fetchReady(pc);
+    if (fetch_at > now_) {
+        frontEndReadyAt_ = fetch_at;
+        return false;
+    }
+
+    const Inst &inst = program_.at(pc);
+    const OpInfo &info = opInfo(inst.op);
+
+    auto ready = [&](RegId r) { return r == 0 || regReady_[r] <= now_; };
+    if ((info.readsRs1 && !ready(inst.rs1))
+        || (info.readsRs2 && !ready(inst.rs2)))
+        return false;
+
+    if ((info.cls == OpClass::IntDiv || info.cls == OpClass::FpDiv)
+        && divBusyUntil_ > now_)
+        return false;
+
+    if (isLoad(inst.op)) {
+        Addr addr = semantics::effectiveAddr(inst, arch_.reg(inst.rs1));
+        auto res = port_.access(AccessType::Load, addr, now_);
+        if (res.rejected)
+            return false;
+        bool trigger = !res.l1Hit
+                       && (!params_.deferOnL2MissOnly || !res.l2Hit);
+        if (trigger && pc != suppressTriggerPc_) {
+            // Long-latency event: checkpoint and start speculating. The
+            // ahead strand re-issues this load as its first instruction.
+            enterSpeculation(pc, res.readyCycle);
+            return true;
+        }
+        if (pc == suppressTriggerPc_) {
+            suppressTriggerPc_ = ~std::uint64_t{0};
+            consecutiveFails_ = 0;
+        }
+        Executor exec(program_, memory_);
+        exec.step(arch_);
+        ++loadsExecuted_;
+        regReady_[inst.rd] = res.readyCycle;
+        ++nextSeq_;
+        ++committed_;
+        return true;
+    }
+
+    Executor exec(program_, memory_);
+    StepInfo step = exec.step(arch_);
+    ++nextSeq_;
+    ++committed_;
+
+    switch (info.cls) {
+      case OpClass::Store:
+        ++storesExecuted_;
+        storeBuffer_.push_back(
+            PendingStore{step.effAddr, step.memSize, now_});
+        break;
+      case OpClass::Branch:
+      case OpClass::Jump: {
+        if (info.writesRd)
+            regReady_[inst.rd] = now_ + 1;
+        bool correct = resolveControl(inst, pc, step.nextPc, step.taken);
+        if (!correct)
+            frontEndReadyAt_ = now_ + params_.pipelineDepth;
+        else if (step.taken)
+            frontEndReadyAt_ = now_ + 1;
+        break;
+      }
+      case OpClass::IntDiv:
+      case OpClass::FpDiv:
+        divBusyUntil_ = now_ + info.latency;
+        regReady_[inst.rd] = now_ + info.latency;
+        break;
+      case OpClass::Other:
+        break;
+      default:
+        if (info.writesRd)
+            regReady_[inst.rd] = now_ + info.latency;
+        break;
+    }
+    return true;
+}
+
+void
+SstCore::enterSpeculation(std::uint64_t trigger_pc, Cycle trigger_ready)
+{
+    bool ok = takeCheckpoint(trigger_pc, nextSeq_);
+    panic_if(!ok, "enterSpeculation with no free checkpoint");
+    // Scout regions end when the trigger data returns; record it here
+    // because the ahead strand's re-execution of the load may already
+    // hit (the fill can land before the strand reaches it).
+    epochs_.back().triggerReady = trigger_ready;
+    if (tracing())
+        trace("TRIGGER pc=%llu data_at=%llu",
+              static_cast<unsigned long long>(trigger_pc),
+              static_cast<unsigned long long>(trigger_ready));
+    specRegs_ = arch_.regs;
+    na_.fill(false);
+    naWriter_.fill(0);
+    specReady_ = regReady_;
+    aheadPc_ = trigger_pc;
+    aheadHalted_ = false;
+    aheadFrontEndReadyAt_ = frontEndReadyAt_;
+    aheadDivBusyUntil_ = divBusyUntil_;
+}
+
+bool
+SstCore::takeCheckpoint(std::uint64_t trigger_pc, SeqNum start_seq)
+{
+    if (epochs_.size() >= params_.checkpoints)
+        return false;
+    Epoch e;
+    e.id = nextEpochId_++;
+    e.pc = trigger_pc;
+    e.startSeq = start_seq;
+    if (epochs_.empty()) {
+        e.regs = arch_.regs;
+    } else {
+        e.regs = specRegs_;
+        e.na = na_;
+        e.naWriter = naWriter_;
+    }
+    e.predictorHistory = predictor_->snapshotHistory();
+    if (tracing())
+        trace("CHECKPOINT id=%u pc=%llu live=%zu", e.id,
+              static_cast<unsigned long long>(trigger_pc),
+              epochs_.size() + 1);
+    epochs_.push_back(std::move(e));
+    ++checkpointsTaken_;
+    return true;
+}
+
+void
+SstCore::aheadStrand(unsigned slots)
+{
+    for (unsigned slot = 0; slot < slots; ++slot) {
+        if (aheadHalted_ || epochs_.empty())
+            break;
+        if (!aheadIssueOne())
+            break;
+    }
+}
+
+bool
+SstCore::aheadIssueOne()
+{
+    if (aheadFrontEndReadyAt_ > now_)
+        return false;
+    std::uint64_t pc = aheadPc_;
+    Cycle fetch_at = fetchReady(pc);
+    if (fetch_at > now_) {
+        aheadFrontEndReadyAt_ = fetch_at;
+        return false;
+    }
+
+    const Inst &inst = program_.at(pc);
+    const OpInfo &info = opInfo(inst.op);
+    bool discard = params_.discardSpecWork;
+
+    bool na1 = info.readsRs1 && inst.rs1 != 0 && na_[inst.rs1];
+    bool na2 = info.readsRs2 && inst.rs2 != 0 && na_[inst.rs2];
+
+    // Available operands must also be timing-ready (in-order strand).
+    auto timing_ready = [&](bool reads, bool is_na, RegId r) {
+        return !reads || is_na || r == 0 || specReady_[r] <= now_;
+    };
+    if (!timing_ready(info.readsRs1, na1, inst.rs1)
+        || !timing_ready(info.readsRs2, na2, inst.rs2)) {
+        ++aheadStallUseCycles_;
+        return false;
+    }
+
+    if ((info.cls == OpClass::IntDiv || info.cls == OpClass::FpDiv)
+        && aheadDivBusyUntil_ > now_) {
+        ++aheadStallUseCycles_;
+        return false;
+    }
+
+    std::uint64_t v1 = inst.rs1 == 0 ? 0 : specRegs_[inst.rs1];
+    std::uint64_t v2 = inst.rs2 == 0 ? 0 : specRegs_[inst.rs2];
+
+    auto make_operand = [&](bool used, bool is_na, RegId r,
+                            std::uint64_t v) {
+        DeferredOperand op;
+        op.used = used;
+        if (!used)
+            return op;
+        if (is_na) {
+            op.captured = false;
+            op.producer = naWriter_[r];
+        } else {
+            op.captured = true;
+            op.value = v;
+        }
+        return op;
+    };
+
+    auto kill_na = [&](RegId rd) {
+        if (rd != 0) {
+            na_[rd] = false;
+            naWriter_[rd] = 0;
+        }
+    };
+
+    if (na1 || na2) {
+        // ---- deferral path ----
+        if (!discard && dqOccupancy() >= params_.dqEntries) {
+            ++dqFullStallCycles_;
+            return false;
+        }
+        bool is_store = isStore(inst.op);
+        if (is_store && ssqOccupancy() >= params_.ssqEntries) {
+            ++ssqFullStallCycles_;
+            return false;
+        }
+
+        DqEntry entry;
+        entry.pc = pc;
+        entry.inst = inst;
+
+        if (inst.op == Opcode::JALR) {
+            // Indirect jump with an unknown target: only a return can be
+            // predicted (via the RAS); anything else stalls the strand
+            // until the replay resolves the register.
+            bool is_return =
+                inst.rd == 0 && inst.rs1 == 1 && inst.imm == 0;
+            std::uint64_t pred = is_return
+                                     ? ras_.pop()
+                                     : ReturnAddressStack::invalidTarget;
+            if (pred == ReturnAddressStack::invalidTarget) {
+                ++naJumpStallCycles_;
+                return false;
+            }
+            if (params_.maxDeferredBranches != 0
+                && unverifiedBranches_ >= params_.maxDeferredBranches) {
+                ++branchThrottleStallCycles_;
+                return false;
+            }
+            ++unverifiedBranches_;
+            entry.seq = nextSeq_++;
+            entry.src1 = make_operand(true, na1, inst.rs1, v1);
+            entry.predTarget = pred;
+            if (inst.rd != 0) {
+                specRegs_[inst.rd] = pc + 1; // link value is known
+                specReady_[inst.rd] = now_ + 1;
+                kill_na(inst.rd);
+            }
+            defer(std::move(entry), false);
+            aheadPc_ = pred;
+            return true;
+        }
+
+        entry.seq = nextSeq_++;
+        entry.src1 = make_operand(info.readsRs1, na1, inst.rs1, v1);
+        entry.src2 = make_operand(info.readsRs2, na2, inst.rs2, v2);
+
+        if (isCondBranch(inst.op)) {
+            if (params_.maxDeferredBranches != 0
+                && unverifiedBranches_ >= params_.maxDeferredBranches) {
+                ++branchThrottleStallCycles_;
+                nextSeq_ = entry.seq; // un-consume the sequence number
+                return false;
+            }
+            ++unverifiedBranches_;
+            entry.predHistory = predictor_->snapshotHistory();
+            entry.predTaken = predictor_->predict(pc);
+            // Speculative history update, as a real front end does at
+            // fetch; rollback restores the checkpoint's snapshot.
+            predictor_->shiftHistory(entry.predTaken);
+            aheadPc_ = entry.predTaken
+                           ? pc
+                                 + static_cast<std::uint64_t>(
+                                     static_cast<std::int64_t>(inst.imm))
+                           : pc + 1;
+            defer(std::move(entry), false);
+            return true;
+        }
+
+        if (info.writesRd && inst.rd != 0) {
+            na_[inst.rd] = true;
+            naWriter_[inst.rd] = entry.seq;
+        }
+        defer(std::move(entry), is_store);
+        aheadPc_ = pc + 1;
+        return true;
+    }
+
+    // ---- all operands available: speculative execution ----
+    switch (info.cls) {
+      case OpClass::Load: {
+        Addr addr = semantics::effectiveAddr(inst, v1);
+        unsigned size = memAccessSize(inst.op);
+
+        // Memory dependence on an older deferred store whose address is
+        // known: park the load on that store instead of gambling.
+        SeqNum mem_producer = 0;
+        bool unknown_store_overlap_possible = false;
+        for (const auto &st : ssq_) {
+            if (st.resolved)
+                continue;
+            if (st.addr == invalidAddr) {
+                unknown_store_overlap_possible = true;
+                continue;
+            }
+            Addr lo = std::max(st.addr, addr);
+            Addr hi = std::min(st.addr + st.size, addr + size);
+            if (lo < hi)
+                mem_producer = st.seq; // youngest wins (ascending order)
+        }
+        if (mem_producer != 0 && !discard) {
+            if (dqOccupancy() >= params_.dqEntries) {
+                ++dqFullStallCycles_;
+                return false;
+            }
+            DqEntry entry;
+            entry.seq = nextSeq_++;
+            entry.pc = pc;
+            entry.inst = inst;
+            entry.src1 = make_operand(true, false, inst.rs1, v1);
+            entry.src2.used = true;
+            entry.src2.captured = false;
+            entry.src2.producer = mem_producer;
+            if (inst.rd != 0) {
+                na_[inst.rd] = true;
+                naWriter_[inst.rd] = entry.seq;
+            }
+            defer(std::move(entry), false);
+            aheadPc_ = pc + 1;
+            return true;
+        }
+
+        auto res = port_.access(AccessType::Load, addr, now_);
+        if (res.rejected) {
+            ++aheadStallUseCycles_;
+            return false;
+        }
+
+        bool wants_defer = !res.l1Hit
+                           && (!params_.deferOnL2MissOnly || !res.l2Hit);
+        if (wants_defer && (discard || dqOccupancy() < params_.dqEntries)) {
+            // A further miss: open a new epoch when a checkpoint is
+            // free, otherwise grow the current one.
+            SeqNum seq = nextSeq_++;
+            bool first_of_epoch = seq == epochs_.back().startSeq;
+            if (!discard && !first_of_epoch)
+                takeCheckpoint(pc, seq); // may fail; that's fine
+            if (discard && epochs_.front().triggerReady == 0)
+                epochs_.front().triggerReady = res.readyCycle;
+            DqEntry entry;
+            entry.seq = seq;
+            entry.pc = pc;
+            entry.inst = inst;
+            entry.src1 = make_operand(true, false, inst.rs1, v1);
+            entry.requestIssued = true;
+            entry.readyCycle = res.readyCycle;
+            if (inst.rd != 0) {
+                na_[inst.rd] = true;
+                naWriter_[inst.rd] = seq;
+            }
+            defer(std::move(entry), false);
+            aheadPc_ = pc + 1;
+            return true;
+        }
+
+        // Hit (or DQ full: treat the miss as a scoreboarded stall).
+        SeqNum seq = nextSeq_++;
+        std::uint64_t raw = specMemRead(addr, size, seq);
+        std::uint64_t val = semantics::extendLoad(inst.op, raw);
+        if (inst.rd != 0) {
+            specRegs_[inst.rd] = val;
+            specReady_[inst.rd] = res.readyCycle;
+            kill_na(inst.rd);
+        }
+        if (!discard)
+            logSpecLoad(seq, addr, size);
+        if (unknown_store_overlap_possible) {
+            // Value may be stale w.r.t. an unknown-address deferred
+            // store; the conflict check at that store's replay is what
+            // keeps this safe.
+        }
+        ++specLoads_;
+        aheadPc_ = pc + 1;
+        return true;
+      }
+      case OpClass::Store: {
+        if (ssqOccupancy() >= params_.ssqEntries) {
+            ++ssqFullStallCycles_;
+            return false;
+        }
+        SeqNum seq = nextSeq_++;
+        SsqEntry st;
+        st.seq = seq;
+        st.resolved = true;
+        st.addr = semantics::effectiveAddr(inst, v1);
+        st.size = memAccessSize(inst.op);
+        st.value = v2;
+        // Scout also queues the store so younger speculative loads can
+        // forward from it; the queue is simply discarded at scout end.
+        ssq_.push_back(st);
+        aheadPc_ = pc + 1;
+        return true;
+      }
+      case OpClass::Branch: {
+        SeqNum seq = nextSeq_++;
+        (void)seq;
+        bool taken = semantics::branchTaken(inst, v1, v2);
+        std::uint64_t next =
+            taken ? pc
+                        + static_cast<std::uint64_t>(
+                            static_cast<std::int64_t>(inst.imm))
+                  : pc + 1;
+        bool correct = resolveControl(inst, pc, next, taken);
+        if (!correct)
+            aheadFrontEndReadyAt_ = now_ + params_.pipelineDepth;
+        else if (taken)
+            aheadFrontEndReadyAt_ = now_ + 1;
+        aheadPc_ = next;
+        return true;
+      }
+      case OpClass::Jump: {
+        SeqNum seq = nextSeq_++;
+        (void)seq;
+        std::uint64_t next;
+        if (inst.op == Opcode::JAL) {
+            next = pc
+                   + static_cast<std::uint64_t>(
+                       static_cast<std::int64_t>(inst.imm));
+        } else {
+            next = v1
+                   + static_cast<std::uint64_t>(
+                       static_cast<std::int64_t>(inst.imm));
+        }
+        bool correct = resolveControl(inst, pc, next, true);
+        if (!correct)
+            aheadFrontEndReadyAt_ = now_ + params_.pipelineDepth;
+        else
+            aheadFrontEndReadyAt_ = now_ + 1;
+        if (inst.rd != 0) {
+            specRegs_[inst.rd] = pc + 1;
+            specReady_[inst.rd] = now_ + 1;
+            kill_na(inst.rd);
+        }
+        aheadPc_ = next;
+        return true;
+      }
+      case OpClass::Other: {
+        SeqNum seq = nextSeq_++;
+        (void)seq;
+        if (inst.op == Opcode::HALT) {
+            aheadHalted_ = true;
+            return true;
+        }
+        aheadPc_ = pc + 1;
+        return true;
+      }
+      default: {
+        SeqNum seq = nextSeq_++;
+        (void)seq;
+        std::uint64_t val = semantics::aluOp(inst, v1, v2);
+        if (info.writesRd && inst.rd != 0) {
+            specRegs_[inst.rd] = val;
+            specReady_[inst.rd] = now_ + info.latency;
+            kill_na(inst.rd);
+        }
+        if (info.cls == OpClass::IntDiv || info.cls == OpClass::FpDiv)
+            aheadDivBusyUntil_ = now_ + info.latency;
+        aheadPc_ = pc + 1;
+        return true;
+      }
+    }
+}
+
+unsigned
+SstCore::replayStrand(unsigned slots)
+{
+    unsigned used = 0;
+    while (used < slots && !epochs_.empty()) {
+        Epoch &epoch = epochs_.front();
+        if (epoch.dq.empty()) {
+            if (epoch.redeferred.empty())
+                break; // drained; commit happens in tryCommit()
+            epoch.dq.swap(epoch.redeferred);
+            break; // pass boundary costs the rest of this cycle
+        }
+
+        DqEntry &entry = epoch.dq.front();
+        const Inst &inst = entry.inst;
+        const OpInfo &info = opInfo(inst.op);
+
+        // Resolve operands against the replay results.
+        Cycle ready = now_;
+        bool pending = false;
+        std::uint64_t v1 = 0;
+        std::uint64_t v2 = 0;
+        auto resolve = [&](const DeferredOperand &op,
+                           std::uint64_t &out) {
+            if (!op.used)
+                return;
+            if (op.captured) {
+                out = op.value;
+                return;
+            }
+            auto it = replayResults_.find(op.producer);
+            if (it == replayResults_.end()) {
+                pending = true;
+                return;
+            }
+            out = it->second.value;
+            ready = std::max(ready, it->second.readyCycle);
+        };
+        resolve(entry.src1, v1);
+        resolve(entry.src2, v2);
+
+        if (pending) {
+            ++redeferredInsts_;
+            epoch.redeferred.push_back(std::move(entry));
+            epoch.dq.pop_front();
+            continue; // bookkeeping only; no execution slot consumed
+        }
+        if (entry.requestIssued)
+            ready = std::max(ready, entry.readyCycle);
+        if (ready > now_)
+            break; // behind strand waits for data
+
+        switch (info.cls) {
+          case OpClass::Load: {
+            Addr addr = semantics::effectiveAddr(inst, v1);
+            unsigned size = memAccessSize(inst.op);
+            auto res = port_.access(AccessType::Load, addr, now_);
+            if (res.rejected)
+                return used; // retry next cycle
+            if (!res.l1Hit && !entry.requestIssued) {
+                // The replayed load misses: issue and re-defer.
+                entry.requestIssued = true;
+                entry.readyCycle = res.readyCycle;
+                ++redeferredInsts_;
+                epoch.redeferred.push_back(std::move(entry));
+                epoch.dq.pop_front();
+                ++used;
+                continue;
+            }
+            std::uint64_t raw = specMemRead(addr, size, entry.seq);
+            std::uint64_t val = semantics::extendLoad(inst.op, raw);
+            logSpecLoad(entry.seq, addr, size);
+            replayResults_[entry.seq] =
+                ReplayResult{val, res.readyCycle};
+            publishReplayValue(entry.seq, inst.rd, val, res.readyCycle);
+            break;
+          }
+          case OpClass::Store: {
+            Addr addr = semantics::effectiveAddr(inst, v1);
+            unsigned size = memAccessSize(inst.op);
+            // Lazy disambiguation: any younger speculatively executed
+            // load that read these bytes saw stale data.
+            if (storeConflicts(entry.seq, addr, size)) {
+                rollback(FailKind::MemConflict);
+                return used;
+            }
+            resolveSsqPlaceholder(entry.seq, addr, size, v2);
+            replayResults_[entry.seq] = ReplayResult{0, now_ + 1};
+            break;
+          }
+          case OpClass::Branch: {
+            bool taken = semantics::branchTaken(inst, v1, v2);
+            ++branches_;
+            if (unverifiedBranches_ > 0)
+                --unverifiedBranches_;
+            // Train the entry the prediction actually read (tables
+            // only: the direction already entered the history
+            // speculatively when the branch was deferred).
+            predictor_->trainAt(entry.pc, taken, entry.predHistory);
+            if (taken != entry.predTaken) {
+                ++mispredicts_;
+                if (tracing())
+                    trace("BRFAIL seq=%llu pc=%llu pred=%d actual=%d",
+                          static_cast<unsigned long long>(entry.seq),
+                          static_cast<unsigned long long>(entry.pc),
+                          entry.predTaken ? 1 : 0, taken ? 1 : 0);
+                rollback(FailKind::BranchMispredict);
+                return used;
+            }
+            break;
+          }
+          case OpClass::Jump: {
+            panic_if(inst.op != Opcode::JALR,
+                     "only JALR can be deferred among jumps");
+            std::uint64_t target =
+                v1
+                + static_cast<std::uint64_t>(
+                    static_cast<std::int64_t>(inst.imm));
+            if (unverifiedBranches_ > 0)
+                --unverifiedBranches_;
+            if (target != entry.predTarget) {
+                ++mispredicts_;
+                rollback(FailKind::JumpMispredict);
+                return used;
+            }
+            break;
+          }
+          default: {
+            std::uint64_t val = semantics::aluOp(inst, v1, v2);
+            Cycle done = ready + info.latency;
+            replayResults_[entry.seq] = ReplayResult{val, done};
+            publishReplayValue(entry.seq, inst.rd, val, done);
+            break;
+          }
+        }
+
+        if (tracing())
+            trace("REPLAY seq=%llu pc=%llu %s",
+                  static_cast<unsigned long long>(entry.seq),
+                  static_cast<unsigned long long>(entry.pc),
+                  opInfo(entry.inst.op).mnemonic);
+        ++replayedInsts_;
+        epoch.dq.pop_front();
+        ++used;
+    }
+    return used;
+}
+
+void
+SstCore::tryCommit()
+{
+    if (epochs_.empty())
+        return;
+
+    if (params_.discardSpecWork) {
+        Epoch &front = epochs_.front();
+        if (front.triggerReady != 0 && front.triggerReady <= now_)
+            rollback(FailKind::ScoutEnd);
+        return;
+    }
+
+    Epoch &front = epochs_.front();
+    if (!front.dq.empty() || !front.redeferred.empty())
+        return;
+
+    if (epochs_.size() == 1)
+        commitAll();
+    else
+        commitOldestEpoch();
+}
+
+void
+SstCore::commitOldestEpoch()
+{
+    Epoch &front = epochs_.front();
+    Epoch &next = epochs_[1];
+    for (unsigned r = 1; r < numArchRegs; ++r)
+        panic_if(next.na[r],
+                 "committing epoch %u but next snapshot has NA x%u",
+                 front.id, r);
+    std::uint64_t insts = next.startSeq - front.startSeq;
+    committed_ += insts;
+    epochInsts_.sample(insts);
+    arch_.regs = next.regs;
+    arch_.pc = next.pc;
+    drainSsqUpTo(next.startSeq);
+    std::erase_if(loadLog_, [&](const SpecLoad &ld) {
+        return ld.seq < next.startSeq;
+    });
+    if (tracing())
+        trace("COMMIT epoch=%u insts=%llu", front.id,
+              static_cast<unsigned long long>(insts));
+    epochs_.pop_front();
+    ++epochsCommitted_;
+}
+
+void
+SstCore::commitAll()
+{
+    Epoch &front = epochs_.front();
+    for (unsigned r = 1; r < numArchRegs; ++r)
+        panic_if(na_[r], "full commit with NA register x%u", r);
+    std::uint64_t insts = nextSeq_ - front.startSeq;
+    committed_ += insts;
+    epochInsts_.sample(insts);
+    arch_.regs = specRegs_;
+    arch_.pc = aheadPc_;
+    drainSsqUpTo(nextSeq_);
+    panic_if(!ssq_.empty(), "SSQ not empty after full commit");
+    loadLog_.clear();
+    replayResults_.clear();
+    epochs_.clear();
+    regReady_ = specReady_;
+    frontEndReadyAt_ = aheadFrontEndReadyAt_;
+    divBusyUntil_ = aheadDivBusyUntil_;
+    if (aheadHalted_)
+        arch_.halted = true;
+    ++epochsCommitted_;
+    ++fullCommits_;
+    if (tracing())
+        trace("COMMIT_ALL insts=%llu pc=%llu",
+              static_cast<unsigned long long>(insts),
+              static_cast<unsigned long long>(arch_.pc));
+}
+
+void
+SstCore::rollback(FailKind kind)
+{
+    Epoch &front = epochs_.front();
+    discardedInsts_ += nextSeq_ - front.startSeq;
+    switch (kind) {
+      case FailKind::BranchMispredict: ++failBranch_; break;
+      case FailKind::JumpMispredict: ++failJump_; break;
+      case FailKind::MemConflict: ++failMem_; break;
+      case FailKind::ScoutEnd: ++scoutEnds_; break;
+    }
+
+    if (tracing())
+        trace("ROLLBACK kind=%d to_pc=%llu discarded=%llu",
+              static_cast<int>(kind),
+              static_cast<unsigned long long>(front.pc),
+              static_cast<unsigned long long>(nextSeq_
+                                              - front.startSeq));
+    // Committed state is exactly the front checkpoint; re-execute from
+    // its trigger PC (whose data has normally arrived by now).
+    arch_.pc = front.pc;
+    predictor_->restoreHistory(front.predictorHistory);
+
+    // "No meaningful progress" = fewer than a handful of instructions
+    // retired since the previous rollback at this PC; a tiny commit
+    // squeezed between two fails must not reset the guard.
+    if (front.pc == lastFailTriggerPc_
+        && committed_.value() < lastRollbackCommitted_ + 8) {
+        if (++consecutiveFails_ >= 2)
+            suppressTriggerPc_ = front.pc;
+    } else {
+        lastFailTriggerPc_ = front.pc;
+        consecutiveFails_ = 1;
+    }
+    lastRollbackCommitted_ = committed_.value();
+
+    epochs_.clear();
+    ssq_.clear();
+    loadLog_.clear();
+    replayResults_.clear();
+    aheadHalted_ = false;
+    unverifiedBranches_ = 0;
+    na_.fill(false);
+    naWriter_.fill(0);
+}
+
+} // namespace sst

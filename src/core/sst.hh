@@ -1,0 +1,253 @@
+/**
+ * @file
+ * Simultaneous Speculative Threading core — the paper's contribution.
+ *
+ * One sequential program, two hardware strands:
+ *
+ *  - The **ahead strand** executes every instruction whose operands are
+ *    available. A load that misses the L1 takes a register checkpoint
+ *    (up to params.checkpoints epochs in flight), marks its destination
+ *    NA (not available) and keeps going; NA propagates through dataflow,
+ *    and any instruction reading an NA register is parked in the
+ *    **Deferred Queue** together with its already-available operands and
+ *    the identity (seq) of the deferred producer of each NA operand.
+ *
+ *  - The **behind strand** replays the oldest epoch's DQ entries, in
+ *    program order, once the triggering miss data returns — running
+ *    *simultaneously* with the ahead strand. Replayed loads that miss
+ *    again are re-deferred into a later pass. Results are published back
+ *    to the ahead strand's register file and to younger checkpoint
+ *    snapshots (matching on the producer seq), so NA bits dissolve
+ *    exactly where they originated.
+ *
+ * Speculative stores live in a **speculative store queue** (byte-
+ * accurate forwarding) and drain to memory only at checkpoint commit.
+ * Memory disambiguation is lazy: a store deferred with an unknown
+ * address is checked at replay against the log of speculatively
+ * executed younger loads; a conflict — like a mispredicted deferred
+ * branch — discards speculation and rolls back to the checkpoint. This
+ * is how SST does without rename tables, a ROB, an issue window, or a
+ * disambiguation buffer.
+ *
+ * With params.discardSpecWork=true and checkpoints=1 the same machine
+ * degenerates into a hardware-scout (runahead) core: deferrals are
+ * dropped, and all speculative work is thrown away when the trigger
+ * miss returns — only its prefetching and predictor training remain.
+ */
+
+#ifndef SSTSIM_CORE_SST_HH
+#define SSTSIM_CORE_SST_HH
+
+#include <array>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "core/core.hh"
+
+namespace sst
+{
+
+/** Checkpoint-based dual-strand speculative core. */
+class SstCore : public Core
+{
+  public:
+    SstCore(const CoreParams &params, const Program &program,
+            MemoryImage &memory, CorePort &port);
+
+    const char *model() const override
+    {
+        return params_.discardSpecWork ? "scout" : "sst";
+    }
+
+    /** True while at least one checkpoint is live. */
+    bool speculating() const { return !epochs_.empty(); }
+
+  protected:
+    void cycle() override;
+
+  private:
+    /** One operand of a deferred instruction. */
+    struct DeferredOperand
+    {
+        bool used = false;     ///< instruction reads this operand
+        bool captured = true;  ///< value was available at defer time
+        std::uint64_t value = 0;
+        SeqNum producer = 0;   ///< deferred producer when !captured
+    };
+
+    /** A parked instruction awaiting replay. */
+    struct DqEntry
+    {
+        SeqNum seq = 0;
+        std::uint64_t pc = 0;
+        Inst inst;
+        DeferredOperand src1;
+        DeferredOperand src2;
+        bool predTaken = false;         ///< deferred-branch prediction
+        std::uint64_t predHistory = 0;  ///< GHR at prediction time
+        std::uint64_t predTarget = 0;   ///< deferred-JALR prediction
+        bool requestIssued = false;     ///< trigger load: miss in flight
+        Cycle readyCycle = 0;           ///< fill completion when issued
+    };
+
+    /** A speculative store (or a reservation for a deferred one). */
+    struct SsqEntry
+    {
+        SeqNum seq = 0;
+        bool resolved = false; ///< address+data known
+        Addr addr = invalidAddr;
+        unsigned size = 0;
+        std::uint64_t value = 0;
+    };
+
+    /** Speculatively executed load, logged for lazy disambiguation. */
+    struct SpecLoad
+    {
+        SeqNum seq;
+        Addr addr;
+        unsigned size;
+    };
+
+    /** Result of a replayed instruction, keyed by producer seq. */
+    struct ReplayResult
+    {
+        std::uint64_t value = 0;
+        Cycle readyCycle = 0;
+    };
+
+    /** A checkpointed speculation region. */
+    struct Epoch
+    {
+        unsigned id = 0;
+        std::uint64_t pc = 0; ///< re-execution point (the trigger's PC)
+        SeqNum startSeq = 0;
+        std::array<std::uint64_t, numArchRegs> regs{};
+        std::array<bool, numArchRegs> na{};
+        std::array<SeqNum, numArchRegs> naWriter{};
+        std::uint64_t predictorHistory = 0;
+        Cycle triggerReady = 0; ///< scout: when the trigger returns
+        std::deque<DqEntry> dq;
+        std::deque<DqEntry> redeferred;
+    };
+
+    /** Why a speculative region was discarded. */
+    enum class FailKind
+    {
+        BranchMispredict,
+        JumpMispredict,
+        MemConflict,
+        ScoutEnd
+    };
+
+    // --- strand bodies ---
+    void normalCycle();
+    bool normalIssueOne();
+    unsigned replayStrand(unsigned slots);
+    void aheadStrand(unsigned slots);
+    bool aheadIssueOne();
+    void drainStoreBuffer();
+    void tryCommit();
+
+    // --- speculation control ---
+    void enterSpeculation(std::uint64_t trigger_pc, Cycle trigger_ready);
+    bool takeCheckpoint(std::uint64_t trigger_pc, SeqNum start_seq);
+    void commitOldestEpoch();
+    void commitAll();
+    void rollback(FailKind kind);
+
+    // --- helpers ---
+    /** Read @p size bytes at @p addr as seen by instruction @p before:
+     *  memory image overlaid with resolved SSQ stores older than it. */
+    std::uint64_t specMemRead(Addr addr, unsigned size,
+                              SeqNum before) const;
+    /** Publish a replay result to the ahead strand and snapshots. */
+    void publishReplayValue(SeqNum seq, RegId rd, std::uint64_t value,
+                            Cycle ready);
+    /** Record a deferred instruction (ahead strand). */
+    void defer(DqEntry entry, bool reserveSsqSlot);
+    unsigned dqOccupancy() const;
+    unsigned ssqOccupancy() const { return static_cast<unsigned>(ssq_.size()); }
+    /** Resolve a deferred store's slot in the SSQ (placeholder fill). */
+    void resolveSsqPlaceholder(SeqNum seq, Addr addr, unsigned size,
+                               std::uint64_t value);
+    /** Drain SSQ entries with seq < @p bound into memory + store buffer. */
+    void drainSsqUpTo(SeqNum bound);
+    /** Record a speculatively executed load for lazy disambiguation
+     *  (byte-exact or line-granular per CoreParams). */
+    void logSpecLoad(SeqNum seq, Addr addr, unsigned size);
+    /** True when a replayed store to [addr, addr+size) conflicts with a
+     *  logged younger speculative load. */
+    bool storeConflicts(SeqNum store_seq, Addr addr, unsigned size) const;
+
+    // --- ahead-strand speculative register view ---
+    std::array<std::uint64_t, numArchRegs> specRegs_{};
+    std::array<bool, numArchRegs> na_{};
+    std::array<SeqNum, numArchRegs> naWriter_{};
+    std::array<Cycle, numArchRegs> specReady_{};
+    std::uint64_t aheadPc_ = 0;
+    bool aheadHalted_ = false;
+    Cycle aheadFrontEndReadyAt_ = 0;
+    Cycle aheadDivBusyUntil_ = 0;
+
+    // --- normal-mode scoreboard ---
+    std::array<Cycle, numArchRegs> regReady_{};
+    Cycle frontEndReadyAt_ = 0;
+    Cycle divBusyUntil_ = 0;
+
+    SeqNum nextSeq_ = 1;
+    unsigned nextEpochId_ = 0;
+    /** Deferred branches/jumps not yet verified by replay. */
+    unsigned unverifiedBranches_ = 0;
+
+    std::deque<Epoch> epochs_;
+    std::vector<SsqEntry> ssq_; ///< sorted by seq
+    std::vector<SpecLoad> loadLog_;
+    /** Values produced by the behind strand, keyed by producer seq.
+     *  Spans epochs (a consumer may sit in a younger epoch); cleared at
+     *  full commit and rollback. */
+    std::unordered_map<SeqNum, ReplayResult> replayResults_;
+
+    /** Committed stores awaiting their timed L1 access. */
+    struct PendingStore
+    {
+        Addr addr;
+        unsigned size;
+        Cycle issuableAt;
+    };
+    std::deque<PendingStore> storeBuffer_;
+
+    /** Livelock guard: rollbacks (of any kind, including scout ends)
+     *  that re-trigger at the same PC with no retirement progress in
+     *  between force one non-speculative execution of that load. The
+     *  classic hazard is runahead evicting its own trigger line. */
+    std::uint64_t lastFailTriggerPc_ = ~std::uint64_t{0};
+    std::uint64_t lastRollbackCommitted_ = ~std::uint64_t{0};
+    unsigned consecutiveFails_ = 0;
+    std::uint64_t suppressTriggerPc_ = ~std::uint64_t{0};
+
+    // --- stats ---
+    Scalar &checkpointsTaken_;
+    Scalar &epochsCommitted_;
+    Scalar &fullCommits_;
+    Scalar &deferredInsts_;
+    Scalar &replayedInsts_;
+    Scalar &redeferredInsts_;
+    Scalar &specLoads_;
+    Scalar &failBranch_;
+    Scalar &failJump_;
+    Scalar &failMem_;
+    Scalar &scoutEnds_;
+    Scalar &dqFullStallCycles_;
+    Scalar &ssqFullStallCycles_;
+    Scalar &naJumpStallCycles_;
+    Scalar &branchThrottleStallCycles_;
+    Scalar &aheadStallUseCycles_;
+    Scalar &discardedInsts_;
+    Distribution &dqOccDist_;
+    Distribution &epochInsts_;
+};
+
+} // namespace sst
+
+#endif // SSTSIM_CORE_SST_HH

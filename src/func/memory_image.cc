@@ -1,0 +1,108 @@
+#include "func/memory_image.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+#include "isa/program.hh"
+
+namespace sst
+{
+
+const MemoryImage::Page *
+MemoryImage::findPage(Addr addr) const
+{
+    auto it = pages_.find(addr >> pageShift);
+    return it == pages_.end() ? nullptr : it->second.get();
+}
+
+MemoryImage::Page &
+MemoryImage::touchPage(Addr addr)
+{
+    auto &slot = pages_[addr >> pageShift];
+    if (!slot) {
+        slot = std::make_unique<Page>();
+        slot->fill(0);
+    }
+    return *slot;
+}
+
+std::uint8_t
+MemoryImage::readByte(Addr addr) const
+{
+    const Page *p = findPage(addr);
+    return p ? (*p)[addr & (pageSize - 1)] : 0;
+}
+
+void
+MemoryImage::writeByte(Addr addr, std::uint8_t value)
+{
+    touchPage(addr)[addr & (pageSize - 1)] = value;
+}
+
+std::uint64_t
+MemoryImage::read(Addr addr, unsigned size) const
+{
+    panic_if(size == 0 || size > 8, "MemoryImage::read size %u", size);
+    std::uint64_t v = 0;
+    // Fast path: access contained in one page.
+    Addr off = addr & (pageSize - 1);
+    if (off + size <= pageSize) {
+        const Page *p = findPage(addr);
+        if (!p)
+            return 0;
+        for (unsigned i = 0; i < size; ++i)
+            v |= static_cast<std::uint64_t>((*p)[off + i]) << (8 * i);
+        return v;
+    }
+    for (unsigned i = 0; i < size; ++i)
+        v |= static_cast<std::uint64_t>(readByte(addr + i)) << (8 * i);
+    return v;
+}
+
+void
+MemoryImage::write(Addr addr, std::uint64_t value, unsigned size)
+{
+    panic_if(size == 0 || size > 8, "MemoryImage::write size %u", size);
+    Addr off = addr & (pageSize - 1);
+    if (off + size <= pageSize) {
+        Page &p = touchPage(addr);
+        for (unsigned i = 0; i < size; ++i)
+            p[off + i] = static_cast<std::uint8_t>(value >> (8 * i));
+        return;
+    }
+    for (unsigned i = 0; i < size; ++i)
+        writeByte(addr + i, static_cast<std::uint8_t>(value >> (8 * i)));
+}
+
+void
+MemoryImage::loadSegments(const Program &program)
+{
+    for (const auto &seg : program.segments())
+        for (std::size_t i = 0; i < seg.bytes.size(); ++i)
+            writeByte(seg.base + i, seg.bytes[i]);
+}
+
+bool
+MemoryImage::contentEquals(const MemoryImage &other) const
+{
+    static const Page zeroPage = [] {
+        Page p;
+        p.fill(0);
+        return p;
+    }();
+
+    auto coveredBy = [](const MemoryImage &a, const MemoryImage &b) {
+        for (const auto &kv : a.pages_) {
+            auto it = b.pages_.find(kv.first);
+            const Page &mine = *kv.second;
+            const Page &theirs =
+                it == b.pages_.end() ? zeroPage : *it->second;
+            if (std::memcmp(mine.data(), theirs.data(), pageSize) != 0)
+                return false;
+        }
+        return true;
+    };
+    return coveredBy(*this, other) && coveredBy(other, *this);
+}
+
+} // namespace sst

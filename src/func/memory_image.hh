@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Sparse byte-addressable memory image backing functional execution.
+ */
+
+#ifndef SSTSIM_FUNC_MEMORY_IMAGE_HH
+#define SSTSIM_FUNC_MEMORY_IMAGE_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "common/types.hh"
+
+namespace sst
+{
+
+class Program;
+
+/**
+ * Page-granular sparse memory. Unwritten bytes read as zero, which the
+ * workload generators rely on for zero-initialised heaps.
+ */
+class MemoryImage
+{
+  public:
+    static constexpr unsigned pageShift = 12;
+    static constexpr Addr pageSize = Addr{1} << pageShift;
+
+    MemoryImage() = default;
+
+    /** Read @p size (1..8) bytes, little-endian, page-crossing allowed. */
+    std::uint64_t read(Addr addr, unsigned size) const;
+
+    /** Write the low @p size bytes of @p value at @p addr. */
+    void write(Addr addr, std::uint64_t value, unsigned size);
+
+    std::uint8_t readByte(Addr addr) const;
+    void writeByte(Addr addr, std::uint8_t value);
+
+    /** Copy all of @p program's data segments into this image. */
+    void loadSegments(const Program &program);
+
+    /** Number of distinct touched pages (memory footprint metric). */
+    std::size_t pageCount() const { return pages_.size(); }
+
+    /** Exact content equality (zero pages compare equal to absence). */
+    bool contentEquals(const MemoryImage &other) const;
+
+  private:
+    using Page = std::array<std::uint8_t, pageSize>;
+
+    const Page *findPage(Addr addr) const;
+    Page &touchPage(Addr addr);
+
+    std::unordered_map<Addr, std::unique_ptr<Page>> pages_;
+};
+
+} // namespace sst
+
+#endif // SSTSIM_FUNC_MEMORY_IMAGE_HH

@@ -1,0 +1,315 @@
+#include "isa/assembler.hh"
+
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+#include <vector>
+
+#include "common/logging.hh"
+#include "isa/builder.hh"
+
+namespace sst
+{
+
+namespace
+{
+
+/** Tokenized view of one source line. */
+struct Line
+{
+    int number;
+    std::string label;          // empty when absent
+    std::string mnemonic;       // empty for label-only / blank lines
+    std::vector<std::string> operands;
+};
+
+std::string
+strip(const std::string &s)
+{
+    size_t b = s.find_first_not_of(" \t\r\n");
+    if (b == std::string::npos)
+        return "";
+    size_t e = s.find_last_not_of(" \t\r\n");
+    return s.substr(b, e - b + 1);
+}
+
+Line
+tokenize(const std::string &raw, int number)
+{
+    Line out;
+    out.number = number;
+    std::string text = raw;
+    // Strip comments.
+    for (char c : {';', '#'}) {
+        auto pos = text.find(c);
+        if (pos != std::string::npos)
+            text = text.substr(0, pos);
+    }
+    text = strip(text);
+    if (text.empty())
+        return out;
+    // Leading label?
+    auto colon = text.find(':');
+    if (colon != std::string::npos) {
+        std::string head = strip(text.substr(0, colon));
+        bool plain = !head.empty();
+        for (char c : head)
+            if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_'
+                  || c == '.'))
+                plain = false;
+        if (plain) {
+            out.label = head;
+            text = strip(text.substr(colon + 1));
+        }
+    }
+    if (text.empty())
+        return out;
+    // Mnemonic = first word.
+    auto sp = text.find_first_of(" \t");
+    out.mnemonic = text.substr(0, sp);
+    if (sp != std::string::npos) {
+        std::string rest = text.substr(sp + 1);
+        std::string cur;
+        for (char c : rest) {
+            if (c == ',') {
+                out.operands.push_back(strip(cur));
+                cur.clear();
+            } else {
+                cur += c;
+            }
+        }
+        cur = strip(cur);
+        if (!cur.empty())
+            out.operands.push_back(cur);
+    }
+    return out;
+}
+
+RegId
+parseReg(const std::string &tok, int line)
+{
+    fatal_if(tok.size() < 2 || (tok[0] != 'x' && tok[0] != 'X'),
+             "line %d: expected register, got '%s'", line, tok.c_str());
+    char *end = nullptr;
+    long v = std::strtol(tok.c_str() + 1, &end, 10);
+    fatal_if(*end != '\0' || v < 0 || v >= static_cast<long>(numArchRegs),
+             "line %d: bad register '%s'", line, tok.c_str());
+    return static_cast<RegId>(v);
+}
+
+std::int64_t
+parseImm(const std::string &tok, int line)
+{
+    char *end = nullptr;
+    std::int64_t v = std::strtoll(tok.c_str(), &end, 0);
+    fatal_if(end == tok.c_str() || *end != '\0',
+             "line %d: bad immediate '%s'", line, tok.c_str());
+    return v;
+}
+
+/** Parse "disp(base)" memory operand. */
+void
+parseMemOperand(const std::string &tok, int line, RegId &base,
+                std::int32_t &disp)
+{
+    auto open = tok.find('(');
+    auto close = tok.find(')');
+    fatal_if(open == std::string::npos || close == std::string::npos
+                 || close < open,
+             "line %d: expected disp(base), got '%s'", line, tok.c_str());
+    std::string dispStr = strip(tok.substr(0, open));
+    disp = dispStr.empty()
+               ? 0
+               : static_cast<std::int32_t>(parseImm(dispStr, line));
+    base = parseReg(strip(tok.substr(open + 1, close - open - 1)), line);
+}
+
+bool
+isNumeric(const std::string &tok)
+{
+    if (tok.empty())
+        return false;
+    size_t i = (tok[0] == '-' || tok[0] == '+') ? 1 : 0;
+    return i < tok.size()
+           && std::isdigit(static_cast<unsigned char>(tok[i]));
+}
+
+} // namespace
+
+Program
+assemble(const std::string &source, const std::string &name)
+{
+    Builder b(name);
+    std::istringstream in(source);
+    std::string raw;
+    int lineNo = 0;
+    bool inData = false;
+    Addr dataCursor = 0;
+
+    while (std::getline(in, raw)) {
+        ++lineNo;
+        Line line = tokenize(raw, lineNo);
+        if (!line.label.empty() && !inData)
+            b.label(line.label);
+        if (line.mnemonic.empty())
+            continue;
+        const std::string &m = line.mnemonic;
+        const auto &ops = line.operands;
+        auto expect = [&](size_t n) {
+            fatal_if(ops.size() != n,
+                     "line %d: '%s' expects %zu operands, got %zu", lineNo,
+                     m.c_str(), n, ops.size());
+        };
+
+        // Directives.
+        if (m == ".text") {
+            inData = false;
+            continue;
+        }
+        if (m == ".data") {
+            expect(1);
+            inData = true;
+            dataCursor = static_cast<Addr>(parseImm(ops[0], lineNo));
+            continue;
+        }
+        if (m == ".word") {
+            fatal_if(!inData, "line %d: .word outside .data", lineNo);
+            std::vector<std::uint64_t> ws;
+            for (const auto &o : ops)
+                ws.push_back(
+                    static_cast<std::uint64_t>(parseImm(o, lineNo)));
+            b.words(dataCursor, ws);
+            dataCursor += ws.size() * 8;
+            continue;
+        }
+        if (m == ".space") {
+            fatal_if(!inData, "line %d: .space outside .data", lineNo);
+            expect(1);
+            auto n = static_cast<size_t>(parseImm(ops[0], lineNo));
+            b.data(dataCursor, std::vector<std::uint8_t>(n, 0));
+            dataCursor += n;
+            continue;
+        }
+        fatal_if(inData, "line %d: instruction inside .data section",
+                 lineNo);
+
+        // Pseudo-ops.
+        if (m == "li") {
+            expect(2);
+            b.li(parseReg(ops[0], lineNo), parseImm(ops[1], lineNo));
+            continue;
+        }
+        if (m == "mv") {
+            expect(2);
+            b.addi(parseReg(ops[0], lineNo), parseReg(ops[1], lineNo), 0);
+            continue;
+        }
+        if (m == "j") {
+            expect(1);
+            b.j(ops[0]);
+            continue;
+        }
+        if (m == "ret") {
+            expect(0);
+            b.jalr(0, 1, 0);
+            continue;
+        }
+
+        Opcode op = opcodeFromMnemonic(m.c_str());
+        fatal_if(op == Opcode::NumOpcodes, "line %d: unknown mnemonic '%s'",
+                 lineNo, m.c_str());
+        const OpInfo &info = opInfo(op);
+
+        switch (info.cls) {
+          case OpClass::Load: {
+            expect(2);
+            RegId base;
+            std::int32_t disp;
+            parseMemOperand(ops[1], lineNo, base, disp);
+            b.emit(inst::load(op, parseReg(ops[0], lineNo), base, disp));
+            break;
+          }
+          case OpClass::Store: {
+            expect(2);
+            RegId base;
+            std::int32_t disp;
+            parseMemOperand(ops[1], lineNo, base, disp);
+            b.emit(inst::store(op, parseReg(ops[0], lineNo), base, disp));
+            break;
+          }
+          case OpClass::Branch: {
+            expect(3);
+            RegId r1 = parseReg(ops[0], lineNo);
+            RegId r2 = parseReg(ops[1], lineNo);
+            if (isNumeric(ops[2])) {
+                b.emit(inst::branch(op, r1, r2,
+                                    static_cast<std::int32_t>(
+                                        parseImm(ops[2], lineNo))));
+            } else {
+                switch (op) {
+                  case Opcode::BEQ: b.beq(r1, r2, ops[2]); break;
+                  case Opcode::BNE: b.bne(r1, r2, ops[2]); break;
+                  case Opcode::BLT: b.blt(r1, r2, ops[2]); break;
+                  case Opcode::BGE: b.bge(r1, r2, ops[2]); break;
+                  case Opcode::BLTU: b.bltu(r1, r2, ops[2]); break;
+                  case Opcode::BGEU: b.bgeu(r1, r2, ops[2]); break;
+                  default: panic("unhandled branch");
+                }
+            }
+            break;
+          }
+          case OpClass::Jump: {
+            if (op == Opcode::JAL) {
+                expect(2);
+                RegId rd = parseReg(ops[0], lineNo);
+                if (isNumeric(ops[1]))
+                    b.emit(inst::jal(rd, static_cast<std::int32_t>(
+                                             parseImm(ops[1], lineNo))));
+                else
+                    b.jal(rd, ops[1]);
+            } else {
+                fatal_if(ops.size() < 2 || ops.size() > 3,
+                         "line %d: jalr expects rd, rs1[, disp]", lineNo);
+                std::int32_t disp =
+                    ops.size() == 3 ? static_cast<std::int32_t>(
+                        parseImm(ops[2], lineNo))
+                                    : 0;
+                b.jalr(parseReg(ops[0], lineNo), parseReg(ops[1], lineNo),
+                       disp);
+            }
+            break;
+          }
+          case OpClass::Other:
+            expect(0);
+            b.emit(Inst{op, 0, 0, 0, 0});
+            break;
+          default: {
+            // ALU forms.
+            if (op == Opcode::LUI) {
+                expect(2);
+                b.lui(parseReg(ops[0], lineNo),
+                      static_cast<std::int32_t>(parseImm(ops[1], lineNo)));
+            } else if (info.hasImm) {
+                expect(3);
+                b.emit(inst::rri(op, parseReg(ops[0], lineNo),
+                                 parseReg(ops[1], lineNo),
+                                 static_cast<std::int32_t>(
+                                     parseImm(ops[2], lineNo))));
+            } else if (info.readsRs2) {
+                expect(3);
+                b.emit(inst::rrr(op, parseReg(ops[0], lineNo),
+                                 parseReg(ops[1], lineNo),
+                                 parseReg(ops[2], lineNo)));
+            } else {
+                expect(2);
+                b.emit(inst::rrr(op, parseReg(ops[0], lineNo),
+                                 parseReg(ops[1], lineNo), 0));
+            }
+            break;
+          }
+        }
+    }
+    return b.finish();
+}
+
+} // namespace sst

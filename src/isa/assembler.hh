@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Two-pass text assembler for the sstsim ISA.
+ *
+ * Syntax (one statement per line, ';' or '#' starts a comment):
+ *
+ *   label:
+ *       add   x3, x1, x2        ; register-register
+ *       addi  x3, x1, -16       ; register-immediate
+ *       ld    x4, 8(x2)         ; load, disp(base)
+ *       st    x4, 0(x2)         ; store
+ *       beq   x1, x2, label     ; branches take label or numeric offset
+ *       jal   x1, func
+ *       li    x5, 0xdeadbeef    ; pseudo-op, expands via Builder::li
+ *       mv    x5, x6            ; pseudo-op -> addi x5, x6, 0
+ *       halt
+ *   .data 0x2000                ; switch to data emission at address
+ *   .word 1, 2, 3               ; 64-bit words
+ *   .space 64                   ; zero bytes
+ *   .text                       ; back to code
+ */
+
+#ifndef SSTSIM_ISA_ASSEMBLER_HH
+#define SSTSIM_ISA_ASSEMBLER_HH
+
+#include <string>
+
+#include "isa/program.hh"
+
+namespace sst
+{
+
+/**
+ * Assemble @p source into a Program named @p name. Syntax errors are
+ * fatal (user error), with the offending line number in the message.
+ */
+Program assemble(const std::string &source,
+                 const std::string &name = "asm");
+
+} // namespace sst
+
+#endif // SSTSIM_ISA_ASSEMBLER_HH

@@ -1,0 +1,252 @@
+#include "isa/builder.hh"
+
+#include "common/logging.hh"
+
+namespace sst
+{
+
+std::uint64_t
+Builder::label(const std::string &name)
+{
+    prog_.addLabel(name, prog_.size());
+    return prog_.size();
+}
+
+#define RRR(method, OP)                                                     \
+    Builder &Builder::method(RegId rd, RegId rs1, RegId rs2)                \
+    {                                                                       \
+        prog_.append(inst::rrr(Opcode::OP, rd, rs1, rs2));                  \
+        return *this;                                                       \
+    }
+
+RRR(add, ADD)
+RRR(sub, SUB)
+RRR(and_, AND)
+RRR(or_, OR)
+RRR(xor_, XOR)
+RRR(sll, SLL)
+RRR(srl, SRL)
+RRR(slt, SLT)
+RRR(sltu, SLTU)
+RRR(mul, MUL)
+RRR(div, DIV)
+RRR(rem, REM)
+RRR(fadd, FADD)
+RRR(fsub, FSUB)
+RRR(fmul, FMUL)
+RRR(fdiv, FDIV)
+#undef RRR
+
+Builder &
+Builder::fcvtDL(RegId rd, RegId rs1)
+{
+    prog_.append(inst::rrr(Opcode::FCVT_D_L, rd, rs1, 0));
+    return *this;
+}
+
+Builder &
+Builder::fcvtLD(RegId rd, RegId rs1)
+{
+    prog_.append(inst::rrr(Opcode::FCVT_L_D, rd, rs1, 0));
+    return *this;
+}
+
+#define RRI(method, OP)                                                    \
+    Builder &Builder::method(RegId rd, RegId rs1, std::int32_t imm)        \
+    {                                                                      \
+        prog_.append(inst::rri(Opcode::OP, rd, rs1, imm));                 \
+        return *this;                                                      \
+    }
+
+RRI(addi, ADDI)
+RRI(andi, ANDI)
+RRI(ori, ORI)
+RRI(xori, XORI)
+RRI(slli, SLLI)
+RRI(srli, SRLI)
+RRI(slti, SLTI)
+#undef RRI
+
+Builder &
+Builder::lui(RegId rd, std::int32_t imm)
+{
+    prog_.append(inst::lui(rd, imm));
+    return *this;
+}
+
+Builder &
+Builder::li(RegId rd, std::int64_t value)
+{
+    // LUI loads a sign-extended 32-bit immediate. Values that fit are one
+    // instruction; otherwise build top-down in 16-bit positive chunks so
+    // ORI's sign extension can never corrupt already-placed bits.
+    if (value >= INT32_MIN && value <= INT32_MAX)
+        return lui(rd, static_cast<std::int32_t>(value));
+    lui(rd, static_cast<std::int32_t>(value >> 32));
+    std::int32_t chunk1 =
+        static_cast<std::int32_t>((value >> 16) & 0xffff);
+    std::int32_t chunk0 = static_cast<std::int32_t>(value & 0xffff);
+    slli(rd, rd, 16);
+    if (chunk1 != 0)
+        ori(rd, rd, chunk1);
+    slli(rd, rd, 16);
+    if (chunk0 != 0)
+        ori(rd, rd, chunk0);
+    return *this;
+}
+
+Builder &
+Builder::ld(RegId rd, RegId base, std::int32_t disp)
+{
+    prog_.append(inst::load(Opcode::LD, rd, base, disp));
+    return *this;
+}
+
+Builder &
+Builder::lw(RegId rd, RegId base, std::int32_t disp)
+{
+    prog_.append(inst::load(Opcode::LW, rd, base, disp));
+    return *this;
+}
+
+Builder &
+Builder::lb(RegId rd, RegId base, std::int32_t disp)
+{
+    prog_.append(inst::load(Opcode::LB, rd, base, disp));
+    return *this;
+}
+
+Builder &
+Builder::st(RegId src, RegId base, std::int32_t disp)
+{
+    prog_.append(inst::store(Opcode::ST, src, base, disp));
+    return *this;
+}
+
+Builder &
+Builder::sw(RegId src, RegId base, std::int32_t disp)
+{
+    prog_.append(inst::store(Opcode::SW, src, base, disp));
+    return *this;
+}
+
+Builder &
+Builder::sb(RegId src, RegId base, std::int32_t disp)
+{
+    prog_.append(inst::store(Opcode::SB, src, base, disp));
+    return *this;
+}
+
+Builder &
+Builder::ctrl(Opcode op, RegId rs1, RegId rs2, RegId rd,
+              const std::string &target)
+{
+    std::uint64_t pc = prog_.append(Inst{op, rd, rs1, rs2, 0});
+    fixups_.push_back(Fixup{pc, target});
+    return *this;
+}
+
+Builder &
+Builder::beq(RegId rs1, RegId rs2, const std::string &t)
+{
+    return ctrl(Opcode::BEQ, rs1, rs2, 0, t);
+}
+
+Builder &
+Builder::bne(RegId rs1, RegId rs2, const std::string &t)
+{
+    return ctrl(Opcode::BNE, rs1, rs2, 0, t);
+}
+
+Builder &
+Builder::blt(RegId rs1, RegId rs2, const std::string &t)
+{
+    return ctrl(Opcode::BLT, rs1, rs2, 0, t);
+}
+
+Builder &
+Builder::bge(RegId rs1, RegId rs2, const std::string &t)
+{
+    return ctrl(Opcode::BGE, rs1, rs2, 0, t);
+}
+
+Builder &
+Builder::bltu(RegId rs1, RegId rs2, const std::string &t)
+{
+    return ctrl(Opcode::BLTU, rs1, rs2, 0, t);
+}
+
+Builder &
+Builder::bgeu(RegId rs1, RegId rs2, const std::string &t)
+{
+    return ctrl(Opcode::BGEU, rs1, rs2, 0, t);
+}
+
+Builder &
+Builder::jal(RegId rd, const std::string &t)
+{
+    return ctrl(Opcode::JAL, 0, 0, rd, t);
+}
+
+Builder &
+Builder::jalr(RegId rd, RegId rs1, std::int32_t disp)
+{
+    prog_.append(inst::jalr(rd, rs1, disp));
+    return *this;
+}
+
+Builder &
+Builder::nop()
+{
+    prog_.append(inst::nop());
+    return *this;
+}
+
+Builder &
+Builder::halt()
+{
+    prog_.append(inst::halt());
+    return *this;
+}
+
+Builder &
+Builder::emit(const Inst &inst)
+{
+    prog_.append(inst);
+    return *this;
+}
+
+Builder &
+Builder::data(Addr base, std::vector<std::uint8_t> bytes)
+{
+    prog_.addData(base, std::move(bytes));
+    return *this;
+}
+
+Builder &
+Builder::words(Addr base, const std::vector<std::uint64_t> &ws)
+{
+    prog_.addWords(base, ws);
+    return *this;
+}
+
+Program
+Builder::finish()
+{
+    panic_if(finished_, "Builder::finish() called twice");
+    finished_ = true;
+    const auto &labels = prog_.labels();
+    for (const auto &fix : fixups_) {
+        auto it = labels.find(fix.target);
+        fatal_if(it == labels.end(), "unresolved label '%s' in program %s",
+                 fix.target.c_str(), prog_.name().c_str());
+        Inst inst = prog_.at(fix.pc);
+        inst.imm = static_cast<std::int32_t>(
+            static_cast<std::int64_t>(it->second)
+            - static_cast<std::int64_t>(fix.pc));
+        prog_.patch(fix.pc, inst);
+    }
+    return std::move(prog_);
+}
+
+} // namespace sst

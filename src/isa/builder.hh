@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Fluent programmatic assembler used by the workload generators.
+ *
+ * Builder wraps a Program and offers mnemonic-shaped methods plus
+ * forward-label support, so a generator reads like assembly:
+ *
+ *   Builder b("loop");
+ *   auto top = b.label("top");
+ *   b.ld(3, 1, 0).addi(1, 3, 0).addi(2, 2, -1).bne(2, 0, "top").halt();
+ */
+
+#ifndef SSTSIM_ISA_BUILDER_HH
+#define SSTSIM_ISA_BUILDER_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace sst
+{
+
+/** Incremental program builder with two-phase label resolution. */
+class Builder
+{
+  public:
+    explicit Builder(std::string name) : prog_(std::move(name)) {}
+
+    /** Bind @p name to the current position; @return that PC. */
+    std::uint64_t label(const std::string &name);
+
+    /** Current instruction count (the PC the next emit will get). */
+    std::uint64_t here() const { return prog_.size(); }
+
+    // --- ALU ---
+    Builder &add(RegId rd, RegId rs1, RegId rs2);
+    Builder &sub(RegId rd, RegId rs1, RegId rs2);
+    Builder &and_(RegId rd, RegId rs1, RegId rs2);
+    Builder &or_(RegId rd, RegId rs1, RegId rs2);
+    Builder &xor_(RegId rd, RegId rs1, RegId rs2);
+    Builder &sll(RegId rd, RegId rs1, RegId rs2);
+    Builder &srl(RegId rd, RegId rs1, RegId rs2);
+    Builder &slt(RegId rd, RegId rs1, RegId rs2);
+    Builder &sltu(RegId rd, RegId rs1, RegId rs2);
+    Builder &mul(RegId rd, RegId rs1, RegId rs2);
+    Builder &div(RegId rd, RegId rs1, RegId rs2);
+    Builder &rem(RegId rd, RegId rs1, RegId rs2);
+    Builder &fadd(RegId rd, RegId rs1, RegId rs2);
+    Builder &fsub(RegId rd, RegId rs1, RegId rs2);
+    Builder &fmul(RegId rd, RegId rs1, RegId rs2);
+    Builder &fdiv(RegId rd, RegId rs1, RegId rs2);
+    Builder &fcvtDL(RegId rd, RegId rs1);
+    Builder &fcvtLD(RegId rd, RegId rs1);
+
+    Builder &addi(RegId rd, RegId rs1, std::int32_t imm);
+    Builder &andi(RegId rd, RegId rs1, std::int32_t imm);
+    Builder &ori(RegId rd, RegId rs1, std::int32_t imm);
+    Builder &xori(RegId rd, RegId rs1, std::int32_t imm);
+    Builder &slli(RegId rd, RegId rs1, std::int32_t imm);
+    Builder &srli(RegId rd, RegId rs1, std::int32_t imm);
+    Builder &slti(RegId rd, RegId rs1, std::int32_t imm);
+    Builder &lui(RegId rd, std::int32_t imm);
+
+    /** Load a full 64-bit constant (expands to LUI/shift/or sequence). */
+    Builder &li(RegId rd, std::int64_t value);
+
+    // --- memory ---
+    Builder &ld(RegId rd, RegId base, std::int32_t disp);
+    Builder &lw(RegId rd, RegId base, std::int32_t disp);
+    Builder &lb(RegId rd, RegId base, std::int32_t disp);
+    Builder &st(RegId src, RegId base, std::int32_t disp);
+    Builder &sw(RegId src, RegId base, std::int32_t disp);
+    Builder &sb(RegId src, RegId base, std::int32_t disp);
+
+    // --- control (label-targeted; forward references allowed) ---
+    Builder &beq(RegId rs1, RegId rs2, const std::string &target);
+    Builder &bne(RegId rs1, RegId rs2, const std::string &target);
+    Builder &blt(RegId rs1, RegId rs2, const std::string &target);
+    Builder &bge(RegId rs1, RegId rs2, const std::string &target);
+    Builder &bltu(RegId rs1, RegId rs2, const std::string &target);
+    Builder &bgeu(RegId rs1, RegId rs2, const std::string &target);
+    Builder &jal(RegId rd, const std::string &target);
+    Builder &jalr(RegId rd, RegId rs1, std::int32_t disp = 0);
+    Builder &j(const std::string &target) { return jal(0, target); }
+
+    Builder &nop();
+    Builder &halt();
+
+    /** Raw escape hatch. */
+    Builder &emit(const Inst &inst);
+
+    /** Attach an initial data segment. */
+    Builder &data(Addr base, std::vector<std::uint8_t> bytes);
+    Builder &words(Addr base, const std::vector<std::uint64_t> &words);
+
+    /**
+     * Resolve all pending label references and return the finished
+     * program. Unresolved labels are fatal. The builder is consumed.
+     */
+    Program finish();
+
+  private:
+    Builder &ctrl(Opcode op, RegId rs1, RegId rs2, RegId rd,
+                  const std::string &target);
+
+    Program prog_;
+    struct Fixup
+    {
+        std::uint64_t pc;
+        std::string target;
+    };
+    std::vector<Fixup> fixups_;
+    bool finished_ = false;
+};
+
+} // namespace sst
+
+#endif // SSTSIM_ISA_BUILDER_HH

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Opcode definitions and static instruction properties for the sstsim
+ * RISC ISA.
+ *
+ * The ISA is a small 64-bit load/store architecture: 32 integer registers
+ * (x0 hardwired to zero), register+immediate addressing, PC-relative
+ * conditional branches, and a handful of long-latency operations (MUL,
+ * DIV, FP) that exercise the SST deferral machinery the same way loads
+ * do. SST itself is ISA-agnostic; this ISA exists so the simulator and
+ * its workload generators are fully self-contained.
+ */
+
+#ifndef SSTSIM_ISA_OPCODES_HH
+#define SSTSIM_ISA_OPCODES_HH
+
+#include <cstdint>
+
+namespace sst
+{
+
+/** Every architecturally visible operation. */
+enum class Opcode : std::uint8_t
+{
+    // ALU register-register
+    ADD, SUB, AND, OR, XOR, SLL, SRL, SRA, SLT, SLTU,
+    // ALU register-immediate
+    ADDI, ANDI, ORI, XORI, SLLI, SRLI, SRAI, SLTI,
+    // Upper immediate
+    LUI,
+    // Long-latency integer
+    MUL, DIV, REM,
+    // Floating point (IEEE-754 double carried in integer registers)
+    FADD, FSUB, FMUL, FDIV, FCVT_D_L, FCVT_L_D,
+    // Memory
+    LD, LW, LB, ST, SW, SB,
+    // Control
+    BEQ, BNE, BLT, BGE, BLTU, BGEU,
+    JAL, JALR,
+    // Misc
+    NOP, HALT,
+
+    NumOpcodes
+};
+
+/** Coarse functional-unit class used by the timing models. */
+enum class OpClass : std::uint8_t
+{
+    IntAlu,     ///< single-cycle integer
+    IntMul,     ///< pipelined multiplier
+    IntDiv,     ///< unpipelined divider
+    FpAlu,      ///< FP add/sub/convert
+    FpMul,      ///< FP multiply
+    FpDiv,      ///< unpipelined FP divide
+    Load,
+    Store,
+    Branch,     ///< conditional branch
+    Jump,       ///< JAL/JALR
+    Other       ///< NOP/HALT
+};
+
+/** Static decode information for one opcode. */
+struct OpInfo
+{
+    const char *mnemonic;
+    OpClass cls;
+    /** Execution latency in cycles (Load uses the memory system). */
+    unsigned latency;
+    bool readsRs1;
+    bool readsRs2;
+    bool writesRd;
+    bool hasImm;
+};
+
+/** @return the static properties of @p op (panics on bad opcode). */
+const OpInfo &opInfo(Opcode op);
+
+/** Convenience predicates. */
+bool isLoad(Opcode op);
+bool isStore(Opcode op);
+bool isMem(Opcode op);
+bool isCondBranch(Opcode op);
+bool isJump(Opcode op);
+bool isControl(Opcode op);
+/** True for ops whose latency makes them SST deferral candidates. */
+bool isLongLatency(Opcode op);
+
+/** Memory access size in bytes for LD/ST-class ops (panics otherwise). */
+unsigned memAccessSize(Opcode op);
+
+/** Look up an opcode by mnemonic; returns NumOpcodes when unknown. */
+Opcode opcodeFromMnemonic(const char *mnemonic);
+
+} // namespace sst
+
+#endif // SSTSIM_ISA_OPCODES_HH

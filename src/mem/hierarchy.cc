@@ -1,0 +1,241 @@
+#include "mem/hierarchy.hh"
+
+#include "common/logging.hh"
+
+namespace sst
+{
+
+CorePort::CorePort(MemorySystem &system, const HierarchyParams &params,
+                   unsigned coreId)
+    : system_(system),
+      coreId_(coreId),
+      stats_("core" + std::to_string(coreId) + "_mem"),
+      l1i_(params.l1i, stats_),
+      l1d_(params.l1d, stats_),
+      mshrs_("l1_mshrs", params.l1MshrEntries, stats_),
+      dtlb_(params.dtlb, "dtlb", stats_),
+      dataPf_(params.dataPrefetch, params.l1d.lineBytes, "l1d_pf", stats_),
+      instPf_(params.instPrefetch, params.l1i.lineBytes, "l1i_pf", stats_)
+{
+}
+
+AccessResult
+CorePort::access(AccessType type, Addr addr, Cycle now)
+{
+    addr += addressSalt_;
+    if (type == AccessType::InstFetch)
+        return instAccess(addr, now);
+    return dataAccess(type, addr, now);
+}
+
+bool
+CorePort::probeL1d(Addr addr) const
+{
+    return l1d_.contains(addr + addressSalt_);
+}
+
+AccessResult
+CorePort::dataAccess(AccessType type, Addr addr, Cycle now)
+{
+    AccessResult res;
+    Addr line = l1d_.lineAddr(addr);
+    bool isStore = type == AccessType::Store;
+
+    // Translate first: a page walk serialises before the data access
+    // and turns the whole access into a long-latency (deferrable)
+    // event.
+    Tlb::LookupResult xlat{true, now};
+    if (dtlb_.enabled() && type != AccessType::Prefetch)
+        xlat = dtlb_.access(addr, now);
+
+    auto hit = l1d_.access(addr, isStore, now);
+    if (hit.hit) {
+        res.readyCycle = std::max(hit.readyCycle, xlat.readyCycle);
+        // A line still being filled (or a page still being walked) is
+        // architecturally a merged miss: the pipeline sees the full
+        // latency, and SST treats it as a deferral trigger just like a
+        // fresh miss.
+        res.l1Hit = xlat.hit
+                    && hit.readyCycle <= now + l1d_.params().hitLatency;
+        if (res.l1Hit && prefetchedLines_.erase(line)) {
+            dataPf_.noteUseful();
+            issuePrefetches(l1d_, dataPf_, line, false, now);
+        }
+        return res;
+    }
+
+    // L1 miss. Merge with an in-flight MSHR if one covers this line.
+    mshrs_.expire(now);
+    Cycle pending = mshrs_.pendingCompletion(line);
+    if (pending != invalidCycle) {
+        mshrs_.noteMerge();
+        res.readyCycle = std::max(pending, xlat.readyCycle);
+        return res;
+    }
+
+    if (mshrs_.full(now)) {
+        mshrs_.noteRejection();
+        res.rejected = true;
+        res.retryCycle = mshrs_.earliestFree();
+        panic_if(res.retryCycle == invalidCycle,
+                 "full MSHR file with no completion time");
+        return res;
+    }
+
+    bool l2Hit = false;
+    Cycle dataReady = system_.accessL2(line, now, l2Hit);
+    res.l2Hit = l2Hit;
+    res.readyCycle = std::max(dataReady, xlat.readyCycle);
+
+    mshrs_.allocate(line, dataReady, type != AccessType::Prefetch, now);
+    auto ev = l1d_.fill(addr, dataReady, isStore);
+    if (ev.valid && ev.dirty)
+        system_.writebackToL2(ev.lineAddr, now);
+    if (type == AccessType::Prefetch)
+        prefetchedLines_.insert(line);
+    else
+        issuePrefetches(l1d_, dataPf_, line, true, now);
+    return res;
+}
+
+AccessResult
+CorePort::instAccess(Addr addr, Cycle now)
+{
+    AccessResult res;
+    Addr line = l1i_.lineAddr(addr);
+
+    auto hit = l1i_.access(addr, false, now);
+    if (hit.hit) {
+        res.readyCycle = hit.readyCycle;
+        res.l1Hit = hit.readyCycle <= now + l1i_.params().hitLatency;
+        return res;
+    }
+
+    mshrs_.expire(now);
+    Cycle pending = mshrs_.pendingCompletion(line);
+    if (pending != invalidCycle) {
+        mshrs_.noteMerge();
+        res.readyCycle = pending;
+        return res;
+    }
+    if (mshrs_.full(now)) {
+        mshrs_.noteRejection();
+        res.rejected = true;
+        res.retryCycle = mshrs_.earliestFree();
+        return res;
+    }
+
+    bool l2Hit = false;
+    Cycle dataReady = system_.accessL2(line, now, l2Hit);
+    res.l2Hit = l2Hit;
+    res.readyCycle = dataReady;
+    mshrs_.allocate(line, dataReady, true, now);
+    auto ev = l1i_.fill(addr, dataReady, false);
+    panic_if(ev.valid && ev.dirty, "dirty line in the I-cache");
+    issuePrefetches(l1i_, instPf_, line, true, now);
+    return res;
+}
+
+void
+CorePort::issuePrefetches(Cache &cache, Prefetcher &pf, Addr lineAddr,
+                          bool wasMiss, Cycle now)
+{
+    for (Addr target : pf.onAccess(lineAddr, wasMiss)) {
+        if (cache.contains(target))
+            continue;
+        mshrs_.expire(now);
+        if (mshrs_.pendingCompletion(target) != invalidCycle)
+            continue;
+        if (mshrs_.full(now))
+            break; // never stall the pipeline for a prefetch
+        bool l2Hit = false;
+        Cycle ready = system_.accessL2(target, now, l2Hit);
+        mshrs_.allocate(target, ready, false, now);
+        auto ev = cache.fill(target, ready, false);
+        if (ev.valid && ev.dirty)
+            system_.writebackToL2(ev.lineAddr, now);
+        pf.noteIssued();
+        if (&cache == &l1d_)
+            prefetchedLines_.insert(target);
+    }
+}
+
+void
+CorePort::flush()
+{
+    l1i_.flush();
+    l1d_.flush();
+    dtlb_.flush();
+    mshrs_.reset();
+    prefetchedLines_.clear();
+}
+
+MemorySystem::MemorySystem(const HierarchyParams &params)
+    : params_(params),
+      stats_("memsys"),
+      l2_(params.l2, stats_),
+      dram_(params.dram, stats_),
+      l2PortStall_(stats_.addScalar("l2_port_stall_cycles",
+                                    "cycles requests queued on L2 port"))
+{
+    fatal_if(params.l1i.lineBytes != params.l2.lineBytes
+                 || params.l1d.lineBytes != params.l2.lineBytes,
+             "all cache levels must share one line size");
+}
+
+CorePort &
+MemorySystem::addCore()
+{
+    ports_.push_back(std::make_unique<CorePort>(
+        *this, params_, static_cast<unsigned>(ports_.size())));
+    CorePort &port = *ports_.back();
+    stats_.addChild(port.stats());
+    return port;
+}
+
+Cycle
+MemorySystem::accessL2(Addr lineAddr, Cycle now, bool &l2Hit)
+{
+    // Arbitrate for the shared L2 port.
+    Cycle start = std::max(now, l2PortFree_);
+    l2PortStall_ += start - now;
+    l2PortFree_ = start + params_.l2PortCycles;
+
+    auto hit = l2_.access(lineAddr, false, start);
+    if (hit.hit) {
+        l2Hit = hit.readyCycle <= start + params_.l2.hitLatency;
+        return hit.readyCycle;
+    }
+
+    l2Hit = false;
+    Cycle done = dram_.access(lineAddr, start + params_.l2.hitLatency,
+                              false);
+    auto ev = l2_.fill(lineAddr, done, false);
+    if (ev.valid && ev.dirty)
+        dram_.access(ev.lineAddr, now, true);
+    return done;
+}
+
+void
+MemorySystem::writebackToL2(Addr lineAddr, Cycle now)
+{
+    Cycle start = std::max(now, l2PortFree_);
+    l2PortFree_ = start + params_.l2PortCycles;
+    // Install/mark dirty; if L2 already evicted the line this re-fills
+    // it dirty, which is the writeback-allocate behaviour we model.
+    auto ev = l2_.fill(lineAddr, start, true);
+    if (ev.valid && ev.dirty)
+        dram_.access(ev.lineAddr, start, true);
+}
+
+void
+MemorySystem::flushAll()
+{
+    l2_.flush();
+    dram_.drain();
+    l2PortFree_ = 0;
+    for (auto &port : ports_)
+        port->flush();
+}
+
+} // namespace sst

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Memory hierarchy wiring: per-core L1I/L1D + MSHRs + prefetcher in
+ * front of a shared L2 and banked DRAM.
+ *
+ * Timing discipline is "fill at request, ready later": a miss installs
+ * its line immediately with a readyCycle equal to the fill's completion
+ * time, so later accesses to the same line observe hit-under-fill
+ * semantics without an event queue. Bandwidth is modelled with
+ * busy-until state on the L2 port and the DRAM channel.
+ */
+
+#ifndef SSTSIM_MEM_HIERARCHY_HH
+#define SSTSIM_MEM_HIERARCHY_HH
+
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "mem/cache.hh"
+#include "mem/dram.hh"
+#include "mem/mshr.hh"
+#include "mem/prefetcher.hh"
+#include "mem/req.hh"
+#include "mem/tlb.hh"
+
+namespace sst
+{
+
+/** Full hierarchy configuration. */
+struct HierarchyParams
+{
+    CacheParams l1i{"l1i", 32 * 1024, 4, 64, 2, ReplPolicy::Lru};
+    CacheParams l1d{"l1d", 32 * 1024, 4, 64, 3, ReplPolicy::Lru};
+    CacheParams l2{"l2", 2 * 1024 * 1024, 8, 64, 20, ReplPolicy::Lru};
+    DramParams dram{};
+    unsigned l1MshrEntries = 16;
+    unsigned l2PortCycles = 4;
+    PrefetcherParams dataPrefetch{};
+    PrefetcherParams instPrefetch{true, 1, 1};
+    /** Data TLB; entries=0 (the default) disables translation
+     *  modelling. When enabled, a TLB miss reports as a non-hit with
+     *  the page-walk latency folded in — which makes it an SST
+     *  deferral trigger, as in the paper. */
+    TlbParams dtlb{0, 4096, 120};
+};
+
+class MemorySystem;
+
+/**
+ * One core's view of the hierarchy. All core models issue their memory
+ * traffic through this interface.
+ */
+class CorePort
+{
+  public:
+    CorePort(MemorySystem &system, const HierarchyParams &params,
+             unsigned coreId);
+
+    /**
+     * Timed access at cycle @p now. Loads/stores hit L1D; InstFetch hits
+     * L1I; Prefetch allocates without blocking. A rejected result means
+     * no MSHR was available (structural hazard) — the core must retry.
+     */
+    AccessResult access(AccessType type, Addr addr, Cycle now);
+
+    /** True when a load of @p addr would hit settled data in L1D. */
+    bool probeL1d(Addr addr) const;
+
+    /**
+     * Address salt added to every timing access. The CMP harness gives
+     * each core a disjoint "physical" range so identical per-core
+     * programs contend for L2 capacity without falsely sharing lines.
+     */
+    void setAddressSalt(Addr salt) { addressSalt_ = salt; }
+
+    /** Demand misses in flight (for MLP accounting). */
+    unsigned outstandingDemand(Cycle now)
+    {
+        mshrs_.expire(now);
+        return mshrs_.outstandingDemand(now);
+    }
+
+    const MshrFile &mshrs() const { return mshrs_; }
+    Cache &l1d() { return l1d_; }
+    Cache &l1i() { return l1i_; }
+    StatGroup &stats() { return stats_; }
+
+    /** Invalidate both L1s (between benchmark phases). */
+    void flush();
+
+  private:
+    friend class MemorySystem;
+
+    AccessResult dataAccess(AccessType type, Addr addr, Cycle now);
+    AccessResult instAccess(Addr addr, Cycle now);
+    void issuePrefetches(Cache &cache, Prefetcher &pf, Addr lineAddr,
+                         bool wasMiss, Cycle now);
+
+    MemorySystem &system_;
+    unsigned coreId_;
+    Addr addressSalt_ = 0;
+    StatGroup stats_;
+    Cache l1i_;
+    Cache l1d_;
+    MshrFile mshrs_;
+    Tlb dtlb_;
+    Prefetcher dataPf_;
+    Prefetcher instPf_;
+    /** Lines brought in by prefetch and not yet demanded. */
+    std::unordered_set<Addr> prefetchedLines_;
+};
+
+/** Shared L2 + DRAM; owns the per-core ports. */
+class MemorySystem
+{
+  public:
+    explicit MemorySystem(const HierarchyParams &params);
+
+    /** Create the port for the next core. Stable address. */
+    CorePort &addCore();
+
+    const HierarchyParams &params() const { return params_; }
+    unsigned lineBytes() const { return params_.l2.lineBytes; }
+    Cache &l2() { return l2_; }
+    Dram &dram() { return dram_; }
+    StatGroup &stats() { return stats_; }
+
+    /** Invalidate all caches and drain DRAM state. */
+    void flushAll();
+
+  private:
+    friend class CorePort;
+
+    /**
+     * L1-miss path: arbitrate for the L2 port, probe L2, on L2 miss go
+     * to DRAM and fill L2. @return data-ready cycle; sets @p l2Hit.
+     */
+    Cycle accessL2(Addr lineAddr, Cycle now, bool &l2Hit);
+
+    /** Account an L1 dirty-eviction writeback into L2. */
+    void writebackToL2(Addr lineAddr, Cycle now);
+
+    HierarchyParams params_;
+    StatGroup stats_;
+    Cache l2_;
+    Dram dram_;
+    Cycle l2PortFree_ = 0;
+    Scalar &l2PortStall_;
+    std::vector<std::unique_ptr<CorePort>> ports_;
+};
+
+} // namespace sst
+
+#endif // SSTSIM_MEM_HIERARCHY_HH

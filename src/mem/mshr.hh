@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Miss Status Holding Register file: bounds per-core outstanding misses
+ * and merges secondary misses to an in-flight line. MSHR count is the
+ * hardware limit on the memory-level parallelism a core can expose —
+ * the resource SST's execute-ahead strand is designed to saturate.
+ */
+
+#ifndef SSTSIM_MEM_MSHR_HH
+#define SSTSIM_MEM_MSHR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace sst
+{
+
+/** Fixed-capacity MSHR file. */
+class MshrFile
+{
+  public:
+    MshrFile(const std::string &name, unsigned entries,
+             StatGroup &parentStats);
+
+    unsigned capacity() const { return capacity_; }
+
+    /** Drop entries whose fills completed at or before @p now. */
+    void expire(Cycle now);
+
+    /** @return completion cycle of an in-flight fill of @p lineAddr,
+     *  or invalidCycle when the line has no pending miss. */
+    Cycle pendingCompletion(Addr lineAddr) const;
+
+    /** @return true when no entry is free (after expire(now)). */
+    bool full(Cycle now);
+
+    /** Earliest cycle at which an entry will free up (full file only). */
+    Cycle earliestFree() const;
+
+    /**
+     * Allocate an entry for @p lineAddr completing at @p completion.
+     * Caller must ensure !full(). @p isDemand distinguishes demand misses
+     * from prefetches for the MLP statistics.
+     */
+    void allocate(Addr lineAddr, Cycle completion, bool isDemand,
+                  Cycle now);
+
+    /** Demand misses currently outstanding at @p now (MLP sample). */
+    unsigned outstandingDemand(Cycle now) const;
+
+    /** All entries (tests). */
+    struct Entry
+    {
+        Addr lineAddr = invalidAddr;
+        Cycle completion = invalidCycle;
+        bool demand = false;
+    };
+    const std::vector<Entry> &entries() const { return entries_; }
+
+    /** Clear all entries (rollback/flush). */
+    void reset();
+
+    /** Mean observed demand-MLP (computed from allocation samples). */
+    double meanDemandMlp() const { return mlp_.mean(); }
+    const Distribution &mlpDist() const { return mlp_; }
+
+  private:
+    unsigned capacity_;
+    std::vector<Entry> entries_;
+
+    StatGroup stats_;
+    Scalar &allocations_;
+    Scalar &merges_;
+    Scalar &rejections_;
+    Distribution &mlp_;
+
+  public:
+    /** Record a merge (secondary miss) for stats. */
+    void noteMerge() { ++merges_; }
+    /** Record a rejection (structural stall) for stats. */
+    void noteRejection() { ++rejections_; }
+};
+
+} // namespace sst
+
+#endif // SSTSIM_MEM_MSHR_HH

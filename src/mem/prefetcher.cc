@@ -1,0 +1,98 @@
+#include "mem/prefetcher.hh"
+
+namespace sst
+{
+
+Prefetcher::Prefetcher(const PrefetcherParams &params, unsigned lineBytes,
+                       const std::string &name, StatGroup &parentStats)
+    : params_(params),
+      lineBytes_(lineBytes),
+      stats_(name),
+      issued_(stats_.addScalar("issued", "prefetches issued")),
+      useful_(stats_.addScalar("useful",
+                               "demand hits on prefetched lines"))
+{
+    stats_.addFormula("accuracy", "useful / issued", [this] {
+        auto i = issued_.value();
+        return i ? static_cast<double>(useful_.value())
+                       / static_cast<double>(i)
+                 : 0.0;
+    });
+    parentStats.addChild(stats_);
+}
+
+std::vector<Addr>
+Prefetcher::onAccess(Addr lineAddr, bool miss)
+{
+    if (!params_.enabled)
+        return {};
+    return params_.mode == PrefetchMode::Stride
+               ? strideTargets(lineAddr, miss)
+               : nextLineTargets(lineAddr, miss);
+}
+
+std::vector<Addr>
+Prefetcher::nextLineTargets(Addr lineAddr, bool miss)
+{
+    std::vector<Addr> out;
+    if (!miss && lineAddr != lastTrigger_)
+        return out;
+    lastTrigger_ = lineAddr;
+    for (unsigned i = 0; i < params_.degree; ++i)
+        out.push_back(lineAddr
+                      + static_cast<Addr>(params_.distance + i)
+                            * lineBytes_);
+    return out;
+}
+
+std::vector<Addr>
+Prefetcher::strideTargets(Addr lineAddr, bool miss)
+{
+    std::vector<Addr> out;
+    if (!miss && lineAddr != lastTrigger_)
+        return out;
+    lastTrigger_ = lineAddr;
+
+    if (strideTable_.empty())
+        strideTable_.resize(64);
+    // Streams that march through memory cross region boundaries; tag by
+    // a coarse 64 KB region so one stream keeps hitting its own entry.
+    Addr region = lineAddr >> 16;
+    // Mix the tag bits before indexing: power-of-two-spaced arrays
+    // would otherwise alias to one entry.
+    Addr idx = (region ^ (region >> 6) ^ (region >> 12))
+               % strideTable_.size();
+    StrideEntry &e = strideTable_[idx];
+    if (e.regionTag != region) {
+        e.regionTag = region;
+        e.lastAddr = lineAddr;
+        e.delta = 0;
+        e.confidence = 0;
+        return out;
+    }
+
+    std::int64_t delta = static_cast<std::int64_t>(lineAddr)
+                         - static_cast<std::int64_t>(e.lastAddr);
+    if (delta != 0 && delta == e.delta) {
+        if (e.confidence < 4)
+            ++e.confidence;
+    } else if (delta != 0) {
+        e.delta = delta;
+        e.confidence = 1;
+    }
+    e.lastAddr = lineAddr;
+
+    if (e.confidence >= 2) {
+        for (unsigned i = 0; i < params_.degree; ++i) {
+            std::int64_t target =
+                static_cast<std::int64_t>(lineAddr)
+                + e.delta
+                      * static_cast<std::int64_t>(params_.distance + i);
+            if (target > 0)
+                out.push_back(static_cast<Addr>(target));
+        }
+    }
+    return out;
+}
+
+} // namespace sst

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Memory request classification shared across the hierarchy.
+ */
+
+#ifndef SSTSIM_MEM_REQ_HH
+#define SSTSIM_MEM_REQ_HH
+
+#include "common/types.hh"
+
+namespace sst
+{
+
+/** Who is asking and why; drives stats and prefetch policy. */
+enum class AccessType
+{
+    InstFetch,
+    Load,
+    Store,
+    Prefetch
+};
+
+/** Result of a timed access through the hierarchy. */
+struct AccessResult
+{
+    /** Cycle at which the data is usable by the pipeline. */
+    Cycle readyCycle = 0;
+    /** True when the request was rejected for lack of an MSHR. */
+    bool rejected = false;
+    /** Earliest cycle at which a retry could be accepted. */
+    Cycle retryCycle = 0;
+    /** Hit classification for stats/deferral decisions. */
+    bool l1Hit = false;
+    bool l2Hit = false;
+    /** True when the L1 lookup missed (the SST deferral trigger). */
+    bool l1Miss() const { return !l1Hit; }
+};
+
+} // namespace sst
+
+#endif // SSTSIM_MEM_REQ_HH

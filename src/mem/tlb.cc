@@ -1,0 +1,75 @@
+#include "mem/tlb.hh"
+
+#include "common/logging.hh"
+
+namespace sst
+{
+
+Tlb::Tlb(const TlbParams &params, const std::string &name,
+         StatGroup &parentStats)
+    : params_(params),
+      stats_(name),
+      hits_(stats_.addScalar("hits", "translation hits")),
+      misses_(stats_.addScalar("misses", "page walks"))
+{
+    stats_.addFormula("miss_rate", "misses / accesses", [this] {
+        auto total = hits_.value() + misses_.value();
+        return total ? static_cast<double>(misses_.value())
+                           / static_cast<double>(total)
+                     : 0.0;
+    });
+    parentStats.addChild(stats_);
+}
+
+Tlb::LookupResult
+Tlb::access(Addr addr, Cycle now)
+{
+    LookupResult res;
+    if (!enabled())
+        return res;
+
+    Addr page = pageOf(addr);
+    auto it = map_.find(page);
+    if (it != map_.end()) {
+        lru_.splice(lru_.begin(), lru_, it->second);
+        auto walk = walkReady_.find(page);
+        if (walk != walkReady_.end()) {
+            if (walk->second > now) {
+                // Walk still in flight: report as a miss-in-progress.
+                res.hit = false;
+                res.readyCycle = walk->second;
+                return res;
+            }
+            walkReady_.erase(walk);
+        }
+        ++hits_;
+        res.hit = true;
+        res.readyCycle = now;
+        return res;
+    }
+
+    // Miss: start a walk, install the entry with its completion time.
+    ++misses_;
+    res.hit = false;
+    res.readyCycle = now + params_.walkLatency;
+    lru_.push_front(page);
+    map_[page] = lru_.begin();
+    walkReady_[page] = res.readyCycle;
+    if (lru_.size() > params_.entries) {
+        Addr victim = lru_.back();
+        lru_.pop_back();
+        map_.erase(victim);
+        walkReady_.erase(victim);
+    }
+    return res;
+}
+
+void
+Tlb::flush()
+{
+    lru_.clear();
+    map_.clear();
+    walkReady_.clear();
+}
+
+} // namespace sst

@@ -1,0 +1,132 @@
+#include "power/model.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace sst
+{
+
+namespace
+{
+
+// --- structure cost weights (area units) ---
+// One unit ~ a 64-entry single-ported RAM. Sources of the multipliers:
+// CAM cell ~ 2x RAM cell plus match-line energy ~ 4x per search; rename
+// map needs width*2 read + width write ports; checkpoint register files
+// are plain RAM copies.
+constexpr double ramUnitEntries = 64.0;
+constexpr double camAreaFactor = 2.0;
+constexpr double camEnergyFactor = 4.0;
+
+double
+ramArea(double entries, double ports)
+{
+    return (entries / ramUnitEntries) * (0.5 + 0.5 * ports);
+}
+
+double
+camArea(double entries, double ports)
+{
+    return ramArea(entries, ports) * camAreaFactor;
+}
+
+} // namespace
+
+PowerEstimate
+estimatePower(Core &core)
+{
+    const CoreParams &p = core.params();
+    const char *model = core.model();
+    PowerEstimate est;
+
+    auto flat = core.stats().flatten();
+    auto stat = [&](const std::string &suffix) {
+        for (const auto &kv : flat)
+            if (kv.first.size() >= suffix.size()
+                && kv.first.compare(kv.first.size() - suffix.size(),
+                                    suffix.size(), suffix)
+                       == 0)
+                return kv.second;
+        return 0.0;
+    };
+
+    est.cycles = static_cast<double>(core.cycles());
+    est.insts = static_cast<double>(core.instsRetired());
+
+    double w = p.fetchWidth;
+
+    // Structures common to every model: base pipeline, regfile, bypass.
+    est.areaItems["pipeline"] = 2.0 * w;
+    est.areaItems["regfile"] = ramArea(numArchRegs, 2 * w + w);
+    est.areaItems["bpred"] = 1.5;
+
+    double committed = stat(".committed_insts");
+    double loads = stat(".loads") + stat(".spec_loads");
+    double stores = stat(".stores");
+
+    // Baseline per-instruction pipe energy and per-access cache energy.
+    est.dynamicEnergy += committed * 1.0;
+    est.dynamicEnergy += (loads + stores) * 1.5;
+
+    if (std::strcmp(model, "ooo") == 0) {
+        // The expensive machinery SST eliminates.
+        est.areaItems["rename_map"] =
+            camArea(numArchRegs, 3 * w) + ramArea(p.robEntries, w);
+        est.areaItems["rob"] = ramArea(p.robEntries, 2 * w);
+        est.areaItems["issue_queue"] =
+            camArea(p.issueQueueEntries, p.issueWidth) * 1.5;
+        est.areaItems["lsq"] = camArea(p.lsqEntries, 2);
+        est.areaItems["prf"] =
+            ramArea(p.robEntries + numArchRegs, 2 * p.issueWidth);
+
+        // Every dispatched instruction pays rename + ROB write + IQ
+        // insert; every issued one pays a wakeup/select CAM search.
+        est.dynamicEnergy += committed
+                             * (1.0 + 1.0
+                                + camEnergyFactor
+                                      * (p.issueQueueEntries
+                                         / ramUnitEntries));
+        est.dynamicEnergy += (loads + stores) * camEnergyFactor
+                             * (p.lsqEntries / ramUnitEntries);
+    } else if (std::strcmp(model, "sst") == 0
+               || std::strcmp(model, "scout") == 0) {
+        // Checkpoint register files are plain RAM copies; the DQ and
+        // SSQ are RAM FIFOs (the SSQ needs one search port for
+        // forwarding, priced as a narrow CAM).
+        est.areaItems["checkpoints"] =
+            p.checkpoints * ramArea(numArchRegs, 1);
+        est.areaItems["na_bits"] = 0.1 * p.checkpoints;
+        if (!p.discardSpecWork) {
+            est.areaItems["dq"] = ramArea(p.dqEntries, 2);
+            est.areaItems["ssq"] = camArea(p.ssqEntries, 1);
+        } else {
+            est.areaItems["ssq"] = camArea(p.ssqEntries, 1);
+        }
+
+        double deferred = stat(".deferred_insts");
+        double replayed = stat(".replayed_insts");
+        double ckpts = stat(".checkpoints_taken");
+        double discarded = stat(".discarded_insts");
+
+        est.dynamicEnergy += deferred * 1.0;  // DQ write
+        est.dynamicEnergy += replayed * 2.0;  // DQ read + execute
+        est.dynamicEnergy += discarded * 1.0; // wasted ahead work
+        est.dynamicEnergy += ckpts * (numArchRegs / ramUnitEntries);
+        est.dynamicEnergy += (loads + stores) * camEnergyFactor
+                             * (p.ssqEntries / ramUnitEntries);
+    } else {
+        // In-order: a small store buffer only.
+        est.areaItems["store_buffer"] = ramArea(p.storeBufferEntries, 1);
+    }
+
+    for (const auto &kv : est.areaItems)
+        est.coreArea += kv.second;
+
+    // Static power scales with area; normalised so a core burning no
+    // dynamic energy idles at area/20 units per cycle.
+    est.staticPower = est.coreArea / 20.0;
+    return est;
+}
+
+} // namespace sst

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Area and power proxy model.
+ *
+ * The paper's pitch is that SST reaches OoO-class single-thread
+ * performance "without register renaming logic, reorder buffers, memory
+ * disambiguation buffers, and large issue windows". This model prices
+ * those structures so the efficiency tables (T8, F9) can be computed.
+ *
+ * Units are deliberately abstract: one area unit ~ the area of a simple
+ * 64-entry RAM structure port; one energy unit ~ one RAM access. CAM
+ * structures (issue queue wakeup, LSQ search, rename) carry documented
+ * multipliers, following the conventional wisdom the paper leans on
+ * (CAMs and multi-ported RAMs dominate OoO cost). Only *relative*
+ * comparisons between core models are meaningful.
+ */
+
+#ifndef SSTSIM_POWER_MODEL_HH
+#define SSTSIM_POWER_MODEL_HH
+
+#include <map>
+#include <string>
+
+#include "common/stats.hh"
+#include "core/core.hh"
+
+namespace sst
+{
+
+/** Per-core area/power estimate. */
+struct PowerEstimate
+{
+    double coreArea = 0;       ///< area units
+    double staticPower = 0;    ///< proportional to area
+    double dynamicEnergy = 0;  ///< total energy units over the run
+    double cycles = 0;
+    double insts = 0;
+
+    double avgPower() const
+    {
+        return cycles > 0 ? staticPower + dynamicEnergy / cycles : 0.0;
+    }
+    double ipc() const { return cycles > 0 ? insts / cycles : 0.0; }
+    /** Performance per watt (IPC / avg power). */
+    double perfPerWatt() const
+    {
+        double p = avgPower();
+        return p > 0 ? ipc() / p : 0.0;
+    }
+    /** Performance per area unit. */
+    double perfPerArea() const
+    {
+        return coreArea > 0 ? ipc() / coreArea : 0.0;
+    }
+
+    /** Itemised area breakdown for the report tables. */
+    std::map<std::string, double> areaItems;
+};
+
+/**
+ * Estimate area and energy for a finished core run.
+ *
+ * @param core a core that has executed a workload (stats are read).
+ * @return the populated estimate.
+ */
+PowerEstimate estimatePower(Core &core);
+
+} // namespace sst
+
+#endif // SSTSIM_POWER_MODEL_HH

@@ -1,0 +1,60 @@
+#include "sim/cmp.hh"
+
+#include "common/logging.hh"
+#include "sim/machine.hh"
+
+namespace sst
+{
+
+Cmp::Cmp(const MachineConfig &config,
+         const std::vector<const Program *> &programs)
+    : config_(config), memsys_(config.mem)
+{
+    fatal_if(programs.empty(), "Cmp needs at least one program");
+    for (std::size_t i = 0; i < programs.size(); ++i) {
+        CorePort &port = memsys_.addCore();
+        // 1 GiB per-core physical window keeps line/set alignment while
+        // separating the cores' footprints.
+        port.setAddressSalt(static_cast<Addr>(i) << 30);
+        images_.push_back(std::make_unique<MemoryImage>());
+        images_.back()->loadSegments(*programs[i]);
+        MachineConfig cfg = config_;
+        cfg.core.name = "core" + std::to_string(i);
+        cores_.push_back(
+            makeCore(cfg, *programs[i], *images_.back(), port));
+    }
+}
+
+CmpResult
+Cmp::run(std::uint64_t max_cycles)
+{
+    bool all_halted = false;
+    std::uint64_t cycle = 0;
+    while (!all_halted && cycle < max_cycles) {
+        all_halted = true;
+        for (auto &core : cores_) {
+            core->tick();
+            all_halted &= core->halted();
+        }
+        ++cycle;
+    }
+
+    CmpResult res;
+    res.preset = config_.presetName;
+    res.cores = static_cast<unsigned>(cores_.size());
+    res.finished = all_halted;
+    Cycle slowest = 0;
+    for (auto &core : cores_) {
+        res.totalInsts += core->instsRetired();
+        res.perCoreIpc.push_back(core->ipc());
+        slowest = std::max(slowest, core->cycles());
+    }
+    res.cycles = slowest;
+    res.aggregateIpc =
+        slowest ? static_cast<double>(res.totalInsts)
+                      / static_cast<double>(slowest)
+                : 0.0;
+    return res;
+}
+
+} // namespace sst

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Chip-multiprocessor throughput harness: N identical cores, private
+ * L1s, shared L2 + DRAM — the CMP context the ROCK paper designs SST
+ * for (area-efficient cores ⇒ more cores per die ⇒ more throughput).
+ */
+
+#ifndef SSTSIM_SIM_CMP_HH
+#define SSTSIM_SIM_CMP_HH
+
+#include <memory>
+#include <vector>
+
+#include "core/core.hh"
+#include "isa/program.hh"
+#include "mem/hierarchy.hh"
+#include "sim/presets.hh"
+
+namespace sst
+{
+
+/** Aggregate result of one CMP run. */
+struct CmpResult
+{
+    std::string preset;
+    unsigned cores = 0;
+    Cycle cycles = 0; ///< cycles until the slowest core finished
+    std::uint64_t totalInsts = 0;
+    double aggregateIpc = 0;
+    std::vector<double> perCoreIpc;
+    bool finished = false;
+};
+
+/** N cores over one shared MemorySystem. */
+class Cmp
+{
+  public:
+    /**
+     * Each core runs its own program (same address layout is fine: the
+     * harness salts every core's timing addresses into a disjoint
+     * physical range). @p programs must outlive the Cmp.
+     */
+    Cmp(const MachineConfig &config,
+        const std::vector<const Program *> &programs);
+
+    /** Round-robin tick all cores until all halt or the budget ends. */
+    CmpResult run(std::uint64_t max_cycles = 500'000'000);
+
+    Core &core(unsigned i) { return *cores_[i]; }
+    MemorySystem &memsys() { return memsys_; }
+
+  private:
+    MachineConfig config_;
+    MemorySystem memsys_;
+    std::vector<std::unique_ptr<MemoryImage>> images_;
+    std::vector<std::unique_ptr<Core>> cores_;
+};
+
+} // namespace sst
+
+#endif // SSTSIM_SIM_CMP_HH

@@ -1,0 +1,70 @@
+#include "sim/machine.hh"
+
+#include "common/logging.hh"
+
+namespace sst
+{
+
+std::unique_ptr<Core>
+makeCore(const MachineConfig &config, const Program &program,
+         MemoryImage &memory, CorePort &port)
+{
+    if (config.model == "inorder")
+        return std::make_unique<InOrderCore>(config.core, program, memory,
+                                             port);
+    if (config.model == "ooo")
+        return std::make_unique<OoOCore>(config.core, program, memory,
+                                         port);
+    if (config.model == "sst")
+        return std::make_unique<SstCore>(config.core, program, memory,
+                                         port);
+    fatal("unknown core model '%s'", config.model.c_str());
+}
+
+Machine::Machine(const MachineConfig &config, const Program &program)
+    : config_(config), program_(program), memsys_(config.mem)
+{
+    image_.loadSegments(program);
+    CorePort &port = memsys_.addCore();
+    core_ = makeCore(config_, program_, image_, port);
+}
+
+RunResult
+Machine::run(std::uint64_t max_cycles)
+{
+    while (!core_->halted() && core_->cycles() < max_cycles)
+        core_->tick();
+
+    RunResult res;
+    res.preset = config_.presetName;
+    res.workload = program_.name();
+    res.cycles = core_->cycles();
+    res.insts = core_->instsRetired();
+    res.ipc = core_->ipc();
+    res.finished = core_->halted();
+    res.stats = core_->stats().flatten();
+
+    auto stat = [&](const std::string &suffix) {
+        for (const auto &kv : res.stats)
+            if (kv.first.size() >= suffix.size()
+                && kv.first.compare(kv.first.size() - suffix.size(),
+                                    suffix.size(), suffix)
+                       == 0)
+                return kv.second;
+        return 0.0;
+    };
+    res.l1dMissRate = stat("l1d.miss_rate");
+    res.meanDemandMlp = stat("l1_mshrs.demand_mlp.mean");
+    res.mispredictRate = stat(".mispredict_rate");
+    return res;
+}
+
+RunResult
+runOn(const std::string &preset, const Program &program,
+      std::uint64_t max_cycles)
+{
+    Machine machine(makePreset(preset), program);
+    return machine.run(max_cycles);
+}
+
+} // namespace sst

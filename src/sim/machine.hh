@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Single-core machine: wires a core model to its memory hierarchy and
+ * runs one workload to completion.
+ */
+
+#ifndef SSTSIM_SIM_MACHINE_HH
+#define SSTSIM_SIM_MACHINE_HH
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/core.hh"
+#include "core/inorder.hh"
+#include "core/ooo.hh"
+#include "core/sst.hh"
+#include "mem/hierarchy.hh"
+#include "sim/presets.hh"
+
+namespace sst
+{
+
+/** Key metrics of one finished run. */
+struct RunResult
+{
+    std::string preset;
+    std::string workload;
+    Cycle cycles = 0;
+    std::uint64_t insts = 0;
+    double ipc = 0;
+    double l1dMissRate = 0;
+    double meanDemandMlp = 0;
+    double mispredictRate = 0;
+    bool finished = false; ///< HALT committed within the cycle budget
+    /** Flattened stats for anything the summary fields don't cover. */
+    std::map<std::string, double> stats;
+};
+
+/** Instantiate the core model named by @p config. */
+std::unique_ptr<Core> makeCore(const MachineConfig &config,
+                               const Program &program,
+                               MemoryImage &memory, CorePort &port);
+
+/** One core + private hierarchy + loaded memory image. */
+class Machine
+{
+  public:
+    /** @p program must outlive the machine. */
+    Machine(const MachineConfig &config, const Program &program);
+
+    /** Run to HALT or @p maxCycles; harvest metrics. */
+    RunResult run(std::uint64_t max_cycles = 500'000'000);
+
+    Core &core() { return *core_; }
+    MemorySystem &memsys() { return memsys_; }
+    MemoryImage &image() { return image_; }
+    const MachineConfig &config() const { return config_; }
+
+  private:
+    MachineConfig config_;
+    const Program &program_;
+    MemorySystem memsys_;
+    MemoryImage image_;
+    std::unique_ptr<Core> core_;
+};
+
+/**
+ * Convenience: build the preset, generate nothing (caller supplies the
+ * program), run, and return metrics.
+ */
+RunResult runOn(const std::string &preset, const Program &program,
+                std::uint64_t max_cycles = 500'000'000);
+
+} // namespace sst
+
+#endif // SSTSIM_SIM_MACHINE_HH

@@ -1,0 +1,166 @@
+#include "sim/presets.hh"
+
+#include "common/logging.hh"
+
+namespace sst
+{
+
+namespace
+{
+
+/** The common hierarchy every preset runs against. */
+HierarchyParams
+baseHierarchy()
+{
+    HierarchyParams h;
+    h.l1i = CacheParams{"l1i", 32 * 1024, 4, 64, 2, ReplPolicy::Lru};
+    h.l1d = CacheParams{"l1d", 32 * 1024, 4, 64, 3, ReplPolicy::Lru};
+    h.l2 = CacheParams{"l2", 2 * 1024 * 1024, 8, 64, 20, ReplPolicy::Lru};
+    h.dram = DramParams{"dram", 16, 4096, 240, 30, 60, 8};
+    h.l1MshrEntries = 32;
+    h.l2PortCycles = 4;
+    h.dataPrefetch = PrefetcherParams{true, 2, 1};
+    h.instPrefetch = PrefetcherParams{true, 1, 1};
+    return h;
+}
+
+CoreParams
+baseCore(const std::string &name)
+{
+    CoreParams c;
+    c.name = name;
+    c.fetchWidth = 2;
+    c.pipelineDepth = 12;
+    c.predictor = "gshare";
+    c.storeBufferEntries = 8;
+    return c;
+}
+
+} // namespace
+
+MachineConfig
+makePreset(const std::string &name)
+{
+    MachineConfig cfg;
+    cfg.presetName = name;
+    cfg.mem = baseHierarchy();
+    cfg.core = baseCore(name);
+
+    if (name == "inorder") {
+        cfg.model = "inorder";
+    } else if (name == "scout") {
+        cfg.model = "sst";
+        cfg.core.checkpoints = 1;
+        cfg.core.discardSpecWork = true;
+        cfg.core.ssqEntries = 32;
+    } else if (name == "ea") {
+        cfg.model = "sst";
+        cfg.core.checkpoints = 1;
+        cfg.core.dqEntries = 64;
+        cfg.core.ssqEntries = 32;
+    } else if (name == "sst2" || name == "sst4" || name == "sst8") {
+        cfg.model = "sst";
+        cfg.core.checkpoints = name == "sst2" ? 2
+                               : name == "sst4" ? 4
+                                                : 8;
+        cfg.core.dqEntries = 64;
+        cfg.core.ssqEntries = 32;
+    } else if (name == "ooo-small") {
+        cfg.model = "ooo";
+        cfg.core.robEntries = 32;
+        cfg.core.issueQueueEntries = 16;
+        cfg.core.lsqEntries = 16;
+        cfg.core.issueWidth = 2;
+    } else if (name == "ooo-large") {
+        cfg.model = "ooo";
+        cfg.core.fetchWidth = 4;
+        cfg.core.robEntries = 128;
+        cfg.core.issueQueueEntries = 48;
+        cfg.core.lsqEntries = 48;
+        cfg.core.issueWidth = 4;
+    } else if (name == "ooo-huge") {
+        // Idealised upper bound: a window nobody would build at the
+        // paper's technology node, for context in the figures.
+        cfg.model = "ooo";
+        cfg.core.fetchWidth = 8;
+        cfg.core.robEntries = 512;
+        cfg.core.issueQueueEntries = 128;
+        cfg.core.lsqEntries = 128;
+        cfg.core.issueWidth = 8;
+    } else {
+        fatal("unknown machine preset '%s'", name.c_str());
+    }
+    return cfg;
+}
+
+std::vector<std::string>
+presetNames()
+{
+    return {"inorder", "scout",     "ea",        "sst2",      "sst4",
+            "sst8",    "ooo-small", "ooo-large", "ooo-huge"};
+}
+
+void
+applyOverrides(MachineConfig &config, const Config &overrides)
+{
+    CoreParams &c = config.core;
+    c.fetchWidth = static_cast<unsigned>(
+        overrides.getUint("core.fetch_width", c.fetchWidth));
+    c.pipelineDepth = static_cast<unsigned>(
+        overrides.getUint("core.pipeline_depth", c.pipelineDepth));
+    c.predictor = overrides.getString("core.predictor", c.predictor);
+    c.storeBufferEntries = static_cast<unsigned>(overrides.getUint(
+        "core.store_buffer_entries", c.storeBufferEntries));
+    c.robEntries = static_cast<unsigned>(
+        overrides.getUint("core.rob_entries", c.robEntries));
+    c.issueQueueEntries = static_cast<unsigned>(
+        overrides.getUint("core.iq_entries", c.issueQueueEntries));
+    c.lsqEntries = static_cast<unsigned>(
+        overrides.getUint("core.lsq_entries", c.lsqEntries));
+    c.issueWidth = static_cast<unsigned>(
+        overrides.getUint("core.issue_width", c.issueWidth));
+    c.checkpoints = static_cast<unsigned>(
+        overrides.getUint("core.checkpoints", c.checkpoints));
+    c.dqEntries = static_cast<unsigned>(
+        overrides.getUint("core.dq_entries", c.dqEntries));
+    c.ssqEntries = static_cast<unsigned>(
+        overrides.getUint("core.ssq_entries", c.ssqEntries));
+    c.deferOnL2MissOnly = overrides.getBool("core.defer_on_l2_miss_only",
+                                            c.deferOnL2MissOnly);
+    c.maxDeferredBranches = static_cast<unsigned>(overrides.getUint(
+        "core.max_deferred_branches", c.maxDeferredBranches));
+    c.lineGranularConflicts = overrides.getBool(
+        "core.line_granular_conflicts", c.lineGranularConflicts);
+
+    HierarchyParams &m = config.mem;
+    m.l1d.sizeBytes =
+        overrides.getUint("mem.l1d_kb", m.l1d.sizeBytes / 1024) * 1024;
+    m.l2.sizeBytes =
+        overrides.getUint("mem.l2_kb", m.l2.sizeBytes / 1024) * 1024;
+    m.dram.baseLatency = static_cast<unsigned>(overrides.getUint(
+        "mem.dram_base_latency", m.dram.baseLatency));
+    m.dram.banks = static_cast<unsigned>(
+        overrides.getUint("mem.dram_banks", m.dram.banks));
+    m.l1MshrEntries = static_cast<unsigned>(
+        overrides.getUint("mem.mshrs", m.l1MshrEntries));
+    m.dataPrefetch.enabled =
+        overrides.getBool("mem.data_prefetch", m.dataPrefetch.enabled);
+    std::string pf_mode = overrides.getString(
+        "mem.prefetch_mode",
+        m.dataPrefetch.mode == PrefetchMode::Stride ? "stride"
+                                                    : "nextline");
+    if (pf_mode == "stride")
+        m.dataPrefetch.mode = PrefetchMode::Stride;
+    else if (pf_mode == "nextline")
+        m.dataPrefetch.mode = PrefetchMode::NextLine;
+    else
+        fatal("unknown prefetch mode '%s'", pf_mode.c_str());
+    m.dataPrefetch.degree = static_cast<unsigned>(overrides.getUint(
+        "mem.prefetch_degree", m.dataPrefetch.degree));
+    m.dtlb.entries = static_cast<unsigned>(
+        overrides.getUint("mem.dtlb_entries", m.dtlb.entries));
+    m.dtlb.walkLatency = static_cast<unsigned>(overrides.getUint(
+        "mem.dtlb_walk_latency", m.dtlb.walkLatency));
+}
+
+} // namespace sst

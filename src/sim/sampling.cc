@@ -1,0 +1,109 @@
+#include "sim/sampling.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace sst
+{
+
+double
+SampledResult::ipcStddev() const
+{
+    if (windowIpc.size() < 2)
+        return 0.0;
+    double mean = 0;
+    for (double v : windowIpc)
+        mean += v;
+    mean /= static_cast<double>(windowIpc.size());
+    double acc = 0;
+    for (double v : windowIpc)
+        acc += (v - mean) * (v - mean);
+    return std::sqrt(acc / static_cast<double>(windowIpc.size() - 1));
+}
+
+SampledResult
+runSampled(const MachineConfig &config, const Program &program,
+           const SampleParams &params)
+{
+    fatal_if(params.detailInsts == 0, "detailInsts must be positive");
+
+    MemorySystem memsys(config.mem);
+    CorePort &port = memsys.addCore();
+    MemoryImage image;
+    image.loadSegments(program);
+    Executor exec(program, image);
+
+    ArchState cursor;
+    Cycle clock = 0;
+
+    SampledResult result;
+    result.preset = config.presetName;
+    std::uint64_t total_insts = 0;
+    std::uint64_t total_cycles = 0;
+
+    auto fast_forward = [&](std::uint64_t n) {
+        std::uint64_t done = 0;
+        while (done < n && !cursor.halted) {
+            StepInfo info = exec.step(cursor);
+            if (info.effAddr != invalidAddr) {
+                AccessType type = isStore(info.inst.op)
+                                      ? AccessType::Store
+                                      : AccessType::Load;
+                // Warm the hierarchy; rejections are fine to ignore
+                // (warming is best-effort).
+                (void)port.access(type, info.effAddr, clock);
+            }
+            clock += params.warmCpi;
+            ++done;
+        }
+        result.skippedInsts += done;
+    };
+
+    while (!cursor.halted) {
+        if (params.maxSamples != 0
+            && result.windowIpc.size() >= params.maxSamples)
+            break;
+
+        // Detailed window.
+        auto core = makeCore(config, program, image, port);
+        core->warmStart(cursor, clock);
+        std::uint64_t budget_cycles = params.detailInsts * 1000;
+        while (!core->halted()
+               && core->instsRetired() < params.detailInsts
+               && core->cycles() - core->startCycle() < budget_cycles)
+            core->tick();
+        fatal_if(!core->halted()
+                     && core->instsRetired() < params.detailInsts,
+                 "sampled window made no progress");
+
+        std::uint64_t insts = core->instsRetired();
+        Cycle cycles = core->cycles() - core->startCycle();
+        result.windowIpc.push_back(core->ipc());
+        total_insts += insts;
+        total_cycles += cycles;
+        result.detailedInsts += insts;
+        clock = core->cycles();
+        cursor = core->archState();
+        if (core->halted()) {
+            result.reachedEnd = true;
+            break;
+        }
+        // The detailed core stopped mid-flight (between commits its
+        // ArchState is exact because all models keep arch_ committed).
+        cursor.halted = false;
+
+        // Fast-forward with warming.
+        fast_forward(params.skipInsts);
+        if (cursor.halted)
+            result.reachedEnd = true;
+    }
+
+    result.ipc = total_cycles
+                     ? static_cast<double>(total_insts)
+                           / static_cast<double>(total_cycles)
+                     : 0.0;
+    return result;
+}
+
+} // namespace sst

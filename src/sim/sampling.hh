@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Sampled simulation (SMARTS-style): alternate cheap functional
+ * fast-forward — with cache warming — and detailed cycle-level sample
+ * windows, then estimate whole-program IPC from the samples. Makes
+ * full-length workloads tractable on the detailed core models.
+ *
+ * Methodology: the functional cursor and the detailed cores share one
+ * MemoryImage and one CorePort, so cache/predictor state flows through
+ * the whole run; each detailed window is a fresh core warm-started at
+ * the cursor's architectural state and at the shared clock, so memory
+ * busy-until state stays consistent across windows.
+ */
+
+#ifndef SSTSIM_SIM_SAMPLING_HH
+#define SSTSIM_SIM_SAMPLING_HH
+
+#include <vector>
+
+#include "sim/machine.hh"
+
+namespace sst
+{
+
+/** Sampling schedule. */
+struct SampleParams
+{
+    /** Instructions per detailed window. */
+    std::uint64_t detailInsts = 20'000;
+    /** Instructions fast-forwarded (with warming) between windows. */
+    std::uint64_t skipInsts = 80'000;
+    /** Maximum number of detailed windows (0 = until program end). */
+    unsigned maxSamples = 0;
+    /** Cycles charged per warmed instruction during fast-forward
+     *  (advances the shared clock so DRAM/bank state stays sane). */
+    unsigned warmCpi = 2;
+};
+
+/** Outcome of a sampled run. */
+struct SampledResult
+{
+    std::string preset;
+    /** IPC estimate: committed insts over cycles, summed over windows. */
+    double ipc = 0;
+    /** Per-window IPCs (for confidence estimation). */
+    std::vector<double> windowIpc;
+    /** Instructions simulated in detail / skipped functionally. */
+    std::uint64_t detailedInsts = 0;
+    std::uint64_t skippedInsts = 0;
+    bool reachedEnd = false;
+
+    /** Sample standard deviation of the window IPCs. */
+    double ipcStddev() const;
+};
+
+/**
+ * Run @p program under @p config with the given sampling schedule.
+ * @return the aggregate estimate. The program must halt.
+ */
+SampledResult runSampled(const MachineConfig &config,
+                         const Program &program,
+                         const SampleParams &params = {});
+
+} // namespace sst
+
+#endif // SSTSIM_SIM_SAMPLING_HH

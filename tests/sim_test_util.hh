@@ -1,0 +1,88 @@
+/** @file Shared helpers for core/system-level tests. */
+
+#ifndef SSTSIM_TESTS_SIM_TEST_UTIL_HH
+#define SSTSIM_TESTS_SIM_TEST_UTIL_HH
+
+#include <memory>
+#include <string>
+
+#include "core/inorder.hh"
+#include "core/ooo.hh"
+#include "core/sst.hh"
+#include "func/executor.hh"
+#include "isa/assembler.hh"
+#include "mem/hierarchy.hh"
+#include "sim/machine.hh"
+
+namespace sst::test
+{
+
+/** One assembled program run on one core model, with its golden twin. */
+struct CoreRun
+{
+    Program program;
+    std::unique_ptr<MemorySystem> memsys;
+    MemoryImage image;
+    std::unique_ptr<Core> core;
+
+    MemoryImage goldenImage;
+    ArchState goldenState;
+    std::uint64_t goldenInsts = 0;
+
+    /** Tick until halt (bounded). @return cycles used. */
+    Cycle
+    run(std::uint64_t max_cycles = 10'000'000)
+    {
+        while (!core->halted() && core->cycles() < max_cycles)
+            core->tick();
+        return core->cycles();
+    }
+
+    bool
+    archMatchesGolden() const
+    {
+        return core->archState().regsEqual(goldenState)
+               && image.contentEquals(goldenImage)
+               && core->instsRetired() == goldenInsts;
+    }
+};
+
+/** Build a CoreRun for @p model over assembly source @p src. */
+inline CoreRun
+makeRun(const std::string &model, const std::string &src,
+        CoreParams core_params = {}, HierarchyParams mem_params = {})
+{
+    CoreRun r;
+    r.program = assemble(src, "test");
+    r.memsys = std::make_unique<MemorySystem>(mem_params);
+    r.image.loadSegments(r.program);
+    CorePort &port = r.memsys->addCore();
+
+    MachineConfig cfg;
+    cfg.model = model;
+    cfg.core = core_params;
+    r.core = makeCore(cfg, r.program, r.image, port);
+
+    r.goldenImage.loadSegments(r.program);
+    Executor golden(r.program, r.goldenImage);
+    r.goldenInsts = golden.run(r.goldenState, 50'000'000ULL);
+    return r;
+}
+
+/** SST-flavoured CoreParams shorthand. */
+inline CoreParams
+sstParams(unsigned checkpoints, bool discard = false,
+          unsigned dq = 64, unsigned ssq = 32)
+{
+    CoreParams p;
+    p.name = "core";
+    p.checkpoints = checkpoints;
+    p.discardSpecWork = discard;
+    p.dqEntries = dq;
+    p.ssqEntries = ssq;
+    return p;
+}
+
+} // namespace sst::test
+
+#endif // SSTSIM_TESTS_SIM_TEST_UTIL_HH

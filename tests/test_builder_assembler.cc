@@ -1,0 +1,218 @@
+/** @file Tests for the programmatic Builder and the text assembler. */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "func/executor.hh"
+#include "isa/assembler.hh"
+#include "isa/builder.hh"
+
+using namespace sst;
+
+namespace
+{
+
+/** Run a program functionally and return the final state. */
+ArchState
+runProgram(const Program &p, std::uint64_t max_insts = 100000)
+{
+    MemoryImage mem;
+    mem.loadSegments(p);
+    Executor exec(p, mem);
+    ArchState st;
+    exec.run(st, max_insts);
+    return st;
+}
+
+} // namespace
+
+TEST(Builder, ForwardAndBackwardLabels)
+{
+    Builder b("t");
+    b.li(5, 3);
+    b.label("top");
+    b.addi(5, 5, -1);
+    b.bne(5, 0, "top"); // backward
+    b.beq(0, 0, "end"); // forward
+    b.addi(6, 0, 99);   // skipped
+    b.label("end");
+    b.halt();
+    ArchState st = runProgram(b.finish());
+    EXPECT_EQ(st.reg(5), 0u);
+    EXPECT_EQ(st.reg(6), 0u);
+}
+
+TEST(Builder, LiRoundTripsArbitraryValues)
+{
+    Rng rng(77);
+    std::vector<std::int64_t> values = {0,  1,  -1, 42, -42,
+                                        INT32_MAX, INT32_MIN,
+                                        INT64_MAX, INT64_MIN,
+                                        0x123456789abcdef0LL};
+    for (int i = 0; i < 50; ++i)
+        values.push_back(static_cast<std::int64_t>(rng.next()));
+    for (std::int64_t v : values) {
+        Builder b("li");
+        b.li(5, v).halt();
+        ArchState st = runProgram(b.finish());
+        EXPECT_EQ(st.reg(5), static_cast<std::uint64_t>(v)) << v;
+    }
+}
+
+TEST(Builder, HereTracksPosition)
+{
+    Builder b("t");
+    EXPECT_EQ(b.here(), 0u);
+    b.nop();
+    EXPECT_EQ(b.here(), 1u);
+}
+
+TEST(BuilderDeath, UnresolvedLabelIsFatal)
+{
+    Builder b("t");
+    b.j("nowhere");
+    b.halt();
+    EXPECT_DEATH((void)b.finish(), "unresolved label");
+}
+
+TEST(Builder, DataSegmentsAttached)
+{
+    Builder b("t");
+    b.li(5, 0x2000).ld(6, 5, 0).halt();
+    b.words(0x2000, {1234});
+    ArchState st = runProgram(b.finish());
+    EXPECT_EQ(st.reg(6), 1234u);
+}
+
+TEST(Assembler, BasicAluProgram)
+{
+    Program p = assemble(R"(
+        ; compute 2 + 3
+        addi x1, x0, 2
+        addi x2, x0, 3
+        add  x3, x1, x2
+        halt
+    )");
+    ArchState st = runProgram(p);
+    EXPECT_EQ(st.reg(3), 5u);
+}
+
+TEST(Assembler, LoadsStoresAndData)
+{
+    Program p = assemble(R"(
+        li   x1, 0x3000
+        ld   x2, 0(x1)
+        addi x2, x2, 1
+        st   x2, 8(x1)
+        halt
+        .data 0x3000
+        .word 41
+    )");
+    MemoryImage mem;
+    mem.loadSegments(p);
+    Executor exec(p, mem);
+    ArchState st;
+    exec.run(st, 1000);
+    EXPECT_EQ(st.reg(2), 42u);
+    EXPECT_EQ(mem.read(0x3008, 8), 42u);
+}
+
+TEST(Assembler, LoopWithLabels)
+{
+    Program p = assemble(R"(
+        li   x1, 10
+        li   x2, 0
+    loop:
+        add  x2, x2, x1
+        addi x1, x1, -1
+        bne  x1, x0, loop
+        halt
+    )");
+    ArchState st = runProgram(p);
+    EXPECT_EQ(st.reg(2), 55u); // 10+9+...+1
+}
+
+TEST(Assembler, CallAndReturn)
+{
+    Program p = assemble(R"(
+        jal  x1, func
+        addi x3, x2, 1
+        halt
+    func:
+        addi x2, x0, 41
+        ret
+    )");
+    ArchState st = runProgram(p);
+    EXPECT_EQ(st.reg(3), 42u);
+}
+
+TEST(Assembler, PseudoOps)
+{
+    Program p = assemble(R"(
+        li x1, 7
+        mv x2, x1
+        j  done
+        addi x2, x0, 0
+    done:
+        halt
+    )");
+    ArchState st = runProgram(p);
+    EXPECT_EQ(st.reg(2), 7u);
+}
+
+TEST(Assembler, SpaceDirectiveZeroFills)
+{
+    Program p = assemble(R"(
+        li x1, 0x4000
+        ld x2, 16(x1)
+        halt
+        .data 0x4000
+        .space 64
+    )");
+    ArchState st = runProgram(p);
+    EXPECT_EQ(st.reg(2), 0u);
+}
+
+TEST(Assembler, CommentsAndBlankLinesIgnored)
+{
+    Program p = assemble("\n; full comment\n# hash comment\n  halt ; x\n");
+    EXPECT_EQ(p.size(), 1u);
+    EXPECT_EQ(p.at(0).op, Opcode::HALT);
+}
+
+TEST(Assembler, NumericBranchOffsets)
+{
+    Program p = assemble(R"(
+        beq x0, x0, 2
+        halt
+        halt
+    )");
+    ArchState st = runProgram(p);
+    EXPECT_EQ(st.pc, 2u);
+}
+
+TEST(AssemblerDeath, UnknownMnemonicIsFatal)
+{
+    EXPECT_DEATH((void)assemble("frobnicate x1, x2\nhalt\n"),
+                 "unknown mnemonic");
+}
+
+TEST(AssemblerDeath, BadRegisterIsFatal)
+{
+    EXPECT_DEATH((void)assemble("addi x99, x0, 1\nhalt\n"),
+                 "bad register");
+}
+
+TEST(AssemblerDeath, WordOutsideDataIsFatal)
+{
+    EXPECT_DEATH((void)assemble(".word 1\n"), "outside .data");
+}
+
+TEST(Assembler, RoundTripThroughListing)
+{
+    // listing() output is human-oriented, but the mnemonics it prints
+    // must at least match what the assembler accepts.
+    Program p = assemble("addi x1, x0, 5\nhalt\n");
+    std::string listing = p.listing();
+    EXPECT_NE(listing.find("addi"), std::string::npos);
+}

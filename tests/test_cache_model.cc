@@ -1,0 +1,108 @@
+/** @file Property test: the Cache's LRU hit/miss/eviction behaviour
+ *  against an independent reference model over random address streams. */
+
+#include <gtest/gtest.h>
+
+#include <list>
+#include <unordered_map>
+
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "mem/cache.hh"
+
+using namespace sst;
+
+namespace
+{
+
+/**
+ * Reference LRU cache: per-set std::list kept in recency order.
+ * Deliberately structured nothing like the production code.
+ */
+class RefLru
+{
+  public:
+    RefLru(unsigned sets, unsigned ways, unsigned line_shift)
+        : sets_(sets), ways_(ways), lineShift_(line_shift)
+    {
+        lists_.resize(sets);
+    }
+
+    bool
+    access(Addr addr)
+    {
+        auto &lst = lists_[setOf(addr)];
+        Addr tag = addr >> lineShift_;
+        for (auto it = lst.begin(); it != lst.end(); ++it) {
+            if (*it == tag) {
+                lst.erase(it);
+                lst.push_front(tag);
+                return true;
+            }
+        }
+        return false;
+    }
+
+    /** Install; @return evicted tag or ~0 when none. */
+    Addr
+    fill(Addr addr)
+    {
+        auto &lst = lists_[setOf(addr)];
+        Addr tag = addr >> lineShift_;
+        lst.push_front(tag);
+        if (lst.size() > ways_) {
+            Addr victim = lst.back();
+            lst.pop_back();
+            return victim << lineShift_;
+        }
+        return ~Addr{0};
+    }
+
+  private:
+    unsigned setOf(Addr addr) const
+    {
+        return static_cast<unsigned>((addr >> lineShift_) & (sets_ - 1));
+    }
+
+    unsigned sets_;
+    unsigned ways_;
+    unsigned lineShift_;
+    std::vector<std::list<Addr>> lists_;
+};
+
+} // namespace
+
+class CacheVsReference : public testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(CacheVsReference, RandomStreamAgrees)
+{
+    // 8 sets x 4 ways x 64 B lines.
+    StatGroup sg("t");
+    Cache cache(CacheParams{"c", 2048, 4, 64, 1, ReplPolicy::Lru}, sg);
+    RefLru ref(8, 4, 6);
+
+    Rng rng(GetParam());
+    for (int i = 0; i < 4000; ++i) {
+        // 64 lines of reach => heavy set pressure.
+        Addr addr = (rng.below(64) << 6) | rng.below(64);
+        bool hit = cache.access(addr, false, i).hit;
+        bool ref_hit = ref.access(addr);
+        ASSERT_EQ(hit, ref_hit) << "step " << i << " addr " << addr;
+        if (!hit) {
+            Eviction ev = cache.fill(addr, i, false);
+            Addr ref_ev = ref.fill(addr);
+            if (ev.valid)
+                ASSERT_EQ(ev.lineAddr, ref_ev) << "step " << i;
+            else
+                ASSERT_EQ(ref_ev, ~Addr{0}) << "step " << i;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CacheVsReference,
+                         testing::Values(1, 2, 3, 4, 5, 6, 7, 8),
+                         [](const auto &info) {
+                             return "s" + std::to_string(info.param);
+                         });

@@ -1,0 +1,117 @@
+/** @file Unit tests for the configuration store. */
+
+#include <gtest/gtest.h>
+
+#include "common/config.hh"
+
+using namespace sst;
+
+TEST(Config, SetAndGetString)
+{
+    Config c;
+    c.set("a.b", "hello");
+    EXPECT_EQ(c.getString("a.b", "x"), "hello");
+    EXPECT_TRUE(c.has("a.b"));
+    EXPECT_FALSE(c.has("a.c"));
+}
+
+TEST(Config, DefaultsReturnedWhenAbsent)
+{
+    Config c;
+    EXPECT_EQ(c.getInt("k", 7), 7);
+    EXPECT_EQ(c.getUint("k2", 9u), 9u);
+    EXPECT_DOUBLE_EQ(c.getDouble("k3", 1.5), 1.5);
+    EXPECT_TRUE(c.getBool("k4", true));
+    EXPECT_EQ(c.getString("k5", "d"), "d");
+}
+
+TEST(Config, IntParsing)
+{
+    Config c;
+    c.set("dec", "42");
+    c.set("neg", "-13");
+    c.set("hex", "0x10");
+    EXPECT_EQ(c.getInt("dec", 0), 42);
+    EXPECT_EQ(c.getInt("neg", 0), -13);
+    EXPECT_EQ(c.getInt("hex", 0), 16);
+}
+
+TEST(Config, NumericSettersRoundTrip)
+{
+    Config c;
+    c.set("i", std::int64_t{-5});
+    c.set("u", std::uint64_t{77});
+    c.set("d", 2.25);
+    c.set("b", true);
+    EXPECT_EQ(c.getInt("i", 0), -5);
+    EXPECT_EQ(c.getUint("u", 0), 77u);
+    EXPECT_DOUBLE_EQ(c.getDouble("d", 0), 2.25);
+    EXPECT_TRUE(c.getBool("b", false));
+}
+
+TEST(Config, BoolSpellings)
+{
+    Config c;
+    for (const char *t : {"true", "1", "yes", "on"}) {
+        c.set("k", std::string(t));
+        EXPECT_TRUE(c.getBool("k", false)) << t;
+    }
+    for (const char *f : {"false", "0", "no", "off"}) {
+        c.set("k", std::string(f));
+        EXPECT_FALSE(c.getBool("k", true)) << f;
+    }
+}
+
+TEST(Config, ParseAssignment)
+{
+    Config c;
+    c.parseAssignment("core.width=4");
+    EXPECT_EQ(c.getInt("core.width", 0), 4);
+    c.parseAssignment("name=with=equals");
+    EXPECT_EQ(c.getString("name", ""), "with=equals");
+}
+
+TEST(Config, ParseArgs)
+{
+    const char *argv_c[] = {"prog", "a=1", "b=two"};
+    Config c;
+    c.parseArgs(3, const_cast<char **>(argv_c));
+    EXPECT_EQ(c.getInt("a", 0), 1);
+    EXPECT_EQ(c.getString("b", ""), "two");
+}
+
+TEST(Config, MergeOverwrites)
+{
+    Config a, b;
+    a.set("x", 1);
+    a.set("y", 2);
+    b.set("y", 3);
+    b.set("z", 4);
+    a.merge(b);
+    EXPECT_EQ(a.getInt("x", 0), 1);
+    EXPECT_EQ(a.getInt("y", 0), 3);
+    EXPECT_EQ(a.getInt("z", 0), 4);
+}
+
+TEST(Config, DumpIncludesObservedDefaults)
+{
+    Config c;
+    c.set("set.key", 1);
+    (void)c.getInt("defaulted.key", 5);
+    std::string d = c.dump();
+    EXPECT_NE(d.find("set.key = 1"), std::string::npos);
+    EXPECT_NE(d.find("defaulted.key = 5"), std::string::npos);
+}
+
+TEST(ConfigDeath, MalformedIntIsFatal)
+{
+    Config c;
+    c.set("k", "notanint");
+    EXPECT_DEATH((void)c.getInt("k", 0), "not an integer");
+}
+
+TEST(ConfigDeath, MalformedAssignmentIsFatal)
+{
+    Config c;
+    EXPECT_DEATH(c.parseAssignment("noequals"), "key=value");
+}

@@ -1,0 +1,272 @@
+/** @file Behavioural tests for the in-order and out-of-order cores. */
+
+#include <gtest/gtest.h>
+
+#include "sim_test_util.hh"
+
+using namespace sst;
+using namespace sst::test;
+
+namespace
+{
+
+const char *kTinyLoop = R"(
+    li   x1, 50
+    li   x2, 0
+loop:
+    add  x2, x2, x1
+    addi x1, x1, -1
+    bne  x1, x0, loop
+    halt
+)";
+
+/** A load-miss-bound kernel over a 64-node pointer ring whose nodes sit
+ *  4 KB apart, so every hop misses the L1. */
+std::string
+missKernelWithRing()
+{
+    std::string out = R"(
+    li   x1, 0x200000
+    li   x3, 40
+    li   x4, 0
+loop:
+    ld   x2, 0(x1)
+    ld   x5, 8(x1)
+    add  x4, x4, x5
+    addi x1, x2, 0
+    addi x3, x3, -1
+    bne  x3, x0, loop
+    halt
+    .data 0x200000
+)";
+    for (int i = 0; i < 64; ++i) {
+        long next = 0x200000 + ((i + 1) % 64) * 4096;
+        out += "    .word " + std::to_string(next) + ", "
+               + std::to_string(i * 3 + 1) + "\n";
+        if (i != 63)
+            out += "    .space 4080\n";
+    }
+    return out;
+}
+
+} // namespace
+
+TEST(InOrder, MatchesGoldenOnLoop)
+{
+    CoreRun r = makeRun("inorder", kTinyLoop);
+    r.run();
+    EXPECT_TRUE(r.core->halted());
+    EXPECT_TRUE(r.archMatchesGolden());
+}
+
+TEST(InOrder, IpcBoundedByWidth)
+{
+    CoreParams p;
+    p.fetchWidth = 2;
+    CoreRun r = makeRun("inorder", kTinyLoop, p);
+    r.run();
+    EXPECT_LE(r.core->ipc(), 2.0);
+    EXPECT_GT(r.core->ipc(), 0.1);
+}
+
+TEST(InOrder, DependentChainSerialises)
+{
+    // 100 dependent adds cannot exceed IPC 1 regardless of width.
+    std::string src = "li x1, 1\n";
+    for (int i = 0; i < 100; ++i)
+        src += "add x1, x1, x1\n";
+    src += "halt\n";
+    CoreParams p;
+    p.fetchWidth = 4;
+    CoreRun r = makeRun("inorder", src, p);
+    Cycle c = r.run();
+    EXPECT_GE(c, 100u);
+    EXPECT_TRUE(r.archMatchesGolden());
+}
+
+TEST(InOrder, IndependentPairsDualIssue)
+{
+    // A warm loop of independent adds should approach IPC 2 with a
+    // 2-wide front end (a straight-line version would be bound by cold
+    // I-cache misses instead).
+    std::string src = "li x1, 1\nli x2, 1\nli x9, 3000\nloop:\n";
+    for (int i = 0; i < 5; ++i) {
+        src += "addi x3, x1, " + std::to_string(i) + "\n";
+        src += "addi x4, x2, " + std::to_string(i) + "\n";
+    }
+    src += "addi x9, x9, -1\nbne x9, x0, loop\nhalt\n";
+    CoreRun r = makeRun("inorder", src);
+    r.run();
+    EXPECT_GT(r.core->ipc(), 1.5);
+}
+
+TEST(InOrder, BranchMispredictsCostCycles)
+{
+    // A data-dependent unpredictable branch pattern runs slower than a
+    // perfectly-biased one with the same instruction count.
+    const char *biased = R"(
+        li x1, 400
+        li x5, 0
+    loop:
+        addi x5, x5, 1
+        addi x1, x1, -1
+        bne  x1, x0, loop
+        halt
+    )";
+    const char *noisy = R"(
+        li x1, 400
+        li x5, 0
+        li x6, 2863311530 ; 0xAAAAAAAA pattern source
+    loop:
+        andi x7, x6, 1
+        srli x6, x6, 1
+        beq  x7, x0, skip
+        addi x5, x5, 1
+    skip:
+        addi x1, x1, -1
+        bne  x1, x0, loop
+        halt
+    )";
+    CoreRun a = makeRun("inorder", biased);
+    CoreRun b = makeRun("inorder", noisy);
+    Cycle ca = a.run();
+    Cycle cb = b.run();
+    double cpi_a = double(ca) / double(a.core->instsRetired());
+    double cpi_b = double(cb) / double(b.core->instsRetired());
+    EXPECT_GT(cpi_b, cpi_a);
+}
+
+TEST(InOrder, MissKernelMatchesGolden)
+{
+    CoreRun r = makeRun("inorder", missKernelWithRing());
+    r.run();
+    EXPECT_TRUE(r.core->halted());
+    EXPECT_TRUE(r.archMatchesGolden());
+}
+
+TEST(InOrder, StoreBufferBackpressure)
+{
+    // A burst of stores to distinct lines exceeds the store buffer and
+    // MSHRs; the core must still finish correctly.
+    std::string src = "li x1, 0x300000\nli x2, 77\n";
+    for (int i = 0; i < 64; ++i)
+        src += "st x2, " + std::to_string(i * 4096) + "(x1)\n";
+    src += "halt\n";
+    CoreParams p;
+    p.storeBufferEntries = 2;
+    CoreRun r = makeRun("inorder", src, p);
+    r.run();
+    EXPECT_TRUE(r.core->halted());
+    EXPECT_TRUE(r.archMatchesGolden());
+}
+
+TEST(OoO, MatchesGoldenOnLoop)
+{
+    CoreRun r = makeRun("ooo", kTinyLoop);
+    r.run();
+    EXPECT_TRUE(r.core->halted());
+    EXPECT_TRUE(r.archMatchesGolden());
+}
+
+TEST(OoO, ExtractsIlpFromIndependentChains)
+{
+    // Two interleaved dependent chains: an in-order 1-wide view gets
+    // IPC ~1; the OoO core should overlap them.
+    std::string src = "li x1, 1\nli x2, 1\n";
+    for (int i = 0; i < 150; ++i) {
+        src += "mul x1, x1, x1\n"; // 4-cycle latency chains
+        src += "mul x2, x2, x2\n";
+    }
+    src += "halt\n";
+    CoreRun in = makeRun("inorder", src);
+    CoreRun ooo = makeRun("ooo", src);
+    Cycle ci = in.run();
+    Cycle co = ooo.run();
+    EXPECT_LT(co, ci);
+    EXPECT_TRUE(ooo.archMatchesGolden());
+}
+
+TEST(OoO, OverlapsIndependentMisses)
+{
+    // Independent loads to distinct lines: the ROB should expose MLP.
+    std::string src = "li x1, 0x400000\nli x9, 0\n";
+    for (int i = 0; i < 8; ++i)
+        src += "ld x" + std::to_string(10 + i) + ", "
+               + std::to_string(i * 4096) + "(x1)\n";
+    src += "halt\n";
+    CoreRun in = makeRun("inorder", src);
+    CoreRun ooo = makeRun("ooo", src);
+    // In-order also overlaps these (stall-on-use, non-blocking), so
+    // compare against a serial executor estimate instead: 8 misses
+    // must NOT take 8 * ~150 cycles on the OoO core.
+    Cycle co = ooo.run();
+    (void)in.run();
+    EXPECT_LT(co, 8 * 150u);
+    EXPECT_TRUE(ooo.archMatchesGolden());
+}
+
+TEST(OoO, RobSizeLimitsMlp)
+{
+    // With a tiny ROB the window can't reach distant independent loads.
+    std::string src = "li x1, 0x400000\nli x9, 0\n";
+    for (int i = 0; i < 12; ++i) {
+        src += "ld x5, " + std::to_string(i * 4096) + "(x1)\n";
+        for (int j = 0; j < 12; ++j)
+            src += "addi x9, x9, 1\n"; // padding between misses
+    }
+    src += "halt\n";
+    CoreParams small;
+    small.robEntries = 8;
+    small.issueQueueEntries = 8;
+    small.lsqEntries = 8;
+    CoreParams big;
+    big.robEntries = 192;
+    big.issueQueueEntries = 64;
+    big.lsqEntries = 64;
+    CoreRun s = makeRun("ooo", src, small);
+    CoreRun b = makeRun("ooo", src, big);
+    Cycle cs = s.run();
+    Cycle cb = b.run();
+    EXPECT_LT(cb, cs);
+    EXPECT_TRUE(s.archMatchesGolden());
+    EXPECT_TRUE(b.archMatchesGolden());
+}
+
+TEST(OoO, StoreToLoadForwarding)
+{
+    const char *src = R"(
+        li x1, 0x500000
+        li x2, 1234
+        st x2, 0(x1)
+        ld x3, 0(x1)
+        addi x4, x3, 1
+        halt
+    )";
+    CoreRun r = makeRun("ooo", src);
+    r.run();
+    EXPECT_TRUE(r.archMatchesGolden());
+    EXPECT_EQ(r.core->archState().reg(4), 1235u);
+}
+
+TEST(OoO, MissKernelMatchesGolden)
+{
+    CoreRun r = makeRun("ooo", missKernelWithRing());
+    r.run();
+    EXPECT_TRUE(r.core->halted());
+    EXPECT_TRUE(r.archMatchesGolden());
+}
+
+TEST(OoO, HaltDrainsWindow)
+{
+    // HALT must not retire before older slow instructions.
+    const char *src = R"(
+        li x1, 0x600000
+        ld x2, 0(x1)
+        add x3, x2, x2
+        halt
+    )";
+    CoreRun r = makeRun("ooo", src);
+    r.run();
+    EXPECT_TRUE(r.core->halted());
+    EXPECT_EQ(r.core->instsRetired(), r.goldenInsts);
+}

@@ -1,0 +1,323 @@
+/**
+ * @file
+ * Differential property tests: every timing core model, run on any
+ * program, must terminate with exactly the architectural state (all
+ * registers, all of memory, retired-instruction count) produced by the
+ * golden functional executor. This is the central correctness invariant
+ * of the simulator — it exercises NA propagation, DQ replay ordering,
+ * SSQ forwarding, rollback and commit paths far more broadly than the
+ * targeted unit tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "isa/builder.hh"
+#include "sim_test_util.hh"
+#include "sim/machine.hh"
+#include "workloads/workloads.hh"
+
+using namespace sst;
+using namespace sst::test;
+
+namespace
+{
+
+/**
+ * Random structured-program generator. Emits a program that provably
+ * halts: straight-line blocks of random ALU/memory ops plus counted
+ * loops, over a small data arena so loads/stores collide frequently
+ * (stressing forwarding and disambiguation).
+ */
+Program
+randomProgram(std::uint64_t seed)
+{
+    Rng rng(seed);
+    Builder b("fuzz" + std::to_string(seed));
+    constexpr Addr arena = 0x200000;
+    constexpr std::uint64_t arenaWords = 512; // 4 KB hot arena
+    constexpr Addr coldArena = 0x400000;
+
+    // Skip over a leaf function that random ops may call through x3
+    // (exercises JAL/JALR and BTB-predicted indirect returns).
+    b.j("entry");
+    b.label("leaf");
+    b.xor_(21, 21, 22);
+    b.fadd(22, 22, 21);
+    b.addi(21, 21, 13);
+    b.jalr(0, 3, 0); // return via the call's link register
+    b.label("entry");
+
+    b.li(1, static_cast<std::int64_t>(arena));
+    b.li(2, static_cast<std::int64_t>(coldArena));
+    for (RegId r = 5; r < 28; ++r)
+        b.li(r, static_cast<std::int64_t>(rng.next() & 0xffff));
+
+    auto randReg = [&]() -> RegId {
+        return static_cast<RegId>(5 + rng.below(23)); // x5..x27
+    };
+    auto emitRandomOp = [&](int loop_depth) {
+        switch (rng.below(15)) {
+          case 0:
+            b.add(randReg(), randReg(), randReg());
+            break;
+          case 1:
+            b.sub(randReg(), randReg(), randReg());
+            break;
+          case 2:
+            b.xor_(randReg(), randReg(), randReg());
+            break;
+          case 3:
+            b.addi(randReg(), randReg(),
+                   static_cast<std::int32_t>(rng.range(-100, 100)));
+            break;
+          case 4:
+            b.mul(randReg(), randReg(), randReg());
+            break;
+          case 5:
+            b.div(randReg(), randReg(), randReg());
+            break;
+          case 6: { // hot-arena load (frequent store collisions)
+            std::int32_t off =
+                static_cast<std::int32_t>(rng.below(arenaWords)) * 8;
+            b.ld(randReg(), 1, off);
+            break;
+          }
+          case 7: { // hot-arena store
+            std::int32_t off =
+                static_cast<std::int32_t>(rng.below(arenaWords)) * 8;
+            b.st(randReg(), 1, off);
+            break;
+          }
+          case 8: { // cold load: likely L1 miss -> speculation trigger
+            std::int32_t off =
+                static_cast<std::int32_t>(rng.below(64)) * 4096;
+            b.ld(randReg(), 2, off);
+            break;
+          }
+          case 9: { // dependent address: load via masked register
+            RegId base = randReg();
+            RegId tmp = 28;
+            b.andi(tmp, base, 0x7f8); // keep inside 4 KB, 8-aligned
+            b.add(tmp, tmp, 1);
+            b.ld(randReg(), tmp, 0);
+            break;
+          }
+          case 10: { // store through computed address
+            RegId base = randReg();
+            RegId tmp = 28;
+            b.andi(tmp, base, 0x7f8);
+            b.add(tmp, tmp, 1);
+            b.st(randReg(), tmp, 0);
+            break;
+          }
+          case 11: { // data-dependent skip (forward branch)
+            if (loop_depth >= 0) {
+                std::string skip =
+                    "skip" + std::to_string(b.here());
+                b.beq(randReg(), randReg(), skip);
+                b.addi(randReg(), randReg(), 1);
+                b.label(skip);
+            }
+            break;
+          }
+          case 12: // FP dataflow over arbitrary bit patterns
+            b.fadd(randReg(), randReg(), randReg());
+            break;
+          case 13:
+            b.fmul(randReg(), randReg(), randReg());
+            break;
+          case 14: // call the leaf through x3
+            b.jal(3, "leaf");
+            break;
+        }
+    };
+
+    // Top-level: a few counted loops with random bodies.
+    unsigned loops = 2 + static_cast<unsigned>(rng.below(3));
+    for (unsigned l = 0; l < loops; ++l) {
+        unsigned body = 4 + static_cast<unsigned>(rng.below(12));
+        unsigned trips = 3 + static_cast<unsigned>(rng.below(20));
+        RegId counter = 29;
+        std::string top = "loop" + std::to_string(l);
+        b.li(counter, static_cast<std::int64_t>(trips));
+        b.label(top);
+        for (unsigned i = 0; i < body; ++i)
+            emitRandomOp(static_cast<int>(l));
+        b.addi(counter, counter, -1);
+        b.bne(counter, 0, top);
+    }
+    b.halt();
+
+    // Random initial arena contents.
+    std::vector<std::uint64_t> words(arenaWords);
+    for (auto &w : words)
+        w = rng.next();
+    b.words(arena, words);
+    return b.finish();
+}
+
+struct DiffCase
+{
+    std::string preset;
+    std::string workload;
+};
+
+std::string
+diffName(const testing::TestParamInfo<DiffCase> &info)
+{
+    std::string n = info.param.preset + "_" + info.param.workload;
+    for (char &c : n)
+        if (c == '-')
+            c = '_';
+    return n;
+}
+
+class WorkloadDifferential : public testing::TestWithParam<DiffCase>
+{
+};
+
+} // namespace
+
+TEST_P(WorkloadDifferential, ArchStateMatchesGolden)
+{
+    const DiffCase &tc = GetParam();
+    WorkloadParams wp;
+    wp.lengthScale = 0.05; // keep each case fast
+    wp.footprintScale = 0.25;
+    Workload wl = makeWorkload(tc.workload, wp);
+
+    MemoryImage golden_mem;
+    golden_mem.loadSegments(wl.program);
+    Executor golden(wl.program, golden_mem);
+    ArchState golden_state;
+    std::uint64_t golden_insts = golden.run(golden_state, 200'000'000ULL);
+    ASSERT_TRUE(golden_state.halted);
+
+    Machine machine(makePreset(tc.preset), wl.program);
+    RunResult res = machine.run();
+    ASSERT_TRUE(res.finished) << "did not halt in budget";
+    EXPECT_EQ(res.insts, golden_insts);
+    EXPECT_TRUE(machine.core().archState().regsEqual(golden_state));
+    EXPECT_TRUE(machine.image().contentEquals(golden_mem));
+}
+
+namespace
+{
+
+std::vector<DiffCase>
+allDiffCases()
+{
+    std::vector<DiffCase> cases;
+    for (const auto &p : presetNames())
+        for (const auto &w : allWorkloadNames())
+            cases.push_back(DiffCase{p, w});
+    return cases;
+}
+
+} // namespace
+
+INSTANTIATE_TEST_SUITE_P(AllPresetsAllWorkloads, WorkloadDifferential,
+                         testing::ValuesIn(allDiffCases()), diffName);
+
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+struct FuzzCase
+{
+    std::string model;
+    CoreParams params;
+    std::uint64_t seed;
+};
+
+std::string
+fuzzName(const testing::TestParamInfo<FuzzCase> &info)
+{
+    return info.param.params.name + "_s"
+           + std::to_string(info.param.seed);
+}
+
+class FuzzDifferential : public testing::TestWithParam<FuzzCase>
+{
+};
+
+} // namespace
+
+TEST_P(FuzzDifferential, RandomProgramMatchesGolden)
+{
+    const FuzzCase &tc = GetParam();
+    Program prog = randomProgram(tc.seed);
+
+    // Failure injection: odd seeds run on a deliberately starved
+    // hierarchy (tiny caches, 2 MSHRs, 1 DRAM bank) so every structural
+    // stall, rejection-retry and eviction path is exercised.
+    HierarchyParams mem;
+    if (tc.seed % 2 == 1) {
+        mem.l1i = CacheParams{"l1i", 1024, 2, 64, 2, ReplPolicy::Lru};
+        mem.l1d = CacheParams{"l1d", 1024, 2, 64, 3, ReplPolicy::Nru};
+        mem.l2 = CacheParams{"l2", 4096, 4, 64, 20, ReplPolicy::Random};
+        mem.dram.banks = 1;
+        mem.l1MshrEntries = 2;
+        mem.l2PortCycles = 9;
+    }
+    MemorySystem sys(mem);
+    MemoryImage image;
+    image.loadSegments(prog);
+    CorePort &port = sys.addCore();
+    MachineConfig cfg;
+    cfg.model = tc.model;
+    cfg.core = tc.params;
+    auto core = makeCore(cfg, prog, image, port);
+
+    MemoryImage golden_mem;
+    golden_mem.loadSegments(prog);
+    Executor golden(prog, golden_mem);
+    ArchState golden_state;
+    std::uint64_t golden_insts = golden.run(golden_state, 10'000'000ULL);
+    ASSERT_TRUE(golden_state.halted) << "fuzz program did not halt";
+
+    std::uint64_t budget = 50'000'000ULL;
+    while (!core->halted() && core->cycles() < budget)
+        core->tick();
+    ASSERT_TRUE(core->halted()) << "timing core did not halt";
+    EXPECT_EQ(core->instsRetired(), golden_insts);
+    EXPECT_TRUE(core->archState().regsEqual(golden_state));
+    EXPECT_TRUE(image.contentEquals(golden_mem));
+}
+
+namespace
+{
+
+std::vector<FuzzCase>
+allFuzzCases()
+{
+    std::vector<FuzzCase> cases;
+    auto named = [](CoreParams p, const std::string &n) {
+        p.name = n;
+        return p;
+    };
+    for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+        CoreParams inorder;
+        cases.push_back(
+            FuzzCase{"inorder", named(inorder, "inorder"), seed});
+        CoreParams ooo;
+        cases.push_back(FuzzCase{"ooo", named(ooo, "ooo"), seed});
+        cases.push_back(
+            FuzzCase{"sst", named(sstParams(1, true), "scout"), seed});
+        cases.push_back(
+            FuzzCase{"sst", named(sstParams(1), "ea"), seed});
+        cases.push_back(
+            FuzzCase{"sst", named(sstParams(4), "sst4"), seed});
+        // Stress tiny structures: every overflow/stall path gets hit.
+        cases.push_back(FuzzCase{
+            "sst", named(sstParams(2, false, 6, 3), "sst_tiny"), seed});
+    }
+    return cases;
+}
+
+} // namespace
+
+INSTANTIATE_TEST_SUITE_P(RandomPrograms, FuzzDifferential,
+                         testing::ValuesIn(allFuzzCases()), fuzzName);

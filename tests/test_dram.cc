@@ -1,0 +1,112 @@
+/** @file Unit tests for the banked DRAM model. */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+#include "mem/dram.hh"
+
+using namespace sst;
+
+namespace
+{
+
+DramParams
+params(unsigned banks = 4)
+{
+    // base=100, tCas=10, tRcdRp=20, channel=5, rows of 4096 B.
+    return DramParams{"d", banks, 4096, 100, 10, 20, 5};
+}
+
+} // namespace
+
+TEST(Dram, ColdAccessPaysRowMiss)
+{
+    StatGroup sg("t");
+    Dram d(params(), sg);
+    Cycle done = d.access(0, 0, false);
+    // base(100) + tRcdRp(20) + tCas(10) + channel(5)
+    EXPECT_EQ(done, 135u);
+}
+
+TEST(Dram, RowHitIsFaster)
+{
+    StatGroup sg("t");
+    Dram d(params(), sg);
+    Cycle first = d.access(0, 0, false);
+    Cycle second = d.access(64, first, false); // same row
+    EXPECT_EQ(second - first, 115u); // base + tCas + channel
+}
+
+TEST(Dram, BankConflictSerialises)
+{
+    StatGroup sg("t");
+    Dram d(params(4), sg);
+    // Rows 0 and 4 share bank 0 (row % banks).
+    Cycle a = d.access(0, 0, false);
+    Cycle b = d.access(4 * 4096, 0, false);
+    // Second access must wait for the first bank busy period.
+    EXPECT_GT(b, a);
+}
+
+TEST(Dram, DifferentBanksOverlap)
+{
+    StatGroup sg("t");
+    Dram d(params(4), sg);
+    Cycle a = d.access(0, 0, false);
+    Cycle b = d.access(1 * 4096, 0, false); // bank 1
+    // Only the shared channel separates them (5 cycles), not the bank.
+    EXPECT_EQ(b - a, 5u);
+}
+
+TEST(Dram, ChannelBoundsBandwidth)
+{
+    StatGroup sg("t");
+    Dram d(params(16), sg);
+    // 16 parallel accesses to 16 banks: completions must be spaced by
+    // the 5-cycle channel occupancy.
+    std::vector<Cycle> done;
+    for (unsigned i = 0; i < 16; ++i)
+        done.push_back(d.access(i * 4096, 0, false));
+    for (size_t i = 1; i < done.size(); ++i)
+        EXPECT_GE(done[i], done[i - 1] + 5);
+}
+
+TEST(Dram, StatsClassifyRowHits)
+{
+    StatGroup sg("t");
+    Dram d(params(), sg);
+    d.access(0, 0, false);
+    d.access(64, 200, false);  // row hit
+    d.access(8192, 400, false); // different row (bank 2): row miss
+    auto flat = sg.flatten();
+    EXPECT_DOUBLE_EQ(flat["t.d.row_hits"], 1.0);
+    EXPECT_DOUBLE_EQ(flat["t.d.row_misses"], 2.0);
+}
+
+TEST(Dram, WritesCountedSeparately)
+{
+    StatGroup sg("t");
+    Dram d(params(), sg);
+    d.access(0, 0, true);
+    d.access(64, 100, false);
+    auto flat = sg.flatten();
+    EXPECT_DOUBLE_EQ(flat["t.d.writes"], 1.0);
+    EXPECT_DOUBLE_EQ(flat["t.d.reads"], 1.0);
+}
+
+TEST(Dram, DrainResetsTimingState)
+{
+    StatGroup sg("t");
+    Dram d(params(), sg);
+    Cycle first = d.access(0, 0, false);
+    d.drain();
+    Cycle again = d.access(0, 0, false);
+    EXPECT_EQ(again, first); // row buffer closed again, channel free
+}
+
+TEST(DramDeath, ZeroBanksIsFatal)
+{
+    StatGroup sg("t");
+    DramParams p = params(0);
+    EXPECT_DEATH({ Dram d(p, sg); }, "bank");
+}

@@ -1,0 +1,245 @@
+/** @file Semantics tests for the golden functional executor. */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "func/executor.hh"
+#include "isa/assembler.hh"
+
+using namespace sst;
+
+namespace
+{
+
+ArchState
+run(const std::string &src)
+{
+    Program p = assemble(src);
+    MemoryImage mem;
+    mem.loadSegments(p);
+    Executor exec(p, mem);
+    ArchState st;
+    exec.run(st, 100000);
+    return st;
+}
+
+} // namespace
+
+TEST(Semantics, AluOpsBasic)
+{
+    using semantics::aluOp;
+    EXPECT_EQ(aluOp(inst::rrr(Opcode::ADD, 1, 2, 3), 5, 7), 12u);
+    EXPECT_EQ(aluOp(inst::rrr(Opcode::SUB, 1, 2, 3), 5, 7),
+              static_cast<std::uint64_t>(-2));
+    EXPECT_EQ(aluOp(inst::rrr(Opcode::AND, 1, 2, 3), 0xf0, 0x3c), 0x30u);
+    EXPECT_EQ(aluOp(inst::rrr(Opcode::OR, 1, 2, 3), 0xf0, 0x0f), 0xffu);
+    EXPECT_EQ(aluOp(inst::rrr(Opcode::XOR, 1, 2, 3), 0xff, 0x0f), 0xf0u);
+    EXPECT_EQ(aluOp(inst::rrr(Opcode::MUL, 1, 2, 3), 6, 7), 42u);
+}
+
+TEST(Semantics, ShiftsMaskAmount)
+{
+    using semantics::aluOp;
+    EXPECT_EQ(aluOp(inst::rrr(Opcode::SLL, 1, 2, 3), 1, 65), 2u);
+    EXPECT_EQ(aluOp(inst::rrr(Opcode::SRL, 1, 2, 3), 4, 1), 2u);
+    EXPECT_EQ(aluOp(inst::rrr(Opcode::SRA, 1, 2, 3),
+                    static_cast<std::uint64_t>(-8), 2),
+              static_cast<std::uint64_t>(-2));
+}
+
+TEST(Semantics, Comparisons)
+{
+    using semantics::aluOp;
+    EXPECT_EQ(aluOp(inst::rrr(Opcode::SLT, 1, 2, 3),
+                    static_cast<std::uint64_t>(-1), 0),
+              1u);
+    EXPECT_EQ(aluOp(inst::rrr(Opcode::SLTU, 1, 2, 3),
+                    static_cast<std::uint64_t>(-1), 0),
+              0u);
+}
+
+TEST(Semantics, DivRemEdgeCases)
+{
+    using semantics::aluOp;
+    Inst div = inst::rrr(Opcode::DIV, 1, 2, 3);
+    Inst rem = inst::rrr(Opcode::REM, 1, 2, 3);
+    // Division by zero: RISC-V-style all-ones / dividend.
+    EXPECT_EQ(aluOp(div, 7, 0), ~std::uint64_t{0});
+    EXPECT_EQ(aluOp(rem, 7, 0), 7u);
+    // INT64_MIN / -1 overflow case.
+    auto min = static_cast<std::uint64_t>(INT64_MIN);
+    EXPECT_EQ(aluOp(div, min, static_cast<std::uint64_t>(-1)), min);
+    EXPECT_EQ(aluOp(rem, min, static_cast<std::uint64_t>(-1)), 0u);
+    EXPECT_EQ(aluOp(div, static_cast<std::uint64_t>(-20), 5),
+              static_cast<std::uint64_t>(-4));
+}
+
+TEST(Semantics, FloatingPoint)
+{
+    using semantics::aluOp;
+    auto bits = [](double d) { return std::bit_cast<std::uint64_t>(d); };
+    EXPECT_EQ(aluOp(inst::rrr(Opcode::FADD, 1, 2, 3), bits(1.5),
+                    bits(2.25)),
+              bits(3.75));
+    EXPECT_EQ(aluOp(inst::rrr(Opcode::FMUL, 1, 2, 3), bits(3.0),
+                    bits(-2.0)),
+              bits(-6.0));
+    EXPECT_EQ(aluOp(inst::rrr(Opcode::FDIV, 1, 2, 3), bits(1.0),
+                    bits(4.0)),
+              bits(0.25));
+    EXPECT_EQ(aluOp(inst::rrr(Opcode::FCVT_D_L, 1, 2, 0),
+                    static_cast<std::uint64_t>(-3), 0),
+              bits(-3.0));
+    EXPECT_EQ(aluOp(inst::rrr(Opcode::FCVT_L_D, 1, 2, 0), bits(41.9), 0),
+              41u);
+}
+
+TEST(Semantics, BranchConditions)
+{
+    using semantics::branchTaken;
+    auto br = [](Opcode op) { return inst::branch(op, 1, 2, 4); };
+    EXPECT_TRUE(branchTaken(br(Opcode::BEQ), 5, 5));
+    EXPECT_FALSE(branchTaken(br(Opcode::BEQ), 5, 6));
+    EXPECT_TRUE(branchTaken(br(Opcode::BNE), 5, 6));
+    EXPECT_TRUE(branchTaken(br(Opcode::BLT),
+                            static_cast<std::uint64_t>(-1), 0));
+    EXPECT_FALSE(branchTaken(br(Opcode::BLTU),
+                             static_cast<std::uint64_t>(-1), 0));
+    EXPECT_TRUE(branchTaken(br(Opcode::BGE), 3, 3));
+    EXPECT_TRUE(branchTaken(br(Opcode::BGEU),
+                            static_cast<std::uint64_t>(-1), 5));
+}
+
+TEST(Semantics, EffectiveAddr)
+{
+    Inst ld = inst::load(Opcode::LD, 1, 2, -8);
+    EXPECT_EQ(semantics::effectiveAddr(ld, 0x1000), 0xff8u);
+}
+
+TEST(Semantics, LoadExtension)
+{
+    using semantics::extendLoad;
+    EXPECT_EQ(extendLoad(Opcode::LD, 0xffffffffffffffffULL),
+              0xffffffffffffffffULL);
+    EXPECT_EQ(extendLoad(Opcode::LW, 0x80000000ULL),
+              0xffffffff80000000ULL);
+    EXPECT_EQ(extendLoad(Opcode::LW, 0x7fffffffULL), 0x7fffffffULL);
+    EXPECT_EQ(extendLoad(Opcode::LB, 0x80ULL), 0xffffffffffffff80ULL);
+    EXPECT_EQ(extendLoad(Opcode::LB, 0x7fULL), 0x7fULL);
+}
+
+TEST(Executor, X0AlwaysZero)
+{
+    ArchState st = run("addi x0, x0, 5\nadd x1, x0, x0\nhalt\n");
+    EXPECT_EQ(st.reg(0), 0u);
+    EXPECT_EQ(st.reg(1), 0u);
+}
+
+TEST(Executor, SubwordStoresAndSignExtension)
+{
+    ArchState st = run(R"(
+        li  x1, 0x5000
+        li  x2, -1
+        sb  x2, 0(x1)
+        lb  x3, 0(x1)     ; sign-extended -1
+        ld  x4, 0(x1)     ; only one byte was written
+        li  x5, 0x80000000
+        sw  x5, 8(x1)
+        lw  x6, 8(x1)     ; sign-extends
+        halt
+    )");
+    EXPECT_EQ(st.reg(3), ~std::uint64_t{0});
+    EXPECT_EQ(st.reg(4), 0xffu);
+    EXPECT_EQ(st.reg(6), 0xffffffff80000000ULL);
+}
+
+TEST(Executor, JalLinksAndJumps)
+{
+    ArchState st = run(R"(
+        jal x1, target
+        halt
+    target:
+        addi x2, x1, 0
+        halt
+    )");
+    EXPECT_EQ(st.reg(1), 1u); // link = pc+1
+    EXPECT_EQ(st.reg(2), 1u);
+}
+
+TEST(Executor, JalrIndirectTarget)
+{
+    ArchState st = run(R"(
+        li   x5, 4
+        jalr x1, x5, 1    ; jump to inst 5
+        halt
+        halt
+        halt
+        addi x6, x0, 9
+        halt
+    )");
+    EXPECT_EQ(st.reg(6), 9u);
+}
+
+TEST(Executor, HaltStopsAndPins)
+{
+    Program p = assemble("halt\n");
+    MemoryImage mem;
+    Executor exec(p, mem);
+    ArchState st;
+    StepInfo info = exec.step(st);
+    EXPECT_TRUE(info.halted);
+    EXPECT_TRUE(st.halted);
+    EXPECT_EQ(st.pc, 0u);
+}
+
+TEST(Executor, RunBoundsInstructionCount)
+{
+    // Infinite loop: run() must stop at the budget.
+    Program p = assemble("loop: j loop\n");
+    MemoryImage mem;
+    Executor exec(p, mem);
+    ArchState st;
+    EXPECT_EQ(exec.run(st, 500), 500u);
+    EXPECT_FALSE(st.halted);
+}
+
+TEST(Executor, StepInfoForLoadAndStore)
+{
+    Program p = assemble(R"(
+        li x1, 0x6000
+        st x1, 8(x1)
+        ld x2, 8(x1)
+        halt
+    )");
+    MemoryImage mem;
+    Executor exec(p, mem);
+    ArchState st;
+    // li expands to one LUI here.
+    exec.step(st);
+    StepInfo s = exec.step(st);
+    EXPECT_EQ(s.effAddr, 0x6008u);
+    EXPECT_EQ(s.memSize, 8u);
+    EXPECT_EQ(s.storeValue, 0x6000u);
+    s = exec.step(st);
+    EXPECT_EQ(s.result, 0x6000u);
+}
+
+TEST(Executor, RegsEqualIgnoresX0)
+{
+    ArchState a, b;
+    a.regs[0] = 1; // never visible through reg()
+    EXPECT_TRUE(a.regsEqual(b));
+    a.regs[5] = 2;
+    EXPECT_FALSE(a.regsEqual(b));
+}
+
+TEST(ExecutorDeath, StepAfterHaltPanics)
+{
+    Program p = assemble("halt\n");
+    MemoryImage mem;
+    Executor exec(p, mem);
+    ArchState st;
+    exec.step(st);
+    EXPECT_DEATH(exec.step(st), "halted");
+}

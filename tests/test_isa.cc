@@ -1,0 +1,175 @@
+/** @file Unit + property tests for the ISA layer. */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "isa/instruction.hh"
+#include "isa/opcodes.hh"
+#include "isa/program.hh"
+
+using namespace sst;
+
+TEST(Opcodes, TableCoversEveryOpcode)
+{
+    for (unsigned i = 0; i < static_cast<unsigned>(Opcode::NumOpcodes);
+         ++i) {
+        const OpInfo &info = opInfo(static_cast<Opcode>(i));
+        EXPECT_NE(info.mnemonic, nullptr);
+        EXPECT_GE(info.latency, 1u);
+    }
+}
+
+TEST(Opcodes, Predicates)
+{
+    EXPECT_TRUE(isLoad(Opcode::LD));
+    EXPECT_TRUE(isLoad(Opcode::LB));
+    EXPECT_FALSE(isLoad(Opcode::ST));
+    EXPECT_TRUE(isStore(Opcode::SW));
+    EXPECT_TRUE(isMem(Opcode::LD));
+    EXPECT_TRUE(isMem(Opcode::SB));
+    EXPECT_FALSE(isMem(Opcode::ADD));
+    EXPECT_TRUE(isCondBranch(Opcode::BLTU));
+    EXPECT_FALSE(isCondBranch(Opcode::JAL));
+    EXPECT_TRUE(isJump(Opcode::JALR));
+    EXPECT_TRUE(isControl(Opcode::BEQ));
+    EXPECT_TRUE(isControl(Opcode::JAL));
+    EXPECT_FALSE(isControl(Opcode::HALT));
+    EXPECT_TRUE(isLongLatency(Opcode::DIV));
+    EXPECT_TRUE(isLongLatency(Opcode::FDIV));
+    EXPECT_FALSE(isLongLatency(Opcode::MUL));
+}
+
+TEST(Opcodes, MemAccessSizes)
+{
+    EXPECT_EQ(memAccessSize(Opcode::LD), 8u);
+    EXPECT_EQ(memAccessSize(Opcode::ST), 8u);
+    EXPECT_EQ(memAccessSize(Opcode::LW), 4u);
+    EXPECT_EQ(memAccessSize(Opcode::SW), 4u);
+    EXPECT_EQ(memAccessSize(Opcode::LB), 1u);
+    EXPECT_EQ(memAccessSize(Opcode::SB), 1u);
+}
+
+TEST(Opcodes, MnemonicLookupRoundTrips)
+{
+    for (unsigned i = 0; i < static_cast<unsigned>(Opcode::NumOpcodes);
+         ++i) {
+        auto op = static_cast<Opcode>(i);
+        EXPECT_EQ(opcodeFromMnemonic(opInfo(op).mnemonic), op);
+    }
+    EXPECT_EQ(opcodeFromMnemonic("bogus"), Opcode::NumOpcodes);
+}
+
+TEST(Opcodes, LatencyClasses)
+{
+    EXPECT_EQ(opInfo(Opcode::ADD).latency, 1u);
+    EXPECT_GT(opInfo(Opcode::MUL).latency, 1u);
+    EXPECT_GT(opInfo(Opcode::DIV).latency, opInfo(Opcode::MUL).latency);
+    EXPECT_GT(opInfo(Opcode::FDIV).latency, opInfo(Opcode::FADD).latency);
+}
+
+TEST(Instruction, EncodeDecodeRoundTripProperty)
+{
+    Rng rng(2024);
+    for (int i = 0; i < 2000; ++i) {
+        Inst in;
+        in.op = static_cast<Opcode>(
+            rng.below(static_cast<unsigned>(Opcode::NumOpcodes)));
+        in.rd = static_cast<RegId>(rng.below(numArchRegs));
+        in.rs1 = static_cast<RegId>(rng.below(numArchRegs));
+        in.rs2 = static_cast<RegId>(rng.below(numArchRegs));
+        in.imm = static_cast<std::int32_t>(rng.next());
+        Inst out = Inst::decode(in.encode());
+        EXPECT_EQ(in, out);
+    }
+}
+
+TEST(Instruction, NegativeImmediatesSurviveEncoding)
+{
+    Inst in = inst::rri(Opcode::ADDI, 1, 2, -12345);
+    EXPECT_EQ(Inst::decode(in.encode()).imm, -12345);
+}
+
+TEST(Instruction, ToStringFormats)
+{
+    EXPECT_EQ(inst::rrr(Opcode::ADD, 3, 1, 2).toString(),
+              "add      x3, x1, x2");
+    EXPECT_EQ(inst::load(Opcode::LD, 4, 2, 8).toString(),
+              "ld       x4, 8(x2)");
+    EXPECT_EQ(inst::store(Opcode::ST, 4, 2, 0).toString(),
+              "st       x4, 0(x2)");
+    EXPECT_EQ(inst::branch(Opcode::BNE, 1, 2, -3).toString(),
+              "bne      x1, x2, -3");
+    EXPECT_EQ(inst::halt().toString(), "halt");
+}
+
+TEST(Instruction, FactoriesSetFields)
+{
+    Inst ld = inst::load(Opcode::LW, 5, 6, -4);
+    EXPECT_EQ(ld.rd, 5);
+    EXPECT_EQ(ld.rs1, 6);
+    EXPECT_EQ(ld.imm, -4);
+    Inst st = inst::store(Opcode::SB, 7, 8, 12);
+    EXPECT_EQ(st.rs2, 7);
+    EXPECT_EQ(st.rs1, 8);
+    Inst j = inst::jal(1, 42);
+    EXPECT_EQ(j.rd, 1);
+    EXPECT_EQ(j.imm, 42);
+}
+
+TEST(Program, AppendAndAt)
+{
+    Program p("t");
+    EXPECT_TRUE(p.empty());
+    auto pc0 = p.append(inst::nop());
+    auto pc1 = p.append(inst::halt());
+    EXPECT_EQ(pc0, 0u);
+    EXPECT_EQ(pc1, 1u);
+    EXPECT_EQ(p.size(), 2u);
+    EXPECT_EQ(p.at(1).op, Opcode::HALT);
+}
+
+TEST(Program, PatchReplaces)
+{
+    Program p("t");
+    p.append(inst::nop());
+    p.patch(0, inst::halt());
+    EXPECT_EQ(p.at(0).op, Opcode::HALT);
+}
+
+TEST(Program, InstAddrUsesCodeBase)
+{
+    Program p("t");
+    p.setCodeBase(0x1000);
+    EXPECT_EQ(p.instAddr(0), 0x1000u);
+    EXPECT_EQ(p.instAddr(3), 0x1000u + 24);
+}
+
+TEST(Program, WordsSegmentLittleEndian)
+{
+    Program p("t");
+    p.addWords(0x100, {0x0102030405060708ULL});
+    ASSERT_EQ(p.segments().size(), 1u);
+    const auto &seg = p.segments()[0];
+    EXPECT_EQ(seg.base, 0x100u);
+    ASSERT_EQ(seg.bytes.size(), 8u);
+    EXPECT_EQ(seg.bytes[0], 0x08);
+    EXPECT_EQ(seg.bytes[7], 0x01);
+}
+
+TEST(Program, ListingShowsLabels)
+{
+    Program p("t");
+    p.addLabel("start", 0);
+    p.append(inst::nop());
+    p.append(inst::halt());
+    std::string l = p.listing();
+    EXPECT_NE(l.find("start:"), std::string::npos);
+    EXPECT_NE(l.find("halt"), std::string::npos);
+}
+
+TEST(ProgramDeath, FetchPastEndPanics)
+{
+    Program p("t");
+    p.append(inst::nop());
+    EXPECT_DEATH((void)p.at(5), "past end");
+}

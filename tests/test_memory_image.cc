@@ -1,0 +1,88 @@
+/** @file Unit tests for the sparse memory image. */
+
+#include <gtest/gtest.h>
+
+#include "func/memory_image.hh"
+#include "isa/program.hh"
+
+using namespace sst;
+
+TEST(MemoryImage, UnwrittenReadsAsZero)
+{
+    MemoryImage m;
+    EXPECT_EQ(m.read(0x1234, 8), 0u);
+    EXPECT_EQ(m.readByte(0xdeadbeef), 0u);
+    EXPECT_EQ(m.pageCount(), 0u);
+}
+
+TEST(MemoryImage, ByteRoundTrip)
+{
+    MemoryImage m;
+    m.writeByte(10, 0xab);
+    EXPECT_EQ(m.readByte(10), 0xab);
+    EXPECT_EQ(m.readByte(11), 0u);
+}
+
+TEST(MemoryImage, MultiByteLittleEndian)
+{
+    MemoryImage m;
+    m.write(0x100, 0x0102030405060708ULL, 8);
+    EXPECT_EQ(m.readByte(0x100), 0x08);
+    EXPECT_EQ(m.readByte(0x107), 0x01);
+    EXPECT_EQ(m.read(0x100, 4), 0x05060708u);
+    EXPECT_EQ(m.read(0x104, 4), 0x01020304u);
+}
+
+TEST(MemoryImage, PartialWidthWrite)
+{
+    MemoryImage m;
+    m.write(0, ~0ULL, 8);
+    m.write(2, 0, 2);
+    EXPECT_EQ(m.read(0, 8), 0xffffffff0000ffffULL);
+}
+
+TEST(MemoryImage, PageCrossingAccess)
+{
+    MemoryImage m;
+    Addr addr = MemoryImage::pageSize - 4;
+    m.write(addr, 0x1122334455667788ULL, 8);
+    EXPECT_EQ(m.read(addr, 8), 0x1122334455667788ULL);
+    EXPECT_EQ(m.pageCount(), 2u);
+}
+
+TEST(MemoryImage, LoadSegments)
+{
+    Program p("t");
+    p.addWords(0x2000, {7, 8});
+    MemoryImage m;
+    m.loadSegments(p);
+    EXPECT_EQ(m.read(0x2000, 8), 7u);
+    EXPECT_EQ(m.read(0x2008, 8), 8u);
+}
+
+TEST(MemoryImage, ContentEqualsIgnoresZeroPages)
+{
+    MemoryImage a, b;
+    a.write(0x5000, 0, 8); // touches a page with zeroes only
+    EXPECT_TRUE(a.contentEquals(b));
+    EXPECT_TRUE(b.contentEquals(a));
+    a.write(0x5000, 1, 8);
+    EXPECT_FALSE(a.contentEquals(b));
+    b.write(0x5000, 1, 8);
+    EXPECT_TRUE(a.contentEquals(b));
+}
+
+TEST(MemoryImage, ContentEqualsSymmetry)
+{
+    MemoryImage a, b;
+    b.write(0x9000, 5, 8);
+    EXPECT_FALSE(a.contentEquals(b));
+    EXPECT_FALSE(b.contentEquals(a));
+}
+
+TEST(MemoryImageDeath, BadSizePanics)
+{
+    MemoryImage m;
+    EXPECT_DEATH(m.write(0, 0, 9), "size");
+    EXPECT_DEATH((void)m.read(0, 0), "size");
+}

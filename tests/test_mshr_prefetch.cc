@@ -1,0 +1,126 @@
+/** @file Unit tests for the MSHR file and the sequential prefetcher. */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+#include "mem/mshr.hh"
+#include "mem/prefetcher.hh"
+
+using namespace sst;
+
+TEST(Mshr, AllocateAndLookup)
+{
+    StatGroup sg("t");
+    MshrFile m("m", 4, sg);
+    m.allocate(0x100, 50, true, 0);
+    EXPECT_EQ(m.pendingCompletion(0x100), 50u);
+    EXPECT_EQ(m.pendingCompletion(0x200), invalidCycle);
+}
+
+TEST(Mshr, ExpireFreesCompleted)
+{
+    StatGroup sg("t");
+    MshrFile m("m", 2, sg);
+    m.allocate(0x100, 50, true, 0);
+    m.allocate(0x200, 80, true, 0);
+    EXPECT_TRUE(m.full(10));
+    EXPECT_FALSE(m.full(60)); // 0x100 expired
+    EXPECT_EQ(m.pendingCompletion(0x100), invalidCycle);
+    EXPECT_EQ(m.pendingCompletion(0x200), 80u);
+}
+
+TEST(Mshr, EarliestFree)
+{
+    StatGroup sg("t");
+    MshrFile m("m", 2, sg);
+    m.allocate(0x100, 90, true, 0);
+    m.allocate(0x200, 40, true, 0);
+    EXPECT_EQ(m.earliestFree(), 40u);
+}
+
+TEST(Mshr, OutstandingDemandExcludesPrefetch)
+{
+    StatGroup sg("t");
+    MshrFile m("m", 8, sg);
+    m.allocate(0x100, 100, true, 0);
+    m.allocate(0x200, 100, false, 0); // prefetch
+    m.allocate(0x300, 100, true, 0);
+    EXPECT_EQ(m.outstandingDemand(10), 2u);
+}
+
+TEST(Mshr, MlpSampledAtAllocation)
+{
+    StatGroup sg("t");
+    MshrFile m("m", 8, sg);
+    m.allocate(0x100, 100, true, 0);
+    m.allocate(0x200, 100, true, 0);
+    m.allocate(0x300, 100, true, 0);
+    // Samples were 1, 2, 3 -> mean 2.
+    EXPECT_DOUBLE_EQ(m.meanDemandMlp(), 2.0);
+}
+
+TEST(Mshr, ResetClears)
+{
+    StatGroup sg("t");
+    MshrFile m("m", 2, sg);
+    m.allocate(0x100, 100, true, 0);
+    m.reset();
+    EXPECT_FALSE(m.full(0));
+    EXPECT_EQ(m.pendingCompletion(0x100), invalidCycle);
+}
+
+TEST(MshrDeath, OverAllocatePanics)
+{
+    StatGroup sg("t");
+    MshrFile m("m", 1, sg);
+    m.allocate(0x100, 100, true, 0);
+    EXPECT_DEATH(m.allocate(0x200, 100, true, 0), "full");
+}
+
+TEST(Prefetcher, DisabledIssuesNothing)
+{
+    StatGroup sg("t");
+    Prefetcher p(PrefetcherParams{false, 2, 1}, 64, "p", sg);
+    EXPECT_TRUE(p.onAccess(0x1000, true).empty());
+}
+
+TEST(Prefetcher, MissTriggersNextLines)
+{
+    StatGroup sg("t");
+    Prefetcher p(PrefetcherParams{true, 2, 1}, 64, "p", sg);
+    auto v = p.onAccess(0x1000, true);
+    ASSERT_EQ(v.size(), 2u);
+    EXPECT_EQ(v[0], 0x1040u);
+    EXPECT_EQ(v[1], 0x1080u);
+}
+
+TEST(Prefetcher, DistanceOffsetsFirstLine)
+{
+    StatGroup sg("t");
+    Prefetcher p(PrefetcherParams{true, 1, 4}, 64, "p", sg);
+    auto v = p.onAccess(0x0, true);
+    ASSERT_EQ(v.size(), 1u);
+    EXPECT_EQ(v[0], 0x100u); // 4 lines ahead
+}
+
+TEST(Prefetcher, HitOnlyReArmsMatchingStream)
+{
+    StatGroup sg("t");
+    Prefetcher p(PrefetcherParams{true, 1, 1}, 64, "p", sg);
+    p.onAccess(0x1000, true);
+    // A hit on an unrelated line does not prefetch...
+    EXPECT_TRUE(p.onAccess(0x8000, false).empty());
+    // ...but a hit on the last trigger line does (stream continuation).
+    EXPECT_FALSE(p.onAccess(0x1000, false).empty());
+}
+
+TEST(Prefetcher, AccuracyFormula)
+{
+    StatGroup sg("t");
+    Prefetcher p(PrefetcherParams{true, 1, 1}, 64, "p", sg);
+    p.noteIssued();
+    p.noteIssued();
+    p.noteUseful();
+    auto flat = sg.flatten();
+    EXPECT_DOUBLE_EQ(flat["t.p.accuracy"], 0.5);
+}

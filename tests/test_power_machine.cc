@@ -1,0 +1,223 @@
+/** @file Tests for the power/area model, presets, Machine and Cmp. */
+
+#include <gtest/gtest.h>
+
+#include "power/model.hh"
+#include "sim/cmp.hh"
+#include "sim/machine.hh"
+#include "workloads/workloads.hh"
+
+using namespace sst;
+
+namespace
+{
+
+Workload
+tinyWorkload(const std::string &name = "oltp_mix")
+{
+    WorkloadParams p;
+    p.lengthScale = 0.05;
+    p.footprintScale = 0.25;
+    return makeWorkload(name, p);
+}
+
+} // namespace
+
+TEST(Presets, AllPresetsConstructAndRun)
+{
+    Workload wl = tinyWorkload();
+    for (const auto &name : presetNames()) {
+        Machine m(makePreset(name), wl.program);
+        RunResult r = m.run();
+        EXPECT_TRUE(r.finished) << name;
+        EXPECT_GT(r.ipc, 0.0) << name;
+        EXPECT_EQ(r.preset, name);
+    }
+}
+
+TEST(PresetsDeath, UnknownPresetFatal)
+{
+    EXPECT_DEATH((void)makePreset("bogus"), "unknown machine preset");
+}
+
+TEST(Presets, ModelsMatchNames)
+{
+    EXPECT_EQ(makePreset("inorder").model, "inorder");
+    EXPECT_EQ(makePreset("scout").model, "sst");
+    EXPECT_TRUE(makePreset("scout").core.discardSpecWork);
+    EXPECT_EQ(makePreset("scout").core.checkpoints, 1u);
+    EXPECT_EQ(makePreset("sst4").core.checkpoints, 4u);
+    EXPECT_FALSE(makePreset("sst4").core.discardSpecWork);
+    EXPECT_EQ(makePreset("ooo-large").core.robEntries, 128u);
+    EXPECT_GT(makePreset("ooo-large").core.fetchWidth,
+              makePreset("ooo-small").core.fetchWidth);
+}
+
+TEST(Presets, OverridesApply)
+{
+    MachineConfig cfg = makePreset("sst4");
+    Config o;
+    o.parseAssignment("core.checkpoints=7");
+    o.parseAssignment("mem.dram_base_latency=500");
+    o.parseAssignment("mem.l2_kb=4096");
+    applyOverrides(cfg, o);
+    EXPECT_EQ(cfg.core.checkpoints, 7u);
+    EXPECT_EQ(cfg.mem.dram.baseLatency, 500u);
+    EXPECT_EQ(cfg.mem.l2.sizeBytes, 4u * 1024 * 1024);
+}
+
+TEST(Machine, RunResultFieldsPopulated)
+{
+    Workload wl = tinyWorkload("hash_join");
+    Machine m(makePreset("sst4"), wl.program);
+    RunResult r = m.run();
+    EXPECT_TRUE(r.finished);
+    EXPECT_GT(r.cycles, 0u);
+    EXPECT_GT(r.insts, 0u);
+    EXPECT_GT(r.l1dMissRate, 0.0);
+    EXPECT_GT(r.meanDemandMlp, 0.9);
+    EXPECT_EQ(r.workload, "hash_join");
+    EXPECT_FALSE(r.stats.empty());
+}
+
+TEST(Machine, RunOnConvenience)
+{
+    Workload wl = tinyWorkload();
+    RunResult r = runOn("inorder", wl.program);
+    EXPECT_TRUE(r.finished);
+}
+
+TEST(Power, OooCostsMoreAreaThanSst)
+{
+    Workload wl = tinyWorkload();
+    Machine ooo(makePreset("ooo-large"), wl.program);
+    ooo.run();
+    Machine sst(makePreset("sst2"), wl.program);
+    sst.run();
+    Machine inorder(makePreset("inorder"), wl.program);
+    inorder.run();
+
+    PowerEstimate pe_ooo = estimatePower(ooo.core());
+    PowerEstimate pe_sst = estimatePower(sst.core());
+    PowerEstimate pe_in = estimatePower(inorder.core());
+
+    EXPECT_GT(pe_ooo.coreArea, pe_sst.coreArea);
+    EXPECT_GT(pe_sst.coreArea, pe_in.coreArea);
+    EXPECT_GT(pe_ooo.avgPower(), 0.0);
+    EXPECT_GT(pe_sst.perfPerWatt(), 0.0);
+}
+
+TEST(Power, AreaBreakdownItemised)
+{
+    Workload wl = tinyWorkload();
+    Machine ooo(makePreset("ooo-large"), wl.program);
+    ooo.run();
+    PowerEstimate pe = estimatePower(ooo.core());
+    EXPECT_TRUE(pe.areaItems.count("rename_map"));
+    EXPECT_TRUE(pe.areaItems.count("rob"));
+    EXPECT_TRUE(pe.areaItems.count("issue_queue"));
+    double sum = 0;
+    for (const auto &kv : pe.areaItems)
+        sum += kv.second;
+    EXPECT_DOUBLE_EQ(sum, pe.coreArea);
+}
+
+TEST(Power, SstAreaScalesWithCheckpoints)
+{
+    Workload wl = tinyWorkload();
+    Machine a(makePreset("sst2"), wl.program);
+    a.run();
+    MachineConfig big = makePreset("sst8");
+    Machine b(big, wl.program);
+    b.run();
+    EXPECT_GT(estimatePower(b.core()).coreArea,
+              estimatePower(a.core()).coreArea);
+}
+
+TEST(Cmp, ThroughputScalesWithCores)
+{
+    std::vector<Workload> wls;
+    for (int i = 0; i < 4; ++i) {
+        WorkloadParams p;
+        p.lengthScale = 0.03;
+        p.footprintScale = 0.25;
+        p.seed = 100 + i;
+        wls.push_back(makeWorkload("hash_join", p));
+    }
+    MachineConfig cfg = makePreset("sst2");
+
+    std::vector<const Program *> one{&wls[0].program};
+    Cmp cmp1(cfg, one);
+    CmpResult r1 = cmp1.run();
+    ASSERT_TRUE(r1.finished);
+
+    std::vector<const Program *> four;
+    for (auto &w : wls)
+        four.push_back(&w.program);
+    Cmp cmp4(cfg, four);
+    CmpResult r4 = cmp4.run();
+    ASSERT_TRUE(r4.finished);
+
+    EXPECT_EQ(r4.cores, 4u);
+    EXPECT_GT(r4.aggregateIpc, r1.aggregateIpc * 1.5);
+    EXPECT_EQ(r4.perCoreIpc.size(), 4u);
+}
+
+TEST(Cmp, CoresArchitecturallyIndependent)
+{
+    // Two cores running different workloads sharing an L2 must each
+    // produce their own correct final state.
+    WorkloadParams p1, p2;
+    p1.lengthScale = p2.lengthScale = 0.03;
+    p1.footprintScale = p2.footprintScale = 0.25;
+    p2.seed = 77;
+    Workload a = makeWorkload("oltp_mix", p1);
+    Workload b = makeWorkload("oltp_mix", p2);
+
+    MachineConfig cfg = makePreset("sst2");
+    std::vector<const Program *> progs{&a.program, &b.program};
+    Cmp cmp(cfg, progs);
+    CmpResult r = cmp.run();
+    ASSERT_TRUE(r.finished);
+
+    for (int i = 0; i < 2; ++i) {
+        const Workload &wl = i == 0 ? a : b;
+        MemoryImage golden_mem;
+        golden_mem.loadSegments(wl.program);
+        Executor golden(wl.program, golden_mem);
+        ArchState golden_state;
+        golden.run(golden_state, 100'000'000ULL);
+        EXPECT_TRUE(cmp.core(i).archState().regsEqual(golden_state))
+            << "core " << i;
+    }
+}
+
+TEST(Cmp, SharedL2CausesInterference)
+{
+    // The same workload takes longer with 4 co-runners than alone.
+    std::vector<Workload> wls;
+    for (int i = 0; i < 4; ++i) {
+        WorkloadParams p;
+        p.lengthScale = 0.03;
+        p.seed = 10 + i;
+        wls.push_back(makeWorkload("hash_join", p));
+    }
+    MachineConfig cfg = makePreset("inorder");
+    std::vector<const Program *> one{&wls[0].program};
+    Cmp alone(cfg, one);
+    Cycle c1 = alone.run().cycles;
+
+    std::vector<const Program *> four;
+    for (auto &w : wls)
+        four.push_back(&w.program);
+    Cmp crowd(cfg, four);
+    CmpResult r4 = crowd.run();
+    EXPECT_GT(r4.cycles, c1); // slowest of 4 slower than solo
+}
+
+TEST(CmpDeath, NeedsAtLeastOneProgram)
+{
+    MachineConfig cfg = makePreset("inorder");
+    std::vector<const Program *> none;
+    EXPECT_DEATH({ Cmp cmp(cfg, none); }, "at least one");
+}

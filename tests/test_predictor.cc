@@ -1,0 +1,232 @@
+/** @file Unit tests for branch predictors, BTB and RAS. */
+
+#include <gtest/gtest.h>
+
+#include "branch/predictor.hh"
+
+using namespace sst;
+
+TEST(Static, AlwaysNotTaken)
+{
+    StaticPredictor p;
+    EXPECT_FALSE(p.predict(0));
+    p.update(0, true);
+    EXPECT_FALSE(p.predict(0));
+}
+
+TEST(Bimodal, LearnsAlwaysTaken)
+{
+    BimodalPredictor p;
+    for (int i = 0; i < 4; ++i)
+        p.update(100, true);
+    EXPECT_TRUE(p.predict(100));
+}
+
+TEST(Bimodal, HysteresisSurvivesOneAnomaly)
+{
+    BimodalPredictor p;
+    for (int i = 0; i < 8; ++i)
+        p.update(100, true);
+    p.update(100, false); // single not-taken
+    EXPECT_TRUE(p.predict(100)); // still predicts taken
+}
+
+TEST(Bimodal, IndependentPcs)
+{
+    BimodalPredictor p;
+    for (int i = 0; i < 4; ++i) {
+        p.update(1, true);
+        p.update(2, false);
+    }
+    EXPECT_TRUE(p.predict(1));
+    EXPECT_FALSE(p.predict(2));
+}
+
+TEST(Gshare, LearnsAlternatingPattern)
+{
+    GsharePredictor p;
+    // T,N,T,N... is invisible to bimodal but trivial with history.
+    bool dir = false;
+    for (int i = 0; i < 400; ++i) {
+        dir = !dir;
+        p.update(100, dir);
+    }
+    int correct = 0;
+    for (int i = 0; i < 100; ++i) {
+        dir = !dir;
+        if (p.predict(100) == dir)
+            ++correct;
+        p.update(100, dir);
+    }
+    EXPECT_GT(correct, 95);
+}
+
+TEST(Gshare, HistorySnapshotRestore)
+{
+    GsharePredictor p;
+    p.update(1, true);
+    p.update(1, false);
+    std::uint64_t h = p.snapshotHistory();
+    p.update(1, true);
+    p.update(1, true);
+    EXPECT_NE(p.snapshotHistory(), h);
+    p.restoreHistory(h);
+    EXPECT_EQ(p.snapshotHistory(), h);
+}
+
+TEST(Tournament, BeatsWorstComponent)
+{
+    TournamentPredictor p;
+    // Strongly biased branch: bimodal handles it.
+    for (int i = 0; i < 64; ++i)
+        p.update(5, true);
+    EXPECT_TRUE(p.predict(5));
+    // Alternating branch: gshare handles it; chooser should migrate.
+    bool dir = false;
+    for (int i = 0; i < 600; ++i) {
+        dir = !dir;
+        p.update(9, dir);
+    }
+    int correct = 0;
+    for (int i = 0; i < 100; ++i) {
+        dir = !dir;
+        if (p.predict(9) == dir)
+            ++correct;
+        p.update(9, dir);
+    }
+    EXPECT_GT(correct, 85);
+}
+
+TEST(Gshare, TrainDoesNotShiftHistory)
+{
+    GsharePredictor p;
+    std::uint64_t h = p.snapshotHistory();
+    p.train(100, true);
+    EXPECT_EQ(p.snapshotHistory(), h);
+    p.update(100, true);
+    EXPECT_NE(p.snapshotHistory(), h);
+}
+
+TEST(Gshare, ShiftHistoryMatchesUpdateShift)
+{
+    GsharePredictor a, b;
+    a.update(5, true);
+    b.train(5, true);
+    b.shiftHistory(true);
+    EXPECT_EQ(a.snapshotHistory(), b.snapshotHistory());
+    EXPECT_EQ(a.predict(5), b.predict(5));
+}
+
+TEST(Gshare, SpeculativeShiftKeepsIndexStable)
+{
+    // The deferred-branch pattern: predict + speculative shift means a
+    // later train() for the same dynamic branch hits the same table
+    // entry the prediction read — so two wrong guesses flip it.
+    GsharePredictor p;
+    // Saturate "taken" for the current history index.
+    std::uint64_t h0 = p.snapshotHistory();
+    for (int i = 0; i < 4; ++i) {
+        p.restoreHistory(h0);
+        p.update(9, true);
+    }
+    p.restoreHistory(h0);
+    ASSERT_TRUE(p.predict(9));
+    // Two deferred encounters that turn out not-taken: verification
+    // trains the entry the prediction read (trainAt with the captured
+    // history), regardless of where the history has drifted since.
+    for (int i = 0; i < 2; ++i) {
+        p.restoreHistory(h0);
+        std::uint64_t at = p.snapshotHistory();
+        bool guess = p.predict(9);
+        p.shiftHistory(guess);
+        p.trainAt(9, false, at); // verification says not-taken
+    }
+    p.restoreHistory(h0);
+    EXPECT_FALSE(p.predict(9)) << "entry did not flip after 2 wrongs";
+}
+
+TEST(Tournament, TrainAtRunsWithoutDisturbingHistory)
+{
+    TournamentPredictor p;
+    p.update(3, true);
+    std::uint64_t h = p.snapshotHistory();
+    p.trainAt(3, false, 0);
+    EXPECT_EQ(p.snapshotHistory(), h);
+}
+
+TEST(Tournament, TrainDoesNotShiftHistory)
+{
+    TournamentPredictor p;
+    std::uint64_t h = p.snapshotHistory();
+    p.train(7, true);
+    EXPECT_EQ(p.snapshotHistory(), h);
+}
+
+TEST(Bimodal, TrainDefaultsToUpdate)
+{
+    BimodalPredictor p;
+    for (int i = 0; i < 4; ++i)
+        p.train(3, true);
+    EXPECT_TRUE(p.predict(3));
+}
+
+TEST(Factory, MakesAllKinds)
+{
+    for (const char *kind :
+         {"static", "bimodal", "gshare", "tournament"}) {
+        auto p = makePredictor(kind);
+        ASSERT_NE(p, nullptr);
+        EXPECT_STREQ(p->name(), kind);
+    }
+}
+
+TEST(FactoryDeath, UnknownKindFatal)
+{
+    EXPECT_DEATH((void)makePredictor("oracle"), "unknown");
+}
+
+TEST(Btb, MissThenHit)
+{
+    Btb btb(16);
+    EXPECT_EQ(btb.lookup(100), Btb::invalidTarget);
+    btb.update(100, 200);
+    EXPECT_EQ(btb.lookup(100), 200u);
+}
+
+TEST(Btb, AliasesEvict)
+{
+    Btb btb(16);
+    btb.update(1, 10);
+    btb.update(17, 20); // same index, different tag
+    EXPECT_EQ(btb.lookup(1), Btb::invalidTarget);
+    EXPECT_EQ(btb.lookup(17), 20u);
+}
+
+TEST(Ras, PushPopLifo)
+{
+    ReturnAddressStack ras(8);
+    ras.push(10);
+    ras.push(20);
+    EXPECT_EQ(ras.pop(), 20u);
+    EXPECT_EQ(ras.pop(), 10u);
+    EXPECT_EQ(ras.pop(), ReturnAddressStack::invalidTarget);
+}
+
+TEST(Ras, OverflowWrapsKeepingNewest)
+{
+    ReturnAddressStack ras(2);
+    ras.push(1);
+    ras.push(2);
+    ras.push(3); // overwrites 1
+    EXPECT_EQ(ras.pop(), 3u);
+    EXPECT_EQ(ras.pop(), 2u);
+    EXPECT_EQ(ras.pop(), ReturnAddressStack::invalidTarget);
+}
+
+TEST(Ras, ResetEmpties)
+{
+    ReturnAddressStack ras(4);
+    ras.push(1);
+    ras.reset();
+    EXPECT_EQ(ras.pop(), ReturnAddressStack::invalidTarget);
+}

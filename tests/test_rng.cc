@@ -1,0 +1,142 @@
+/** @file Unit tests for the deterministic RNG. */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.hh"
+
+using namespace sst;
+
+TEST(Rng, DeterministicFromSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ReseedRestartsStream)
+{
+    Rng a(7);
+    std::uint64_t first = a.next();
+    a.next();
+    a.reseed(7);
+    EXPECT_EQ(a.next(), first);
+}
+
+TEST(Rng, BelowStaysInBounds)
+{
+    Rng rng(99);
+    for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 17ULL, 1000ULL}) {
+        for (int i = 0; i < 500; ++i)
+            EXPECT_LT(rng.below(bound), bound);
+    }
+}
+
+TEST(Rng, BelowZeroBoundIsZero)
+{
+    Rng rng(1);
+    EXPECT_EQ(rng.below(0), 0u);
+}
+
+TEST(Rng, BelowCoversAllValues)
+{
+    Rng rng(5);
+    std::map<std::uint64_t, int> hist;
+    for (int i = 0; i < 4000; ++i)
+        ++hist[rng.below(8)];
+    EXPECT_EQ(hist.size(), 8u);
+    for (const auto &kv : hist)
+        EXPECT_GT(kv.second, 300); // roughly uniform
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(11);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        std::int64_t v = rng.range(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo |= v == -3;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, RangeDegenerate)
+{
+    Rng rng(12);
+    EXPECT_EQ(rng.range(5, 5), 5);
+    EXPECT_EQ(rng.range(5, 4), 5);
+}
+
+TEST(Rng, RealInUnitInterval)
+{
+    Rng rng(13);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        double v = rng.real();
+        ASSERT_GE(v, 0.0);
+        ASSERT_LT(v, 1.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.03);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(14);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Rng, ZipfBounds)
+{
+    Rng rng(15);
+    for (int i = 0; i < 2000; ++i)
+        EXPECT_LT(rng.zipf(100, 0.9), 100u);
+}
+
+TEST(Rng, ZipfSkewsTowardZero)
+{
+    Rng rng(16);
+    int low = 0;
+    const int n = 5000;
+    for (int i = 0; i < n; ++i)
+        if (rng.zipf(1000, 1.1) < 10)
+            ++low;
+    // With s=1.1 the first 10 of 1000 ranks carry a large share.
+    EXPECT_GT(low, n / 4);
+}
+
+TEST(Rng, ZipfZeroSkewIsUniformish)
+{
+    Rng rng(17);
+    int low = 0;
+    const int n = 5000;
+    for (int i = 0; i < n; ++i)
+        if (rng.zipf(1000, 0.0) < 100)
+            ++low;
+    EXPECT_NEAR(low, n / 10, n / 25);
+}
+
+TEST(Rng, ZipfSingleElement)
+{
+    Rng rng(18);
+    EXPECT_EQ(rng.zipf(1, 1.0), 0u);
+    EXPECT_EQ(rng.zipf(0, 1.0), 0u);
+}

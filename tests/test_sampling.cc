@@ -1,0 +1,124 @@
+/** @file Tests for the sampled-simulation runner. */
+
+#include <gtest/gtest.h>
+
+#include "sim/sampling.hh"
+#include "workloads/workloads.hh"
+
+using namespace sst;
+
+namespace
+{
+
+Workload
+wl(const std::string &name, double length = 0.4)
+{
+    WorkloadParams p;
+    p.lengthScale = length;
+    p.footprintScale = 0.25;
+    return makeWorkload(name, p);
+}
+
+} // namespace
+
+TEST(Sampling, ReachesProgramEnd)
+{
+    Workload w = wl("oltp_mix");
+    SampleParams sp;
+    sp.detailInsts = 2000;
+    sp.skipInsts = 6000;
+    SampledResult r = runSampled(makePreset("sst2"), w.program, sp);
+    EXPECT_TRUE(r.reachedEnd);
+    EXPECT_GT(r.ipc, 0.0);
+    EXPECT_GT(r.windowIpc.size(), 2u);
+    EXPECT_GT(r.skippedInsts, r.detailedInsts);
+}
+
+TEST(Sampling, MaxSamplesBounds)
+{
+    Workload w = wl("hash_join");
+    SampleParams sp;
+    sp.detailInsts = 1000;
+    sp.skipInsts = 2000;
+    sp.maxSamples = 3;
+    SampledResult r = runSampled(makePreset("inorder"), w.program, sp);
+    EXPECT_LE(r.windowIpc.size(), 3u);
+}
+
+TEST(Sampling, DetailOnlyMatchesFullRun)
+{
+    // With skip=0 and no sample cap, the sampled runner degenerates to
+    // a (windowed) full detailed run; its IPC must be very close to
+    // Machine::run's.
+    Workload w = wl("compute_kernel", 0.2);
+    SampleParams sp;
+    sp.detailInsts = 5000;
+    sp.skipInsts = 0;
+    SampledResult r = runSampled(makePreset("inorder"), w.program, sp);
+    RunResult full = runOn("inorder", w.program);
+    EXPECT_TRUE(r.reachedEnd);
+    EXPECT_NEAR(r.ipc, full.ipc, full.ipc * 0.1);
+}
+
+class SamplingAccuracy
+    : public testing::TestWithParam<std::tuple<std::string, std::string>>
+{
+};
+
+TEST_P(SamplingAccuracy, EstimateWithinBand)
+{
+    // The point of sampling: ~25% detail should estimate full-run IPC
+    // within a modest band on steady-state workloads.
+    auto [preset, workload] = GetParam();
+    Workload w = wl(workload);
+    RunResult full = runOn(preset, w.program);
+
+    SampleParams sp;
+    sp.detailInsts = 3000;
+    sp.skipInsts = 9000;
+    SampledResult r = runSampled(makePreset(preset), w.program, sp);
+    EXPECT_TRUE(r.reachedEnd);
+    double err = std::abs(r.ipc - full.ipc) / full.ipc;
+    EXPECT_LT(err, 0.35) << "sampled " << r.ipc << " vs full "
+                         << full.ipc;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SamplingAccuracy,
+    testing::Combine(testing::Values("inorder", "sst2", "ooo-large"),
+                     testing::Values("hash_join", "oltp_mix", "stream")),
+    [](const auto &info) {
+        std::string n = std::get<0>(info.param) + "_"
+                        + std::get<1>(info.param);
+        for (char &c : n)
+            if (c == '-')
+                c = '_';
+        return n;
+    });
+
+TEST(Sampling, WindowStddevComputed)
+{
+    SampledResult r;
+    r.windowIpc = {1.0, 2.0, 3.0};
+    EXPECT_NEAR(r.ipcStddev(), 1.0, 1e-9);
+    r.windowIpc = {2.0};
+    EXPECT_EQ(r.ipcStddev(), 0.0);
+}
+
+TEST(Sampling, WarmStartOffsetsClock)
+{
+    // warmStart must be reflected in startCycle() and keep IPC sane.
+    Workload w = wl("compute_kernel", 0.1);
+    MemorySystem sys(makePreset("inorder").mem);
+    CorePort &port = sys.addCore();
+    MemoryImage img;
+    img.loadSegments(w.program);
+    auto core = makeCore(makePreset("inorder"), w.program, img, port);
+    ArchState st;
+    core->warmStart(st, 5000);
+    EXPECT_EQ(core->startCycle(), 5000u);
+    for (int i = 0; i < 2000 && !core->halted(); ++i)
+        core->tick();
+    EXPECT_GT(core->cycles(), 5000u);
+    EXPECT_LE(core->ipc(), 2.0);
+}

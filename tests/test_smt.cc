@@ -1,0 +1,204 @@
+/** @file Tests for the dual-thread (CMT) core. */
+
+#include <gtest/gtest.h>
+
+#include "core/smt.hh"
+#include "sim_test_util.hh"
+#include "workloads/workloads.hh"
+
+using namespace sst;
+using namespace sst::test;
+
+namespace
+{
+
+struct SmtRun
+{
+    Program p0, p1;
+    std::unique_ptr<MemorySystem> memsys;
+    MemoryImage m0, m1;
+    std::unique_ptr<SmtCore> core;
+
+    ArchState golden0, golden1;
+    std::uint64_t goldenInsts0 = 0, goldenInsts1 = 0;
+
+    void
+    run(std::uint64_t max_cycles = 10'000'000)
+    {
+        while (!core->halted() && core->cycles() < max_cycles)
+            core->tick();
+    }
+};
+
+SmtRun
+makeSmtRun(const std::string &src0, const std::string &src1,
+           CoreParams params = {})
+{
+    SmtRun r;
+    r.p0 = assemble(src0, "t0");
+    r.p1 = assemble(src1, "t1");
+    r.memsys = std::make_unique<MemorySystem>(HierarchyParams{});
+    r.m0.loadSegments(r.p0);
+    r.m1.loadSegments(r.p1);
+    CorePort &port = r.memsys->addCore();
+    params.name = "smt";
+    r.core = std::make_unique<SmtCore>(
+        params, std::array<const Program *, 2>{&r.p0, &r.p1},
+        std::array<MemoryImage *, 2>{&r.m0, &r.m1}, port);
+
+    for (int t = 0; t < 2; ++t) {
+        MemoryImage golden;
+        golden.loadSegments(t == 0 ? r.p0 : r.p1);
+        Executor exec(t == 0 ? r.p0 : r.p1, golden);
+        ArchState st;
+        std::uint64_t n = exec.run(st, 50'000'000ULL);
+        if (t == 0) {
+            r.golden0 = st;
+            r.goldenInsts0 = n;
+        } else {
+            r.golden1 = st;
+            r.goldenInsts1 = n;
+        }
+    }
+    return r;
+}
+
+std::string
+countLoop(int trips, int inc)
+{
+    return "li x1, " + std::to_string(trips)
+           + "\nli x2, 0\nloop:\naddi x2, x2, " + std::to_string(inc)
+           + "\naddi x1, x1, -1\nbne x1, x0, loop\nhalt\n";
+}
+
+std::string
+missLoop(int trips)
+{
+    std::string src = "li x1, 0x400000\nli x3, " + std::to_string(trips)
+                      + "\nli x4, 0\nloop:\nld x2, 0(x1)\n"
+                        "add x4, x4, x2\naddi x1, x1, 4096\n"
+                        "addi x3, x3, -1\nbne x3, x0, loop\nhalt\n"
+                        ".data 0x400000\n";
+    for (int i = 0; i < trips; ++i) {
+        src += ".word " + std::to_string(i + 1) + "\n";
+        if (i != trips - 1)
+            src += ".space 4088\n";
+    }
+    return src;
+}
+
+} // namespace
+
+TEST(Smt, BothContextsMatchGolden)
+{
+    SmtRun r = makeSmtRun(countLoop(500, 3), countLoop(300, 7));
+    r.run();
+    EXPECT_TRUE(r.core->halted());
+    EXPECT_TRUE(r.core->archState(0).regsEqual(r.golden0));
+    EXPECT_TRUE(r.core->archState(1).regsEqual(r.golden1));
+    EXPECT_EQ(r.core->instsRetired(0), r.goldenInsts0);
+    EXPECT_EQ(r.core->instsRetired(1), r.goldenInsts1);
+}
+
+TEST(Smt, ContextsShareWidthFairly)
+{
+    // Two identical compute loops: both should finish in roughly the
+    // same number of cycles, each getting about half the pipeline.
+    SmtRun r = makeSmtRun(countLoop(2000, 1), countLoop(2000, 1));
+    r.run();
+    EXPECT_TRUE(r.core->halted());
+    EXPECT_EQ(r.core->instsRetired(0), r.core->instsRetired(1));
+}
+
+TEST(Smt, AggregateBeatsSingleThreadOnMissBoundCode)
+{
+    // One miss-bound thread leaves most issue slots idle; a second
+    // thread soaks them up: aggregate IPC must clearly beat solo IPC.
+    std::string miss = missLoop(40);
+    SmtRun solo = makeSmtRun(miss, "halt\n");
+    solo.run();
+    double solo_ipc = static_cast<double>(solo.core->instsRetired(0))
+                      / static_cast<double>(solo.core->cycles());
+
+    SmtRun both = makeSmtRun(miss, countLoop(20000, 1));
+    both.run();
+    EXPECT_TRUE(both.core->halted());
+    EXPECT_GT(both.core->aggregateIpc(), 1.5 * solo_ipc);
+    EXPECT_TRUE(both.core->archState(0).regsEqual(both.golden0));
+    EXPECT_TRUE(both.core->archState(1).regsEqual(both.golden1));
+}
+
+TEST(Smt, MissBoundThreadBarelySlowsComputeThread)
+{
+    // The miss-bound context mostly waits on DRAM; the compute context
+    // should run near its solo speed (slot donation works).
+    std::string compute = countLoop(20000, 1);
+    SmtRun solo = makeSmtRun(compute, "halt\n");
+    solo.run();
+    Cycle solo_cycles = solo.core->cycles();
+
+    SmtRun both = makeSmtRun(compute, missLoop(30));
+    both.run();
+    // Allow 2x: the co-runner takes its fair share of slots at times.
+    EXPECT_LT(both.core->cycles(), solo_cycles * 2);
+}
+
+TEST(Smt, SaltsKeepAddressSpacesApart)
+{
+    // Both threads store different values at the same virtual address;
+    // each must read back its own.
+    const char *t0 = R"(
+        li x1, 0x200000
+        li x2, 111
+        st x2, 0(x1)
+        ld x3, 0(x1)
+        halt
+    )";
+    const char *t1 = R"(
+        li x1, 0x200000
+        li x2, 222
+        st x2, 0(x1)
+        ld x3, 0(x1)
+        halt
+    )";
+    SmtRun r = makeSmtRun(t0, t1);
+    r.run();
+    EXPECT_EQ(r.core->archState(0).reg(3), 111u);
+    EXPECT_EQ(r.core->archState(1).reg(3), 222u);
+}
+
+TEST(Smt, HaltedContextDonatesEverything)
+{
+    SmtRun r = makeSmtRun("halt\n", countLoop(4000, 1));
+    r.run();
+    EXPECT_TRUE(r.core->halted());
+    // Thread 1 should reach near-solo IPC (~1.7 on this loop).
+    double ipc1 = static_cast<double>(r.core->instsRetired(1))
+                  / static_cast<double>(r.core->cycles());
+    EXPECT_GT(ipc1, 1.3);
+}
+
+TEST(Smt, WorkloadPairRunsToCompletion)
+{
+    WorkloadParams wp;
+    wp.lengthScale = 0.05;
+    wp.footprintScale = 0.25;
+    Workload w0 = makeWorkload("oltp_mix", wp);
+    wp.seed = 77;
+    Workload w1 = makeWorkload("hash_join", wp);
+
+    MemorySystem memsys{HierarchyParams{}};
+    MemoryImage m0, m1;
+    m0.loadSegments(w0.program);
+    m1.loadSegments(w1.program);
+    CorePort &port = memsys.addCore();
+    CoreParams params;
+    params.name = "smt";
+    SmtCore core(params,
+                 std::array<const Program *, 2>{&w0.program, &w1.program},
+                 std::array<MemoryImage *, 2>{&m0, &m1}, port);
+    while (!core.halted() && core.cycles() < 100'000'000ULL)
+        core.tick();
+    EXPECT_TRUE(core.halted());
+    EXPECT_GT(core.aggregateIpc(), 0.0);
+}

@@ -1,0 +1,169 @@
+/** @file Unit tests for the statistics package. */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+
+using namespace sst;
+
+TEST(Scalar, StartsAtZeroAndCounts)
+{
+    Scalar s;
+    EXPECT_EQ(s.value(), 0u);
+    ++s;
+    s += 5;
+    EXPECT_EQ(s.value(), 6u);
+    s.reset();
+    EXPECT_EQ(s.value(), 0u);
+}
+
+TEST(Distribution, MeanAndCount)
+{
+    Distribution d;
+    d.init(100, 10);
+    d.sample(10);
+    d.sample(20);
+    d.sample(30);
+    EXPECT_EQ(d.count(), 3u);
+    EXPECT_EQ(d.sum(), 60u);
+    EXPECT_DOUBLE_EQ(d.mean(), 20.0);
+    EXPECT_EQ(d.maxSample(), 30u);
+}
+
+TEST(Distribution, BucketsAndOverflow)
+{
+    Distribution d;
+    d.init(100, 10); // width 10
+    d.sample(0);
+    d.sample(9);
+    d.sample(10);
+    d.sample(250);
+    EXPECT_EQ(d.buckets()[0], 2u);
+    EXPECT_EQ(d.buckets()[1], 1u);
+    EXPECT_EQ(d.overflow(), 1u);
+    EXPECT_EQ(d.maxSample(), 250u);
+}
+
+TEST(Distribution, MeanExactDespiteOverflow)
+{
+    Distribution d;
+    d.init(10, 2);
+    d.sample(1000);
+    d.sample(0);
+    EXPECT_DOUBLE_EQ(d.mean(), 500.0);
+}
+
+TEST(Distribution, Reset)
+{
+    Distribution d;
+    d.init(10, 2);
+    d.sample(5);
+    d.reset();
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_EQ(d.sum(), 0u);
+    EXPECT_EQ(d.buckets()[1], 0u);
+}
+
+TEST(StatGroup, ScalarRegistrationAndDump)
+{
+    StatGroup g("grp");
+    Scalar &s = g.addScalar("events", "number of events");
+    s += 3;
+    std::string d = g.dump();
+    EXPECT_NE(d.find("grp.events"), std::string::npos);
+    EXPECT_NE(d.find("number of events"), std::string::npos);
+}
+
+TEST(StatGroup, FormulaEvaluatesLazily)
+{
+    StatGroup g("g");
+    Scalar &a = g.addScalar("a", "");
+    Scalar &b = g.addScalar("b", "");
+    g.addFormula("ratio", "a/b", [&] {
+        return b.value() ? double(a.value()) / double(b.value()) : 0.0;
+    });
+    a += 6;
+    b += 3;
+    auto flat = g.flatten();
+    EXPECT_DOUBLE_EQ(flat["g.ratio"], 2.0);
+}
+
+TEST(StatGroup, ChildGroupsNest)
+{
+    StatGroup parent("p");
+    StatGroup child("c");
+    Scalar &s = child.addScalar("x", "");
+    s += 1;
+    parent.addChild(child);
+    auto flat = parent.flatten();
+    EXPECT_EQ(flat.count("p.c.x"), 1u);
+    EXPECT_DOUBLE_EQ(flat["p.c.x"], 1.0);
+}
+
+TEST(StatGroup, ResetRecurses)
+{
+    StatGroup parent("p");
+    StatGroup child("c");
+    Scalar &a = parent.addScalar("a", "");
+    Scalar &b = child.addScalar("b", "");
+    parent.addChild(child);
+    a += 1;
+    b += 2;
+    parent.reset();
+    EXPECT_EQ(a.value(), 0u);
+    EXPECT_EQ(b.value(), 0u);
+}
+
+TEST(StatGroup, ReferencesStableAcrossManyRegistrations)
+{
+    StatGroup g("g");
+    Scalar &first = g.addScalar("s0", "");
+    std::vector<Scalar *> all{&first};
+    for (int i = 1; i < 100; ++i)
+        all.push_back(&g.addScalar("s" + std::to_string(i), ""));
+    first += 42;
+    EXPECT_EQ(all[0]->value(), 42u);
+    auto flat = g.flatten();
+    EXPECT_DOUBLE_EQ(flat["g.s0"], 42.0);
+}
+
+TEST(StatGroup, DumpJsonIsParseableShape)
+{
+    StatGroup g("g");
+    Scalar &a = g.addScalar("hits", "");
+    a += 7;
+    g.addFormula("rate", "", [] { return 0.5; });
+    std::string j = g.dumpJson();
+    EXPECT_EQ(j.front(), '{');
+    EXPECT_NE(j.find("\"g.hits\": 7"), std::string::npos);
+    EXPECT_NE(j.find("\"g.rate\": 0.5"), std::string::npos);
+    EXPECT_NE(j.find('}'), std::string::npos);
+    // No trailing comma before the closing brace.
+    auto brace = j.rfind('}');
+    auto last_comma = j.rfind(',');
+    EXPECT_TRUE(last_comma == std::string::npos || last_comma < j.rfind(':'));
+    (void)brace;
+}
+
+TEST(StatGroup, AddChildIdempotent)
+{
+    StatGroup parent("p");
+    StatGroup child("c");
+    Scalar &s = child.addScalar("x", "");
+    s += 1;
+    parent.addChild(child);
+    parent.addChild(child); // must not duplicate
+    std::string d = parent.dump();
+    auto first = d.find("p.c.x");
+    ASSERT_NE(first, std::string::npos);
+    EXPECT_EQ(d.find("p.c.x", first + 1), std::string::npos);
+}
+
+TEST(StatGroup, DistributionInGroup)
+{
+    StatGroup g("g");
+    Distribution &d = g.addDist("lat", "latency", 100, 10);
+    d.sample(50);
+    auto flat = g.flatten();
+    EXPECT_DOUBLE_EQ(flat["g.lat.mean"], 50.0);
+}

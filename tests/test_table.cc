@@ -1,0 +1,63 @@
+/** @file Unit tests for the table/CSV reporters. */
+
+#include <gtest/gtest.h>
+
+#include "common/table.hh"
+
+using namespace sst;
+
+TEST(Table, RendersHeaderAndRows)
+{
+    Table t("demo");
+    t.setHeader({"col_a", "b"});
+    t.addRow({"1", "two"});
+    t.addRow({"333", "4"});
+    std::string out = t.render();
+    EXPECT_NE(out.find("demo"), std::string::npos);
+    EXPECT_NE(out.find("col_a"), std::string::npos);
+    EXPECT_NE(out.find("333"), std::string::npos);
+}
+
+TEST(Table, ColumnsAligned)
+{
+    Table t("align");
+    t.setHeader({"x", "y"});
+    t.addRow({"longvalue", "1"});
+    std::string out = t.render();
+    // Header cell padded to the widest row value.
+    EXPECT_NE(out.find("| x        "), std::string::npos);
+}
+
+TEST(Table, CaptionAppears)
+{
+    Table t("c");
+    t.setHeader({"a"});
+    t.addRow({"1"});
+    t.setCaption("note: something");
+    EXPECT_NE(t.render().find("note: something"), std::string::npos);
+}
+
+TEST(Table, NumFormatsDecimals)
+{
+    EXPECT_EQ(Table::num(1.23456, 2), "1.23");
+    EXPECT_EQ(Table::num(2.0, 0), "2");
+    EXPECT_EQ(Table::num(-0.5, 1), "-0.5");
+}
+
+TEST(TableDeath, RowWidthMismatchPanics)
+{
+    Table t("bad");
+    t.setHeader({"a", "b"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "row has 1 cells");
+}
+
+TEST(Csv, EmitsMarkers)
+{
+    testing::internal::CaptureStdout();
+    emitCsv("tag1", {"h1", "h2"}, {{"1", "2"}, {"3", "4"}});
+    std::string out = testing::internal::GetCapturedStdout();
+    EXPECT_NE(out.find("BEGIN_CSV tag1"), std::string::npos);
+    EXPECT_NE(out.find("h1,h2"), std::string::npos);
+    EXPECT_NE(out.find("3,4"), std::string::npos);
+    EXPECT_NE(out.find("END_CSV tag1"), std::string::npos);
+}

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * sstsim — the general-purpose command-line driver.
+ *
+ * Runs any workload (built-in generator or an assembly file) on any
+ * machine preset with arbitrary config overrides, verifies the result
+ * against the golden functional executor, and reports statistics as
+ * text or JSON.
+ *
+ * Examples:
+ *   sstsim workload=hash_join preset=sst2
+ *   sstsim workload=oltp_mix preset=ooo-large mem.dram_base_latency=480
+ *   sstsim asm=kernel.s preset=scout stats=full
+ *   sstsim workload=graph_scan preset=sst4 json=true
+ *   sstsim workload=oltp_mix preset=sst2 sample=true length_scale=4
+ *
+ * Keys:
+ *   workload=<name>        built-in generator (see workload=list)
+ *   asm=<path>             assemble and run a .s file instead
+ *   preset=<name>          machine preset (see preset=list)
+ *   seed, length_scale, footprint_scale   workload generator knobs
+ *   core.* / mem.*         machine overrides (see sim/presets.hh)
+ *   stats=none|summary|full   reporting depth (default summary)
+ *   json=true              machine-readable stats to stdout
+ *   sample=true [detail= skip=]  sampled instead of full simulation
+ *   trace=true             pipeline event trace to stderr
+ *   max_cycles=<n>         simulation budget
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/config.hh"
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "func/executor.hh"
+#include "isa/assembler.hh"
+#include "sim/machine.hh"
+#include "sim/sampling.hh"
+#include "workloads/workloads.hh"
+
+using namespace sst;
+
+namespace
+{
+
+void
+listAndExit()
+{
+    std::printf("workloads:");
+    for (const auto &w : allWorkloadNames())
+        std::printf(" %s", w.c_str());
+    std::printf("\npresets:");
+    for (const auto &p : presetNames())
+        std::printf(" %s", p.c_str());
+    std::printf("\n");
+    std::exit(0);
+}
+
+Program
+loadProgram(const Config &cfg, std::string &category)
+{
+    std::string asm_path = cfg.getString("asm", "");
+    if (!asm_path.empty()) {
+        std::ifstream in(asm_path);
+        fatal_if(!in, "cannot open '%s'", asm_path.c_str());
+        std::stringstream ss;
+        ss << in.rdbuf();
+        category = "user";
+        return assemble(ss.str(), asm_path);
+    }
+    std::string name = cfg.getString("workload", "oltp_mix");
+    if (name == "list")
+        listAndExit();
+    WorkloadParams wp;
+    wp.seed = cfg.getUint("seed", 42);
+    wp.lengthScale = cfg.getDouble("length_scale", 1.0);
+    wp.footprintScale = cfg.getDouble("footprint_scale", 1.0);
+    Workload wl = makeWorkload(name, wp);
+    category = wl.category;
+    return std::move(wl.program);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Config cfg;
+    cfg.parseArgs(argc, argv);
+    setVerbose(false);
+
+    if (cfg.getString("preset", "") == "list")
+        listAndExit();
+
+    std::string category;
+    Program program = loadProgram(cfg, category);
+
+    MachineConfig mc = makePreset(cfg.getString("preset", "sst2"));
+    applyOverrides(mc, cfg);
+
+    if (cfg.getBool("sample", false)) {
+        SampleParams sp;
+        sp.detailInsts = cfg.getUint("detail", 20000);
+        sp.skipInsts = cfg.getUint("skip", 80000);
+        SampledResult r = runSampled(mc, program, sp);
+        std::printf("sampled: preset=%s workload=%s ipc=%.4f "
+                    "windows=%zu stddev=%.4f detail=%llu skip=%llu%s\n",
+                    mc.presetName.c_str(), program.name().c_str(), r.ipc,
+                    r.windowIpc.size(), r.ipcStddev(),
+                    static_cast<unsigned long long>(r.detailedInsts),
+                    static_cast<unsigned long long>(r.skippedInsts),
+                    r.reachedEnd ? "" : " (budget)");
+        return 0;
+    }
+
+    // Golden reference.
+    MemoryImage golden_mem;
+    golden_mem.loadSegments(program);
+    Executor golden(program, golden_mem);
+    ArchState golden_state;
+    std::uint64_t golden_insts = golden.run(golden_state, 2'000'000'000ULL);
+    fatal_if(!golden_state.halted, "program does not halt functionally");
+
+    Machine machine(mc, program);
+    if (cfg.getBool("trace", false))
+        machine.core().setTraceSink([](const std::string &line) {
+            std::fprintf(stderr, "%s\n", line.c_str());
+        });
+    RunResult r = machine.run(cfg.getUint("max_cycles", 500'000'000ULL));
+    fatal_if(!r.finished, "simulation exceeded max_cycles");
+
+    bool arch_ok = machine.core().archState().regsEqual(golden_state)
+                   && machine.image().contentEquals(golden_mem)
+                   && r.insts == golden_insts;
+
+    if (cfg.getBool("json", false)) {
+        std::fputs(machine.core().stats().dumpJson().c_str(), stdout);
+        return arch_ok ? 0 : 2;
+    }
+
+    std::string stats_depth = cfg.getString("stats", "summary");
+    Table t("sstsim: " + program.name() + " (" + category + ") on "
+            + mc.presetName);
+    t.setHeader({"metric", "value"});
+    t.addRow({"cycles", std::to_string(r.cycles)});
+    t.addRow({"instructions", std::to_string(r.insts)});
+    t.addRow({"IPC", Table::num(r.ipc, 4)});
+    t.addRow({"L1D miss rate", Table::num(100 * r.l1dMissRate, 2) + "%"});
+    t.addRow({"demand MLP", Table::num(r.meanDemandMlp, 2)});
+    t.addRow({"mispredict rate",
+              Table::num(100 * r.mispredictRate, 2) + "%"});
+    t.addRow({"arch state vs golden", arch_ok ? "MATCH" : "MISMATCH"});
+    if (stats_depth != "none")
+        t.print();
+    if (stats_depth == "full")
+        std::fputs(machine.core().stats().dump().c_str(), stdout);
+
+    return arch_ok ? 0 : 2;
+}
