@@ -1,5 +1,6 @@
 #include "common/config.hh"
 
+#include <algorithm>
 #include <cstdlib>
 
 #include "common/logging.hh"
@@ -66,8 +67,8 @@ Config::getString(const std::string &key, const std::string &def) const
     return it->second;
 }
 
-std::int64_t
-Config::getInt(const std::string &key, std::int64_t def) const
+Result<std::int64_t>
+Config::tryGetInt(const std::string &key, std::int64_t def) const
 {
     auto it = values_.find(key);
     if (it == values_.end()) {
@@ -76,14 +77,15 @@ Config::getInt(const std::string &key, std::int64_t def) const
     }
     char *end = nullptr;
     std::int64_t v = std::strtoll(it->second.c_str(), &end, 0);
-    fatal_if(end == it->second.c_str() || *end != '\0',
-             "config key '%s': '%s' is not an integer", key.c_str(),
-             it->second.c_str());
+    if (end == it->second.c_str() || *end != '\0')
+        return Error{log_detail::format(
+            "config key '%s': '%s' is not an integer", key.c_str(),
+            it->second.c_str())};
     return v;
 }
 
-std::uint64_t
-Config::getUint(const std::string &key, std::uint64_t def) const
+Result<std::uint64_t>
+Config::tryGetUint(const std::string &key, std::uint64_t def) const
 {
     auto it = values_.find(key);
     if (it == values_.end()) {
@@ -92,14 +94,15 @@ Config::getUint(const std::string &key, std::uint64_t def) const
     }
     char *end = nullptr;
     std::uint64_t v = std::strtoull(it->second.c_str(), &end, 0);
-    fatal_if(end == it->second.c_str() || *end != '\0',
-             "config key '%s': '%s' is not an unsigned integer",
-             key.c_str(), it->second.c_str());
+    if (end == it->second.c_str() || *end != '\0')
+        return Error{log_detail::format(
+            "config key '%s': '%s' is not an unsigned integer",
+            key.c_str(), it->second.c_str())};
     return v;
 }
 
-double
-Config::getDouble(const std::string &key, double def) const
+Result<double>
+Config::tryGetDouble(const std::string &key, double def) const
 {
     auto it = values_.find(key);
     if (it == values_.end()) {
@@ -108,14 +111,15 @@ Config::getDouble(const std::string &key, double def) const
     }
     char *end = nullptr;
     double v = std::strtod(it->second.c_str(), &end);
-    fatal_if(end == it->second.c_str() || *end != '\0',
-             "config key '%s': '%s' is not a number", key.c_str(),
-             it->second.c_str());
+    if (end == it->second.c_str() || *end != '\0')
+        return Error{log_detail::format(
+            "config key '%s': '%s' is not a number", key.c_str(),
+            it->second.c_str())};
     return v;
 }
 
-bool
-Config::getBool(const std::string &key, bool def) const
+Result<bool>
+Config::tryGetBool(const std::string &key, bool def) const
 {
     auto it = values_.find(key);
     if (it == values_.end()) {
@@ -127,16 +131,59 @@ Config::getBool(const std::string &key, bool def) const
         return true;
     if (s == "false" || s == "0" || s == "no" || s == "off")
         return false;
-    fatal("config key '%s': '%s' is not a boolean", key.c_str(), s.c_str());
+    return Error{log_detail::format(
+        "config key '%s': '%s' is not a boolean", key.c_str(), s.c_str())};
+}
+
+std::int64_t
+Config::getInt(const std::string &key, std::int64_t def) const
+{
+    auto r = tryGetInt(key, def);
+    fatal_if(!r.ok(), "%s", r.error().message.c_str());
+    return r.value();
+}
+
+std::uint64_t
+Config::getUint(const std::string &key, std::uint64_t def) const
+{
+    auto r = tryGetUint(key, def);
+    fatal_if(!r.ok(), "%s", r.error().message.c_str());
+    return r.value();
+}
+
+double
+Config::getDouble(const std::string &key, double def) const
+{
+    auto r = tryGetDouble(key, def);
+    fatal_if(!r.ok(), "%s", r.error().message.c_str());
+    return r.value();
+}
+
+bool
+Config::getBool(const std::string &key, bool def) const
+{
+    auto r = tryGetBool(key, def);
+    fatal_if(!r.ok(), "%s", r.error().message.c_str());
+    return r.value();
+}
+
+Result<void>
+Config::tryParseAssignment(const std::string &text)
+{
+    auto eq = text.find('=');
+    if (eq == std::string::npos || eq == 0)
+        return Error{log_detail::format("expected key=value, got '%s'",
+                                        text.c_str()),
+                     exit_code::usage};
+    set(text.substr(0, eq), text.substr(eq + 1));
+    return {};
 }
 
 void
 Config::parseAssignment(const std::string &text)
 {
-    auto eq = text.find('=');
-    fatal_if(eq == std::string::npos || eq == 0,
-             "expected key=value, got '%s'", text.c_str());
-    set(text.substr(0, eq), text.substr(eq + 1));
+    auto r = tryParseAssignment(text);
+    fatal_if(!r.ok(), "%s", r.error().message.c_str());
 }
 
 void
@@ -160,6 +207,42 @@ Config::items() const
     for (const auto &kv : values_)
         all[kv.first] = kv.second;
     return {all.begin(), all.end()};
+}
+
+unsigned
+editDistance(const std::string &a, const std::string &b)
+{
+    // One-row dynamic program; strings here are short config keys.
+    std::vector<unsigned> row(b.size() + 1);
+    for (std::size_t j = 0; j <= b.size(); ++j)
+        row[j] = static_cast<unsigned>(j);
+    for (std::size_t i = 1; i <= a.size(); ++i) {
+        unsigned diag = row[0];
+        row[0] = static_cast<unsigned>(i);
+        for (std::size_t j = 1; j <= b.size(); ++j) {
+            unsigned subst = diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+            diag = row[j];
+            row[j] = std::min({row[j] + 1, row[j - 1] + 1, subst});
+        }
+    }
+    return row[b.size()];
+}
+
+std::string
+closestMatch(const std::string &needle,
+             const std::vector<std::string> &candidates,
+             unsigned maxDistance)
+{
+    std::string best;
+    unsigned best_d = maxDistance + 1;
+    for (const auto &c : candidates) {
+        unsigned d = editDistance(needle, c);
+        if (d < best_d) {
+            best_d = d;
+            best = c;
+        }
+    }
+    return best;
 }
 
 std::string

@@ -15,6 +15,8 @@
 #include <string>
 #include <vector>
 
+#include "common/result.hh"
+
 namespace sst
 {
 
@@ -50,10 +52,25 @@ class Config
     bool getBool(const std::string &key, bool def) const;
 
     /**
+     * Recoverable variants of the typed getters: a malformed stored
+     * value yields an Error instead of exiting. The fatal getters above
+     * are thin wrappers over these.
+     */
+    Result<std::int64_t> tryGetInt(const std::string &key,
+                                   std::int64_t def) const;
+    Result<std::uint64_t> tryGetUint(const std::string &key,
+                                     std::uint64_t def) const;
+    Result<double> tryGetDouble(const std::string &key, double def) const;
+    Result<bool> tryGetBool(const std::string &key, bool def) const;
+
+    /**
      * Parse one "key=value" assignment (as accepted on example/bench
      * command lines). Malformed input is fatal.
      */
     void parseAssignment(const std::string &text);
+
+    /** Recoverable parseAssignment: malformed input yields an Error. */
+    Result<void> tryParseAssignment(const std::string &text);
 
     /** Parse argv-style overrides; non-assignments are fatal. */
     void parseArgs(int argc, char **argv);
@@ -72,6 +89,17 @@ class Config
     /** Defaults observed through getters, for dump() completeness. */
     mutable std::map<std::string, std::string> defaults_;
 };
+
+/** Levenshtein edit distance (for nearest-key suggestions). */
+unsigned editDistance(const std::string &a, const std::string &b);
+
+/**
+ * The candidate closest to @p needle by edit distance, or "" when
+ * @p candidates is empty or nothing comes within @p maxDistance edits.
+ */
+std::string closestMatch(const std::string &needle,
+                         const std::vector<std::string> &candidates,
+                         unsigned maxDistance = 6);
 
 } // namespace sst
 

@@ -9,7 +9,18 @@ namespace sst
 namespace
 {
 bool verboseFlag = true;
+thread_local int errorTrapDepth = 0;
 } // namespace
+
+ErrorTrap::ErrorTrap()
+{
+    ++errorTrapDepth;
+}
+
+ErrorTrap::~ErrorTrap()
+{
+    --errorTrapDepth;
+}
 
 void
 setVerbose(bool on)
@@ -55,6 +66,8 @@ terminatePanic(const std::string &msg, const char *file, int line)
 void
 terminateFatal(const std::string &msg)
 {
+    if (errorTrapDepth > 0)
+        throw FatalError(msg);
     std::fprintf(stderr, "fatal: %s\n", msg.c_str());
     std::exit(1);
 }

@@ -10,10 +10,40 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <exception>
 #include <string>
 
 namespace sst
 {
+
+/**
+ * Thrown by fatal() instead of exiting the process while an ErrorTrap
+ * is active, so callers can convert user errors into Result values
+ * (see common/result.hh).
+ */
+class FatalError : public std::exception
+{
+  public:
+    explicit FatalError(std::string msg) : msg_(std::move(msg)) {}
+    const char *what() const noexcept override { return msg_.c_str(); }
+    const std::string &message() const { return msg_; }
+
+  private:
+    std::string msg_;
+};
+
+/**
+ * RAII scope during which fatal() throws FatalError instead of calling
+ * exit(1). Nests; panic() is unaffected (simulator bugs still abort).
+ */
+class ErrorTrap
+{
+  public:
+    ErrorTrap();
+    ~ErrorTrap();
+    ErrorTrap(const ErrorTrap &) = delete;
+    ErrorTrap &operator=(const ErrorTrap &) = delete;
+};
 
 namespace log_detail
 {

@@ -99,6 +99,15 @@ class Core
     virtual const char *model() const = 0;
 
     /**
+     * Watchdog escalation hook: abandon in-flight speculation and fall
+     * back to non-speculative progress (mirroring ROCK's own fallback
+     * for pathological speculation). @return true when the model had
+     * speculative state to degrade; models without speculation return
+     * false and the watchdog moves to its next escalation step.
+     */
+    virtual bool degradeSpeculation() { return false; }
+
+    /**
      * Start execution from @p state at absolute cycle @p start_cycle
      * instead of from reset. Used by the sampled-simulation runner: the
      * cycle offset keeps this core's clock aligned with the shared

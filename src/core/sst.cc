@@ -8,6 +8,16 @@ namespace sst
 SstCore::SstCore(const CoreParams &params, const Program &program,
                  MemoryImage &memory, CorePort &port)
     : Core(params, program, memory, port),
+      dqCapacity_(params.dqEntries
+                          > port.faults().params().dqSqueeze
+                      ? params.dqEntries
+                            - port.faults().params().dqSqueeze
+                      : 1),
+      ssqCapacity_(params.ssqEntries
+                           > port.faults().params().ssqSqueeze
+                       ? params.ssqEntries
+                             - port.faults().params().ssqSqueeze
+                       : 1),
       checkpointsTaken_(stats_.addScalar("checkpoints_taken",
                                          "speculation epochs opened")),
       epochsCommitted_(stats_.addScalar("epochs_committed",
@@ -34,8 +44,18 @@ SstCore::SstCore(const CoreParams &params, const Program &program,
       failMem_(stats_.addScalar("fail_mem",
                                 "rollbacks: load/store disambiguation "
                                 "conflict")),
+      failForced_(stats_.addScalar("fail_forced",
+                                   "rollbacks: injected fault or "
+                                   "watchdog degradation")),
       scoutEnds_(stats_.addScalar("scout_ends",
                                   "scout regions ended by miss return")),
+      livelockSuppressions_(
+          stats_.addScalar("livelock_suppressions",
+                           "trigger PCs forced non-speculative by the "
+                           "rollback livelock guard")),
+      watchdogDegrades_(stats_.addScalar("watchdog_degrades",
+                                         "speculation regions abandoned "
+                                         "at the watchdog's request")),
       dqFullStallCycles_(stats_.addScalar("dq_full_stalls",
                                           "ahead stalls: DQ full")),
       ssqFullStallCycles_(stats_.addScalar("ssq_full_stalls",
@@ -234,6 +254,8 @@ void
 SstCore::cycle()
 {
     drainStoreBuffer();
+    if (!epochs_.empty() && port_.faults().forceAbort())
+        rollback(FailKind::Forced);
     if (epochs_.empty()) {
         normalCycle();
         return;
@@ -475,12 +497,12 @@ SstCore::aheadIssueOne()
 
     if (na1 || na2) {
         // ---- deferral path ----
-        if (!discard && dqOccupancy() >= params_.dqEntries) {
+        if (!discard && dqOccupancy() >= dqCapacity_) {
             ++dqFullStallCycles_;
             return false;
         }
         bool is_store = isStore(inst.op);
-        if (is_store && ssqOccupancy() >= params_.ssqEntries) {
+        if (is_store && ssqOccupancy() >= ssqCapacity_) {
             ++ssqFullStallCycles_;
             return false;
         }
@@ -579,7 +601,7 @@ SstCore::aheadIssueOne()
                 mem_producer = st.seq; // youngest wins (ascending order)
         }
         if (mem_producer != 0 && !discard) {
-            if (dqOccupancy() >= params_.dqEntries) {
+            if (dqOccupancy() >= dqCapacity_) {
                 ++dqFullStallCycles_;
                 return false;
             }
@@ -608,7 +630,7 @@ SstCore::aheadIssueOne()
 
         bool wants_defer = !res.l1Hit
                            && (!params_.deferOnL2MissOnly || !res.l2Hit);
-        if (wants_defer && (discard || dqOccupancy() < params_.dqEntries)) {
+        if (wants_defer && (discard || dqOccupancy() < dqCapacity_)) {
             // A further miss: open a new epoch when a checkpoint is
             // free, otherwise grow the current one.
             SeqNum seq = nextSeq_++;
@@ -654,7 +676,7 @@ SstCore::aheadIssueOne()
         return true;
       }
       case OpClass::Store: {
-        if (ssqOccupancy() >= params_.ssqEntries) {
+        if (ssqOccupancy() >= ssqCapacity_) {
             ++ssqFullStallCycles_;
             return false;
         }
@@ -976,6 +998,7 @@ SstCore::rollback(FailKind kind)
       case FailKind::JumpMispredict: ++failJump_; break;
       case FailKind::MemConflict: ++failMem_; break;
       case FailKind::ScoutEnd: ++scoutEnds_; break;
+      case FailKind::Forced: ++failForced_; break;
     }
 
     if (tracing())
@@ -994,8 +1017,10 @@ SstCore::rollback(FailKind kind)
     // squeezed between two fails must not reset the guard.
     if (front.pc == lastFailTriggerPc_
         && committed_.value() < lastRollbackCommitted_ + 8) {
-        if (++consecutiveFails_ >= 2)
+        if (++consecutiveFails_ >= 2 && suppressTriggerPc_ != front.pc) {
             suppressTriggerPc_ = front.pc;
+            ++livelockSuppressions_;
+        }
     } else {
         lastFailTriggerPc_ = front.pc;
         consecutiveFails_ = 1;
@@ -1010,6 +1035,23 @@ SstCore::rollback(FailKind kind)
     unverifiedBranches_ = 0;
     na_.fill(false);
     naWriter_.fill(0);
+}
+
+bool
+SstCore::degradeSpeculation()
+{
+    if (epochs_.empty())
+        return false;
+    // Abandon the whole in-flight region and force the trigger load to
+    // execute non-speculatively: the core keeps making architectural
+    // progress even if whatever stalled speculation (e.g. a dropped
+    // fill) persists.
+    std::uint64_t pc = epochs_.front().pc;
+    rollback(FailKind::Forced);
+    suppressTriggerPc_ = pc;
+    consecutiveFails_ = 0;
+    ++watchdogDegrades_;
+    return true;
 }
 
 } // namespace sst

@@ -63,6 +63,9 @@ class SstCore : public Core
     /** True while at least one checkpoint is live. */
     bool speculating() const { return !epochs_.empty(); }
 
+    /** Watchdog escalation: roll back and suppress the trigger PC. */
+    bool degradeSpeculation() override;
+
   protected:
     void cycle() override;
 
@@ -137,7 +140,8 @@ class SstCore : public Core
         BranchMispredict,
         JumpMispredict,
         MemConflict,
-        ScoutEnd
+        ScoutEnd,
+        Forced ///< injected fault or watchdog degradation
     };
 
     // --- strand bodies ---
@@ -197,6 +201,9 @@ class SstCore : public Core
 
     SeqNum nextSeq_ = 1;
     unsigned nextEpochId_ = 0;
+    /** Effective queue capacities (params minus any fault squeeze). */
+    unsigned dqCapacity_;
+    unsigned ssqCapacity_;
     /** Deferred branches/jumps not yet verified by replay. */
     unsigned unverifiedBranches_ = 0;
 
@@ -237,7 +244,10 @@ class SstCore : public Core
     Scalar &failBranch_;
     Scalar &failJump_;
     Scalar &failMem_;
+    Scalar &failForced_;
     Scalar &scoutEnds_;
+    Scalar &livelockSuppressions_;
+    Scalar &watchdogDegrades_;
     Scalar &dqFullStallCycles_;
     Scalar &ssqFullStallCycles_;
     Scalar &naJumpStallCycles_;

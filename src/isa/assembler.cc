@@ -312,4 +312,10 @@ assemble(const std::string &source, const std::string &name)
     return b.finish();
 }
 
+Result<Program>
+tryAssemble(const std::string &source, const std::string &name)
+{
+    return trapFatal([&] { return assemble(source, name); });
+}
+
 } // namespace sst

@@ -25,6 +25,7 @@
 
 #include <string>
 
+#include "common/result.hh"
 #include "isa/program.hh"
 
 namespace sst
@@ -36,6 +37,14 @@ namespace sst
  */
 Program assemble(const std::string &source,
                  const std::string &name = "asm");
+
+/**
+ * Recoverable assemble: syntax errors come back as an Error (with the
+ * offending line number in the message) instead of exiting, so drivers
+ * can report the diagnostic and keep control of their exit code.
+ */
+Result<Program> tryAssemble(const std::string &source,
+                            const std::string &name = "asm");
 
 } // namespace sst
 

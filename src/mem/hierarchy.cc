@@ -19,6 +19,12 @@ CorePort::CorePort(MemorySystem &system, const HierarchyParams &params,
 {
 }
 
+FaultInjector &
+CorePort::faults()
+{
+    return system_.faults();
+}
+
 AccessResult
 CorePort::access(AccessType type, Addr addr, Cycle now)
 {
@@ -47,6 +53,14 @@ CorePort::dataAccess(AccessType type, Addr addr, Cycle now)
     Tlb::LookupResult xlat{true, now};
     if (dtlb_.enabled() && type != AccessType::Prefetch)
         xlat = dtlb_.access(addr, now);
+    if (type != AccessType::Prefetch) {
+        Cycle walk = system_.faults().tlbPressure(
+            system_.params().dtlb.walkLatency);
+        if (walk != 0) {
+            xlat.hit = false;
+            xlat.readyCycle = std::max(xlat.readyCycle, now + walk);
+        }
+    }
 
     auto hit = l1d_.access(addr, isStore, now);
     if (hit.hit) {
@@ -81,9 +95,19 @@ CorePort::dataAccess(AccessType type, Addr addr, Cycle now)
                  "full MSHR file with no completion time");
         return res;
     }
+    if (system_.faults().mshrPressure()) {
+        // Injected pressure spike: structurally identical to a full
+        // file, but the entry frees "immediately" — the core's retry
+        // path absorbs it next cycle.
+        mshrs_.noteRejection();
+        res.rejected = true;
+        res.retryCycle = now + 1;
+        return res;
+    }
 
     bool l2Hit = false;
     Cycle dataReady = system_.accessL2(line, now, l2Hit);
+    dataReady = system_.faults().perturbFill(now, dataReady);
     res.l2Hit = l2Hit;
     res.readyCycle = std::max(dataReady, xlat.readyCycle);
 
@@ -124,9 +148,16 @@ CorePort::instAccess(Addr addr, Cycle now)
         res.retryCycle = mshrs_.earliestFree();
         return res;
     }
+    if (system_.faults().mshrPressure()) {
+        mshrs_.noteRejection();
+        res.rejected = true;
+        res.retryCycle = now + 1;
+        return res;
+    }
 
     bool l2Hit = false;
     Cycle dataReady = system_.accessL2(line, now, l2Hit);
+    dataReady = system_.faults().perturbFill(now, dataReady);
     res.l2Hit = l2Hit;
     res.readyCycle = dataReady;
     mshrs_.allocate(line, dataReady, true, now);
@@ -175,6 +206,7 @@ MemorySystem::MemorySystem(const HierarchyParams &params)
       stats_("memsys"),
       l2_(params.l2, stats_),
       dram_(params.dram, stats_),
+      faults_(params.fault, stats_),
       l2PortStall_(stats_.addScalar("l2_port_stall_cycles",
                                     "cycles requests queued on L2 port"))
 {

@@ -19,6 +19,7 @@
 
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "fault/fault.hh"
 #include "mem/cache.hh"
 #include "mem/dram.hh"
 #include "mem/mshr.hh"
@@ -45,6 +46,8 @@ struct HierarchyParams
      *  the page-walk latency folded in — which makes it an SST
      *  deferral trigger, as in the paper. */
     TlbParams dtlb{0, 4096, 120};
+    /** Fault injection (chaos testing); all off by default. */
+    FaultParams fault{};
 };
 
 class MemorySystem;
@@ -88,6 +91,9 @@ class CorePort
     Cache &l1i() { return l1i_; }
     StatGroup &stats() { return stats_; }
 
+    /** The shared fault injector (chaos hooks; disabled by default). */
+    FaultInjector &faults();
+
     /** Invalidate both L1s (between benchmark phases). */
     void flush();
 
@@ -127,6 +133,7 @@ class MemorySystem
     Cache &l2() { return l2_; }
     Dram &dram() { return dram_; }
     StatGroup &stats() { return stats_; }
+    FaultInjector &faults() { return faults_; }
 
     /** Invalidate all caches and drain DRAM state. */
     void flushAll();
@@ -147,6 +154,7 @@ class MemorySystem
     StatGroup stats_;
     Cache l2_;
     Dram dram_;
+    FaultInjector faults_;
     Cycle l2PortFree_ = 0;
     Scalar &l2PortStall_;
     std::vector<std::unique_ptr<CorePort>> ports_;

@@ -28,13 +28,23 @@ Cmp::Cmp(const MachineConfig &config,
 CmpResult
 Cmp::run(std::uint64_t max_cycles)
 {
+    std::vector<Watchdog> watchdogs;
+    watchdogs.reserve(cores_.size());
+    for (auto &core : cores_)
+        watchdogs.emplace_back(config_.watchdog, *core);
+
     bool all_halted = false;
+    bool livelocked = false;
     std::uint64_t cycle = 0;
-    while (!all_halted && cycle < max_cycles) {
+    while (!all_halted && !livelocked && cycle < max_cycles) {
         all_halted = true;
-        for (auto &core : cores_) {
-            core->tick();
-            all_halted &= core->halted();
+        for (std::size_t i = 0; i < cores_.size(); ++i) {
+            cores_[i]->tick();
+            all_halted &= cores_[i]->halted();
+            // One livelocked core sinks the whole chip: the run result
+            // must not be mistaken for a throughput measurement.
+            if (!watchdogs[i].observe())
+                livelocked = true;
         }
         ++cycle;
     }
@@ -43,6 +53,11 @@ Cmp::run(std::uint64_t max_cycles)
     res.preset = config_.presetName;
     res.cores = static_cast<unsigned>(cores_.size());
     res.finished = all_halted;
+    if (!all_halted)
+        res.degrade = livelocked ? DegradeReason::Livelock
+                                 : DegradeReason::CycleBudget;
+    for (auto &dog : watchdogs)
+        res.watchdogRecoveries += dog.recoveries();
     Cycle slowest = 0;
     for (auto &core : cores_) {
         res.totalInsts += core->instsRetired();

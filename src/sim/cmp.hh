@@ -14,6 +14,7 @@
 #include "core/core.hh"
 #include "isa/program.hh"
 #include "mem/hierarchy.hh"
+#include "sim/machine.hh"
 #include "sim/presets.hh"
 
 namespace sst
@@ -29,6 +30,8 @@ struct CmpResult
     double aggregateIpc = 0;
     std::vector<double> perCoreIpc;
     bool finished = false;
+    DegradeReason degrade = DegradeReason::None;
+    std::uint64_t watchdogRecoveries = 0;
 };
 
 /** N cores over one shared MemorySystem. */

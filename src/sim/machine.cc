@@ -21,6 +21,49 @@ makeCore(const MachineConfig &config, const Program &program,
     fatal("unknown core model '%s'", config.model.c_str());
 }
 
+const char *
+degradeReasonName(DegradeReason reason)
+{
+    switch (reason) {
+      case DegradeReason::None: return "none";
+      case DegradeReason::CycleBudget: return "cycle_budget";
+      case DegradeReason::Livelock: return "livelock";
+    }
+    panic("bad DegradeReason %d", static_cast<int>(reason));
+}
+
+bool
+Watchdog::observe()
+{
+    if (!params_.enabled || core_.halted())
+        return true;
+    std::uint64_t insts = core_.instsRetired();
+    if (insts != lastInsts_) {
+        lastInsts_ = insts;
+        windowStart_ = core_.cycles();
+        fruitless_ = 0;
+        return true;
+    }
+    if (core_.cycles() - windowStart_ < params_.stallCycles)
+        return true;
+
+    // A full window with zero retirement: intervene. Degrading
+    // speculation is always correctness-preserving (it rolls back to
+    // committed state), so it is safe to try before giving up.
+    ++interventions_;
+    windowStart_ = core_.cycles();
+    if (core_.degradeSpeculation()) {
+        ++recoveries_;
+        fruitless_ = 0;
+        return true;
+    }
+    if (++fruitless_ >= params_.maxInterventions) {
+        gaveUp_ = true;
+        return false;
+    }
+    return true;
+}
+
 Machine::Machine(const MachineConfig &config, const Program &program)
     : config_(config), program_(program), memsys_(config.mem)
 {
@@ -32,8 +75,15 @@ Machine::Machine(const MachineConfig &config, const Program &program)
 RunResult
 Machine::run(std::uint64_t max_cycles)
 {
-    while (!core_->halted() && core_->cycles() < max_cycles)
+    Watchdog watchdog(config_.watchdog, *core_);
+    bool livelocked = false;
+    while (!core_->halted() && core_->cycles() < max_cycles) {
         core_->tick();
+        if (!watchdog.observe()) {
+            livelocked = true;
+            break;
+        }
+    }
 
     RunResult res;
     res.preset = config_.presetName;
@@ -42,7 +92,16 @@ Machine::run(std::uint64_t max_cycles)
     res.insts = core_->instsRetired();
     res.ipc = core_->ipc();
     res.finished = core_->halted();
+    if (!res.finished)
+        res.degrade = livelocked ? DegradeReason::Livelock
+                                 : DegradeReason::CycleBudget;
     res.stats = core_->stats().flatten();
+    for (const auto &kv : memsys_.faults().stats().flatten())
+        res.stats[kv.first] = kv.second;
+    res.stats["watchdog.recoveries"] =
+        static_cast<double>(watchdog.recoveries());
+    res.stats["watchdog.interventions"] =
+        static_cast<double>(watchdog.interventions());
 
     auto stat = [&](const std::string &suffix) {
         for (const auto &kv : res.stats)

@@ -21,6 +21,50 @@
 namespace sst
 {
 
+/** Why a run stopped short of committing HALT. */
+enum class DegradeReason
+{
+    None,        ///< ran to completion
+    CycleBudget, ///< max_cycles exhausted with retirement still flowing
+    Livelock     ///< watchdog interventions exhausted with no progress
+};
+
+/** Human-readable name for a DegradeReason. */
+const char *degradeReasonName(DegradeReason reason);
+
+/**
+ * No-retirement livelock detector with an escalating response, shared
+ * by the Machine and Cmp run loops. When a core retires nothing for
+ * stallCycles, the watchdog first asks the core to abandon speculation
+ * and make non-speculative progress (degradeSpeculation — a recovery);
+ * maxInterventions consecutive fruitless attempts declare livelock.
+ */
+class Watchdog
+{
+  public:
+    Watchdog(const WatchdogParams &params, Core &core)
+        : params_(params), core_(core)
+    {
+    }
+
+    /** Observe one elapsed cycle. @return false on declared livelock. */
+    bool observe();
+
+    std::uint64_t recoveries() const { return recoveries_; }
+    std::uint64_t interventions() const { return interventions_; }
+    bool gaveUp() const { return gaveUp_; }
+
+  private:
+    const WatchdogParams params_;
+    Core &core_;
+    std::uint64_t lastInsts_ = 0;
+    Cycle windowStart_ = 0;
+    unsigned fruitless_ = 0;
+    std::uint64_t recoveries_ = 0;
+    std::uint64_t interventions_ = 0;
+    bool gaveUp_ = false;
+};
+
 /** Key metrics of one finished run. */
 struct RunResult
 {
@@ -33,7 +77,9 @@ struct RunResult
     double meanDemandMlp = 0;
     double mispredictRate = 0;
     bool finished = false; ///< HALT committed within the cycle budget
-    /** Flattened stats for anything the summary fields don't cover. */
+    DegradeReason degrade = DegradeReason::None;
+    /** Flattened stats for anything the summary fields don't cover.
+     *  Includes "fault.*" (injector) and "watchdog.*" entries. */
     std::map<std::string, double> stats;
 };
 

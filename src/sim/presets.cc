@@ -161,6 +161,78 @@ applyOverrides(MachineConfig &config, const Config &overrides)
         overrides.getUint("mem.dtlb_entries", m.dtlb.entries));
     m.dtlb.walkLatency = static_cast<unsigned>(overrides.getUint(
         "mem.dtlb_walk_latency", m.dtlb.walkLatency));
+
+    FaultParams &f = m.fault;
+    f.seed = overrides.getUint("fault.seed", f.seed);
+    f.dropFillRate =
+        overrides.getDouble("fault.drop_fill_rate", f.dropFillRate);
+    f.dropTimeout = static_cast<unsigned>(
+        overrides.getUint("fault.drop_timeout", f.dropTimeout));
+    f.delayFillRate =
+        overrides.getDouble("fault.delay_fill_rate", f.delayFillRate);
+    f.delayCycles = static_cast<unsigned>(
+        overrides.getUint("fault.delay_cycles", f.delayCycles));
+    f.mshrPressureRate = overrides.getDouble("fault.mshr_pressure_rate",
+                                             f.mshrPressureRate);
+    f.tlbPressureRate = overrides.getDouble("fault.tlb_pressure_rate",
+                                            f.tlbPressureRate);
+    f.forceAbortRate =
+        overrides.getDouble("fault.force_abort_rate", f.forceAbortRate);
+    f.dqSqueeze = static_cast<unsigned>(
+        overrides.getUint("fault.dq_squeeze", f.dqSqueeze));
+    f.ssqSqueeze = static_cast<unsigned>(
+        overrides.getUint("fault.ssq_squeeze", f.ssqSqueeze));
+
+    WatchdogParams &w = config.watchdog;
+    w.enabled = overrides.getBool("watchdog.enabled", w.enabled);
+    w.stallCycles =
+        overrides.getUint("watchdog.stall_cycles", w.stallCycles);
+    w.maxInterventions = static_cast<unsigned>(overrides.getUint(
+        "watchdog.max_interventions", w.maxInterventions));
+}
+
+std::vector<std::string>
+machineConfigKeys()
+{
+    return {
+        "core.fetch_width",
+        "core.pipeline_depth",
+        "core.predictor",
+        "core.store_buffer_entries",
+        "core.rob_entries",
+        "core.iq_entries",
+        "core.lsq_entries",
+        "core.issue_width",
+        "core.checkpoints",
+        "core.dq_entries",
+        "core.ssq_entries",
+        "core.defer_on_l2_miss_only",
+        "core.max_deferred_branches",
+        "core.line_granular_conflicts",
+        "mem.l1d_kb",
+        "mem.l2_kb",
+        "mem.dram_base_latency",
+        "mem.dram_banks",
+        "mem.mshrs",
+        "mem.data_prefetch",
+        "mem.prefetch_mode",
+        "mem.prefetch_degree",
+        "mem.dtlb_entries",
+        "mem.dtlb_walk_latency",
+        "fault.seed",
+        "fault.drop_fill_rate",
+        "fault.drop_timeout",
+        "fault.delay_fill_rate",
+        "fault.delay_cycles",
+        "fault.mshr_pressure_rate",
+        "fault.tlb_pressure_rate",
+        "fault.force_abort_rate",
+        "fault.dq_squeeze",
+        "fault.ssq_squeeze",
+        "watchdog.enabled",
+        "watchdog.stall_cycles",
+        "watchdog.max_interventions",
+    };
 }
 
 } // namespace sst

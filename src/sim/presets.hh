@@ -33,6 +33,19 @@
 namespace sst
 {
 
+/** Livelock watchdog driving the Machine/Cmp run loops. */
+struct WatchdogParams
+{
+    bool enabled = true;
+    /** Zero-retirement window length that counts as a stall. Must be
+     *  shorter than any recoverable event (e.g. a dropped-fill timeout)
+     *  or the watchdog can never help. */
+    std::uint64_t stallCycles = 25'000;
+    /** Consecutive fruitless interventions before declaring livelock
+     *  and terminating the run. */
+    unsigned maxInterventions = 8;
+};
+
 /** Everything needed to instantiate one machine. */
 struct MachineConfig
 {
@@ -41,6 +54,7 @@ struct MachineConfig
     std::string model = "inorder";
     CoreParams core;
     HierarchyParams mem;
+    WatchdogParams watchdog;
 };
 
 /** Build a named preset; unknown names are fatal. */
@@ -54,6 +68,9 @@ std::vector<std::string> presetNames();
  * "core.checkpoints=2", "mem.l2_kb=4096") on top of a preset.
  */
 void applyOverrides(MachineConfig &config, const Config &overrides);
+
+/** Every config key applyOverrides understands (for CLI suggestions). */
+std::vector<std::string> machineConfigKeys();
 
 } // namespace sst
 

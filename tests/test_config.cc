@@ -115,3 +115,69 @@ TEST(ConfigDeath, MalformedAssignmentIsFatal)
     Config c;
     EXPECT_DEATH(c.parseAssignment("noequals"), "key=value");
 }
+
+// --- recoverable (Result) paths ----------------------------------------
+
+TEST(ConfigResult, TryGettersReturnValues)
+{
+    Config c;
+    c.set("i", -7);
+    c.set("u", std::uint64_t{9});
+    c.set("d", 2.5);
+    c.set("b", true);
+    EXPECT_EQ(c.tryGetInt("i", 0).value(), -7);
+    EXPECT_EQ(c.tryGetUint("u", 0).value(), 9u);
+    EXPECT_EQ(c.tryGetDouble("d", 0).value(), 2.5);
+    EXPECT_TRUE(c.tryGetBool("b", false).value());
+    EXPECT_EQ(c.tryGetInt("absent", 42).value(), 42);
+}
+
+TEST(ConfigResult, MalformedValueIsAnErrorNotAnExit)
+{
+    Config c;
+    c.set("k", "notanint");
+    auto r = c.tryGetInt("k", 0);
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.error().message.find("not an integer"),
+              std::string::npos);
+}
+
+TEST(ConfigResult, TryParseAssignment)
+{
+    Config c;
+    EXPECT_TRUE(c.tryParseAssignment("a.b=3").ok());
+    EXPECT_EQ(c.getInt("a.b", 0), 3);
+    auto r = c.tryParseAssignment("noequals");
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.error().message.find("key=value"), std::string::npos);
+}
+
+TEST(ConfigResult, TrapFatalConvertsFatalToError)
+{
+    auto ok = trapFatal([] { return 5; });
+    ASSERT_TRUE(ok.ok());
+    EXPECT_EQ(ok.value(), 5);
+    auto bad = trapFatal([]() -> int { fatal("boom %d", 3); });
+    ASSERT_FALSE(bad.ok());
+    EXPECT_NE(bad.error().message.find("boom 3"), std::string::npos);
+}
+
+TEST(EditDistance, Basics)
+{
+    EXPECT_EQ(editDistance("", ""), 0u);
+    EXPECT_EQ(editDistance("abc", "abc"), 0u);
+    EXPECT_EQ(editDistance("abc", ""), 3u);
+    EXPECT_EQ(editDistance("kitten", "sitting"), 3u);
+    EXPECT_EQ(editDistance("fault.drop_fill_rte", "fault.drop_fill_rate"),
+              1u);
+}
+
+TEST(EditDistance, ClosestMatch)
+{
+    std::vector<std::string> keys = {"core.checkpoints", "mem.l2_kb",
+                                     "fault.seed"};
+    EXPECT_EQ(closestMatch("core.checkpoint", keys), "core.checkpoints");
+    EXPECT_EQ(closestMatch("falt.seed", keys), "fault.seed");
+    EXPECT_EQ(closestMatch("zzzzzzzzzzzzzzzz", keys), "");
+    EXPECT_EQ(closestMatch("anything", {}), "");
+}

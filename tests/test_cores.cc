@@ -270,3 +270,55 @@ TEST(OoO, HaltDrainsWindow)
     EXPECT_TRUE(r.core->halted());
     EXPECT_EQ(r.core->instsRetired(), r.goldenInsts);
 }
+
+// --- cycle-budget degradation ------------------------------------------
+
+namespace
+{
+
+/** Spins forever: retirement keeps flowing, HALT never commits. */
+const char *kSpinForever = R"(
+loop:
+    addi x1, x1, 1
+    beq  x0, x0, loop
+    halt
+)";
+
+void
+expectCycleBudget(const std::string &preset)
+{
+    Program p = assemble(kSpinForever, "spin");
+    Machine m(makePreset(preset), p);
+    RunResult r = m.run(20'000);
+    EXPECT_FALSE(r.finished);
+    EXPECT_EQ(r.degrade, DegradeReason::CycleBudget);
+    EXPECT_GE(r.cycles, 20'000u);
+    // The watchdog must not mistake a busy spin for a livelock.
+    EXPECT_EQ(r.stats.at("watchdog.interventions"), 0.0);
+}
+
+} // namespace
+
+TEST(CycleBudget, InOrderReportsDegradeReason)
+{
+    expectCycleBudget("inorder");
+}
+
+TEST(CycleBudget, OoOReportsDegradeReason)
+{
+    expectCycleBudget("ooo-large");
+}
+
+TEST(CycleBudget, SstReportsDegradeReason)
+{
+    expectCycleBudget("sst4");
+}
+
+TEST(CycleBudget, FinishedRunReportsNone)
+{
+    Program p = assemble(kTinyLoop, "tiny");
+    Machine m(makePreset("sst2"), p);
+    RunResult r = m.run();
+    EXPECT_TRUE(r.finished);
+    EXPECT_EQ(r.degrade, DegradeReason::None);
+}

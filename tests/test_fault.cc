@@ -1,0 +1,290 @@
+/**
+ * @file
+ * Fault-injection and watchdog tests.
+ *
+ * The contract under test: injected faults may cost cycles, never
+ * correctness. Every faulted run must end in an architectural state
+ * identical to the golden functional executor's, and equal seeds must
+ * reproduce bit-identical fault sequences.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim_test_util.hh"
+
+using namespace sst;
+using namespace sst::test;
+
+namespace
+{
+
+/** Pointer-chase kernel whose nodes sit 4 KB apart: every hop misses
+ *  the L1, giving the injector a dense stream of demand fills. */
+std::string
+chaseKernel(int iters = 24)
+{
+    std::string out = R"(
+    li   x1, 0x200000
+    li   x3, )" + std::to_string(iters)
+                      + R"(
+    li   x4, 0
+loop:
+    ld   x2, 0(x1)
+    ld   x5, 8(x1)
+    add  x4, x4, x5
+    st   x4, 16(x1)
+    addi x1, x2, 0
+    addi x3, x3, -1
+    bne  x3, x0, loop
+    halt
+    .data 0x200000
+)";
+    for (int i = 0; i < 32; ++i) {
+        long next = 0x200000 + ((i + 1) % 32) * 4096;
+        out += "    .word " + std::to_string(next) + ", "
+               + std::to_string(i * 3 + 1) + "\n    .space 8\n";
+        if (i != 31)
+            out += "    .space 4072\n";
+    }
+    return out;
+}
+
+/** Run @p model over the chase kernel with @p fault injected. */
+CoreRun
+faultedRun(const std::string &model, const FaultParams &fault,
+           CoreParams core = {})
+{
+    HierarchyParams mem;
+    mem.fault = fault;
+    CoreRun r = makeRun(model, chaseKernel(), std::move(core), mem);
+    r.run();
+    return r;
+}
+
+double
+faultStat(CoreRun &r, const std::string &key)
+{
+    auto flat = r.memsys->faults().stats().flatten();
+    auto it = flat.find(key);
+    return it == flat.end() ? 0.0 : it->second;
+}
+
+} // namespace
+
+TEST(FaultInjection, DisabledByDefault)
+{
+    FaultParams f;
+    EXPECT_FALSE(f.enabled());
+    CoreRun r = faultedRun("sst", f, sstParams(4));
+    EXPECT_TRUE(r.core->halted());
+    EXPECT_TRUE(r.archMatchesGolden());
+    EXPECT_EQ(r.memsys->faults().injectedCount(), 0u);
+}
+
+TEST(FaultInjection, SameSeedIsBitIdentical)
+{
+    FaultParams f;
+    f.seed = 99;
+    f.dropFillRate = 0.01;
+    f.dropTimeout = 4000;
+    f.delayFillRate = 0.05;
+    f.mshrPressureRate = 0.02;
+    CoreRun a = faultedRun("sst", f, sstParams(4));
+    CoreRun b = faultedRun("sst", f, sstParams(4));
+    EXPECT_GT(a.memsys->faults().injectedCount(), 0u);
+    EXPECT_EQ(a.core->cycles(), b.core->cycles());
+    EXPECT_EQ(a.core->stats().flatten(), b.core->stats().flatten());
+    EXPECT_EQ(a.memsys->faults().stats().flatten(),
+              b.memsys->faults().stats().flatten());
+}
+
+TEST(FaultInjection, DifferentSeedsStayCorrect)
+{
+    for (std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+        FaultParams f;
+        f.seed = seed;
+        f.dropFillRate = 0.02;
+        f.dropTimeout = 3000;
+        f.delayFillRate = 0.05;
+        f.delayCycles = 700;
+        f.mshrPressureRate = 0.05;
+        f.tlbPressureRate = 0.02;
+        CoreRun r = faultedRun("sst", f, sstParams(4));
+        EXPECT_TRUE(r.core->halted()) << "seed " << seed;
+        EXPECT_TRUE(r.archMatchesGolden()) << "seed " << seed;
+    }
+}
+
+TEST(FaultInjection, PerturbFillSemantics)
+{
+    StatGroup parent("parent");
+    FaultParams drop;
+    drop.dropFillRate = 1.0;
+    drop.dropTimeout = 1000;
+    FaultInjector dropper(drop, parent);
+    // A dropped fill completes only after the timeout...
+    EXPECT_EQ(dropper.perturbFill(100, 150), 1100u);
+    // ...but one already slower than the timeout is never accelerated.
+    EXPECT_EQ(dropper.perturbFill(100, 5000), 5000u);
+
+    StatGroup parent2("parent2");
+    FaultParams delay;
+    delay.delayFillRate = 1.0;
+    delay.delayCycles = 400;
+    FaultInjector delayer(delay, parent2);
+    EXPECT_EQ(delayer.perturbFill(100, 150), 550u);
+
+    // An all-off injector is a strict no-op.
+    StatGroup parent3("parent3");
+    FaultInjector off(FaultParams{}, parent3);
+    EXPECT_EQ(off.perturbFill(100, 150), 150u);
+    EXPECT_FALSE(off.mshrPressure());
+    EXPECT_FALSE(off.forceAbort());
+    EXPECT_EQ(off.tlbPressure(120), 0u);
+    EXPECT_EQ(off.injectedCount(), 0u);
+}
+
+TEST(FaultInjection, DroppedFillsCostCyclesNotCorrectness)
+{
+    CoreRun base = faultedRun("sst", FaultParams{}, sstParams(4));
+    FaultParams f;
+    f.seed = 3;
+    f.dropFillRate = 0.25;
+    f.dropTimeout = 5000;
+    CoreRun r = faultedRun("sst", f, sstParams(4));
+    EXPECT_TRUE(r.core->halted());
+    EXPECT_TRUE(r.archMatchesGolden());
+    EXPECT_GT(faultStat(r, "fault.fills_dropped"), 0.0);
+    EXPECT_GT(r.core->cycles(), base.core->cycles());
+}
+
+TEST(FaultInjection, ForcedAbortsRollBackSafely)
+{
+    FaultParams f;
+    f.seed = 11;
+    f.forceAbortRate = 0.002;
+    CoreRun r = faultedRun("sst", f, sstParams(4));
+    EXPECT_TRUE(r.core->halted());
+    EXPECT_TRUE(r.archMatchesGolden());
+    EXPECT_GT(faultStat(r, "fault.forced_aborts"), 0.0);
+    auto flat = r.core->stats().flatten();
+    double forced = 0;
+    for (const auto &kv : flat)
+        if (kv.first.find("fail_forced") != std::string::npos)
+            forced = kv.second;
+    EXPECT_GT(forced, 0.0);
+}
+
+TEST(FaultInjection, MshrPressureIsAbsorbedByRetry)
+{
+    FaultParams f;
+    f.seed = 5;
+    f.mshrPressureRate = 0.1;
+    for (const char *model : {"inorder", "ooo", "sst"}) {
+        CoreRun r = faultedRun(model, f,
+                               std::string(model) == "sst"
+                                   ? sstParams(4)
+                                   : CoreParams{});
+        EXPECT_TRUE(r.core->halted()) << model;
+        EXPECT_TRUE(r.archMatchesGolden()) << model;
+        EXPECT_GT(faultStat(r, "fault.mshr_rejects"), 0.0) << model;
+    }
+}
+
+TEST(FaultInjection, TlbPressureDefersButStaysCorrect)
+{
+    FaultParams f;
+    f.seed = 13;
+    f.tlbPressureRate = 0.05;
+    CoreRun r = faultedRun("sst", f, sstParams(4));
+    EXPECT_TRUE(r.core->halted());
+    EXPECT_TRUE(r.archMatchesGolden());
+    EXPECT_GT(faultStat(r, "fault.tlb_spikes"), 0.0);
+}
+
+TEST(FaultInjection, QueueSqueezesStayCorrect)
+{
+    FaultParams f;
+    f.dqSqueeze = 60; // 64-entry DQ squeezed to 4
+    f.ssqSqueeze = 30; // 32-entry SSQ squeezed to 2
+    CoreRun r = faultedRun("sst", f, sstParams(4));
+    EXPECT_TRUE(r.core->halted());
+    EXPECT_TRUE(r.archMatchesGolden());
+
+    // Squeezing below zero clamps to one entry instead of wrapping.
+    FaultParams huge;
+    huge.dqSqueeze = 1000;
+    huge.ssqSqueeze = 1000;
+    CoreRun tiny = faultedRun("sst", huge, sstParams(2));
+    EXPECT_TRUE(tiny.core->halted());
+    EXPECT_TRUE(tiny.archMatchesGolden());
+}
+
+// --- watchdog ----------------------------------------------------------
+
+TEST(Watchdog, RecoversFromDroppedFills)
+{
+    // Every fill is dropped for 40k cycles; the watchdog notices the
+    // 10k-cycle retirement gaps and degrades speculation so the core
+    // limps forward non-speculatively. The run must still complete and
+    // must still match golden execution.
+    Program p = assemble(chaseKernel(6), "chase");
+    MachineConfig mc = makePreset("sst4");
+    mc.mem.fault.seed = 1;
+    mc.mem.fault.dropFillRate = 1.0;
+    mc.mem.fault.dropTimeout = 40'000;
+    mc.watchdog.stallCycles = 10'000;
+
+    MemoryImage golden_mem;
+    golden_mem.loadSegments(p);
+    Executor golden(p, golden_mem);
+    ArchState golden_state;
+    std::uint64_t golden_insts = golden.run(golden_state, 50'000'000ULL);
+
+    Machine m(mc, p);
+    RunResult r = m.run(50'000'000ULL);
+    EXPECT_TRUE(r.finished);
+    EXPECT_EQ(r.degrade, DegradeReason::None);
+    EXPECT_GT(r.stats.at("watchdog.recoveries"), 0.0);
+    EXPECT_GT(r.stats.at("fault.injected"), 0.0);
+    EXPECT_TRUE(m.core().archState().regsEqual(golden_state));
+    EXPECT_TRUE(m.image().contentEquals(golden_mem));
+    EXPECT_EQ(r.insts, golden_insts);
+}
+
+TEST(Watchdog, DeclaresLivelockWhenDegradationCannotHelp)
+{
+    // The in-order core has no speculation to degrade; with every fill
+    // lost for an effectively infinite timeout, the watchdog's
+    // escalation runs out and the run terminates cleanly instead of
+    // spinning to the cycle budget.
+    Program p = assemble(chaseKernel(6), "chase");
+    MachineConfig mc = makePreset("inorder");
+    mc.mem.fault.dropFillRate = 1.0;
+    mc.mem.fault.dropTimeout = 10'000'000;
+    mc.watchdog.stallCycles = 1'000;
+    mc.watchdog.maxInterventions = 3;
+
+    Machine m(mc, p);
+    RunResult r = m.run(100'000'000ULL);
+    EXPECT_FALSE(r.finished);
+    EXPECT_EQ(r.degrade, DegradeReason::Livelock);
+    EXPECT_EQ(r.stats.at("watchdog.interventions"), 3.0);
+    // Clean early termination, nowhere near the cycle budget.
+    EXPECT_LT(r.cycles, 100'000u);
+}
+
+TEST(Watchdog, DisabledWatchdogRunsToBudget)
+{
+    Program p = assemble(chaseKernel(6), "chase");
+    MachineConfig mc = makePreset("inorder");
+    mc.mem.fault.dropFillRate = 1.0;
+    mc.mem.fault.dropTimeout = 10'000'000;
+    mc.watchdog.enabled = false;
+
+    Machine m(mc, p);
+    RunResult r = m.run(50'000);
+    EXPECT_FALSE(r.finished);
+    EXPECT_EQ(r.degrade, DegradeReason::CycleBudget);
+    EXPECT_EQ(r.stats.at("watchdog.interventions"), 0.0);
+}

@@ -13,6 +13,8 @@
  *   sstsim asm=kernel.s preset=scout stats=full
  *   sstsim workload=graph_scan preset=sst4 json=true
  *   sstsim workload=oltp_mix preset=sst2 sample=true length_scale=4
+ *   sstsim workload=hash_join preset=sst4 fault.drop_fill_rate=1e-4 \
+ *          fault.seed=7
  *
  * Keys:
  *   workload=<name>        built-in generator (see workload=list)
@@ -20,19 +22,27 @@
  *   preset=<name>          machine preset (see preset=list)
  *   seed, length_scale, footprint_scale   workload generator knobs
  *   core.* / mem.*         machine overrides (see sim/presets.hh)
+ *   fault.*                fault injection (see fault/fault.hh)
+ *   watchdog.*             livelock watchdog (see sim/presets.hh)
  *   stats=none|summary|full   reporting depth (default summary)
  *   json=true              machine-readable stats to stdout
  *   sample=true [detail= skip=]  sampled instead of full simulation
  *   trace=true             pipeline event trace to stderr
  *   max_cycles=<n>         simulation budget
+ *
+ * Exit codes: 0 success, 2 architectural mismatch vs golden, 3 cycle
+ * budget exhausted, 4 livelock declared by the watchdog, 64 bad usage
+ * (unknown/malformed key), 65 bad input (config value, asm, workload).
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 
 #include "common/config.hh"
 #include "common/logging.hh"
+#include "common/result.hh"
 #include "common/table.hh"
 #include "func/executor.hh"
 #include "isa/assembler.hh"
@@ -45,6 +55,25 @@ using namespace sst;
 namespace
 {
 
+/** Keys consumed by this driver itself (not machine configuration). */
+const std::vector<std::string> &
+driverKeys()
+{
+    static const std::vector<std::string> keys = {
+        "workload", "asm",    "preset", "seed",   "length_scale",
+        "footprint_scale",    "stats",  "json",   "sample",
+        "detail",   "skip",   "trace",  "max_cycles",
+    };
+    return keys;
+}
+
+int
+fail(const Error &error)
+{
+    std::fprintf(stderr, "sstsim: %s\n", error.message.c_str());
+    return error.exitCode;
+}
+
 void
 listAndExit()
 {
@@ -55,24 +84,56 @@ listAndExit()
     for (const auto &p : presetNames())
         std::printf(" %s", p.c_str());
     std::printf("\n");
-    std::exit(0);
+    std::exit(exit_code::ok);
 }
 
-Program
+/** Reject unknown keys with a nearest-match suggestion. */
+Result<void>
+validateKeys(const Config &cfg)
+{
+    std::vector<std::string> known = driverKeys();
+    for (const auto &k : machineConfigKeys())
+        known.push_back(k);
+    for (const auto &kv : cfg.items()) {
+        if (std::find(known.begin(), known.end(), kv.first)
+            != known.end())
+            continue;
+        std::string msg = "unknown config key '" + kv.first + "'";
+        std::string near = closestMatch(kv.first, known);
+        if (!near.empty())
+            msg += "; did you mean '" + near + "'?";
+        msg += " (workload=list / preset=list show run targets)";
+        return Error{msg, exit_code::usage};
+    }
+    return {};
+}
+
+Result<Program>
 loadProgram(const Config &cfg, std::string &category)
 {
     std::string asm_path = cfg.getString("asm", "");
     if (!asm_path.empty()) {
         std::ifstream in(asm_path);
-        fatal_if(!in, "cannot open '%s'", asm_path.c_str());
+        if (!in)
+            return Error{"cannot open '" + asm_path + "'",
+                         exit_code::badInput};
         std::stringstream ss;
         ss << in.rdbuf();
         category = "user";
-        return assemble(ss.str(), asm_path);
+        return tryAssemble(ss.str(), asm_path);
     }
     std::string name = cfg.getString("workload", "oltp_mix");
     if (name == "list")
         listAndExit();
+    auto names = allWorkloadNames();
+    if (std::find(names.begin(), names.end(), name) == names.end()) {
+        std::string msg = "unknown workload '" + name + "'";
+        std::string near = closestMatch(name, names);
+        if (!near.empty())
+            msg += "; did you mean '" + near + "'?";
+        msg += " (workload=list shows all)";
+        return Error{msg, exit_code::usage};
+    }
     WorkloadParams wp;
     wp.seed = cfg.getUint("seed", 42);
     wp.lengthScale = cfg.getDouble("length_scale", 1.0);
@@ -88,17 +149,41 @@ int
 main(int argc, char **argv)
 {
     Config cfg;
-    cfg.parseArgs(argc, argv);
+    for (int i = 1; i < argc; ++i) {
+        auto parsed = cfg.tryParseAssignment(argv[i]);
+        if (!parsed.ok())
+            return fail(parsed.error());
+    }
     setVerbose(false);
 
-    if (cfg.getString("preset", "") == "list")
+    std::string preset_name = cfg.getString("preset", "sst2");
+    if (preset_name == "list")
         listAndExit();
 
-    std::string category;
-    Program program = loadProgram(cfg, category);
+    if (auto valid = validateKeys(cfg); !valid.ok())
+        return fail(valid.error());
 
-    MachineConfig mc = makePreset(cfg.getString("preset", "sst2"));
-    applyOverrides(mc, cfg);
+    std::string category;
+    auto loaded = loadProgram(cfg, category);
+    if (!loaded.ok())
+        return fail(loaded.error());
+    Program program = loaded.take();
+
+    auto preset = trapFatal([&] { return makePreset(preset_name); },
+                            exit_code::usage);
+    if (!preset.ok()) {
+        Error e = preset.error();
+        std::string near = closestMatch(preset_name, presetNames());
+        if (!near.empty())
+            e.message += "; did you mean '" + near + "'?";
+        e.message += " (preset=list shows all)";
+        return fail(e);
+    }
+    MachineConfig mc = preset.take();
+    if (auto applied =
+            trapFatal([&] { applyOverrides(mc, cfg); });
+        !applied.ok())
+        return fail(applied.error());
 
     if (cfg.getBool("sample", false)) {
         SampleParams sp;
@@ -112,7 +197,7 @@ main(int argc, char **argv)
                     static_cast<unsigned long long>(r.detailedInsts),
                     static_cast<unsigned long long>(r.skippedInsts),
                     r.reachedEnd ? "" : " (budget)");
-        return 0;
+        return exit_code::ok;
     }
 
     // Golden reference.
@@ -121,7 +206,9 @@ main(int argc, char **argv)
     Executor golden(program, golden_mem);
     ArchState golden_state;
     std::uint64_t golden_insts = golden.run(golden_state, 2'000'000'000ULL);
-    fatal_if(!golden_state.halted, "program does not halt functionally");
+    if (!golden_state.halted)
+        return fail(Error{"program does not halt functionally",
+                          exit_code::badInput});
 
     Machine machine(mc, program);
     if (cfg.getBool("trace", false))
@@ -129,7 +216,17 @@ main(int argc, char **argv)
             std::fprintf(stderr, "%s\n", line.c_str());
         });
     RunResult r = machine.run(cfg.getUint("max_cycles", 500'000'000ULL));
-    fatal_if(!r.finished, "simulation exceeded max_cycles");
+    if (!r.finished) {
+        std::fprintf(stderr,
+                     "sstsim: run degraded (%s) after %llu cycles, "
+                     "%llu insts retired\n",
+                     degradeReasonName(r.degrade),
+                     static_cast<unsigned long long>(r.cycles),
+                     static_cast<unsigned long long>(r.insts));
+        return r.degrade == DegradeReason::Livelock
+                   ? exit_code::livelock
+                   : exit_code::cycleBudget;
+    }
 
     bool arch_ok = machine.core().archState().regsEqual(golden_state)
                    && machine.image().contentEquals(golden_mem)
@@ -137,8 +234,13 @@ main(int argc, char **argv)
 
     if (cfg.getBool("json", false)) {
         std::fputs(machine.core().stats().dumpJson().c_str(), stdout);
-        return arch_ok ? 0 : 2;
+        return arch_ok ? exit_code::ok : exit_code::archMismatch;
     }
+
+    auto run_stat = [&](const char *key) {
+        auto it = r.stats.find(key);
+        return it == r.stats.end() ? 0.0 : it->second;
+    };
 
     std::string stats_depth = cfg.getString("stats", "summary");
     Table t("sstsim: " + program.name() + " (" + category + ") on "
@@ -151,11 +253,22 @@ main(int argc, char **argv)
     t.addRow({"demand MLP", Table::num(r.meanDemandMlp, 2)});
     t.addRow({"mispredict rate",
               Table::num(100 * r.mispredictRate, 2) + "%"});
+    if (machine.memsys().faults().enabled()) {
+        t.addRow({"faults injected",
+                  std::to_string(static_cast<std::uint64_t>(
+                      run_stat("fault.injected")))});
+        t.addRow({"watchdog recoveries",
+                  std::to_string(static_cast<std::uint64_t>(
+                      run_stat("watchdog.recoveries")))});
+    }
     t.addRow({"arch state vs golden", arch_ok ? "MATCH" : "MISMATCH"});
     if (stats_depth != "none")
         t.print();
     if (stats_depth == "full")
         std::fputs(machine.core().stats().dump().c_str(), stdout);
+    if (!arch_ok)
+        std::fprintf(stderr, "sstsim: architectural state diverged from "
+                             "the golden executor\n");
 
-    return arch_ok ? 0 : 2;
+    return arch_ok ? exit_code::ok : exit_code::archMismatch;
 }
