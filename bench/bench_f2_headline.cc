@@ -49,19 +49,33 @@ main()
     std::map<std::string, std::vector<double>> commercial, compute;
     std::vector<std::vector<std::string>> csv;
 
-    for (const auto &wname : allWorkloadNames()) {
-        const Workload &wl = set.get(wname);
+    // One slot per workload; rows compute independently (opt into
+    // parallelism with SST_BENCH_JOBS), tables assemble serially below.
+    const std::vector<std::string> workloads = allWorkloadNames();
+    std::vector<std::vector<double>> speedups(workloads.size());
+    for (const auto &wname : workloads)
+        set.get(wname); // pre-populate: the cache is read-only below
+    forEachIndex(workloads.size(), [&](std::size_t i) {
+        const Workload &wl = set.get(workloads[i]);
         RunResult base = runPreset("inorder", wl);
-        std::vector<std::string> row = {wname, wl.category};
-        std::vector<std::string> csv_row = {wname};
         for (const auto &p : presets) {
             RunResult r = run_variant(p, wl);
-            double speedup = static_cast<double>(base.cycles)
-                             / static_cast<double>(r.cycles);
+            speedups[i].push_back(static_cast<double>(base.cycles)
+                                  / static_cast<double>(r.cycles));
+        }
+    });
+
+    for (std::size_t i = 0; i < workloads.size(); ++i) {
+        const std::string &wname = workloads[i];
+        const Workload &wl = set.get(wname);
+        std::vector<std::string> row = {wname, wl.category};
+        std::vector<std::string> csv_row = {wname};
+        for (std::size_t k = 0; k < presets.size(); ++k) {
+            double speedup = speedups[i][k];
             row.push_back(Table::num(speedup, 2));
             csv_row.push_back(Table::num(speedup, 4));
             (wl.category == "commercial" ? commercial
-                                         : compute)[p]
+                                         : compute)[presets[k]]
                 .push_back(speedup);
         }
         t.addRow(row);

@@ -1,15 +1,27 @@
 #include "common/logging.hh"
 
+#include <atomic>
 #include <cstdarg>
 #include <cstdio>
+#include <mutex>
 
 namespace sst
 {
 
 namespace
 {
-bool verboseFlag = true;
+std::atomic<bool> verboseFlag{true};
 thread_local int errorTrapDepth = 0;
+/** Innermost active capture on this thread (null: shared streams). */
+thread_local LogCapture *activeCapture = nullptr;
+/** Serialises the shared stderr/stdout path only; captured output is
+ *  thread-private and never takes this lock. */
+std::mutex &
+streamMutex()
+{
+    static std::mutex m;
+    return m;
+}
 } // namespace
 
 ErrorTrap::ErrorTrap()
@@ -20,6 +32,16 @@ ErrorTrap::ErrorTrap()
 ErrorTrap::~ErrorTrap()
 {
     --errorTrapDepth;
+}
+
+LogCapture::LogCapture() : prev_(activeCapture)
+{
+    activeCapture = this;
+}
+
+LogCapture::~LogCapture()
+{
+    activeCapture = prev_;
 }
 
 void
@@ -73,16 +95,33 @@ terminateFatal(const std::string &msg)
 }
 
 void
+captureAppend(LogCapture &capture, const std::string &line)
+{
+    capture.text_ += line;
+}
+
+void
 emitWarn(const std::string &msg)
 {
+    if (activeCapture) {
+        captureAppend(*activeCapture, "warn: " + msg + "\n");
+        return;
+    }
+    std::lock_guard<std::mutex> lock(streamMutex());
     std::fprintf(stderr, "warn: %s\n", msg.c_str());
 }
 
 void
 emitInform(const std::string &msg)
 {
-    if (verboseFlag)
-        std::fprintf(stdout, "info: %s\n", msg.c_str());
+    if (!verboseFlag.load(std::memory_order_relaxed))
+        return;
+    if (activeCapture) {
+        captureAppend(*activeCapture, "info: " + msg + "\n");
+        return;
+    }
+    std::lock_guard<std::mutex> lock(streamMutex());
+    std::fprintf(stdout, "info: %s\n", msg.c_str());
 }
 
 } // namespace log_detail

@@ -45,6 +45,45 @@ class ErrorTrap
     ErrorTrap &operator=(const ErrorTrap &) = delete;
 };
 
+class LogCapture;
+namespace log_detail
+{
+/** Append one finished line to the active capture (internal). */
+void captureAppend(LogCapture &capture, const std::string &line);
+} // namespace log_detail
+
+/**
+ * RAII scope that redirects this thread's warn()/inform() output into a
+ * private buffer instead of the process-global stderr/stdout streams.
+ *
+ * The parallel experiment runner wraps every job in a LogCapture so
+ * concurrent simulations cannot interleave their diagnostics; the job's
+ * captured text travels with its result record. Threads without an
+ * active capture still write to the shared streams, which are guarded
+ * by a mutex (messages may interleave between threads but never within
+ * one line). Nests per thread: the innermost capture wins.
+ */
+class LogCapture
+{
+  public:
+    LogCapture();
+    ~LogCapture();
+    LogCapture(const LogCapture &) = delete;
+    LogCapture &operator=(const LogCapture &) = delete;
+
+    /** Everything captured so far ("warn: ...\n" / "info: ...\n"). */
+    const std::string &text() const { return text_; }
+
+    /** Move the captured text out (capture continues empty). */
+    std::string take() { return std::move(text_); }
+
+  private:
+    friend void log_detail::captureAppend(LogCapture &capture,
+                                          const std::string &line);
+    std::string text_;
+    LogCapture *prev_;
+};
+
 namespace log_detail
 {
 

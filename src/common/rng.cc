@@ -9,6 +9,14 @@ namespace
 {
 
 std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+std::uint64_t
 splitmix64(std::uint64_t &x)
 {
     x += 0x9e3779b97f4a7c15ULL;
@@ -19,12 +27,12 @@ splitmix64(std::uint64_t &x)
 }
 
 std::uint64_t
-rotl(std::uint64_t x, int k)
+deriveSeed(std::uint64_t base, std::uint64_t index)
 {
-    return (x << k) | (x >> (64 - k));
+    std::uint64_t state = base + (index + 1) * 0x9e3779b97f4a7c15ULL;
+    splitmix64(state);
+    return splitmix64(state);
 }
-
-} // namespace
 
 void
 Rng::reseed(std::uint64_t seed)

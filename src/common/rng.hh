@@ -16,6 +16,31 @@
 namespace sst
 {
 
+/**
+ * One SplitMix64 step: advances @p state and returns the next output.
+ * This is the reference seeding generator; exposed so that seed
+ * derivation (below) and Rng::reseed share one implementation.
+ */
+std::uint64_t splitmix64(std::uint64_t &state);
+
+/**
+ * Derive the seed for child stream @p index from @p base.
+ *
+ * Scheme (the per-job seeding contract for parallel sweeps): the child
+ * seed is the second SplitMix64 output of the state
+ *
+ *     base + (index + 1) * 0x9e3779b97f4a7c15   (golden-ratio stride)
+ *
+ * Two SplitMix64 outputs fully mix the 64-bit state, so children of the
+ * same base are statistically independent of each other and of the base
+ * stream itself, while remaining a pure O(1) function of (base, index).
+ * Every parallel job MUST seed its private Rng / FaultInjector /
+ * workload generator this way rather than sharing or splitting a live
+ * Rng: a shared generator would make the stream depend on job scheduling
+ * order, breaking the "-j N is bit-identical to -j 1" guarantee.
+ */
+std::uint64_t deriveSeed(std::uint64_t base, std::uint64_t index);
+
 /** Self-contained xoshiro256** generator. */
 class Rng
 {

@@ -1,11 +1,77 @@
 #include "common/stats.hh"
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "common/logging.hh"
 
 namespace sst
 {
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+jsonNumber(double v)
+{
+    char buf[64];
+    for (int precision = 15; precision <= 17; ++precision) {
+        std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+        if (std::strtod(buf, nullptr) == v)
+            break;
+    }
+    // JSON has no inf/nan literals; formulas with a zero denominator
+    // must still produce a parseable document.
+    if (buf[0] == 'i' || buf[0] == 'n' || buf[1] == 'i')
+        return "null";
+    return buf;
+}
+
+std::string
+Scalar::toJson() const
+{
+    return std::to_string(value_);
+}
+
+std::string
+Distribution::toJson() const
+{
+    std::string out = "{\"count\":" + std::to_string(count_)
+                      + ",\"sum\":" + std::to_string(sum_)
+                      + ",\"mean\":" + jsonNumber(mean())
+                      + ",\"max\":" + std::to_string(maxSample_)
+                      + ",\"bucket_width\":" + std::to_string(width_)
+                      + ",\"buckets\":[";
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        if (i)
+            out += ',';
+        out += std::to_string(buckets_[i]);
+    }
+    out += "],\"overflow\":" + std::to_string(overflow_) + "}";
+    return out;
+}
 
 void
 Distribution::init(std::uint64_t max, unsigned buckets)
@@ -141,6 +207,37 @@ StatGroup::dumpJson() const
         out += "  \"" + kv.first + "\": " + buf;
     }
     out += "\n}\n";
+    return out;
+}
+
+std::string
+StatGroup::toJson() const
+{
+    std::string out = "{";
+    bool first = true;
+    auto key = [&](const std::string &name) {
+        if (!first)
+            out += ',';
+        first = false;
+        out += '"' + jsonEscape(name) + "\":";
+    };
+    for (const auto *s : scalars_) {
+        key(s->name);
+        out += s->stat.toJson();
+    }
+    for (const auto &f : formulas_) {
+        key(f.name);
+        out += jsonNumber(f.fn());
+    }
+    for (const auto *d : dists_) {
+        key(d->name);
+        out += d->stat.toJson();
+    }
+    for (const auto *c : children_) {
+        key(c->name());
+        out += c->toJson();
+    }
+    out += "}";
     return out;
 }
 

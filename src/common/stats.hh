@@ -19,6 +19,17 @@
 namespace sst
 {
 
+/** Escape @p s for inclusion in a JSON string literal (no quotes). */
+std::string jsonEscape(const std::string &s);
+
+/**
+ * Render @p v as the shortest decimal string that parses back to the
+ * same double (tries %.15g, %.16g, %.17g). Deterministic, so identical
+ * stat values always serialise to identical bytes — the property the
+ * sweep runner's "-j N matches -j 1" contract rests on.
+ */
+std::string jsonNumber(double v);
+
 /** A simple saturating-free 64-bit event counter. */
 class Scalar
 {
@@ -30,6 +41,9 @@ class Scalar
     void set(std::uint64_t v) { value_ = v; }
     std::uint64_t value() const { return value_; }
     void reset() { value_ = 0; }
+
+    /** JSON value (a decimal integer). */
+    std::string toJson() const;
 
   private:
     std::uint64_t value_ = 0;
@@ -58,6 +72,9 @@ class Distribution
     std::uint64_t overflow() const { return overflow_; }
     std::uint64_t bucketWidth() const { return width_; }
     void reset();
+
+    /** JSON object: count/sum/mean/max/bucket_width/buckets/overflow. */
+    std::string toJson() const;
 
   private:
     std::vector<std::uint64_t> buckets_;
@@ -102,6 +119,17 @@ class StatGroup
     /** Render all stats (recursively) as a flat JSON object whose keys
      *  are the dotted stat names. */
     std::string dumpJson() const;
+
+    /**
+     * Render this group (recursively) as a structured JSON object. Keys
+     * are stat/child names within the group: scalars and formulas map to
+     * numbers, distributions to objects (see Distribution::toJson), and
+     * child groups nest. Emission order is registration order (scalars,
+     * formulas, distributions, children), which is deterministic, so two
+     * identical runs serialise byte-identically. Stat names are unique
+     * within a group by construction.
+     */
+    std::string toJson() const;
 
     /** Flat name->value view of scalars and formulas (for tests). */
     std::map<std::string, double> flatten(const std::string &prefix

@@ -1,0 +1,291 @@
+#include "exp/json.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace sst::exp
+{
+
+bool
+Json::asBool() const
+{
+    panic_if(kind_ != Kind::Bool, "Json::asBool on non-bool");
+    return bool_;
+}
+
+double
+Json::asNumber() const
+{
+    panic_if(kind_ != Kind::Number, "Json::asNumber on non-number");
+    return number_;
+}
+
+const std::string &
+Json::asString() const
+{
+    panic_if(kind_ != Kind::String, "Json::asString on non-string");
+    return string_;
+}
+
+std::size_t
+Json::size() const
+{
+    if (kind_ == Kind::Array)
+        return elements_.size();
+    if (kind_ == Kind::Object)
+        return members_.size();
+    panic("Json::size on a scalar value");
+}
+
+const Json &
+Json::at(std::size_t i) const
+{
+    panic_if(kind_ != Kind::Array, "Json::at on non-array");
+    panic_if(i >= elements_.size(), "Json::at out of range");
+    return elements_[i];
+}
+
+const Json *
+Json::find(const std::string &key) const
+{
+    panic_if(kind_ != Kind::Object, "Json::find on non-object");
+    for (const auto &kv : members_)
+        if (kv.first == key)
+            return &kv.second;
+    return nullptr;
+}
+
+const Json &
+Json::operator[](const std::string &key) const
+{
+    const Json *v = find(key);
+    panic_if(!v, "Json: missing member '%s'", key.c_str());
+    return *v;
+}
+
+const std::vector<std::pair<std::string, Json>> &
+Json::members() const
+{
+    panic_if(kind_ != Kind::Object, "Json::members on non-object");
+    return members_;
+}
+
+/** Recursive-descent parser over one in-memory document. */
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : text_(text) {}
+
+    Result<Json>
+    document()
+    {
+        Json v;
+        if (auto r = value(v); !r.ok())
+            return r.error();
+        skipSpace();
+        if (pos_ != text_.size())
+            return err("trailing characters after JSON value");
+        return v;
+    }
+
+  private:
+    Error
+    err(const std::string &msg)
+    {
+        return Error{"json: " + msg + " at offset "
+                     + std::to_string(pos_)};
+    }
+
+    Result<void> fail(const std::string &msg) { return err(msg); }
+
+    void
+    skipSpace()
+    {
+        while (pos_ < text_.size()
+               && (text_[pos_] == ' ' || text_[pos_] == '\t'
+                   || text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    bool
+    consume(char c)
+    {
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    consumeWord(const char *w)
+    {
+        std::size_t len = std::string(w).size();
+        if (text_.compare(pos_, len, w) == 0) {
+            pos_ += len;
+            return true;
+        }
+        return false;
+    }
+
+    Result<void>
+    value(Json &out)
+    {
+        skipSpace();
+        if (pos_ >= text_.size())
+            return fail("unexpected end of input");
+        char c = text_[pos_];
+        if (c == '{')
+            return object(out);
+        if (c == '[')
+            return array(out);
+        if (c == '"') {
+            out.kind_ = Json::Kind::String;
+            return string(out.string_);
+        }
+        if (consumeWord("true")) {
+            out.kind_ = Json::Kind::Bool;
+            out.bool_ = true;
+            return {};
+        }
+        if (consumeWord("false")) {
+            out.kind_ = Json::Kind::Bool;
+            out.bool_ = false;
+            return {};
+        }
+        if (consumeWord("null")) {
+            out.kind_ = Json::Kind::Null;
+            return {};
+        }
+        return number(out);
+    }
+
+    Result<void>
+    object(Json &out)
+    {
+        out.kind_ = Json::Kind::Object;
+        ++pos_; // '{'
+        skipSpace();
+        if (consume('}'))
+            return {};
+        for (;;) {
+            skipSpace();
+            if (pos_ >= text_.size() || text_[pos_] != '"')
+                return fail("expected object key");
+            std::string key;
+            if (auto r = string(key); !r.ok())
+                return r.error();
+            skipSpace();
+            if (!consume(':'))
+                return fail("expected ':'");
+            Json v;
+            if (auto r = value(v); !r.ok())
+                return r.error();
+            out.members_.emplace_back(std::move(key), std::move(v));
+            skipSpace();
+            if (consume(','))
+                continue;
+            if (consume('}'))
+                return {};
+            return fail("expected ',' or '}'");
+        }
+    }
+
+    Result<void>
+    array(Json &out)
+    {
+        out.kind_ = Json::Kind::Array;
+        ++pos_; // '['
+        skipSpace();
+        if (consume(']'))
+            return {};
+        for (;;) {
+            Json v;
+            if (auto r = value(v); !r.ok())
+                return r.error();
+            out.elements_.push_back(std::move(v));
+            skipSpace();
+            if (consume(','))
+                continue;
+            if (consume(']'))
+                return {};
+            return fail("expected ',' or ']'");
+        }
+    }
+
+    Result<void>
+    string(std::string &out)
+    {
+        ++pos_; // opening quote
+        while (pos_ < text_.size()) {
+            char c = text_[pos_++];
+            if (c == '"')
+                return {};
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                break;
+            char e = text_[pos_++];
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'n': out += '\n'; break;
+              case 't': out += '\t'; break;
+              case 'r': out += '\r'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    return fail("truncated \\u escape");
+                unsigned code = static_cast<unsigned>(std::strtoul(
+                    text_.substr(pos_, 4).c_str(), nullptr, 16));
+                pos_ += 4;
+                // The simulator only ever escapes control characters;
+                // encode the code point as UTF-8 for completeness.
+                if (code < 0x80) {
+                    out += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    out += static_cast<char>(0xc0 | (code >> 6));
+                    out += static_cast<char>(0x80 | (code & 0x3f));
+                } else {
+                    out += static_cast<char>(0xe0 | (code >> 12));
+                    out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+                    out += static_cast<char>(0x80 | (code & 0x3f));
+                }
+                break;
+              }
+              default: return fail("bad escape");
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    Result<void>
+    number(Json &out)
+    {
+        const char *start = text_.c_str() + pos_;
+        char *end = nullptr;
+        double v = std::strtod(start, &end);
+        if (end == start)
+            return fail("expected a JSON value");
+        pos_ += static_cast<std::size_t>(end - start);
+        out.kind_ = Json::Kind::Number;
+        out.number_ = v;
+        return {};
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+Result<Json>
+Json::parse(const std::string &text)
+{
+    return JsonParser(text).document();
+}
+
+} // namespace sst::exp

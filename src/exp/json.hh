@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Minimal JSON document model and recursive-descent parser.
+ *
+ * The experiment runner *emits* JSON through deterministic string
+ * building (stats.hh toJson and runner.cc), because byte-stable output
+ * is part of the sweep contract. This parser is the read side: the
+ * round-trip tests and result-consuming tools need to get values back
+ * out. It supports the full JSON grammar the simulator produces
+ * (objects, arrays, strings with escapes, numbers, booleans, null) and
+ * preserves object member order.
+ */
+
+#ifndef SSTSIM_EXP_JSON_HH
+#define SSTSIM_EXP_JSON_HH
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.hh"
+
+namespace sst::exp
+{
+
+/** One parsed JSON value (a tree). */
+class Json
+{
+  public:
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    /** Parse a complete document; trailing garbage is an error. */
+    static Result<Json> parse(const std::string &text);
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isObject() const { return kind_ == Kind::Object; }
+    bool isArray() const { return kind_ == Kind::Array; }
+
+    /** Value accessors; calling the wrong one is a simulator bug. */
+    bool asBool() const;
+    double asNumber() const;
+    const std::string &asString() const;
+
+    /** Array/object element count. */
+    std::size_t size() const;
+
+    /** Array element (panics out of range / wrong kind). */
+    const Json &at(std::size_t i) const;
+
+    /** Object member lookup; null when absent. */
+    const Json *find(const std::string &key) const;
+
+    /** Object member (panics when absent). */
+    const Json &operator[](const std::string &key) const;
+
+    /** Object members in document order. */
+    const std::vector<std::pair<std::string, Json>> &members() const;
+
+  private:
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    double number_ = 0;
+    std::string string_;
+    std::vector<Json> elements_;
+    std::vector<std::pair<std::string, Json>> members_;
+
+    friend class JsonParser;
+};
+
+} // namespace sst::exp
+
+#endif // SSTSIM_EXP_JSON_HH

@@ -1,0 +1,377 @@
+#include "exp/runner.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "exp/threadpool.hh"
+#include "func/executor.hh"
+#include "sim/presets.hh"
+#include "workloads/workloads.hh"
+
+namespace sst::exp
+{
+
+namespace
+{
+
+/**
+ * Per-job record schema (schema_version 1; all keys always present):
+ *   index, preset, workload, repeat       job identity
+ *   job_seed, workload_seed               seeding (rng.hh deriveSeed)
+ *   config                               effective overrides (strings)
+ *   ran, error                            did the job execute at all
+ *   finished, degrade                     HALT committed / DegradeReason
+ *   cycles, insts, ipc                    headline metrics
+ *   l1d_miss_rate, demand_mlp, mispredict_rate
+ *   arch_ok                               golden cross-check (or null)
+ *   stats                                 full structured core stat tree
+ *   fault                                 fault-injector stat tree
+ *   watchdog                              recoveries/interventions
+ *   log                                   captured warn()/inform() text
+ */
+std::string
+buildRecord(const JobOutcome &out, const Config &effectiveConfig,
+            const std::string &coreStatsJson,
+            const std::string &faultStatsJson)
+{
+    const JobSpec &spec = out.spec;
+    const RunResult &r = out.result;
+    auto runStat = [&](const char *key) {
+        auto it = r.stats.find(key);
+        return it == r.stats.end() ? 0.0 : it->second;
+    };
+
+    std::string j = "{";
+    j += "\"index\":" + std::to_string(spec.index);
+    j += ",\"preset\":\"" + jsonEscape(spec.preset) + '"';
+    j += ",\"workload\":\"" + jsonEscape(spec.workload) + '"';
+    j += ",\"repeat\":" + std::to_string(spec.repeat);
+    j += ",\"job_seed\":" + std::to_string(spec.jobSeed);
+    j += ",\"workload_seed\":" + std::to_string(spec.workloadSeed);
+    j += ",\"config\":{";
+    bool first = true;
+    for (const auto &kv : effectiveConfig.items()) {
+        if (!first)
+            j += ',';
+        first = false;
+        j += '"' + jsonEscape(kv.first) + "\":\"" + jsonEscape(kv.second)
+             + '"';
+    }
+    j += "}";
+    j += std::string(",\"ran\":") + (out.ran ? "true" : "false");
+    j += ",\"error\":\"" + jsonEscape(out.error) + '"';
+    j += std::string(",\"finished\":") + (r.finished ? "true" : "false");
+    j += ",\"degrade\":\"";
+    j += degradeReasonName(r.degrade);
+    j += '"';
+    j += ",\"cycles\":" + std::to_string(r.cycles);
+    j += ",\"insts\":" + std::to_string(r.insts);
+    j += ",\"ipc\":" + jsonNumber(r.ipc);
+    j += ",\"l1d_miss_rate\":" + jsonNumber(r.l1dMissRate);
+    j += ",\"demand_mlp\":" + jsonNumber(r.meanDemandMlp);
+    j += ",\"mispredict_rate\":" + jsonNumber(r.mispredictRate);
+    j += ",\"arch_ok\":";
+    j += out.archVerified ? (out.archOk ? "true" : "false") : "null";
+    j += ",\"stats\":" + (coreStatsJson.empty() ? "{}" : coreStatsJson);
+    j += ",\"fault\":" + (faultStatsJson.empty() ? "{}" : faultStatsJson);
+    j += ",\"watchdog\":{\"recoveries\":"
+         + jsonNumber(runStat("watchdog.recoveries"))
+         + ",\"interventions\":"
+         + jsonNumber(runStat("watchdog.interventions")) + "}";
+    j += ",\"log\":\"" + jsonEscape(out.log) + '"';
+    j += "}";
+    return j;
+}
+
+} // namespace
+
+void
+ResultSink::record(JobOutcome outcome)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::size_t index = outcome.spec.index;
+    panic_if(index >= outcomes_.size(),
+             "job index %zu out of range (sink sized for %zu)", index,
+             outcomes_.size());
+    outcomes_[index] = std::move(outcome);
+    ++recorded_;
+    if (onRecord_)
+        onRecord_(outcomes_[index]);
+}
+
+std::size_t
+ResultSink::recorded() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return recorded_;
+}
+
+JobOutcome
+runJob(const SweepSpec &sweep, const JobSpec &job)
+{
+    JobOutcome out;
+    out.spec = job;
+
+    std::string coreStatsJson;
+    std::string faultStatsJson;
+    // Getters record defaulted keys, so after applyOverrides this
+    // holds the *complete* effective machine config for the record.
+    Config effective = job.overrides;
+
+    // Capture this job's diagnostics so concurrent jobs cannot
+    // interleave on stderr; the text ships inside the record.
+    LogCapture capture;
+    auto attempt = trapFatal([&] {
+        WorkloadParams wp;
+        wp.seed = job.workloadSeed;
+        wp.lengthScale = sweep.lengthScale;
+        wp.footprintScale = sweep.footprintScale;
+        Workload wl = makeWorkload(job.workload, wp);
+
+        MachineConfig mc = makePreset(job.preset);
+        applyOverrides(mc, effective);
+
+        Machine machine(mc, wl.program);
+        out.result = machine.run(sweep.maxCycles);
+        coreStatsJson = machine.core().stats().toJson();
+        faultStatsJson = machine.memsys().faults().stats().toJson();
+
+        if (sweep.verifyGolden && out.result.finished) {
+            MemoryImage goldenMem;
+            goldenMem.loadSegments(wl.program);
+            Executor golden(wl.program, goldenMem);
+            ArchState goldenState;
+            std::uint64_t goldenInsts =
+                golden.run(goldenState, 2'000'000'000ULL);
+            out.archVerified = true;
+            out.archOk = goldenState.halted
+                         && machine.core().archState().regsEqual(
+                             goldenState)
+                         && machine.image().contentEquals(goldenMem)
+                         && out.result.insts == goldenInsts;
+        }
+    });
+    out.ran = attempt.ok();
+    if (!out.ran)
+        out.error = attempt.error().message;
+    out.log = capture.take();
+    out.recordJson =
+        buildRecord(out, effective, coreStatsJson, faultStatsJson);
+    return out;
+}
+
+int
+runSweep(const SweepSpec &spec, const SweepRunOptions &options,
+         ResultSink &sink)
+{
+    const std::vector<JobSpec> jobs = spec.expand();
+    unsigned workers = options.jobs ? options.jobs
+                                    : ThreadPool::defaultWorkers();
+    {
+        ThreadPool pool(workers);
+        parallelFor(pool, jobs.size(), [&](std::size_t i) {
+            sink.record(runJob(spec, jobs[i]));
+        });
+    }
+
+    bool anyError = false, anyLivelock = false, anyBudget = false,
+         anyMismatch = false;
+    for (const auto &out : sink.outcomes()) {
+        if (!out.ran)
+            anyError = true;
+        else if (out.result.degrade == DegradeReason::Livelock)
+            anyLivelock = true;
+        else if (!out.result.finished)
+            anyBudget = true;
+        if (out.archVerified && !out.archOk)
+            anyMismatch = true;
+    }
+    if (anyError)
+        return exit_code::badInput;
+    if (anyMismatch)
+        return exit_code::archMismatch;
+    if (anyLivelock)
+        return exit_code::livelock;
+    if (anyBudget)
+        return exit_code::cycleBudget;
+    return exit_code::ok;
+}
+
+std::string
+sweepJson(const SweepSpec &spec, const ResultSink &sink)
+{
+    std::string j = "{\"schema_version\":1,\"sweep\":{";
+    j += "\"name\":\"" + jsonEscape(spec.name) + '"';
+    j += ",\"seed\":" + std::to_string(spec.baseSeed);
+    j += ",\"repeats\":" + std::to_string(spec.repeats);
+    j += ",\"baseline\":\"" + jsonEscape(spec.baseline) + '"';
+    j += ",\"max_cycles\":" + std::to_string(spec.maxCycles);
+    j += ",\"length_scale\":" + jsonNumber(spec.lengthScale);
+    j += ",\"footprint_scale\":" + jsonNumber(spec.footprintScale);
+    j += std::string(",\"verify\":")
+         + (spec.verifyGolden ? "true" : "false");
+    j += ",\"presets\":[";
+    for (std::size_t i = 0; i < spec.presets.size(); ++i) {
+        if (i)
+            j += ',';
+        j += '"' + jsonEscape(spec.presets[i]) + '"';
+    }
+    j += "],\"workloads\":[";
+    for (std::size_t i = 0; i < spec.workloads.size(); ++i) {
+        if (i)
+            j += ',';
+        j += '"' + jsonEscape(spec.workloads[i]) + '"';
+    }
+    j += "],\"axes\":[";
+    for (std::size_t i = 0; i < spec.axes.size(); ++i) {
+        if (i)
+            j += ',';
+        j += "{\"key\":\"" + jsonEscape(spec.axes[i].key)
+             + "\",\"values\":[";
+        for (std::size_t k = 0; k < spec.axes[i].values.size(); ++k) {
+            if (k)
+                j += ',';
+            j += '"' + jsonEscape(spec.axes[i].values[k]) + '"';
+        }
+        j += "]}";
+    }
+    j += "],\"points\":" + std::to_string(spec.pointCount());
+    j += ",\"jobs_total\":" + std::to_string(spec.jobCount());
+    j += "},\"records\":[\n";
+    const auto &outcomes = sink.outcomes();
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        if (i)
+            j += ",\n";
+        j += outcomes[i].recordJson;
+    }
+    j += "\n]}\n";
+    return j;
+}
+
+Table
+aggregateTable(const SweepSpec &spec, const ResultSink &sink)
+{
+    struct Group
+    {
+        std::size_t jobs = 0, ok = 0;
+        double ipcMin = 0, ipcMax = 0, ipcSum = 0;
+        double cycleSum = 0;
+    };
+    // Keyed (preset, workload); iterate in manifest order for output.
+    std::map<std::pair<std::string, std::string>, Group> groups;
+    for (const auto &out : sink.outcomes()) {
+        Group &g = groups[{out.spec.preset, out.spec.workload}];
+        ++g.jobs;
+        if (!out.ran || !out.result.finished)
+            continue;
+        double ipc = out.result.ipc;
+        if (g.ok == 0) {
+            g.ipcMin = g.ipcMax = ipc;
+        } else {
+            g.ipcMin = std::min(g.ipcMin, ipc);
+            g.ipcMax = std::max(g.ipcMax, ipc);
+        }
+        ++g.ok;
+        g.ipcSum += ipc;
+        g.cycleSum += static_cast<double>(out.result.cycles);
+    }
+
+    Table t("sweep '" + spec.name + "' aggregates");
+    t.setHeader({"preset", "workload", "jobs", "ok", "ipc min",
+                 "ipc mean", "ipc max", "cycles mean"});
+    for (const auto &preset : spec.presets) {
+        for (const auto &workload : spec.workloads) {
+            auto it = groups.find({preset, workload});
+            if (it == groups.end())
+                continue;
+            const Group &g = it->second;
+            double n = g.ok ? static_cast<double>(g.ok) : 1.0;
+            t.addRow({preset, workload, std::to_string(g.jobs),
+                      std::to_string(g.ok), Table::num(g.ipcMin, 4),
+                      Table::num(g.ipcSum / n, 4),
+                      Table::num(g.ipcMax, 4),
+                      Table::num(g.cycleSum / n, 0)});
+        }
+    }
+    return t;
+}
+
+Table
+baselineTable(const SweepSpec &spec, const ResultSink &sink)
+{
+    Table t("speedup vs " + spec.baseline
+            + " (geomean of cycle ratios per sweep point)");
+    std::vector<std::string> header = {"workload"};
+    for (const auto &p : spec.presets)
+        if (p != spec.baseline)
+            header.push_back(p);
+    t.setHeader(header);
+    if (spec.baseline.empty())
+        return t;
+
+    // baseline cycles by point key.
+    std::map<std::string, double> baseCycles;
+    for (const auto &out : sink.outcomes())
+        if (out.spec.preset == spec.baseline && out.ran
+            && out.result.finished)
+            baseCycles[out.spec.pointKey] =
+                static_cast<double>(out.result.cycles);
+
+    // log-speedup accumulators per (preset, workload) and per preset.
+    std::map<std::pair<std::string, std::string>,
+             std::pair<double, std::size_t>>
+        cell;
+    std::map<std::string, std::pair<double, std::size_t>> overall;
+    for (const auto &out : sink.outcomes()) {
+        if (out.spec.preset == spec.baseline || !out.ran
+            || !out.result.finished || out.result.cycles == 0)
+            continue;
+        auto base = baseCycles.find(out.spec.pointKey);
+        if (base == baseCycles.end())
+            continue;
+        double ratio =
+            base->second / static_cast<double>(out.result.cycles);
+        double lg = std::log(std::max(ratio, 1e-12));
+        auto &c = cell[{out.spec.preset, out.spec.workload}];
+        c.first += lg;
+        ++c.second;
+        auto &o = overall[out.spec.preset];
+        o.first += lg;
+        ++o.second;
+    }
+
+    auto geo = [](const std::pair<double, std::size_t> &acc) {
+        return acc.second
+                   ? std::exp(acc.first
+                              / static_cast<double>(acc.second))
+                   : 0.0;
+    };
+    for (const auto &workload : spec.workloads) {
+        std::vector<std::string> row = {workload};
+        for (const auto &preset : spec.presets) {
+            if (preset == spec.baseline)
+                continue;
+            auto it = cell.find({preset, workload});
+            row.push_back(it == cell.end() ? "-"
+                                           : Table::num(geo(it->second),
+                                                        2));
+        }
+        t.addRow(row);
+    }
+    std::vector<std::string> row = {"GEOMEAN"};
+    for (const auto &preset : spec.presets) {
+        if (preset == spec.baseline)
+            continue;
+        auto it = overall.find(preset);
+        row.push_back(it == overall.end()
+                          ? "-"
+                          : Table::num(geo(it->second), 2));
+    }
+    t.addRow(row);
+    return t;
+}
+
+} // namespace sst::exp

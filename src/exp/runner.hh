@@ -1,0 +1,117 @@
+/**
+ * @file
+ * The parallel experiment runner: executes a SweepSpec's jobs on a
+ * work-stealing ThreadPool and collects structured results.
+ *
+ * Determinism contract: the per-job JSON records produced by a sweep
+ * are BYTE-IDENTICAL for any -j, because
+ *   - every job owns its entire mutable world (workload generation,
+ *     MemoryImage, Machine, FaultInjector, stat tree) — nothing is
+ *     shared between concurrently running jobs;
+ *   - all RNG streams are seeded from (sweep seed, job/point index)
+ *     via deriveSeed (rng.hh), never from a shared generator;
+ *   - warn()/inform() output is captured per job (LogCapture) and
+ *     travels inside the record instead of racing to stderr;
+ *   - records are keyed by job index, and every number is serialised
+ *     with the deterministic formatter in stats.hh.
+ * Only the *completion order* (and therefore any progress callback
+ * order) varies with scheduling.
+ */
+
+#ifndef SSTSIM_EXP_RUNNER_HH
+#define SSTSIM_EXP_RUNNER_HH
+
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/table.hh"
+#include "exp/sweep.hh"
+#include "sim/machine.hh"
+
+namespace sst::exp
+{
+
+/** Everything one job produced. */
+struct JobOutcome
+{
+    JobSpec spec;
+    /** False when the job could not run at all (bad config value). */
+    bool ran = false;
+    std::string error; ///< failure message when !ran
+    RunResult result;  ///< valid when ran
+    /** Golden-executor cross-check (verify mode only). */
+    bool archVerified = false;
+    bool archOk = false;
+    /** warn()/inform() lines captured while the job ran. */
+    std::string log;
+    /** The canonical structured record (one JSON object). */
+    std::string recordJson;
+};
+
+/** Thread-safe collector; outcomes indexed by job index. */
+class ResultSink
+{
+  public:
+    explicit ResultSink(std::size_t jobCount) : outcomes_(jobCount) {}
+
+    /** Store @p outcome (and fire the progress callback, if any). */
+    void record(JobOutcome outcome);
+
+    /** Completion-order callback; called under the sink lock. */
+    void setOnRecord(std::function<void(const JobOutcome &)> fn)
+    {
+        onRecord_ = std::move(fn);
+    }
+
+    /** All outcomes in job-index order (complete after runSweep). */
+    const std::vector<JobOutcome> &outcomes() const { return outcomes_; }
+
+    std::size_t recorded() const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::vector<JobOutcome> outcomes_;
+    std::size_t recorded_ = 0;
+    std::function<void(const JobOutcome &)> onRecord_;
+};
+
+/** Execution knobs for one sweep run. */
+struct SweepRunOptions
+{
+    /** Worker threads; 0 = one per hardware thread. */
+    unsigned jobs = 1;
+};
+
+/** Run one job in isolation (also the unit the pool executes). */
+JobOutcome runJob(const SweepSpec &spec, const JobSpec &job);
+
+/**
+ * Expand @p spec and run every job; outcomes land in @p sink. The call
+ * blocks until the sweep finishes. @return the worst exit code over all
+ * jobs (exit_code::ok when everything finished cleanly).
+ */
+int runSweep(const SweepSpec &spec, const SweepRunOptions &options,
+             ResultSink &sink);
+
+/**
+ * The whole sweep as one JSON document:
+ *   {"sweep": {...manifest echo...}, "records": [...per-job records...]}
+ * Records appear in job-index order; see runner.cc for the schema.
+ */
+std::string sweepJson(const SweepSpec &spec, const ResultSink &sink);
+
+/** Per (preset, workload) min/mean/max aggregate table. */
+Table aggregateTable(const SweepSpec &spec, const ResultSink &sink);
+
+/**
+ * Baseline-relative speedups (geomean of baseline.cycles / job.cycles
+ * over matching sweep points), one row per workload, one column per
+ * preset. Only meaningful when spec.baseline is set.
+ */
+Table baselineTable(const SweepSpec &spec, const ResultSink &sink);
+
+} // namespace sst::exp
+
+#endif // SSTSIM_EXP_RUNNER_HH

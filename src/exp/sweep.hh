@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Manifest-driven design-space sweeps.
+ *
+ * A sweep manifest is a plain-text file in the same "key = value"
+ * syntax the Config store and the CLI use, with two extensions: `#`
+ * comments and comma-separated value lists. Every machine-config key
+ * (see sim/presets.hh machineConfigKeys) whose value is a list becomes
+ * a sweep *axis*; `preset` and `workload` are list-valued driver keys;
+ * `sweep.*` keys steer the expansion itself. The cartesian product of
+ * presets x workloads x axes x repeats yields the job list.
+ *
+ * Example (the paper's memory-latency sensitivity, 2x2x3x1 = 12 jobs):
+ *
+ *     sweep.name     = memlat
+ *     sweep.seed     = 42
+ *     sweep.repeats  = 1
+ *     sweep.baseline = inorder
+ *     preset   = inorder, sst2
+ *     workload = oltp_mix, hash_join
+ *     mem.dram_base_latency = 120, 240, 480
+ *
+ * Seeding contract (see rng.hh deriveSeed): every job gets
+ *   - jobSeed      = deriveSeed(sweep.seed, job index) — seeds the
+ *     job's fault injector (unless the manifest pins fault.seed);
+ *   - workloadSeed = deriveSeed(sweep.seed, point ordinal) — seeds the
+ *     workload generator. The point ordinal identifies the
+ *     (workload, axis values, repeat) combination *excluding* the
+ *     preset, so every preset at one sweep point runs the bit-identical
+ *     program and baseline deltas compare like with like.
+ */
+
+#ifndef SSTSIM_EXP_SWEEP_HH
+#define SSTSIM_EXP_SWEEP_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/result.hh"
+
+namespace sst::exp
+{
+
+/** One fully resolved simulation job. */
+struct JobSpec
+{
+    std::size_t index = 0; ///< position in expansion order
+    std::string preset;
+    std::string workload;
+    unsigned repeat = 0;
+    /** deriveSeed(sweep.seed, index): job-local streams (faults). */
+    std::uint64_t jobSeed = 0;
+    /** deriveSeed(sweep.seed, point ordinal): workload generation. */
+    std::uint64_t workloadSeed = 0;
+    /** Machine-config assignments for this job (axis values, plus
+     *  fault.seed = jobSeed when faults are swept without a pinned
+     *  seed). */
+    Config overrides;
+    /** Identity of the sweep point across presets — "workload|axis
+     *  values|repeat" — the baseline-comparison join key. */
+    std::string pointKey;
+};
+
+/** Parsed manifest: the declarative description of a sweep. */
+struct SweepSpec
+{
+    struct Axis
+    {
+        std::string key;
+        std::vector<std::string> values;
+    };
+
+    std::string name = "sweep";
+    std::uint64_t baseSeed = 42;
+    unsigned repeats = 1;
+    /** Preset whose runs are the comparison baseline ("" = none). */
+    std::string baseline;
+    std::uint64_t maxCycles = 500'000'000;
+    double lengthScale = 1.0;
+    double footprintScale = 1.0;
+    /** Cross-check every job's final arch state against the golden
+     *  functional executor (costs one extra functional run per point). */
+    bool verifyGolden = false;
+
+    std::vector<std::string> presets;
+    std::vector<std::string> workloads;
+    std::vector<Axis> axes; ///< manifest order; later axes spin fastest
+    /** True when the manifest pins fault.seed explicitly (an axis may
+     *  still sweep it); otherwise jobs derive it from jobSeed. */
+    bool explicitFaultSeed = false;
+
+    /** Parse manifest text; @p origin names it in diagnostics. */
+    static Result<SweepSpec> parse(const std::string &text,
+                                   const std::string &origin = "manifest");
+
+    /** Read and parse a manifest file. */
+    static Result<SweepSpec> parseFile(const std::string &path);
+
+    /** Jobs per preset (workloads x axes x repeats). */
+    std::size_t pointCount() const;
+
+    /** Total job count (pointCount x presets). */
+    std::size_t jobCount() const { return pointCount() * presets.size(); }
+
+    /**
+     * Cartesian expansion in deterministic order: workload (outer),
+     * then each axis (manifest order, last spins fastest), then repeat,
+     * then preset (innermost). Job indices and seeds depend only on the
+     * manifest, never on scheduling.
+     */
+    std::vector<JobSpec> expand() const;
+};
+
+/** Split on @p sep, trimming ASCII whitespace; drops empty pieces. */
+std::vector<std::string> splitList(const std::string &text, char sep);
+
+} // namespace sst::exp
+
+#endif // SSTSIM_EXP_SWEEP_HH

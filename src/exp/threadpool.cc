@@ -1,0 +1,121 @@
+#include "exp/threadpool.hh"
+
+#include "common/logging.hh"
+
+namespace sst::exp
+{
+
+unsigned
+ThreadPool::defaultWorkers()
+{
+    unsigned n = std::thread::hardware_concurrency();
+    return n ? n : 1;
+}
+
+ThreadPool::ThreadPool(unsigned workers)
+{
+    if (workers == 0)
+        workers = defaultWorkers();
+    workers_.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i)
+        workers_.push_back(std::make_unique<Worker>());
+    threads_.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i)
+        threads_.emplace_back([this, i] { run(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    wait();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    workCv_.notify_all();
+    for (auto &t : threads_)
+        t.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++pending_;
+        ++signal_;
+    }
+    Worker &w = *workers_[nextQueue_.fetch_add(1,
+                                               std::memory_order_relaxed)
+                          % workers_.size()];
+    {
+        std::lock_guard<std::mutex> lock(w.mutex);
+        w.deque.push_back(std::move(task));
+    }
+    workCv_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    idleCv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+std::function<void()>
+ThreadPool::findWork(unsigned id)
+{
+    // Own deque first, newest task (back): it is the cache-warm end.
+    Worker &own = *workers_[id];
+    {
+        std::lock_guard<std::mutex> lock(own.mutex);
+        if (!own.deque.empty()) {
+            auto task = std::move(own.deque.back());
+            own.deque.pop_back();
+            return task;
+        }
+    }
+    // Steal the oldest task (front) from the first non-empty victim.
+    for (std::size_t off = 1; off < workers_.size(); ++off) {
+        Worker &victim = *workers_[(id + off) % workers_.size()];
+        std::lock_guard<std::mutex> lock(victim.mutex);
+        if (!victim.deque.empty()) {
+            auto task = std::move(victim.deque.front());
+            victim.deque.pop_front();
+            steals_.fetch_add(1, std::memory_order_relaxed);
+            return task;
+        }
+    }
+    return nullptr;
+}
+
+void
+ThreadPool::run(unsigned id)
+{
+    for (;;) {
+        std::uint64_t seen;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            seen = signal_;
+        }
+        if (auto task = findWork(id)) {
+            task();
+            executed_.fetch_add(1, std::memory_order_relaxed);
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (--pending_ == 0)
+                idleCv_.notify_all();
+            continue;
+        }
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (stop_)
+            return;
+        // A submit between the scan above and this wait bumps signal_,
+        // so the predicate fails and we rescan instead of sleeping
+        // through the notification.
+        workCv_.wait(lock,
+                     [this, seen] { return stop_ || signal_ != seen; });
+        if (stop_)
+            return;
+    }
+}
+
+} // namespace sst::exp

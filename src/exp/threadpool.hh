@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Work-stealing thread pool for batch-parallel simulation.
+ *
+ * The experiment runner executes many independent Machine/Cmp
+ * simulations whose run times vary by an order of magnitude (an
+ * in-order baseline on compute_kernel vs ooo-huge on pointer_chase), so
+ * static partitioning would leave workers idle. Each worker owns a
+ * deque: it pushes/pops work at the back (LIFO, cache-warm) and idle
+ * workers steal from the front of a victim's deque (FIFO, oldest —
+ * the classic Blumofe/Leiserson discipline). Tasks here are whole
+ * simulations (milliseconds to seconds), so deques are mutex-protected
+ * rather than lock-free; contention is negligible at this granularity.
+ *
+ * Tasks must not assume any execution order. Determinism of sweep
+ * results is the *jobs'* responsibility (each owns its RNG streams and
+ * stat tree — see rng.hh deriveSeed); the pool guarantees only that
+ * every submitted task runs exactly once and that wait() returns after
+ * all of them (including tasks submitted by tasks) have finished.
+ */
+
+#ifndef SSTSIM_EXP_THREADPOOL_HH
+#define SSTSIM_EXP_THREADPOOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sst::exp
+{
+
+/** Fixed-size work-stealing pool. */
+class ThreadPool
+{
+  public:
+    /** @p workers = 0 picks defaultWorkers(). */
+    explicit ThreadPool(unsigned workers = 0);
+
+    /** Waits for all pending tasks, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue @p task; callable from any thread, including tasks. */
+    void submit(std::function<void()> task);
+
+    /** Block until every submitted task has finished. */
+    void wait();
+
+    unsigned workerCount() const
+    {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+    /** Tasks executed so far (approximate while running). */
+    std::uint64_t executed() const
+    {
+        return executed_.load(std::memory_order_relaxed);
+    }
+
+    /** Successful steals so far (approximate while running). */
+    std::uint64_t steals() const
+    {
+        return steals_.load(std::memory_order_relaxed);
+    }
+
+    /** Hardware concurrency, at least 1. */
+    static unsigned defaultWorkers();
+
+  private:
+    struct Worker
+    {
+        std::mutex mutex;
+        std::deque<std::function<void()>> deque;
+    };
+
+    void run(unsigned id);
+    std::function<void()> findWork(unsigned id);
+
+    std::vector<std::unique_ptr<Worker>> workers_;
+    std::vector<std::thread> threads_;
+
+    /** Guards pending_/signal_/stop_ and backs both condvars. */
+    std::mutex mutex_;
+    std::condition_variable workCv_;
+    std::condition_variable idleCv_;
+    std::size_t pending_ = 0;   ///< submitted, not yet finished
+    std::uint64_t signal_ = 0;  ///< bumped on every submit (wakeups)
+    bool stop_ = false;
+
+    std::atomic<unsigned> nextQueue_{0};
+    std::atomic<std::uint64_t> executed_{0};
+    std::atomic<std::uint64_t> steals_{0};
+};
+
+/**
+ * Run fn(i) for every i in [0, n) on @p pool and wait for completion.
+ * @p fn must be safe to call concurrently from multiple threads.
+ */
+template <typename Fn>
+void
+parallelFor(ThreadPool &pool, std::size_t n, Fn &&fn)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        pool.submit([&fn, i] { fn(i); });
+    pool.wait();
+}
+
+} // namespace sst::exp
+
+#endif // SSTSIM_EXP_THREADPOOL_HH

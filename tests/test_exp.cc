@@ -1,0 +1,355 @@
+/**
+ * @file
+ * Tests for the parallel experiment runner (src/exp): the
+ * work-stealing ThreadPool, manifest parsing and cartesian expansion,
+ * per-job seed derivation, and — the load-bearing property — that a
+ * sweep's per-job records are byte-identical at -j 1 and -j 8, with
+ * and without fault injection.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "exp/json.hh"
+#include "exp/runner.hh"
+#include "exp/sweep.hh"
+#include "exp/threadpool.hh"
+
+using namespace sst;
+using namespace sst::exp;
+
+TEST(ThreadPool, RunsEveryTaskExactlyOnce)
+{
+    ThreadPool pool(4);
+    constexpr int kTasks = 500;
+    std::vector<std::atomic<int>> hits(kTasks);
+    for (auto &h : hits)
+        h = 0;
+    for (int i = 0; i < kTasks; ++i)
+        pool.submit([&hits, i] { ++hits[i]; });
+    pool.wait();
+    for (int i = 0; i < kTasks; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "task " << i;
+    EXPECT_EQ(pool.executed(), static_cast<std::uint64_t>(kTasks));
+}
+
+TEST(ThreadPool, WaitIsReusableAcrossBatches)
+{
+    ThreadPool pool(3);
+    std::atomic<int> count{0};
+    for (int batch = 0; batch < 5; ++batch) {
+        for (int i = 0; i < 20; ++i)
+            pool.submit([&count] { ++count; });
+        pool.wait();
+        EXPECT_EQ(count.load(), (batch + 1) * 20);
+    }
+}
+
+TEST(ThreadPool, TasksMaySubmitTasks)
+{
+    ThreadPool pool(4);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 8; ++i)
+        pool.submit([&pool, &count] {
+            for (int k = 0; k < 4; ++k)
+                pool.submit([&count] { ++count; });
+        });
+    pool.wait();
+    EXPECT_EQ(count.load(), 32);
+}
+
+TEST(ThreadPool, ParallelForCoversRange)
+{
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> hits(100);
+    for (auto &h : hits)
+        h = 0;
+    parallelFor(pool, hits.size(), [&](std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < hits.size(); ++i)
+        EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPool, DefaultWorkersIsPositive)
+{
+    EXPECT_GE(ThreadPool::defaultWorkers(), 1u);
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.workerCount(), ThreadPool::defaultWorkers());
+}
+
+TEST(DeriveSeed, DeterministicAndWellSpread)
+{
+    EXPECT_EQ(deriveSeed(42, 0), deriveSeed(42, 0));
+    std::set<std::uint64_t> seen;
+    for (std::uint64_t base : {0ULL, 1ULL, 42ULL})
+        for (std::uint64_t index = 0; index < 100; ++index)
+            seen.insert(deriveSeed(base, index));
+    // 300 derivations, no collisions, and none equal to the bases.
+    EXPECT_EQ(seen.size(), 300u);
+    EXPECT_FALSE(seen.count(0));
+    EXPECT_FALSE(seen.count(42));
+}
+
+TEST(DeriveSeed, MatchesSplitmixDefinition)
+{
+    std::uint64_t state = 7 + 3 * 0x9e3779b97f4a7c15ULL;
+    splitmix64(state);
+    std::uint64_t expect = splitmix64(state);
+    EXPECT_EQ(deriveSeed(7, 2), expect);
+}
+
+TEST(LogCapture, CapturesThisThreadOnly)
+{
+    LogCapture outer;
+    warn("outer %d", 1);
+    {
+        LogCapture inner;
+        warn("inner");
+        std::thread other([] {
+            // No capture active on this thread; goes to stderr (and
+            // must not land in either capture).
+            warn("other-thread");
+        });
+        other.join();
+        EXPECT_EQ(inner.text(), "warn: inner\n");
+    }
+    warn("outer %d", 2);
+    EXPECT_EQ(outer.text(), "warn: outer 1\nwarn: outer 2\n");
+}
+
+namespace
+{
+
+const char *kSmokeManifest = R"(
+# comment line
+sweep.name     = unit          # trailing comment
+sweep.seed     = 7
+sweep.repeats  = 2
+sweep.baseline = inorder
+sweep.length_scale = 0.05
+preset   = inorder, sst2
+workload = compute_kernel
+mem.dram_base_latency = 120, 240
+)";
+
+} // namespace
+
+TEST(SweepSpec, ParsesManifest)
+{
+    auto parsed = SweepSpec::parse(kSmokeManifest, "unit");
+    ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+    SweepSpec spec = parsed.take();
+    EXPECT_EQ(spec.name, "unit");
+    EXPECT_EQ(spec.baseSeed, 7u);
+    EXPECT_EQ(spec.repeats, 2u);
+    EXPECT_EQ(spec.baseline, "inorder");
+    EXPECT_DOUBLE_EQ(spec.lengthScale, 0.05);
+    ASSERT_EQ(spec.presets.size(), 2u);
+    ASSERT_EQ(spec.workloads.size(), 1u);
+    ASSERT_EQ(spec.axes.size(), 1u);
+    EXPECT_EQ(spec.axes[0].key, "mem.dram_base_latency");
+    EXPECT_EQ(spec.axes[0].values,
+              (std::vector<std::string>{"120", "240"}));
+    // 1 workload x 2 axis values x 2 repeats = 4 points, x 2 presets.
+    EXPECT_EQ(spec.pointCount(), 4u);
+    EXPECT_EQ(spec.jobCount(), 8u);
+}
+
+TEST(SweepSpec, ExpansionIsDeterministicAndSeededPerJob)
+{
+    SweepSpec spec = SweepSpec::parse(kSmokeManifest, "unit").take();
+    auto jobs = spec.expand();
+    ASSERT_EQ(jobs.size(), 8u);
+    std::set<std::uint64_t> jobSeeds;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        EXPECT_EQ(jobs[i].index, i);
+        EXPECT_EQ(jobs[i].jobSeed, deriveSeed(7, i));
+        jobSeeds.insert(jobs[i].jobSeed);
+    }
+    EXPECT_EQ(jobSeeds.size(), jobs.size()) << "job seeds must differ";
+    // Presets spin fastest: consecutive jobs share a point (and
+    // therefore the workload seed), differing only in preset.
+    EXPECT_EQ(jobs[0].preset, "inorder");
+    EXPECT_EQ(jobs[1].preset, "sst2");
+    EXPECT_EQ(jobs[0].pointKey, jobs[1].pointKey);
+    EXPECT_EQ(jobs[0].workloadSeed, jobs[1].workloadSeed);
+    EXPECT_NE(jobs[0].workloadSeed, jobs[2].workloadSeed);
+    // The axis assignment rides in the overrides.
+    EXPECT_EQ(jobs[0].overrides.getString("mem.dram_base_latency", ""),
+              "120");
+    // Two identical expansions agree completely.
+    auto again = spec.expand();
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+        EXPECT_EQ(jobs[i].pointKey, again[i].pointKey);
+}
+
+TEST(SweepSpec, RejectsUnknownKeysWithSuggestion)
+{
+    auto r = SweepSpec::parse("preset = sst2\nworkload = stream\n"
+                              "mem.dram_base_latencyy = 1\n",
+                              "m");
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.error().message.find("mem.dram_base_latency"),
+              std::string::npos)
+        << r.error().message;
+    EXPECT_NE(r.error().message.find("m:3"), std::string::npos)
+        << "diagnostic should carry the line number: "
+        << r.error().message;
+}
+
+TEST(SweepSpec, RejectsBadValuesAtParseTime)
+{
+    auto r = SweepSpec::parse("preset = sst2\nworkload = stream\n"
+                              "mem.dram_base_latency = fast\n",
+                              "m");
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.error().message.find("not an unsigned integer"),
+              std::string::npos)
+        << r.error().message;
+}
+
+TEST(SweepSpec, RejectsBaselineOutsidePresetList)
+{
+    auto r = SweepSpec::parse("sweep.baseline = ooo-huge\n"
+                              "preset = sst2\nworkload = stream\n",
+                              "m");
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.error().message.find("baseline"), std::string::npos);
+}
+
+TEST(SweepSpec, DerivesFaultSeedPerJobUnlessPinned)
+{
+    SweepSpec swept =
+        SweepSpec::parse("preset = sst2\nworkload = stream\n"
+                         "fault.drop_fill_rate = 0, 1e-4\n",
+                         "m")
+            .take();
+    auto jobs = swept.expand();
+    ASSERT_EQ(jobs.size(), 2u);
+    EXPECT_EQ(jobs[0].overrides.getUint("fault.seed", 0),
+              jobs[0].jobSeed);
+
+    SweepSpec pinned =
+        SweepSpec::parse("preset = sst2\nworkload = stream\n"
+                         "fault.drop_fill_rate = 1e-4\n"
+                         "fault.seed = 9\n",
+                         "m")
+            .take();
+    auto pinnedJobs = pinned.expand();
+    ASSERT_EQ(pinnedJobs.size(), 1u);
+    EXPECT_EQ(pinnedJobs[0].overrides.getUint("fault.seed", 0), 9u);
+}
+
+namespace
+{
+
+/** Run @p manifest at a given -j and return the per-job records. */
+std::vector<std::string>
+recordsAt(const std::string &manifest, unsigned jobs)
+{
+    SweepSpec spec = SweepSpec::parse(manifest, "determinism").take();
+    ResultSink sink(spec.jobCount());
+    SweepRunOptions options;
+    options.jobs = jobs;
+    int code = runSweep(spec, options, sink);
+    EXPECT_EQ(code, 0);
+    std::vector<std::string> records;
+    for (const auto &out : sink.outcomes()) {
+        EXPECT_TRUE(out.ran) << out.error;
+        records.push_back(out.recordJson);
+    }
+    return records;
+}
+
+} // namespace
+
+TEST(SweepDeterminism, ParallelMatchesSerialByteForByte)
+{
+    // Two presets, fault injection on half the points: the exact
+    // configuration where shared RNGs or racy stat trees would show.
+    const std::string manifest = "sweep.seed = 11\n"
+                                 "sweep.length_scale = 0.05\n"
+                                 "preset = inorder, sst2\n"
+                                 "workload = compute_kernel\n"
+                                 "fault.drop_fill_rate = 0, 1e-4\n";
+    auto serial = recordsAt(manifest, 1);
+    auto parallel = recordsAt(manifest, 8);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i)
+        EXPECT_EQ(serial[i], parallel[i]) << "record " << i;
+}
+
+TEST(SweepDeterminism, RecordsParseAndCarryTheContract)
+{
+    const std::string manifest = "sweep.length_scale = 0.05\n"
+                                 "sweep.verify = true\n"
+                                 "preset = sst2\n"
+                                 "workload = compute_kernel\n";
+    auto records = recordsAt(manifest, 2);
+    ASSERT_EQ(records.size(), 1u);
+    auto parsed = Json::parse(records[0]);
+    ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+    const Json &r = parsed.value();
+    EXPECT_EQ(r["preset"].asString(), "sst2");
+    EXPECT_EQ(r["workload"].asString(), "compute_kernel");
+    EXPECT_TRUE(r["finished"].asBool());
+    EXPECT_EQ(r["degrade"].asString(), "none");
+    EXPECT_TRUE(r["arch_ok"].asBool()) << "golden verify must pass";
+    EXPECT_GT(r["cycles"].asNumber(), 0.0);
+    // The structured stat tree is present and contains the core group.
+    EXPECT_TRUE(r["stats"].isObject());
+    EXPECT_GT(r["stats"].size(), 0u);
+    // Effective config is complete, not just the overrides.
+    EXPECT_NE(r["config"].find("core.checkpoints"), nullptr);
+}
+
+TEST(SweepJson, DocumentParsesAndIndexesRecords)
+{
+    SweepSpec spec = SweepSpec::parse("sweep.length_scale = 0.05\n"
+                                      "sweep.baseline = inorder\n"
+                                      "preset = inorder, sst2\n"
+                                      "workload = compute_kernel\n",
+                                      "doc")
+                         .take();
+    ResultSink sink(spec.jobCount());
+    SweepRunOptions options;
+    options.jobs = 4;
+    EXPECT_EQ(runSweep(spec, options, sink), 0);
+    auto doc = Json::parse(sweepJson(spec, sink));
+    ASSERT_TRUE(doc.ok()) << doc.error().message;
+    const Json &d = doc.value();
+    EXPECT_EQ(d["schema_version"].asNumber(), 1.0);
+    EXPECT_EQ(d["sweep"]["name"].asString(), "sweep");
+    EXPECT_EQ(d["sweep"]["baseline"].asString(), "inorder");
+    ASSERT_EQ(d["records"].size(), 2u);
+    for (std::size_t i = 0; i < d["records"].size(); ++i)
+        EXPECT_EQ(d["records"].at(i)["index"].asNumber(),
+                  static_cast<double>(i));
+    // Both tables render without dying.
+    EXPECT_FALSE(aggregateTable(spec, sink).render().empty());
+    EXPECT_FALSE(baselineTable(spec, sink).render().empty());
+}
+
+TEST(SweepRunner, BadConfigValueFailsTheJobNotTheProcess)
+{
+    // Parse-time validation catches axis typos, so feed the runner a
+    // hand-built job with a bad value to exercise the job-level trap.
+    SweepSpec spec;
+    spec.presets = {"sst2"};
+    spec.workloads = {"compute_kernel"};
+    spec.lengthScale = 0.05;
+    JobSpec job;
+    job.preset = "sst2";
+    job.workload = "compute_kernel";
+    job.overrides.set("mem.prefetch_mode", "psychic");
+    JobOutcome out = runJob(spec, job);
+    EXPECT_FALSE(out.ran);
+    EXPECT_NE(out.error.find("psychic"), std::string::npos);
+    auto parsed = Json::parse(out.recordJson);
+    ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+    EXPECT_FALSE(parsed.value()["ran"].asBool());
+}

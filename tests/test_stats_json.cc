@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Round-trip tests for the structured JSON stat export: everything
+ * StatGroup::toJson() emits must parse back (exp::Json) to exactly the
+ * values the stat objects hold, including doubles bit-for-bit.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+
+#include "common/stats.hh"
+#include "exp/json.hh"
+
+using namespace sst;
+using sst::exp::Json;
+
+TEST(JsonNumber, RoundTripsExactly)
+{
+    const double cases[] = {0.0,
+                            1.0,
+                            -1.0,
+                            0.1,
+                            1.0 / 3.0,
+                            1e-300,
+                            1e300,
+                            3.141592653589793,
+                            0.6931471805599453,
+                            123456789.123456789,
+                            std::nextafter(1.0, 2.0),
+                            std::numeric_limits<double>::denorm_min(),
+                            std::numeric_limits<double>::max()};
+    for (double v : cases) {
+        std::string s = jsonNumber(v);
+        double back = std::strtod(s.c_str(), nullptr);
+        EXPECT_EQ(back, v) << "via \"" << s << "\"";
+        // Deterministic: same value, same bytes.
+        EXPECT_EQ(s, jsonNumber(v));
+    }
+    // Non-finite values have no JSON spelling; they become null.
+    EXPECT_EQ(jsonNumber(std::numeric_limits<double>::infinity()), "null");
+    EXPECT_EQ(jsonNumber(std::numeric_limits<double>::quiet_NaN()), "null");
+}
+
+TEST(JsonEscape, CoversControlAndQuoteCharacters)
+{
+    EXPECT_EQ(jsonEscape("plain"), "plain");
+    EXPECT_EQ(jsonEscape("a\"b\\c"), "a\\\"b\\\\c");
+    EXPECT_EQ(jsonEscape("tab\there\nline"), "tab\\there\\nline");
+    EXPECT_EQ(jsonEscape(std::string(1, '\x01')), "\\u0001");
+    // And the parser reverses it.
+    auto parsed = Json::parse("\"a\\\"b\\\\c\\n\\u0041\"");
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value().asString(), "a\"b\\c\nA");
+}
+
+TEST(StatsJson, ScalarRoundTrip)
+{
+    Scalar s;
+    s.set(18446744073709551615ULL); // uint64 max: must not go via double
+    EXPECT_EQ(s.toJson(), "18446744073709551615");
+    Scalar zero;
+    EXPECT_EQ(zero.toJson(), "0");
+}
+
+TEST(StatsJson, DistributionRoundTrip)
+{
+    Distribution d;
+    d.init(100, 4);
+    for (std::uint64_t v : {0ULL, 10ULL, 30ULL, 55ULL, 99ULL, 250ULL})
+        d.sample(v);
+    auto parsed = Json::parse(d.toJson());
+    ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+    const Json &j = parsed.value();
+    EXPECT_EQ(j["count"].asNumber(), static_cast<double>(d.count()));
+    EXPECT_EQ(j["sum"].asNumber(), static_cast<double>(d.sum()));
+    EXPECT_EQ(j["mean"].asNumber(), d.mean());
+    EXPECT_EQ(j["max"].asNumber(), static_cast<double>(d.maxSample()));
+    EXPECT_EQ(j["bucket_width"].asNumber(),
+              static_cast<double>(d.bucketWidth()));
+    ASSERT_EQ(j["buckets"].size(), d.buckets().size());
+    for (std::size_t i = 0; i < d.buckets().size(); ++i)
+        EXPECT_EQ(j["buckets"].at(i).asNumber(),
+                  static_cast<double>(d.buckets()[i]));
+    EXPECT_EQ(j["overflow"].asNumber(), 1.0) << "the 250 sample";
+}
+
+TEST(StatsJson, NestedGroupRoundTripMatchesFlatten)
+{
+    StatGroup root("core");
+    Scalar &cycles = root.addScalar("cycles", "cycle count");
+    Scalar &insts = root.addScalar("insts", "instructions");
+    cycles.set(1000);
+    insts.set(750);
+    root.addFormula("ipc", "instructions per cycle", [&] {
+        return static_cast<double>(insts.value())
+               / static_cast<double>(cycles.value());
+    });
+    Distribution &lat = root.addDist("miss_latency", "latency", 64, 8);
+    lat.sample(3);
+    lat.sample(47);
+
+    StatGroup child("l1d");
+    Scalar &misses = child.addScalar("misses", "miss count");
+    misses.set(42);
+    root.addChild(child);
+
+    auto parsed = Json::parse(root.toJson());
+    ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+    const Json &j = parsed.value();
+
+    EXPECT_EQ(j["cycles"].asNumber(), 1000.0);
+    EXPECT_EQ(j["insts"].asNumber(), 750.0);
+    EXPECT_EQ(j["ipc"].asNumber(), 0.75);
+    EXPECT_EQ(j["miss_latency"]["count"].asNumber(), 2.0);
+    EXPECT_EQ(j["l1d"]["misses"].asNumber(), 42.0);
+
+    // Registration order is the emission order.
+    const auto &m = j.members();
+    ASSERT_EQ(m.size(), 5u);
+    EXPECT_EQ(m[0].first, "cycles");
+    EXPECT_EQ(m[1].first, "insts");
+    EXPECT_EQ(m[2].first, "ipc");
+    EXPECT_EQ(m[3].first, "miss_latency");
+    EXPECT_EQ(m[4].first, "l1d");
+
+    // Every flatten() entry appears in the tree with the same value.
+    // flatten() keys lead with the group's own name ("core.cycles");
+    // toJson() members are unprefixed within the group, so drop it.
+    for (const auto &[name, value] : root.flatten()) {
+        ASSERT_EQ(name.rfind("core.", 0), 0u) << name;
+        const Json *node = &j;
+        std::size_t dot;
+        std::string rest = name.substr(5);
+        while ((dot = rest.find('.')) != std::string::npos) {
+            node = node->find(rest.substr(0, dot));
+            ASSERT_NE(node, nullptr) << name;
+            rest = rest.substr(dot + 1);
+        }
+        node = node->find(rest);
+        ASSERT_NE(node, nullptr) << name;
+        EXPECT_EQ(node->asNumber(), value) << name;
+    }
+
+    // Determinism: serialising twice yields identical bytes.
+    EXPECT_EQ(root.toJson(), root.toJson());
+}
+
+TEST(StatsJson, NonFiniteFormulaBecomesNull)
+{
+    StatGroup g("g");
+    g.addFormula("div0", "x", [] { return 1.0 / 0.0; });
+    auto parsed = Json::parse(g.toJson());
+    ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+    EXPECT_TRUE(parsed.value()["div0"].isNull());
+}
+
+TEST(StatsJson, EscapedNamesStayValid)
+{
+    StatGroup g("we\"ird");
+    g.addScalar("sl\\ash", "desc").set(1);
+    auto parsed = Json::parse(g.toJson());
+    ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+    EXPECT_EQ(parsed.value()["sl\\ash"].asNumber(), 1.0);
+}

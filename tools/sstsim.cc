@@ -15,6 +15,7 @@
  *   sstsim workload=oltp_mix preset=sst2 sample=true length_scale=4
  *   sstsim workload=hash_join preset=sst4 fault.drop_fill_rate=1e-4 \
  *          fault.seed=7
+ *   sstsim sweep examples/sweep_headline.cfg -j 8 --json out.json
  *
  * Keys:
  *   workload=<name>        built-in generator (see workload=list)
@@ -30,6 +31,13 @@
  *   trace=true             pipeline event trace to stderr
  *   max_cycles=<n>         simulation budget
  *
+ * Sweep mode (parallel experiment runner, src/exp):
+ *   sstsim sweep <manifest> [-j N] [--json FILE] [--verify] [--quiet]
+ * runs the manifest's config x workload x seed matrix on a
+ * work-stealing thread pool and reports aggregate tables plus an
+ * optional structured JSON document. Per-job records are bit-identical
+ * for every -j (see docs/INTERNALS.md, "The experiment runner").
+ *
  * Exit codes: 0 success, 2 architectural mismatch vs golden, 3 cycle
  * budget exhausted, 4 livelock declared by the watchdog, 64 bad usage
  * (unknown/malformed key), 65 bad input (config value, asm, workload).
@@ -37,6 +45,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
@@ -44,6 +53,9 @@
 #include "common/logging.hh"
 #include "common/result.hh"
 #include "common/table.hh"
+#include "exp/runner.hh"
+#include "exp/sweep.hh"
+#include "exp/threadpool.hh"
 #include "func/executor.hh"
 #include "isa/assembler.hh"
 #include "sim/machine.hh"
@@ -143,11 +155,133 @@ loadProgram(const Config &cfg, std::string &category)
     return std::move(wl.program);
 }
 
+/**
+ * `sstsim sweep <manifest> [-j N] [--json FILE] [--verify] [--quiet]`
+ * — expand the manifest and run its jobs on the parallel runner.
+ */
+int
+sweepMain(int argc, char **argv)
+{
+    std::string manifest;
+    std::string jsonPath;
+    unsigned jobs = 1;
+    bool quiet = false;
+    bool forceVerify = false;
+
+    for (int i = 2; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "-j") {
+            if (++i >= argc)
+                return fail(Error{"-j needs a thread count",
+                                  exit_code::usage});
+            char *end = nullptr;
+            unsigned long n = std::strtoul(argv[i], &end, 10);
+            if (end == argv[i] || *end != '\0' || n == 0)
+                return fail(Error{"bad -j value '"
+                                      + std::string(argv[i])
+                                      + "' (want a positive integer)",
+                                  exit_code::usage});
+            jobs = static_cast<unsigned>(n);
+        } else if (arg.rfind("-j", 0) == 0 && arg.size() > 2) {
+            return fail(Error{"write '-j N' with a space",
+                              exit_code::usage});
+        } else if (arg == "--json") {
+            if (++i >= argc)
+                return fail(Error{"--json needs an output path",
+                                  exit_code::usage});
+            jsonPath = argv[i];
+        } else if (arg == "--verify") {
+            forceVerify = true;
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else if (!arg.empty() && arg[0] == '-') {
+            return fail(Error{"unknown sweep option '" + arg
+                                  + "' (know -j, --json, --verify, "
+                                    "--quiet)",
+                              exit_code::usage});
+        } else if (manifest.empty()) {
+            manifest = arg;
+        } else {
+            return fail(Error{"more than one manifest given ('"
+                                  + manifest + "' and '" + arg + "')",
+                              exit_code::usage});
+        }
+    }
+    if (manifest.empty())
+        return fail(Error{"usage: sstsim sweep <manifest> [-j N] "
+                          "[--json FILE] [--verify] [--quiet]",
+                          exit_code::usage});
+
+    auto parsed = exp::SweepSpec::parseFile(manifest);
+    if (!parsed.ok())
+        return fail(parsed.error());
+    exp::SweepSpec spec = parsed.take();
+    if (forceVerify)
+        spec.verifyGolden = true;
+
+    exp::SweepRunOptions options;
+    options.jobs = jobs ? jobs : exp::ThreadPool::defaultWorkers();
+
+    if (!quiet)
+        std::printf("sweep '%s': %zu points x %zu presets = %zu jobs "
+                    "on %u threads%s\n",
+                    spec.name.c_str(), spec.pointCount(),
+                    spec.presets.size(), spec.jobCount(), options.jobs,
+                    spec.verifyGolden ? " (golden verify on)" : "");
+
+    exp::ResultSink sink(spec.jobCount());
+    std::size_t total = spec.jobCount();
+    if (!quiet)
+        sink.setOnRecord([total, done = std::size_t{0}](
+                             const exp::JobOutcome &out) mutable {
+            // Completion order, so lines vary run to run; the records
+            // themselves are index-keyed and deterministic.
+            ++done;
+            std::string status =
+                !out.ran ? "ERROR"
+                : out.result.finished
+                    ? "ipc=" + Table::num(out.result.ipc, 4)
+                    : degradeReasonName(out.result.degrade);
+            std::fprintf(stderr, "[%zu/%zu] #%zu %s/%s %s\n", done,
+                         total, out.spec.index, out.spec.preset.c_str(),
+                         out.spec.workload.c_str(), status.c_str());
+        });
+
+    int code = exp::runSweep(spec, options, sink);
+
+    if (!jsonPath.empty()) {
+        std::ofstream out(jsonPath);
+        if (!out)
+            return fail(Error{"cannot write '" + jsonPath + "'",
+                              exit_code::badInput});
+        out << exp::sweepJson(spec, sink);
+        if (!quiet)
+            std::printf("wrote %s (%zu records)\n", jsonPath.c_str(),
+                        sink.outcomes().size());
+    }
+
+    if (!quiet) {
+        exp::aggregateTable(spec, sink).print();
+        if (!spec.baseline.empty())
+            exp::baselineTable(spec, sink).print();
+        for (const auto &out : sink.outcomes())
+            if (!out.ran)
+                std::fprintf(stderr, "sweep: job #%zu (%s/%s): %s\n",
+                             out.spec.index, out.spec.preset.c_str(),
+                             out.spec.workload.c_str(),
+                             out.error.c_str());
+    }
+    return code;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
+    if (argc >= 2 && std::string(argv[1]) == "sweep")
+        return sweepMain(argc, argv);
+
     Config cfg;
     for (int i = 1; i < argc; ++i) {
         auto parsed = cfg.tryParseAssignment(argv[i]);
