@@ -38,6 +38,12 @@ std::uint64_t splitmix64(std::uint64_t &state);
  * workload generator this way rather than sharing or splitting a live
  * Rng: a shared generator would make the stream depend on job scheduling
  * order, breaking the "-j N is bit-identical to -j 1" guarantee.
+ *
+ * Distinct consumers deriving from the same base MUST carve out
+ * disjoint index subspaces (e.g. the sweep expander uses even indices
+ * for fault streams and odd ones for workload streams): two consumers
+ * passing the same (base, index) get the identical seed, silently
+ * correlating streams that the contract promises are independent.
  */
 std::uint64_t deriveSeed(std::uint64_t base, std::uint64_t index);
 

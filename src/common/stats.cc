@@ -1,5 +1,6 @@
 #include "common/stats.hh"
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
@@ -36,16 +37,16 @@ jsonEscape(const std::string &s)
 std::string
 jsonNumber(double v)
 {
+    // JSON has no inf/nan literals; formulas with a zero denominator
+    // must still produce a parseable document.
+    if (!std::isfinite(v))
+        return "null";
     char buf[64];
     for (int precision = 15; precision <= 17; ++precision) {
         std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
         if (std::strtod(buf, nullptr) == v)
             break;
     }
-    // JSON has no inf/nan literals; formulas with a zero denominator
-    // must still produce a parseable document.
-    if (buf[0] == 'i' || buf[0] == 'n' || buf[1] == 'i')
-        return "null";
     return buf;
 }
 

@@ -1,5 +1,6 @@
 #include "exp/json.hh"
 
+#include <cstdint>
 #include <cstdlib>
 
 #include "common/logging.hh"
@@ -214,6 +215,30 @@ class JsonParser
         }
     }
 
+    /** Consume exactly four hex digits of a \u escape into @p code. */
+    Result<void>
+    hex4(unsigned &code)
+    {
+        if (pos_ + 4 > text_.size())
+            return fail("truncated \\u escape");
+        code = 0;
+        for (int i = 0; i < 4; ++i) {
+            char c = text_[pos_ + i];
+            unsigned digit;
+            if (c >= '0' && c <= '9')
+                digit = static_cast<unsigned>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                digit = static_cast<unsigned>(c - 'a') + 10;
+            else if (c >= 'A' && c <= 'F')
+                digit = static_cast<unsigned>(c - 'A') + 10;
+            else
+                return fail("bad \\u escape");
+            code = code * 16 + digit;
+        }
+        pos_ += 4;
+        return {};
+    }
+
     Result<void>
     string(std::string &out)
     {
@@ -239,22 +264,42 @@ class JsonParser
               case 'b': out += '\b'; break;
               case 'f': out += '\f'; break;
               case 'u': {
-                if (pos_ + 4 > text_.size())
-                    return fail("truncated \\u escape");
-                unsigned code = static_cast<unsigned>(std::strtoul(
-                    text_.substr(pos_, 4).c_str(), nullptr, 16));
-                pos_ += 4;
+                unsigned code;
+                if (auto r = hex4(code); !r.ok())
+                    return r.error();
+                if (code >= 0xdc00 && code < 0xe000)
+                    return fail("unpaired low surrogate");
+                std::uint32_t cp = code;
+                if (code >= 0xd800 && code < 0xdc00) {
+                    // High surrogate: must be followed by \uDC00-DFFF.
+                    if (pos_ + 2 > text_.size() || text_[pos_] != '\\'
+                        || text_[pos_ + 1] != 'u')
+                        return fail("unpaired high surrogate");
+                    pos_ += 2;
+                    unsigned low;
+                    if (auto r = hex4(low); !r.ok())
+                        return r.error();
+                    if (low < 0xdc00 || low >= 0xe000)
+                        return fail("unpaired high surrogate");
+                    cp = 0x10000 + ((code - 0xd800) << 10)
+                         + (low - 0xdc00);
+                }
                 // The simulator only ever escapes control characters;
                 // encode the code point as UTF-8 for completeness.
-                if (code < 0x80) {
-                    out += static_cast<char>(code);
-                } else if (code < 0x800) {
-                    out += static_cast<char>(0xc0 | (code >> 6));
-                    out += static_cast<char>(0x80 | (code & 0x3f));
+                if (cp < 0x80) {
+                    out += static_cast<char>(cp);
+                } else if (cp < 0x800) {
+                    out += static_cast<char>(0xc0 | (cp >> 6));
+                    out += static_cast<char>(0x80 | (cp & 0x3f));
+                } else if (cp < 0x10000) {
+                    out += static_cast<char>(0xe0 | (cp >> 12));
+                    out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+                    out += static_cast<char>(0x80 | (cp & 0x3f));
                 } else {
-                    out += static_cast<char>(0xe0 | (code >> 12));
-                    out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
-                    out += static_cast<char>(0x80 | (code & 0x3f));
+                    out += static_cast<char>(0xf0 | (cp >> 18));
+                    out += static_cast<char>(0x80 | ((cp >> 12) & 0x3f));
+                    out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+                    out += static_cast<char>(0x80 | (cp & 0x3f));
                 }
                 break;
               }

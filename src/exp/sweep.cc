@@ -246,15 +246,19 @@ SweepSpec::expand() const
                 axisKey += axes[i].key + '=' + axes[i].values[counter[i]];
             }
             for (unsigned repeat = 0; repeat < repeats; ++repeat) {
+                // Even/odd indices domain-separate the two streams:
+                // with one preset, job index == point ordinal, and a
+                // shared index space would seed the fault injector
+                // identically to the workload generator.
                 std::uint64_t workloadSeed =
-                    deriveSeed(baseSeed, pointOrdinal);
+                    deriveSeed(baseSeed, 2 * pointOrdinal + 1);
                 for (const auto &preset : presets) {
                     JobSpec job;
                     job.index = jobs.size();
                     job.preset = preset;
                     job.workload = workload;
                     job.repeat = repeat;
-                    job.jobSeed = deriveSeed(baseSeed, job.index);
+                    job.jobSeed = deriveSeed(baseSeed, 2 * job.index);
                     job.workloadSeed = workloadSeed;
                     for (std::size_t i = 0; i < axes.size(); ++i)
                         job.overrides.set(axes[i].key,

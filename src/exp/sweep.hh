@@ -21,13 +21,17 @@
  *     mem.dram_base_latency = 120, 240, 480
  *
  * Seeding contract (see rng.hh deriveSeed): every job gets
- *   - jobSeed      = deriveSeed(sweep.seed, job index) — seeds the
+ *   - jobSeed      = deriveSeed(sweep.seed, 2 * job index) — seeds the
  *     job's fault injector (unless the manifest pins fault.seed);
- *   - workloadSeed = deriveSeed(sweep.seed, point ordinal) — seeds the
- *     workload generator. The point ordinal identifies the
+ *   - workloadSeed = deriveSeed(sweep.seed, 2 * point ordinal + 1) —
+ *     seeds the workload generator. The point ordinal identifies the
  *     (workload, axis values, repeat) combination *excluding* the
  *     preset, so every preset at one sweep point runs the bit-identical
  *     program and baseline deltas compare like with like.
+ * The even/odd split domain-separates the two streams: job index and
+ * point ordinal coincide whenever there is a single preset, and a
+ * shared index space would correlate fault timing with workload
+ * randomness.
  */
 
 #ifndef SSTSIM_EXP_SWEEP_HH
@@ -50,9 +54,9 @@ struct JobSpec
     std::string preset;
     std::string workload;
     unsigned repeat = 0;
-    /** deriveSeed(sweep.seed, index): job-local streams (faults). */
+    /** deriveSeed(sweep.seed, 2*index): job-local streams (faults). */
     std::uint64_t jobSeed = 0;
-    /** deriveSeed(sweep.seed, point ordinal): workload generation. */
+    /** deriveSeed(sweep.seed, 2*ordinal+1): workload generation. */
     std::uint64_t workloadSeed = 0;
     /** Machine-config assignments for this job (axis values, plus
      *  fault.seed = jobSeed when faults are swept without a pinned

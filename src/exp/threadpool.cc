@@ -39,10 +39,12 @@ ThreadPool::~ThreadPool()
 void
 ThreadPool::submit(std::function<void()> task)
 {
+    // pending_ must rise before the task becomes findable: a worker
+    // could otherwise pop and finish it first, driving pending_ below
+    // zero and waking wait() with work still in flight.
     {
         std::lock_guard<std::mutex> lock(mutex_);
         ++pending_;
-        ++signal_;
     }
     Worker &w = *workers_[nextQueue_.fetch_add(1,
                                                std::memory_order_relaxed)
@@ -50,6 +52,15 @@ ThreadPool::submit(std::function<void()> task)
     {
         std::lock_guard<std::mutex> lock(w.mutex);
         w.deque.push_back(std::move(task));
+    }
+    // signal_ rises only after the push. A worker that scanned the
+    // deques before the push then sees signal_ != seen in its wait
+    // predicate and rescans; bumping before the push would let it
+    // read the new signal_, miss the not-yet-pushed task, and sleep
+    // through the notification (lost wakeup).
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++signal_;
     }
     workCv_.notify_one();
 }

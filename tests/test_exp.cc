@@ -38,6 +38,23 @@ TEST(ThreadPool, RunsEveryTaskExactlyOnce)
     EXPECT_EQ(pool.executed(), static_cast<std::uint64_t>(kTasks));
 }
 
+TEST(ThreadPool, SingleTaskBatchesNeverLoseTheWakeup)
+{
+    // Regression for a lost-wakeup race: submit() once bumped signal_
+    // before pushing the task, so a worker could observe the new
+    // signal_, scan the still-empty deques, and sleep through the
+    // notify with the task queued — deadlocking wait(). Single-task
+    // batches are the most race-prone shape (exactly one notify per
+    // wait), so hammer them.
+    ThreadPool pool(2);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 2000; ++i) {
+        pool.submit([&count] { ++count; });
+        pool.wait();
+    }
+    EXPECT_EQ(count.load(), 2000);
+}
+
 TEST(ThreadPool, WaitIsReusableAcrossBatches)
 {
     ThreadPool pool(3);
@@ -167,7 +184,8 @@ TEST(SweepSpec, ExpansionIsDeterministicAndSeededPerJob)
     std::set<std::uint64_t> jobSeeds;
     for (std::size_t i = 0; i < jobs.size(); ++i) {
         EXPECT_EQ(jobs[i].index, i);
-        EXPECT_EQ(jobs[i].jobSeed, deriveSeed(7, i));
+        // Even indices: the odd subspace is the workload domain.
+        EXPECT_EQ(jobs[i].jobSeed, deriveSeed(7, 2 * i));
         jobSeeds.insert(jobs[i].jobSeed);
     }
     EXPECT_EQ(jobSeeds.size(), jobs.size()) << "job seeds must differ";
@@ -185,6 +203,28 @@ TEST(SweepSpec, ExpansionIsDeterministicAndSeededPerJob)
     auto again = spec.expand();
     for (std::size_t i = 0; i < jobs.size(); ++i)
         EXPECT_EQ(jobs[i].pointKey, again[i].pointKey);
+}
+
+TEST(SweepSpec, JobAndWorkloadSeedDomainsAreDisjoint)
+{
+    // With a single preset, job index == point ordinal for every job;
+    // the even/odd domain split must still keep the fault-injector
+    // stream independent of the workload stream.
+    SweepSpec spec =
+        SweepSpec::parse("preset = sst2\nworkload = stream\n"
+                         "sweep.repeats = 4\n",
+                         "m")
+            .take();
+    auto jobs = spec.expand();
+    ASSERT_EQ(jobs.size(), 4u);
+    std::set<std::uint64_t> seeds;
+    for (const auto &job : jobs) {
+        EXPECT_NE(job.jobSeed, job.workloadSeed);
+        seeds.insert(job.jobSeed);
+        seeds.insert(job.workloadSeed);
+    }
+    EXPECT_EQ(seeds.size(), 2 * jobs.size())
+        << "fault and workload seeds must never collide";
 }
 
 TEST(SweepSpec, RejectsUnknownKeysWithSuggestion)

@@ -39,9 +39,12 @@ TEST(JsonNumber, RoundTripsExactly)
         // Deterministic: same value, same bytes.
         EXPECT_EQ(s, jsonNumber(v));
     }
-    // Non-finite values have no JSON spelling; they become null.
+    // Non-finite values have no JSON spelling; they become null —
+    // including the negative forms ("-inf"/"-nan" under %g).
     EXPECT_EQ(jsonNumber(std::numeric_limits<double>::infinity()), "null");
+    EXPECT_EQ(jsonNumber(-std::numeric_limits<double>::infinity()), "null");
     EXPECT_EQ(jsonNumber(std::numeric_limits<double>::quiet_NaN()), "null");
+    EXPECT_EQ(jsonNumber(-std::numeric_limits<double>::quiet_NaN()), "null");
 }
 
 TEST(JsonEscape, CoversControlAndQuoteCharacters)
@@ -54,6 +57,26 @@ TEST(JsonEscape, CoversControlAndQuoteCharacters)
     auto parsed = Json::parse("\"a\\\"b\\\\c\\n\\u0041\"");
     ASSERT_TRUE(parsed.ok());
     EXPECT_EQ(parsed.value().asString(), "a\"b\\c\nA");
+}
+
+TEST(JsonParse, ValidatesUnicodeEscapes)
+{
+    // Non-hex characters must fail, not silently decode a prefix.
+    EXPECT_FALSE(Json::parse("\"\\u12zz\"").ok());
+    EXPECT_FALSE(Json::parse("\"\\u12\"").ok());
+    // Lone surrogates are not scalar values.
+    EXPECT_FALSE(Json::parse("\"\\ud800\"").ok());
+    EXPECT_FALSE(Json::parse("\"\\udc00\"").ok());
+    EXPECT_FALSE(Json::parse("\"\\ud83dx\"").ok());
+    EXPECT_FALSE(Json::parse("\"\\ud83d\\u0041\"").ok());
+    // A proper pair combines into one UTF-8 code point (U+1F600).
+    auto pair = Json::parse("\"\\ud83d\\ude00\"");
+    ASSERT_TRUE(pair.ok()) << pair.error().message;
+    EXPECT_EQ(pair.value().asString(), "\xf0\x9f\x98\x80");
+    // Upper-case hex digits are fine too.
+    auto bmp = Json::parse("\"\\u20AC\"");
+    ASSERT_TRUE(bmp.ok());
+    EXPECT_EQ(bmp.value().asString(), "\xe2\x82\xac");
 }
 
 TEST(StatsJson, ScalarRoundTrip)
