@@ -2,13 +2,13 @@
  * @file
  * B1 — where the cycles go: CPI stacks per core model.
  *
- * Decomposes each model's cycles-per-instruction into the stall
- * categories its pipeline accounts (committing, operand-use stalls,
- * front-end stalls, structural stalls, SST-specific stalls and wasted
- * rollback work). Not a paper figure, but the analysis view that makes
- * F2's speedups legible: the in-order baseline drowns in use-stalls on
- * commercial code; SST converts them into overlapped misses at the
- * price of some rollback waste.
+ * Decomposes each model's cycles-per-instruction with the shared
+ * trace::CpiStack attribution (src/trace/cpistack.hh): every cycle is
+ * charged to exactly one category, so the columns sum to the CPI
+ * column. Not a paper figure, but the analysis view that makes F2's
+ * speedups legible: the in-order baseline drowns in use-stalls on
+ * commercial code; SST converts them into overlapped replay cycles at
+ * the price of some rollback-discard waste.
  */
 
 #include <cstdio>
@@ -32,9 +32,9 @@ main()
         const Workload &wl = set.get(wname);
 
         Table t("B1: " + wname);
-        t.setHeader({"preset", "CPI", "use-stall/1k", "fetch-stall/1k",
-                     "dq-full/1k", "ssq-full/1k", "discarded insts/1k",
-                     "rollbacks/1k"});
+        t.setHeader({"preset", "CPI", "base/1k", "use-stall/1k",
+                     "fetch/1k", "dq-full/1k", "ssq-full/1k",
+                     "replay/1k", "discard/1k", "rollbacks/1k"});
         for (const std::string &p :
              {std::string("inorder"), std::string("scout"),
               std::string("sst2"), std::string("sst4")}) {
@@ -42,21 +42,23 @@ main()
             double per1k = 1000.0 / static_cast<double>(r.insts);
             double cpi = static_cast<double>(r.cycles)
                          / static_cast<double>(r.insts);
-            double use = p == "inorder"
-                             ? statOf(r, ".stall_use_cycles") * per1k
-                             : statOf(r, ".ahead_stall_use") * per1k;
-            double fetch = statOf(r, ".stall_fetch_cycles") * per1k;
-            double dq = statOf(r, ".dq_full_stalls") * per1k;
-            double ssq = statOf(r, ".ssq_full_stalls") * per1k;
-            double disc = statOf(r, ".discarded_insts") * per1k;
+            double base = statOf(r, ".cpi_stack.base") * per1k;
+            double use = statOf(r, ".cpi_stack.use_stall") * per1k;
+            double fetch = statOf(r, ".cpi_stack.fetch") * per1k;
+            double dq = statOf(r, ".cpi_stack.dq_full") * per1k;
+            double ssq = statOf(r, ".cpi_stack.ssq_full") * per1k;
+            double replay = statOf(r, ".cpi_stack.replay") * per1k;
+            double disc =
+                statOf(r, ".cpi_stack.rollback_discard") * per1k;
             double rb = (statOf(r, ".fail_branch")
                          + statOf(r, ".fail_jump")
                          + statOf(r, ".fail_mem")
                          + statOf(r, ".scout_ends"))
                         * per1k;
-            t.addRow({p, Table::num(cpi, 2), Table::num(use, 1),
-                      Table::num(fetch, 1), Table::num(dq, 1),
-                      Table::num(ssq, 1), Table::num(disc, 1),
+            t.addRow({p, Table::num(cpi, 2), Table::num(base, 1),
+                      Table::num(use, 1), Table::num(fetch, 1),
+                      Table::num(dq, 1), Table::num(ssq, 1),
+                      Table::num(replay, 1), Table::num(disc, 1),
                       Table::num(rb, 2)});
         }
         t.print();

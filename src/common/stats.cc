@@ -79,7 +79,10 @@ Distribution::init(std::uint64_t max, unsigned buckets)
 {
     panic_if(buckets == 0, "Distribution needs at least one bucket");
     buckets_.assign(buckets, 0);
-    width_ = max / buckets;
+    // Ceiling division: truncation would leave the top of [0, max)
+    // spilling into overflow (e.g. max=100, buckets=8 covered only
+    // [0, 96) with width 12).
+    width_ = (max + buckets - 1) / buckets;
     if (width_ == 0)
         width_ = 1;
 }

@@ -78,7 +78,9 @@ class Distribution
 
   private:
     std::vector<std::uint64_t> buckets_;
-    std::uint64_t width_ = 1;
+    /** 0 until init(): an uninitialised distribution reports
+     *  bucket_width 0 and an empty bucket array. */
+    std::uint64_t width_ = 0;
     std::uint64_t count_ = 0;
     std::uint64_t sum_ = 0;
     std::uint64_t overflow_ = 0;

@@ -2,6 +2,7 @@
 
 #include <cstdarg>
 #include <cstdio>
+#include <cstring>
 
 #include "common/logging.hh"
 
@@ -16,6 +17,7 @@ Core::Core(const CoreParams &params, const Program &program,
       port_(port),
       predictor_(makePredictor(params.predictor)),
       stats_(params.name),
+      cpiStack_(stats_),
       committed_(stats_.addScalar("committed_insts",
                                   "architecturally retired instructions")),
       cyclesStat_(stats_.addScalar("cycles", "simulated cycles")),
@@ -45,7 +47,10 @@ Core::tick()
 {
     if (arch_.halted)
         return;
+    std::uint64_t before = committed_.value();
+    stallCat_ = trace::CpiCat::Other;
     cycle();
+    accountCycle(committed_.value() - before);
     ++now_;
     ++cyclesStat_;
 }
@@ -80,9 +85,26 @@ Core::trace(const char *fmt, ...)
                           static_cast<unsigned long long>(now_));
     va_list ap;
     va_start(ap, fmt);
-    std::vsnprintf(buf + n, sizeof(buf) - n, fmt, ap);
+    int need = std::vsnprintf(buf + n, sizeof(buf) - n, fmt, ap);
     va_end(ap);
-    traceSink_(buf);
+    if (need < 0) {
+        traceSink_(buf);
+        return;
+    }
+    if (static_cast<std::size_t>(need) < sizeof(buf) - n) {
+        traceSink_(buf);
+        return;
+    }
+    // The line didn't fit: format again into a heap buffer sized by the
+    // first pass. The va_list was consumed above, so re-va_start it.
+    std::string line(static_cast<std::size_t>(n) + need + 1, '\0');
+    std::memcpy(line.data(), buf, n);
+    va_start(ap, fmt);
+    std::vsnprintf(line.data() + n, static_cast<std::size_t>(need) + 1,
+                   fmt, ap);
+    va_end(ap);
+    line.resize(static_cast<std::size_t>(n) + need);
+    traceSink_(line);
 }
 
 Cycle
@@ -99,6 +121,8 @@ Core::fetchReady(std::uint64_t pc)
         return res.retryCycle;
     }
     lastFetchLine_ = line;
+    record(trace::TraceKind::Fetch, trace::TraceStrand::Main, pc, 0,
+           res.l1Hit ? 0 : 1);
     // The front end is pipelined: an L1I hit is hidden by the fetch
     // stages (already accounted in the mispredict penalty); only misses
     // stall the stream.

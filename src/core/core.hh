@@ -23,6 +23,8 @@
 #include "func/executor.hh"
 #include "mem/hierarchy.hh"
 #include "isa/program.hh"
+#include "trace/cpistack.hh"
+#include "trace/trace.hh"
 
 namespace sst
 {
@@ -130,6 +132,24 @@ class Core
         traceSink_ = std::move(sink);
     }
 
+    /**
+     * Attach a structured event ring (non-owning; null detaches). Only
+     * effective in builds with SST_TRACE=1 — the recording call sites
+     * compile out otherwise and the buffer simply stays empty.
+     */
+    void attachTraceBuffer(trace::TraceBuffer *buf) { traceBuf_ = buf; }
+
+    /** Per-category cycle attribution (see trace/cpistack.hh). */
+    trace::CpiStack &cpiStack() { return cpiStack_; }
+
+    /**
+     * Flush any provisionally attributed cycles so the CPI-stack
+     * categories sum exactly to the cycle count. Idempotent; called by
+     * Machine::run at harvest (models with in-flight speculation hold
+     * cycles pending until the region commits or rolls back).
+     */
+    virtual void finalizeAttribution() {}
+
   protected:
     /** True when someone is listening; guard any formatting work. */
     bool tracing() const { return static_cast<bool>(traceSink_); }
@@ -137,11 +157,50 @@ class Core
     /** Emit one trace event, prefixed with the current cycle. */
     void trace(const char *fmt, ...) __attribute__((format(printf, 2, 3)));
 
+    /** Record one structured event (no-op with SST_TRACE=0). */
+    void record(trace::TraceKind kind, trace::TraceStrand strand,
+                std::uint64_t pc, SeqNum seq = 0, std::uint32_t arg = 0)
+    {
+#if SST_TRACE
+        if (traceBuf_)
+            traceBuf_->record(
+                trace::TraceEvent{now_, pc, seq, arg, kind, strand});
+#else
+        (void)kind; (void)strand; (void)pc; (void)seq; (void)arg;
+#endif
+    }
+
+    /**
+     * Classify this cycle's stall for the CPI stack. First call per
+     * cycle wins (the oldest blocking condition is the one that
+     * mattered); retirement overrides any noted stall with Base.
+     */
+    void noteStall(trace::CpiCat cat)
+    {
+        if (stallCat_ == trace::CpiCat::Other)
+            stallCat_ = cat;
+    }
+
+    /**
+     * Charge the cycle that just ran to a CPI-stack category. The
+     * default charges Base when @p retired > 0 and the noted stall
+     * otherwise; SST overrides it to hold speculation cycles pending
+     * until the region's fate (commit or rollback) is known.
+     */
+    virtual void accountCycle(std::uint64_t retired)
+    {
+        cpiStack_.add(retired ? trace::CpiCat::Base : stallCat_);
+    }
+
   private:
     std::function<void(const std::string &)> traceSink_;
     Cycle startCycle_ = 0;
 
   protected:
+    trace::TraceBuffer *traceBuf_ = nullptr;
+    /** Stall category noted for the in-flight cycle (reset each tick). */
+    trace::CpiCat stallCat_ = trace::CpiCat::Other;
+
     /** One cycle of model-specific work (now_ already advanced). */
     virtual void cycle() = 0;
 
@@ -172,6 +231,7 @@ class Core
     ReturnAddressStack ras_;
 
     StatGroup stats_;
+    trace::CpiStack cpiStack_;
     Scalar &committed_;
     Scalar &cyclesStat_;
     Scalar &branches_;

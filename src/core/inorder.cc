@@ -52,6 +52,7 @@ InOrderCore::issueOne()
 {
     if (frontEndReadyAt_ > now_) {
         ++stallFetchCycles_;
+        noteStall(trace::CpiCat::Fetch);
         return false;
     }
     std::uint64_t pc = arch_.pc;
@@ -59,6 +60,7 @@ InOrderCore::issueOne()
     if (fetchAt > now_) {
         frontEndReadyAt_ = fetchAt;
         ++stallFetchCycles_;
+        noteStall(trace::CpiCat::Fetch);
         return false;
     }
 
@@ -70,6 +72,7 @@ InOrderCore::issueOne()
     if ((info.readsRs1 && !ready(inst.rs1))
         || (info.readsRs2 && !ready(inst.rs2))) {
         ++stallUseCycles_;
+        noteStall(trace::CpiCat::UseStall);
         return false;
     }
 
@@ -77,12 +80,14 @@ InOrderCore::issueOne()
     if (info.cls == OpClass::IntDiv || info.cls == OpClass::FpDiv) {
         if (divBusyUntil_ > now_) {
             ++stallUseCycles_;
+            noteStall(trace::CpiCat::UseStall);
             return false;
         }
     }
     if (isStore(inst.op)
         && storeBuffer_.size() >= params_.storeBufferEntries) {
         ++stallStoreBufCycles_;
+        noteStall(trace::CpiCat::StoreBuf);
         return false;
     }
     if (isLoad(inst.op)) {
@@ -91,17 +96,20 @@ InOrderCore::issueOne()
         auto res = port_.access(AccessType::Load, addr, now_);
         if (res.rejected) {
             ++stallUseCycles_;
+            noteStall(trace::CpiCat::UseStall);
             return false;
         }
         exec_.step(arch_);
         ++loadsExecuted_;
         regReady_[inst.rd] = res.readyCycle;
         ++committed_;
+        record(trace::TraceKind::Commit, trace::TraceStrand::Main, pc);
         return true;
     }
 
     StepInfo step = exec_.step(arch_);
     ++committed_;
+    record(trace::TraceKind::Commit, trace::TraceStrand::Main, pc);
 
     switch (info.cls) {
       case OpClass::Store:

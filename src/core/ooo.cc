@@ -77,17 +77,23 @@ void
 OoOCore::commitStage()
 {
     unsigned width = params_.fetchWidth;
+    if (rob_.empty())
+        noteStall(trace::CpiCat::Fetch);
     while (width-- > 0 && !rob_.empty()) {
         RobEntry &head = rob_.front();
-        if (head.state == State::Waiting || head.doneCycle > now_)
+        if (head.state == State::Waiting || head.doneCycle > now_) {
+            noteStall(trace::CpiCat::UseStall);
             break;
+        }
         if (head.isSt) {
             // Retire the store into the cache; a rejected access stalls
             // commit (finite write resources).
             auto res =
                 port_.access(AccessType::Store, head.step.effAddr, now_);
-            if (res.rejected)
+            if (res.rejected) {
+                noteStall(trace::CpiCat::StoreBuf);
                 break;
+            }
             ++storesExecuted_;
         }
         if (head.inst.op == Opcode::HALT)
@@ -95,6 +101,8 @@ OoOCore::commitStage()
         if (lastProducer_[head.inst.rd] == head.seq)
             lastProducer_[head.inst.rd] = 0;
         ++committed_;
+        record(trace::TraceKind::Commit, trace::TraceStrand::Main,
+               head.pc, head.seq);
         rob_.pop_front();
         if (arch_.halted)
             return;

@@ -88,6 +88,8 @@ SmtCore::tick()
 {
     if (halted())
         return;
+    std::uint64_t before = totalInstsRetired();
+    stallCat_ = trace::CpiCat::Other;
     drainStoreBuffer();
 
     // Round-robin priority; a blocked context donates its slots.
@@ -114,6 +116,8 @@ SmtCore::tick()
             break;
     }
 
+    cpiStack_.add(totalInstsRetired() > before ? trace::CpiCat::Base
+                                               : stallCat_);
     ++now_;
     ++cyclesStat_;
 }
@@ -152,12 +156,15 @@ SmtCore::fetchReady(Context &ctx)
 bool
 SmtCore::issueOne(Context &ctx)
 {
-    if (ctx.frontEndReadyAt > now_)
+    if (ctx.frontEndReadyAt > now_) {
+        noteStall(trace::CpiCat::Fetch);
         return false;
+    }
     std::uint64_t pc = ctx.arch.pc;
     Cycle fetch_at = fetchReady(ctx);
     if (fetch_at > now_) {
         ctx.frontEndReadyAt = fetch_at;
+        noteStall(trace::CpiCat::Fetch);
         return false;
     }
 
@@ -168,32 +175,44 @@ SmtCore::issueOne(Context &ctx)
         return r == 0 || ctx.regReady[r] <= now_;
     };
     if ((info.readsRs1 && !ready(inst.rs1))
-        || (info.readsRs2 && !ready(inst.rs2)))
+        || (info.readsRs2 && !ready(inst.rs2))) {
+        noteStall(trace::CpiCat::UseStall);
         return false;
+    }
 
     if ((info.cls == OpClass::IntDiv || info.cls == OpClass::FpDiv)
-        && divBusyUntil_ > now_)
+        && divBusyUntil_ > now_) {
+        noteStall(trace::CpiCat::UseStall);
         return false;
+    }
     if (isStore(inst.op)
-        && storeBuffer_.size() >= params_.storeBufferEntries)
+        && storeBuffer_.size() >= params_.storeBufferEntries) {
+        noteStall(trace::CpiCat::StoreBuf);
         return false;
+    }
 
+    std::uint32_t tid =
+        static_cast<std::uint32_t>(&ctx - contexts_.data());
     if (isLoad(inst.op)) {
         Addr addr = semantics::effectiveAddr(inst, ctx.arch.reg(inst.rs1))
                     + ctx.salt;
         auto res = port_.access(AccessType::Load, addr, now_);
-        if (res.rejected)
+        if (res.rejected) {
+            noteStall(trace::CpiCat::UseStall);
             return false;
+        }
         Executor exec(*ctx.program, *ctx.memory);
         exec.step(ctx.arch);
         ctx.regReady[inst.rd] = res.readyCycle;
         ++*ctx.committed;
+        record(trace::TraceKind::Commit, pc, 0, tid);
         return true;
     }
 
     Executor exec(*ctx.program, *ctx.memory);
     StepInfo step = exec.step(ctx.arch);
     ++*ctx.committed;
+    record(trace::TraceKind::Commit, pc, 0, tid);
 
     switch (info.cls) {
       case OpClass::Store:

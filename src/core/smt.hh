@@ -66,6 +66,13 @@ class SmtCore
     const ArchState &archState(unsigned tid) const;
     StatGroup &stats() { return stats_; }
 
+    /** Attach a structured event ring (see Core::attachTraceBuffer). */
+    void attachTraceBuffer(trace::TraceBuffer *buf) { traceBuf_ = buf; }
+
+    /** Per-category cycle attribution; complete after the last tick()
+     *  (SMT holds nothing pending, so no finalize step is needed). */
+    trace::CpiStack &cpiStack() { return cpiStack_; }
+
   private:
     struct Context
     {
@@ -86,6 +93,26 @@ class SmtCore
     void drainStoreBuffer();
     Cycle fetchReady(Context &ctx);
 
+    /** Record one structured event (no-op with SST_TRACE=0). */
+    void record(trace::TraceKind kind, std::uint64_t pc, SeqNum seq = 0,
+                std::uint32_t arg = 0)
+    {
+#if SST_TRACE
+        if (traceBuf_)
+            traceBuf_->record(trace::TraceEvent{
+                now_, pc, seq, arg, kind, trace::TraceStrand::Main});
+#else
+        (void)kind; (void)pc; (void)seq; (void)arg;
+#endif
+    }
+
+    /** First noted stall per cycle wins (see Core::noteStall). */
+    void noteStall(trace::CpiCat cat)
+    {
+        if (stallCat_ == trace::CpiCat::Other)
+            stallCat_ = cat;
+    }
+
     CoreParams params_;
     CorePort &port_;
     Cycle now_ = 0;
@@ -105,10 +132,13 @@ class SmtCore
     std::deque<PendingStore> storeBuffer_;
 
     StatGroup stats_;
+    trace::CpiStack cpiStack_{stats_};
     Scalar &cyclesStat_;
     Scalar &branches_;
     Scalar &mispredicts_;
     Scalar &slotConflictCycles_;
+    trace::TraceBuffer *traceBuf_ = nullptr;
+    trace::CpiCat stallCat_ = trace::CpiCat::Other;
 };
 
 } // namespace sst

@@ -140,6 +140,8 @@ void
 SstCore::defer(DqEntry entry, bool reserve_ssq_slot)
 {
     ++deferredInsts_;
+    record(trace::TraceKind::Defer, trace::TraceStrand::Ahead, entry.pc,
+           entry.seq);
     if (tracing())
         trace("DEFER seq=%llu pc=%llu %s",
               static_cast<unsigned long long>(entry.seq),
@@ -194,6 +196,8 @@ SstCore::drainSsqUpTo(SeqNum bound)
         memory_.write(it->addr, it->value, it->size);
         storeBuffer_.push_back(PendingStore{it->addr, it->size, now_});
         ++storesExecuted_;
+        record(trace::TraceKind::SsqDrain, trace::TraceStrand::Main,
+               it->addr, it->seq, it->size);
         ++it;
     }
     ssq_.erase(ssq_.begin(), it);
@@ -290,12 +294,15 @@ SstCore::normalCycle()
 bool
 SstCore::normalIssueOne()
 {
-    if (frontEndReadyAt_ > now_)
+    if (frontEndReadyAt_ > now_) {
+        noteStall(trace::CpiCat::Fetch);
         return false;
+    }
     std::uint64_t pc = arch_.pc;
     Cycle fetch_at = fetchReady(pc);
     if (fetch_at > now_) {
         frontEndReadyAt_ = fetch_at;
+        noteStall(trace::CpiCat::Fetch);
         return false;
     }
 
@@ -304,18 +311,24 @@ SstCore::normalIssueOne()
 
     auto ready = [&](RegId r) { return r == 0 || regReady_[r] <= now_; };
     if ((info.readsRs1 && !ready(inst.rs1))
-        || (info.readsRs2 && !ready(inst.rs2)))
+        || (info.readsRs2 && !ready(inst.rs2))) {
+        noteStall(trace::CpiCat::UseStall);
         return false;
+    }
 
     if ((info.cls == OpClass::IntDiv || info.cls == OpClass::FpDiv)
-        && divBusyUntil_ > now_)
+        && divBusyUntil_ > now_) {
+        noteStall(trace::CpiCat::UseStall);
         return false;
+    }
 
     if (isLoad(inst.op)) {
         Addr addr = semantics::effectiveAddr(inst, arch_.reg(inst.rs1));
         auto res = port_.access(AccessType::Load, addr, now_);
-        if (res.rejected)
+        if (res.rejected) {
+            noteStall(trace::CpiCat::UseStall);
             return false;
+        }
         bool trigger = !res.l1Hit
                        && (!params_.deferOnL2MissOnly || !res.l2Hit);
         if (trigger && pc != suppressTriggerPc_) {
@@ -332,6 +345,8 @@ SstCore::normalIssueOne()
         exec.step(arch_);
         ++loadsExecuted_;
         regReady_[inst.rd] = res.readyCycle;
+        record(trace::TraceKind::Commit, trace::TraceStrand::Main, pc,
+               nextSeq_);
         ++nextSeq_;
         ++committed_;
         return true;
@@ -339,6 +354,8 @@ SstCore::normalIssueOne()
 
     Executor exec(program_, memory_);
     StepInfo step = exec.step(arch_);
+    record(trace::TraceKind::Commit, trace::TraceStrand::Main, pc,
+           nextSeq_);
     ++nextSeq_;
     ++committed_;
 
@@ -383,6 +400,8 @@ SstCore::enterSpeculation(std::uint64_t trigger_pc, Cycle trigger_ready)
     // because the ahead strand's re-execution of the load may already
     // hit (the fill can land before the strand reaches it).
     epochs_.back().triggerReady = trigger_ready;
+    record(trace::TraceKind::Trigger, trace::TraceStrand::Ahead,
+           trigger_pc, nextSeq_);
     if (tracing())
         trace("TRIGGER pc=%llu data_at=%llu",
               static_cast<unsigned long long>(trigger_pc),
@@ -414,6 +433,8 @@ SstCore::takeCheckpoint(std::uint64_t trigger_pc, SeqNum start_seq)
         e.naWriter = naWriter_;
     }
     e.predictorHistory = predictor_->snapshotHistory();
+    record(trace::TraceKind::Checkpoint, trace::TraceStrand::Ahead,
+           trigger_pc, start_seq, e.id);
     if (tracing())
         trace("CHECKPOINT id=%u pc=%llu live=%zu", e.id,
               static_cast<unsigned long long>(trigger_pc),
@@ -460,12 +481,14 @@ SstCore::aheadIssueOne()
     if (!timing_ready(info.readsRs1, na1, inst.rs1)
         || !timing_ready(info.readsRs2, na2, inst.rs2)) {
         ++aheadStallUseCycles_;
+        noteStall(trace::CpiCat::UseStall);
         return false;
     }
 
     if ((info.cls == OpClass::IntDiv || info.cls == OpClass::FpDiv)
         && aheadDivBusyUntil_ > now_) {
         ++aheadStallUseCycles_;
+        noteStall(trace::CpiCat::UseStall);
         return false;
     }
 
@@ -499,11 +522,13 @@ SstCore::aheadIssueOne()
         // ---- deferral path ----
         if (!discard && dqOccupancy() >= dqCapacity_) {
             ++dqFullStallCycles_;
+            noteStall(trace::CpiCat::DqFull);
             return false;
         }
         bool is_store = isStore(inst.op);
         if (is_store && ssqOccupancy() >= ssqCapacity_) {
             ++ssqFullStallCycles_;
+            noteStall(trace::CpiCat::SsqFull);
             return false;
         }
 
@@ -603,6 +628,7 @@ SstCore::aheadIssueOne()
         if (mem_producer != 0 && !discard) {
             if (dqOccupancy() >= dqCapacity_) {
                 ++dqFullStallCycles_;
+                noteStall(trace::CpiCat::DqFull);
                 return false;
             }
             DqEntry entry;
@@ -625,6 +651,7 @@ SstCore::aheadIssueOne()
         auto res = port_.access(AccessType::Load, addr, now_);
         if (res.rejected) {
             ++aheadStallUseCycles_;
+            noteStall(trace::CpiCat::UseStall);
             return false;
         }
 
@@ -672,12 +699,15 @@ SstCore::aheadIssueOne()
             // keeps this safe.
         }
         ++specLoads_;
+        record(trace::TraceKind::Exec, trace::TraceStrand::Ahead, pc, seq,
+               res.l1Hit ? 0 : 1);
         aheadPc_ = pc + 1;
         return true;
       }
       case OpClass::Store: {
         if (ssqOccupancy() >= ssqCapacity_) {
             ++ssqFullStallCycles_;
+            noteStall(trace::CpiCat::SsqFull);
             return false;
         }
         SeqNum seq = nextSeq_++;
@@ -690,6 +720,7 @@ SstCore::aheadIssueOne()
         // Scout also queues the store so younger speculative loads can
         // forward from it; the queue is simply discarded at scout end.
         ssq_.push_back(st);
+        record(trace::TraceKind::Exec, trace::TraceStrand::Ahead, pc, seq);
         aheadPc_ = pc + 1;
         return true;
       }
@@ -748,7 +779,6 @@ SstCore::aheadIssueOne()
       }
       default: {
         SeqNum seq = nextSeq_++;
-        (void)seq;
         std::uint64_t val = semantics::aluOp(inst, v1, v2);
         if (info.writesRd && inst.rd != 0) {
             specRegs_[inst.rd] = val;
@@ -757,6 +787,7 @@ SstCore::aheadIssueOne()
         }
         if (info.cls == OpClass::IntDiv || info.cls == OpClass::FpDiv)
             aheadDivBusyUntil_ = now_ + info.latency;
+        record(trace::TraceKind::Exec, trace::TraceStrand::Ahead, pc, seq);
         aheadPc_ = pc + 1;
         return true;
       }
@@ -806,6 +837,8 @@ SstCore::replayStrand(unsigned slots)
 
         if (pending) {
             ++redeferredInsts_;
+            record(trace::TraceKind::Redefer, trace::TraceStrand::Behind,
+                   entry.pc, entry.seq);
             epoch.redeferred.push_back(std::move(entry));
             epoch.dq.pop_front();
             continue; // bookkeeping only; no execution slot consumed
@@ -827,6 +860,8 @@ SstCore::replayStrand(unsigned slots)
                 entry.requestIssued = true;
                 entry.readyCycle = res.readyCycle;
                 ++redeferredInsts_;
+                record(trace::TraceKind::Redefer,
+                       trace::TraceStrand::Behind, entry.pc, entry.seq, 1);
                 epoch.redeferred.push_back(std::move(entry));
                 epoch.dq.pop_front();
                 ++used;
@@ -899,6 +934,8 @@ SstCore::replayStrand(unsigned slots)
           }
         }
 
+        record(trace::TraceKind::Replay, trace::TraceStrand::Behind,
+               entry.pc, entry.seq);
         if (tracing())
             trace("REPLAY seq=%llu pc=%llu %s",
                   static_cast<unsigned long long>(entry.seq),
@@ -952,11 +989,18 @@ SstCore::commitOldestEpoch()
     std::erase_if(loadLog_, [&](const SpecLoad &ld) {
         return ld.seq < next.startSeq;
     });
+    record(trace::TraceKind::Commit, trace::TraceStrand::Main, front.pc,
+           front.startSeq, static_cast<std::uint32_t>(insts));
     if (tracing())
         trace("COMMIT epoch=%u insts=%llu", front.id,
               static_cast<unsigned long long>(insts));
     epochs_.pop_front();
     ++epochsCommitted_;
+    // The oldest region retired: pending speculation cycles keep their
+    // provisional categories. (Cycles of still-live younger epochs are
+    // folded in too — a deliberate approximation; a later rollback only
+    // discards work done after this point.)
+    flushPendingSpec(false);
 }
 
 void
@@ -982,10 +1026,13 @@ SstCore::commitAll()
         arch_.halted = true;
     ++epochsCommitted_;
     ++fullCommits_;
+    record(trace::TraceKind::Commit, trace::TraceStrand::Main, arch_.pc,
+           nextSeq_, static_cast<std::uint32_t>(insts));
     if (tracing())
         trace("COMMIT_ALL insts=%llu pc=%llu",
               static_cast<unsigned long long>(insts),
               static_cast<unsigned long long>(arch_.pc));
+    flushPendingSpec(false);
 }
 
 void
@@ -1001,12 +1048,16 @@ SstCore::rollback(FailKind kind)
       case FailKind::Forced: ++failForced_; break;
     }
 
+    record(trace::TraceKind::Rollback, trace::TraceStrand::Main, front.pc,
+           front.startSeq, static_cast<std::uint32_t>(kind));
     if (tracing())
         trace("ROLLBACK kind=%d to_pc=%llu discarded=%llu",
               static_cast<int>(kind),
               static_cast<unsigned long long>(front.pc),
               static_cast<unsigned long long>(nextSeq_
                                               - front.startSeq));
+    // Every speculation cycle of this region was wasted work.
+    flushPendingSpec(true);
     // Committed state is exactly the front checkpoint; re-execute from
     // its trigger PC (whose data has normally arrived by now).
     arch_.pc = front.pc;
@@ -1035,6 +1086,44 @@ SstCore::rollback(FailKind kind)
     unverifiedBranches_ = 0;
     na_.fill(false);
     naWriter_.fill(0);
+}
+
+void
+SstCore::accountCycle(std::uint64_t retired)
+{
+    // Cycles spent inside a speculation region can't be classified yet:
+    // the region's fate decides whether they were useful overlap
+    // (replay / queue-pressure) or discarded work. Hold them pending.
+    // epochs_ is the post-cycle() state, so a mid-cycle commit-all
+    // (retired > 0) or rollback is already accounted correctly.
+    if (!epochs_.empty() && retired == 0) {
+        trace::CpiCat cat = (stallCat_ == trace::CpiCat::DqFull
+                             || stallCat_ == trace::CpiCat::SsqFull)
+                                ? stallCat_
+                                : trace::CpiCat::Replay;
+        ++pendingSpec_[static_cast<std::size_t>(cat)];
+        return;
+    }
+    Core::accountCycle(retired);
+}
+
+void
+SstCore::flushPendingSpec(bool discarded)
+{
+    for (std::size_t i = 0; i < trace::numCpiCats; ++i) {
+        if (pendingSpec_[i] == 0)
+            continue;
+        cpiStack_.add(discarded ? trace::CpiCat::RollbackDiscard
+                                : static_cast<trace::CpiCat>(i),
+                      pendingSpec_[i]);
+        pendingSpec_[i] = 0;
+    }
+}
+
+void
+SstCore::finalizeAttribution()
+{
+    flushPendingSpec(false);
 }
 
 bool

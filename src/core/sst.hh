@@ -66,8 +66,16 @@ class SstCore : public Core
     /** Watchdog escalation: roll back and suppress the trigger PC. */
     bool degradeSpeculation() override;
 
+    /** Flush speculating cycles still awaiting their region's fate. */
+    void finalizeAttribution() override;
+
   protected:
     void cycle() override;
+
+    /** In-speculation cycles are attributed provisionally: their final
+     *  category depends on whether the region commits (replay /
+     *  dq_full / ssq_full) or rolls back (rollback_discard). */
+    void accountCycle(std::uint64_t retired) override;
 
   private:
     /** One operand of a deferred instruction. */
@@ -183,6 +191,15 @@ class SstCore : public Core
     /** True when a replayed store to [addr, addr+size) conflicts with a
      *  logged younger speculative load. */
     bool storeConflicts(SeqNum store_seq, Addr addr, unsigned size) const;
+
+    /** Move pending speculation cycles into the CPI stack: to their
+     *  provisional categories on commit, to RollbackDiscard when
+     *  @p discarded. */
+    void flushPendingSpec(bool discarded);
+
+    /** Speculating cycles charged but not yet assigned a final CPI
+     *  category (indexed by provisional CpiCat). */
+    std::array<std::uint64_t, trace::numCpiCats> pendingSpec_{};
 
     // --- ahead-strand speculative register view ---
     std::array<std::uint64_t, numArchRegs> specRegs_{};

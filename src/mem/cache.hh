@@ -19,6 +19,7 @@
 #include "common/rng.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "trace/trace.hh"
 
 namespace sst
 {
@@ -97,6 +98,14 @@ class Cache
     std::uint64_t hits() const { return hits_.value(); }
     std::uint64_t misses() const { return misses_.value(); }
 
+    /** Emit a Fill event for every line install into @p buf, tagged with
+     *  this cache's @p level (1 = L1, 2 = L2). Null detaches. */
+    void setTrace(trace::TraceBuffer *buf, std::uint32_t level)
+    {
+        traceBuf_ = buf;
+        traceLevel_ = level;
+    }
+
   private:
     struct Line
     {
@@ -128,6 +137,9 @@ class Cache
     Scalar &misses_;
     Scalar &evictions_;
     Scalar &writebacks_;
+
+    trace::TraceBuffer *traceBuf_ = nullptr;
+    std::uint32_t traceLevel_ = 0;
 };
 
 } // namespace sst

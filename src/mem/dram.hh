@@ -18,6 +18,7 @@
 
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "trace/trace.hh"
 
 namespace sst
 {
@@ -52,6 +53,9 @@ class Dram
     /** Reset bank/channel state (not stats). */
     void drain();
 
+    /** Emit a Fill event (level 3) per access into @p buf. */
+    void setTrace(trace::TraceBuffer *buf) { traceBuf_ = buf; }
+
   private:
     struct Bank
     {
@@ -70,6 +74,8 @@ class Dram
     Scalar &rowMisses_;
     Scalar &channelStallCycles_;
     Distribution &latency_;
+
+    trace::TraceBuffer *traceBuf_ = nullptr;
 };
 
 } // namespace sst

@@ -49,6 +49,9 @@ Cmp::run(std::uint64_t max_cycles)
         ++cycle;
     }
 
+    for (auto &core : cores_)
+        core->finalizeAttribution();
+
     CmpResult res;
     res.preset = config_.presetName;
     res.cores = static_cast<unsigned>(cores_.size());

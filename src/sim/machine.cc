@@ -72,6 +72,16 @@ Machine::Machine(const MachineConfig &config, const Program &program)
     core_ = makeCore(config_, program_, image_, port);
 }
 
+void
+Machine::attachTraceBuffer(trace::TraceBuffer *buf)
+{
+    core_->attachTraceBuffer(buf);
+    core_->port().l1i().setTrace(buf, 1);
+    core_->port().l1d().setTrace(buf, 1);
+    memsys_.l2().setTrace(buf, 2);
+    memsys_.dram().setTrace(buf);
+}
+
 RunResult
 Machine::run(std::uint64_t max_cycles)
 {
@@ -84,6 +94,8 @@ Machine::run(std::uint64_t max_cycles)
             break;
         }
     }
+
+    core_->finalizeAttribution();
 
     RunResult res;
     res.preset = config_.presetName;

@@ -103,6 +103,10 @@ class Machine
     MemoryImage &image() { return image_; }
     const MachineConfig &config() const { return config_; }
 
+    /** Route structured pipeline + cache-fill events from the core and
+     *  every hierarchy level into @p buf (null detaches everywhere). */
+    void attachTraceBuffer(trace::TraceBuffer *buf);
+
   private:
     MachineConfig config_;
     const Program &program_;

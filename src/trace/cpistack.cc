@@ -1,0 +1,68 @@
+#include "trace/cpistack.hh"
+
+#include "common/logging.hh"
+
+namespace sst::trace
+{
+
+const char *
+cpiCatName(CpiCat cat)
+{
+    switch (cat) {
+      case CpiCat::Base: return "base";
+      case CpiCat::Fetch: return "fetch";
+      case CpiCat::UseStall: return "use_stall";
+      case CpiCat::StoreBuf: return "storebuf";
+      case CpiCat::DqFull: return "dq_full";
+      case CpiCat::SsqFull: return "ssq_full";
+      case CpiCat::Replay: return "replay";
+      case CpiCat::RollbackDiscard: return "rollback_discard";
+      case CpiCat::Other: return "other";
+      case CpiCat::NumCats: break;
+    }
+    panic("bad CpiCat %d", static_cast<int>(cat));
+}
+
+const char *
+cpiCatDesc(CpiCat cat)
+{
+    switch (cat) {
+      case CpiCat::Base: return "cycles with >=1 retirement";
+      case CpiCat::Fetch: return "cycles stalled on the front end";
+      case CpiCat::UseStall:
+        return "cycles stalled on operand use (non-speculative)";
+      case CpiCat::StoreBuf:
+        return "cycles stalled on store-side structural limits";
+      case CpiCat::DqFull:
+        return "speculating cycles blocked on a full DQ";
+      case CpiCat::SsqFull:
+        return "speculating cycles blocked on a full SSQ";
+      case CpiCat::Replay:
+        return "committed speculation cycles overlapping misses";
+      case CpiCat::RollbackDiscard:
+        return "speculation cycles discarded by rollback";
+      case CpiCat::Other: return "unattributed cycles";
+      case CpiCat::NumCats: break;
+    }
+    panic("bad CpiCat %d", static_cast<int>(cat));
+}
+
+CpiStack::CpiStack(StatGroup &parent)
+{
+    for (std::size_t i = 0; i < numCpiCats; ++i) {
+        CpiCat cat = static_cast<CpiCat>(i);
+        cats_[i] = &group_.addScalar(cpiCatName(cat), cpiCatDesc(cat));
+    }
+    parent.addChild(group_);
+}
+
+std::uint64_t
+CpiStack::total() const
+{
+    std::uint64_t n = 0;
+    for (const Scalar *s : cats_)
+        n += s->value();
+    return n;
+}
+
+} // namespace sst::trace

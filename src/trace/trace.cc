@@ -1,0 +1,68 @@
+#include "trace/trace.hh"
+
+#include "common/logging.hh"
+
+namespace sst::trace
+{
+
+const char *
+traceKindName(TraceKind kind)
+{
+    switch (kind) {
+      case TraceKind::Fetch: return "fetch";
+      case TraceKind::Exec: return "exec";
+      case TraceKind::Defer: return "defer";
+      case TraceKind::Replay: return "replay";
+      case TraceKind::Redefer: return "redefer";
+      case TraceKind::Trigger: return "trigger";
+      case TraceKind::Checkpoint: return "checkpoint";
+      case TraceKind::Commit: return "commit";
+      case TraceKind::Rollback: return "rollback";
+      case TraceKind::SsqDrain: return "ssq_drain";
+      case TraceKind::Fill: return "fill";
+      case TraceKind::NumKinds: break;
+    }
+    panic("bad TraceKind %d", static_cast<int>(kind));
+}
+
+const char *
+traceStrandName(TraceStrand strand)
+{
+    switch (strand) {
+      case TraceStrand::Main: return "main/commit";
+      case TraceStrand::Ahead: return "ahead strand";
+      case TraceStrand::Behind: return "behind strand";
+      case TraceStrand::Mem: return "memory";
+      case TraceStrand::NumStrands: break;
+    }
+    panic("bad TraceStrand %d", static_cast<int>(strand));
+}
+
+TraceBuffer::TraceBuffer(std::size_t capacity)
+    : capacity_(capacity ? capacity : 1)
+{
+    events_.reserve(capacity_ < defaultCapacity ? capacity_
+                                                : defaultCapacity);
+}
+
+std::vector<TraceEvent>
+TraceBuffer::snapshot() const
+{
+    std::vector<TraceEvent> out;
+    out.reserve(events_.size());
+    // oldest_ is 0 until the ring wraps, so this covers both cases.
+    for (std::size_t i = 0; i < events_.size(); ++i)
+        out.push_back(events_[(oldest_ + i) % events_.size()]);
+    return out;
+}
+
+void
+TraceBuffer::clear()
+{
+    events_.clear();
+    oldest_ = 0;
+    recorded_ = 0;
+    dropped_ = 0;
+}
+
+} // namespace sst::trace

@@ -1,0 +1,126 @@
+/** @file Tests for CPI-stack cycle attribution (src/trace/cpistack). */
+
+#include <gtest/gtest.h>
+
+#include "core/smt.hh"
+#include "sim_test_util.hh"
+#include "trace/cpistack.hh"
+
+using namespace sst;
+using namespace sst::test;
+
+namespace
+{
+
+// A load miss plus a dependent chain, so every model sees both retiring
+// and stalling cycles.
+const char *kMissChain = R"(
+    li   x1, 0x200000
+    ld   x2, 0(x1)
+    add  x3, x2, x2
+    add  x4, x3, x3
+    addi x5, x0, 7
+    halt
+    .data 0x200000
+    .word 21
+)";
+
+void
+expectSumsToCycles(const std::string &model, CoreParams params)
+{
+    CoreRun r = makeRun(model, kMissChain, params);
+    r.run();
+    r.core->finalizeAttribution();
+    EXPECT_TRUE(r.archMatchesGolden()) << model;
+    EXPECT_EQ(r.core->cpiStack().total(), r.core->cycles()) << model;
+    EXPECT_GT(r.core->cpiStack().value(trace::CpiCat::Base), 0u)
+        << model;
+}
+
+} // namespace
+
+TEST(CpiStack, InOrderSumsToCycles)
+{
+    expectSumsToCycles("inorder", CoreParams{});
+}
+
+TEST(CpiStack, OoOSumsToCycles)
+{
+    expectSumsToCycles("ooo", CoreParams{});
+}
+
+TEST(CpiStack, SstSumsToCycles)
+{
+    expectSumsToCycles("sst", sstParams(2));
+}
+
+TEST(CpiStack, ScoutSumsToCycles)
+{
+    expectSumsToCycles("sst", sstParams(1, true));
+}
+
+TEST(CpiStack, SstChargesSpeculationCycles)
+{
+    CoreRun r = makeRun("sst", kMissChain, sstParams(2));
+    r.run();
+    r.core->finalizeAttribution();
+    // The region committed, so speculating cycles landed in replay (or
+    // the queue-pressure categories), not in rollback_discard.
+    trace::CpiStack &stack = r.core->cpiStack();
+    EXPECT_GT(stack.value(trace::CpiCat::Replay), 0u);
+    EXPECT_EQ(stack.value(trace::CpiCat::RollbackDiscard), 0u);
+}
+
+TEST(CpiStack, ScoutChargesDiscardedWork)
+{
+    CoreRun r = makeRun("sst", kMissChain, sstParams(1, true));
+    r.run();
+    r.core->finalizeAttribution();
+    // Every scout region ends in a rollback: its speculation cycles are
+    // all wasted work by construction.
+    trace::CpiStack &stack = r.core->cpiStack();
+    EXPECT_GT(stack.value(trace::CpiCat::RollbackDiscard), 0u);
+    EXPECT_EQ(stack.value(trace::CpiCat::Replay), 0u);
+}
+
+TEST(CpiStack, FinalizeIsIdempotent)
+{
+    CoreRun r = makeRun("sst", kMissChain, sstParams(2));
+    r.run();
+    r.core->finalizeAttribution();
+    std::uint64_t total = r.core->cpiStack().total();
+    r.core->finalizeAttribution();
+    EXPECT_EQ(r.core->cpiStack().total(), total);
+}
+
+TEST(CpiStack, SmtSumsToCycles)
+{
+    Program pa = assemble(R"(
+        li   x1, 0x200000
+        ld   x2, 0(x1)
+        add  x3, x2, x2
+        halt
+        .data 0x200000
+        .word 5
+    )",
+                          "smt_a");
+    Program pb = assemble(R"(
+        addi x1, x0, 10
+        addi x2, x1, 10
+        addi x3, x2, 10
+        halt
+    )",
+                          "smt_b");
+    MemoryImage ma, mb;
+    ma.loadSegments(pa);
+    mb.loadSegments(pb);
+    MemorySystem memsys{HierarchyParams{}};
+    CorePort &port = memsys.addCore();
+    SmtCore core(CoreParams{}, {&pa, &pb}, {&ma, &mb}, port);
+    std::uint64_t guard = 0;
+    while (!core.halted() && guard++ < 1'000'000)
+        core.tick();
+    ASSERT_TRUE(core.halted());
+    EXPECT_EQ(core.cpiStack().total(), core.cycles());
+    EXPECT_GT(core.cpiStack().value(trace::CpiCat::Base), 0u);
+}

@@ -157,6 +157,84 @@ TEST(SstCore, SpeculativeStoreForwardsToSpeculativeLoad)
     EXPECT_EQ(r.core->archState().reg(5), 1116u);
 }
 
+TEST(SstCore, SsqForwardsLoadSpanningTwoStores)
+{
+    // An 8-byte load whose bytes come from two adjacent resolved
+    // 4-byte speculative stores: specMemRead must byte-merge both.
+    const char *src = R"(
+        li  x1, 0x200000
+        li  x7, 0x300000
+        ld  x2, 0(x1)      ; trigger miss
+        li  x3, 0x1111
+        li  x4, 0x2222
+        sw  x3, 0(x7)      ; bytes [0,4)
+        sw  x4, 4(x7)      ; bytes [4,8)
+        ld  x5, 0(x7)      ; spans both stores
+        add x6, x5, x2
+        halt
+        .data 0x200000
+        .word 5
+    )";
+    CoreRun r = makeRun("sst", src, sstParams(2));
+    r.run();
+    EXPECT_TRUE(r.archMatchesGolden());
+    EXPECT_EQ(r.core->archState().reg(5), 0x0000222200001111ull);
+    EXPECT_EQ(stat(*r.core, ".fail_mem"), 0.0);
+}
+
+TEST(SstCore, SsqForwardsPartOfWiderStore)
+{
+    // A 4-byte load entirely inside an 8-byte store must extract the
+    // right byte range (here the upper word) from the SSQ entry.
+    const char *src = R"(
+        li   x1, 0x200000
+        li   x7, 0x300000
+        ld   x2, 0(x1)      ; trigger miss
+        li   x3, 0x1111
+        slli x3, x3, 32
+        ori  x3, x3, 0x2222 ; x3 = 0x00001111_00002222
+        st   x3, 0(x7)      ; 8-byte store
+        lw   x4, 4(x7)      ; upper word only
+        add  x5, x4, x2
+        halt
+        .data 0x200000
+        .word 5
+    )";
+    CoreRun r = makeRun("sst", src, sstParams(2));
+    r.run();
+    EXPECT_TRUE(r.archMatchesGolden());
+    EXPECT_EQ(r.core->archState().reg(4), 0x1111u);
+    EXPECT_EQ(stat(*r.core, ".fail_mem"), 0.0);
+}
+
+TEST(SstCore, LoadOverlappingUnresolvedStoreDefers)
+{
+    // The load spans one resolved store and one whose data is still NA
+    // (address known): it must park on the unresolved store instead of
+    // forwarding a half-stale value — no conflict rollback afterwards.
+    const char *src = R"(
+        li  x1, 0x200000
+        li  x7, 0x300000
+        ld  x2, 0(x1)      ; trigger miss, x2 NA
+        li  x3, 0x55
+        sw  x3, 0(x7)      ; resolved, bytes [0,4)
+        sw  x2, 4(x7)      ; NA data, known address -> unresolved slot
+        ld  x4, 0(x7)      ; overlaps the unresolved store: must defer
+        add x5, x4, x0
+        halt
+        .data 0x200000
+        .word 5
+    )";
+    CoreRun r = makeRun("sst", src, sstParams(2));
+    r.run();
+    EXPECT_TRUE(r.archMatchesGolden());
+    EXPECT_EQ(r.core->archState().reg(4), 0x0000000500000055ull);
+    // Deferred set: sw (NA data), ld (memory dependence), add (NA x4).
+    EXPECT_GE(stat(*r.core, ".deferred_insts"), 3.0);
+    EXPECT_EQ(stat(*r.core, ".fail_mem"), 0.0);
+    EXPECT_GE(stat(*r.core, ".full_commits"), 1.0);
+}
+
 TEST(SstCore, StoresHeldUntilCommit)
 {
     // While speculating, the memory image must not contain speculative

@@ -44,6 +44,26 @@ TEST(Distribution, BucketsAndOverflow)
     EXPECT_EQ(d.maxSample(), 250u);
 }
 
+TEST(Distribution, BucketWidthRoundsUp)
+{
+    // Regression: truncating division left the top of [0, max) in
+    // overflow — init(100, 8) gave width 12, covering only [0, 96).
+    Distribution d;
+    d.init(100, 8);
+    EXPECT_EQ(d.bucketWidth(), 13u);
+    d.sample(96);
+    d.sample(99);
+    EXPECT_EQ(d.buckets()[7], 2u);
+    EXPECT_EQ(d.overflow(), 0u);
+
+    Distribution e;
+    e.init(10, 3); // ceil(10/3) = 4
+    EXPECT_EQ(e.bucketWidth(), 4u);
+    e.sample(9);
+    EXPECT_EQ(e.buckets()[2], 1u);
+    EXPECT_EQ(e.overflow(), 0u);
+}
+
 TEST(Distribution, MeanExactDespiteOverflow)
 {
     Distribution d;

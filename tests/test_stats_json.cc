@@ -110,6 +110,21 @@ TEST(StatsJson, DistributionRoundTrip)
     EXPECT_EQ(j["overflow"].asNumber(), 1.0) << "the 250 sample";
 }
 
+TEST(StatsJson, UninitialisedDistributionIsWellFormed)
+{
+    // A never-init'd distribution must still serialise consistently:
+    // width 0 with an empty bucket array, not a fabricated layout.
+    Distribution d;
+    d.sample(7);
+    auto parsed = Json::parse(d.toJson());
+    ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+    const Json &j = parsed.value();
+    EXPECT_EQ(j["bucket_width"].asNumber(), 0.0);
+    EXPECT_EQ(j["buckets"].size(), 0u);
+    EXPECT_EQ(j["overflow"].asNumber(), 1.0);
+    EXPECT_EQ(j["count"].asNumber(), 1.0);
+}
+
 TEST(StatsJson, NestedGroupRoundTripMatchesFlatten)
 {
     StatGroup root("core");

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include "exp/json.hh"
 #include "sim_test_util.hh"
+#include "trace/chrome.hh"
+#include "trace/trace.hh"
 
 using namespace sst;
 using namespace sst::test;
@@ -96,3 +99,173 @@ TEST(Trace, ReplayMatchesDeferCount)
     EXPECT_EQ(defers, replays);
     EXPECT_GE(defers, 2u); // the load and its dependent add
 }
+
+namespace
+{
+
+/** Exposes Core::trace so the formatting path can be tested directly. */
+class TraceProbe : public InOrderCore
+{
+  public:
+    using InOrderCore::InOrderCore;
+
+    void
+    emit(const std::string &payload)
+    {
+        trace("%s", payload.c_str());
+    }
+};
+
+} // namespace
+
+TEST(Trace, LongLinesAreNotTruncated)
+{
+    // Regression: lines over the 256-byte stack buffer used to be
+    // silently cut off at the vsnprintf limit.
+    Program program = assemble(kOneMiss, "probe");
+    MemorySystem memsys{HierarchyParams{}};
+    MemoryImage image;
+    image.loadSegments(program);
+    CorePort &port = memsys.addCore();
+    TraceProbe probe(CoreParams{}, program, image, port);
+
+    std::vector<std::string> lines;
+    probe.setTraceSink(
+        [&lines](const std::string &line) { lines.push_back(line); });
+
+    std::string longPayload(700, 'x');
+    longPayload += "END";
+    probe.emit("short");
+    probe.emit(longPayload);
+
+    ASSERT_EQ(lines.size(), 2u);
+    EXPECT_EQ(lines[0], "C0 short");
+    EXPECT_EQ(lines[1], "C0 " + longPayload);
+    EXPECT_NE(lines[1].find("END"), std::string::npos);
+}
+
+#if SST_TRACE
+
+namespace
+{
+
+std::vector<trace::TraceEvent>
+runStructured(const std::string &model, CoreParams params,
+              trace::TraceBuffer &buf)
+{
+    CoreRun r = makeRun(model, kOneMiss, params);
+    r.core->attachTraceBuffer(&buf);
+    r.run();
+    EXPECT_TRUE(r.archMatchesGolden());
+    return buf.snapshot();
+}
+
+bool
+hasKind(const std::vector<trace::TraceEvent> &events,
+        trace::TraceKind kind)
+{
+    for (const auto &ev : events)
+        if (ev.kind == kind)
+            return true;
+    return false;
+}
+
+} // namespace
+
+TEST(TraceBuffer, SstRecordsLifecycle)
+{
+    trace::TraceBuffer buf;
+    auto events = runStructured("sst", sstParams(2), buf);
+    ASSERT_FALSE(events.empty());
+    EXPECT_TRUE(hasKind(events, trace::TraceKind::Trigger));
+    EXPECT_TRUE(hasKind(events, trace::TraceKind::Checkpoint));
+    EXPECT_TRUE(hasKind(events, trace::TraceKind::Defer));
+    EXPECT_TRUE(hasKind(events, trace::TraceKind::Replay));
+    EXPECT_TRUE(hasKind(events, trace::TraceKind::Commit));
+    // Both strands show up as distinct lanes.
+    bool ahead = false, behind = false;
+    for (const auto &ev : events) {
+        ahead |= ev.strand == trace::TraceStrand::Ahead;
+        behind |= ev.strand == trace::TraceStrand::Behind;
+    }
+    EXPECT_TRUE(ahead);
+    EXPECT_TRUE(behind);
+}
+
+TEST(TraceBuffer, EventsAreCycleOrdered)
+{
+    trace::TraceBuffer buf;
+    auto events = runStructured("sst", sstParams(2), buf);
+    // Pipeline events are recorded as they happen; Fill events carry
+    // their completion cycle, so compare within pipeline strands only.
+    Cycle last = 0;
+    for (const auto &ev : events) {
+        if (ev.strand == trace::TraceStrand::Mem)
+            continue;
+        EXPECT_GE(ev.cycle, last);
+        last = ev.cycle;
+    }
+}
+
+TEST(TraceBuffer, CacheFillsAreTagged)
+{
+    trace::TraceBuffer buf;
+    CoreRun r = makeRun("sst", kOneMiss, sstParams(2));
+    r.core->attachTraceBuffer(&buf);
+    r.core->port().l1d().setTrace(&buf, 1);
+    r.run();
+    bool sawL1 = false;
+    for (const auto &ev : buf.snapshot())
+        if (ev.kind == trace::TraceKind::Fill) {
+            EXPECT_EQ(ev.strand, trace::TraceStrand::Mem);
+            sawL1 |= ev.arg == 1;
+        }
+    EXPECT_TRUE(sawL1);
+}
+
+TEST(TraceBuffer, RingOverwritesOldest)
+{
+    trace::TraceBuffer buf(4);
+    for (std::uint64_t i = 0; i < 10; ++i)
+        buf.record(trace::TraceEvent{i, i, 0, 0,
+                                     trace::TraceKind::Exec,
+                                     trace::TraceStrand::Main});
+    EXPECT_EQ(buf.recorded(), 10u);
+    EXPECT_EQ(buf.dropped(), 6u);
+    auto events = buf.snapshot();
+    ASSERT_EQ(events.size(), 4u);
+    EXPECT_EQ(events.front().cycle, 6u);
+    EXPECT_EQ(events.back().cycle, 9u);
+}
+
+TEST(ChromeTrace, ExportIsValidJsonWithStrandLanes)
+{
+    trace::TraceBuffer buf;
+    auto events = runStructured("sst", sstParams(2), buf);
+    ASSERT_FALSE(events.empty());
+    std::string doc = trace::chromeTraceJson("core (sst)", buf);
+
+    auto parsed = exp::Json::parse(doc);
+    ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+    const exp::Json root = parsed.take();
+    ASSERT_TRUE(root.isObject());
+    const exp::Json *traceEvents = root.find("traceEvents");
+    ASSERT_NE(traceEvents, nullptr);
+    ASSERT_TRUE(traceEvents->isArray());
+
+    bool aheadLane = false, behindLane = false;
+    for (std::size_t i = 0; i < traceEvents->size(); ++i) {
+        const exp::Json &ev = traceEvents->at(i);
+        if (ev["ph"].asString() != "X")
+            continue;
+        double tid = ev["tid"].asNumber();
+        aheadLane |=
+            tid == static_cast<double>(trace::TraceStrand::Ahead);
+        behindLane |=
+            tid == static_cast<double>(trace::TraceStrand::Behind);
+    }
+    EXPECT_TRUE(aheadLane);
+    EXPECT_TRUE(behindLane);
+}
+
+#endif // SST_TRACE

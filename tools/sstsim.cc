@@ -38,12 +38,21 @@
  * optional structured JSON document. Per-job records are bit-identical
  * for every -j (see docs/INTERNALS.md, "The experiment runner").
  *
+ * Trace mode (structured event capture, src/trace):
+ *   sstsim trace <preset> <workload> [--out FILE] [--cpistack]
+ *                [--validate] [key=value...]
+ * runs the workload with the event ring attached, writes a Chrome
+ * trace_event JSON (load it in chrome://tracing or ui.perfetto.dev)
+ * and optionally prints the CPI-stack attribution table. The CPI
+ * categories are asserted to sum to the cycle count.
+ *
  * Exit codes: 0 success, 2 architectural mismatch vs golden, 3 cycle
  * budget exhausted, 4 livelock declared by the watchdog, 64 bad usage
  * (unknown/malformed key), 65 bad input (config value, asm, workload).
  */
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -53,6 +62,7 @@
 #include "common/logging.hh"
 #include "common/result.hh"
 #include "common/table.hh"
+#include "exp/json.hh"
 #include "exp/runner.hh"
 #include "exp/sweep.hh"
 #include "exp/threadpool.hh"
@@ -60,6 +70,9 @@
 #include "isa/assembler.hh"
 #include "sim/machine.hh"
 #include "sim/sampling.hh"
+#include "trace/chrome.hh"
+#include "trace/cpistack.hh"
+#include "trace/trace.hh"
 #include "workloads/workloads.hh"
 
 using namespace sst;
@@ -274,6 +287,185 @@ sweepMain(int argc, char **argv)
     return code;
 }
 
+/**
+ * `sstsim trace <preset> <workload> [--out FILE] [--cpistack]
+ * [--validate] [key=value...]` — run with the structured event ring
+ * attached and export a Chrome trace_event JSON.
+ */
+int
+traceMain(int argc, char **argv)
+{
+    std::string preset_name;
+    std::string workload_name;
+    std::string out_path = "trace.json";
+    bool cpistack = false;
+    bool validate = false;
+    Config cfg;
+
+    for (int i = 2; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--out") {
+            if (++i >= argc)
+                return fail(Error{"--out needs a file path",
+                                  exit_code::usage});
+            out_path = argv[i];
+        } else if (arg == "--cpistack") {
+            cpistack = true;
+        } else if (arg == "--validate") {
+            validate = true;
+        } else if (!arg.empty() && arg[0] == '-') {
+            return fail(Error{"unknown trace option '" + arg
+                                  + "' (know --out, --cpistack, "
+                                    "--validate)",
+                              exit_code::usage});
+        } else if (arg.find('=') != std::string::npos) {
+            auto parsed = cfg.tryParseAssignment(argv[i]);
+            if (!parsed.ok())
+                return fail(parsed.error());
+        } else if (preset_name.empty()) {
+            preset_name = arg;
+        } else if (workload_name.empty()) {
+            workload_name = arg;
+        } else {
+            return fail(Error{"unexpected argument '" + arg + "'",
+                              exit_code::usage});
+        }
+    }
+    if (preset_name.empty() || workload_name.empty())
+        return fail(Error{"usage: sstsim trace <preset> <workload> "
+                          "[--out FILE] [--cpistack] [--validate] "
+                          "[key=value...]",
+                          exit_code::usage});
+    if (auto valid = validateKeys(cfg); !valid.ok())
+        return fail(valid.error());
+
+    std::string category;
+    Config load_cfg = cfg;
+    load_cfg.set("workload", workload_name);
+    auto loaded = loadProgram(load_cfg, category);
+    if (!loaded.ok())
+        return fail(loaded.error());
+    Program program = loaded.take();
+
+    auto preset = trapFatal([&] { return makePreset(preset_name); },
+                            exit_code::usage);
+    if (!preset.ok()) {
+        Error e = preset.error();
+        std::string near = closestMatch(preset_name, presetNames());
+        if (!near.empty())
+            e.message += "; did you mean '" + near + "'?";
+        e.message += " (preset=list shows all)";
+        return fail(e);
+    }
+    MachineConfig mc = preset.take();
+    if (auto applied = trapFatal([&] { applyOverrides(mc, cfg); });
+        !applied.ok())
+        return fail(applied.error());
+
+    trace::TraceBuffer buf;
+    Machine machine(mc, program);
+    machine.attachTraceBuffer(&buf);
+    RunResult r = machine.run(cfg.getUint("max_cycles", 500'000'000ULL));
+    if (!r.finished) {
+        std::fprintf(stderr,
+                     "sstsim trace: run degraded (%s) after %llu "
+                     "cycles\n",
+                     degradeReasonName(r.degrade),
+                     static_cast<unsigned long long>(r.cycles));
+        return r.degrade == DegradeReason::Livelock
+                   ? exit_code::livelock
+                   : exit_code::cycleBudget;
+    }
+
+    // The attribution invariant: every cycle charged exactly once.
+    trace::CpiStack &stack = machine.core().cpiStack();
+    std::uint64_t total = stack.total();
+    std::uint64_t cycles = r.cycles;
+    double rel_err =
+        cycles ? std::abs(static_cast<double>(total)
+                          - static_cast<double>(cycles))
+                     / static_cast<double>(cycles)
+               : 0.0;
+    if (rel_err > 0.001) {
+        std::fprintf(stderr,
+                     "sstsim trace: CPI stack sums to %llu but the run "
+                     "took %llu cycles (off by %.3f%%)\n",
+                     static_cast<unsigned long long>(total),
+                     static_cast<unsigned long long>(cycles),
+                     100 * rel_err);
+        return exit_code::archMismatch;
+    }
+
+    std::string doc = trace::chromeTraceJson(
+        mc.core.name + " (" + machine.core().model() + ")", buf);
+    std::ofstream out(out_path);
+    if (!out)
+        return fail(Error{"cannot write '" + out_path + "'",
+                          exit_code::badInput});
+    out << doc;
+    out.close();
+
+    if (validate) {
+        auto parsed = exp::Json::parse(doc);
+        if (!parsed.ok())
+            return fail(Error{"exported trace is not valid JSON: "
+                                  + parsed.error().message,
+                              exit_code::archMismatch});
+        const exp::Json &root = parsed.take();
+        if (!root.isObject() || !root.find("traceEvents")
+            || !(*root.find("traceEvents")).isArray())
+            return fail(Error{"exported trace lacks a traceEvents "
+                              "array",
+                              exit_code::archMismatch});
+    }
+
+#if !SST_TRACE
+    std::fprintf(stderr,
+                 "sstsim trace: note: built with SST_TRACE=OFF — event "
+                 "recording is compiled out (the trace has no events; "
+                 "CPI attribution is still exact)\n");
+#endif
+
+    std::printf("trace: %s/%s %llu cycles, %llu events (%llu dropped) "
+                "-> %s\n",
+                mc.presetName.c_str(), program.name().c_str(),
+                static_cast<unsigned long long>(cycles),
+                static_cast<unsigned long long>(buf.recorded()),
+                static_cast<unsigned long long>(buf.dropped()),
+                out_path.c_str());
+
+    if (cpistack) {
+        Table t("CPI stack: " + program.name() + " on "
+                + mc.presetName);
+        t.setHeader({"category", "cycles", "CPI", "share"});
+        double insts = static_cast<double>(r.insts);
+        for (std::size_t i = 0; i < trace::numCpiCats; ++i) {
+            auto cat = static_cast<trace::CpiCat>(i);
+            std::uint64_t v = stack.value(cat);
+            if (v == 0)
+                continue;
+            t.addRow({trace::cpiCatName(cat), std::to_string(v),
+                      insts ? Table::num(static_cast<double>(v) / insts,
+                                         4)
+                            : "-",
+                      cycles ? Table::num(100.0
+                                              * static_cast<double>(v)
+                                              / static_cast<double>(
+                                                  cycles),
+                                          1)
+                                   + "%"
+                             : "-"});
+        }
+        t.addRow({"total", std::to_string(total),
+                  insts ? Table::num(static_cast<double>(total) / insts,
+                                     4)
+                        : "-",
+                  "100.0%"});
+        t.print();
+    }
+    return exit_code::ok;
+}
+
 } // namespace
 
 int
@@ -281,6 +473,8 @@ main(int argc, char **argv)
 {
     if (argc >= 2 && std::string(argv[1]) == "sweep")
         return sweepMain(argc, argv);
+    if (argc >= 2 && std::string(argv[1]) == "trace")
+        return traceMain(argc, argv);
 
     Config cfg;
     for (int i = 1; i < argc; ++i) {
