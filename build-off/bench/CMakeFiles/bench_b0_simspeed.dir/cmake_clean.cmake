@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_b0_simspeed.dir/bench_b0_simspeed.cc.o"
+  "CMakeFiles/bench_b0_simspeed.dir/bench_b0_simspeed.cc.o.d"
+  "bench_b0_simspeed"
+  "bench_b0_simspeed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_b0_simspeed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

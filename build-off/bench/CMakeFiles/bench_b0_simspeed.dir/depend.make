@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_b0_simspeed.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_b1_cpistack.dir/bench_b1_cpistack.cc.o"
+  "CMakeFiles/bench_b1_cpistack.dir/bench_b1_cpistack.cc.o.d"
+  "bench_b1_cpistack"
+  "bench_b1_cpistack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_b1_cpistack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

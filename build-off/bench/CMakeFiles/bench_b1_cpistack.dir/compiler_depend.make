@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_b1_cpistack.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_b1_cpistack.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f10_failures.dir/bench_f10_failures.cc.o"
+  "CMakeFiles/bench_f10_failures.dir/bench_f10_failures.cc.o.d"
+  "bench_f10_failures"
+  "bench_f10_failures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f10_failures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

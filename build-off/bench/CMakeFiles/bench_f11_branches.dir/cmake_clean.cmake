@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f11_branches.dir/bench_f11_branches.cc.o"
+  "CMakeFiles/bench_f11_branches.dir/bench_f11_branches.cc.o.d"
+  "bench_f11_branches"
+  "bench_f11_branches.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f11_branches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

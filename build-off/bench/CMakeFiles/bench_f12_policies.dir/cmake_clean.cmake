@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f12_policies.dir/bench_f12_policies.cc.o"
+  "CMakeFiles/bench_f12_policies.dir/bench_f12_policies.cc.o.d"
+  "bench_f12_policies"
+  "bench_f12_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f12_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

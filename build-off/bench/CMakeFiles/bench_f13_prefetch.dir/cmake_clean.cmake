@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f13_prefetch.dir/bench_f13_prefetch.cc.o"
+  "CMakeFiles/bench_f13_prefetch.dir/bench_f13_prefetch.cc.o.d"
+  "bench_f13_prefetch"
+  "bench_f13_prefetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f13_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

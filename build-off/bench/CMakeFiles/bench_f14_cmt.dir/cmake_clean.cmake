@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f14_cmt.dir/bench_f14_cmt.cc.o"
+  "CMakeFiles/bench_f14_cmt.dir/bench_f14_cmt.cc.o.d"
+  "bench_f14_cmt"
+  "bench_f14_cmt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f14_cmt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f15_tlb.dir/bench_f15_tlb.cc.o"
+  "CMakeFiles/bench_f15_tlb.dir/bench_f15_tlb.cc.o.d"
+  "bench_f15_tlb"
+  "bench_f15_tlb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f15_tlb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f16_chaos.dir/bench_f16_chaos.cc.o"
+  "CMakeFiles/bench_f16_chaos.dir/bench_f16_chaos.cc.o.d"
+  "bench_f16_chaos"
+  "bench_f16_chaos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f16_chaos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f2_headline.dir/bench_f2_headline.cc.o"
+  "CMakeFiles/bench_f2_headline.dir/bench_f2_headline.cc.o.d"
+  "bench_f2_headline"
+  "bench_f2_headline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f2_headline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f3_mlp.dir/bench_f3_mlp.cc.o"
+  "CMakeFiles/bench_f3_mlp.dir/bench_f3_mlp.cc.o.d"
+  "bench_f3_mlp"
+  "bench_f3_mlp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f3_mlp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

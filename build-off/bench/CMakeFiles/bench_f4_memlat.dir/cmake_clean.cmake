@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f4_memlat.dir/bench_f4_memlat.cc.o"
+  "CMakeFiles/bench_f4_memlat.dir/bench_f4_memlat.cc.o.d"
+  "bench_f4_memlat"
+  "bench_f4_memlat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f4_memlat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f5_checkpoints.dir/bench_f5_checkpoints.cc.o"
+  "CMakeFiles/bench_f5_checkpoints.dir/bench_f5_checkpoints.cc.o.d"
+  "bench_f5_checkpoints"
+  "bench_f5_checkpoints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f5_checkpoints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f6_dq.dir/bench_f6_dq.cc.o"
+  "CMakeFiles/bench_f6_dq.dir/bench_f6_dq.cc.o.d"
+  "bench_f6_dq"
+  "bench_f6_dq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f6_dq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

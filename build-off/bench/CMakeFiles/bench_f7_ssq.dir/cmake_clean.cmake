@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f7_ssq.dir/bench_f7_ssq.cc.o"
+  "CMakeFiles/bench_f7_ssq.dir/bench_f7_ssq.cc.o.d"
+  "bench_f7_ssq"
+  "bench_f7_ssq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f7_ssq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

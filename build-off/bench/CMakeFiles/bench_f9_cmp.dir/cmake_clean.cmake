@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f9_cmp.dir/bench_f9_cmp.cc.o"
+  "CMakeFiles/bench_f9_cmp.dir/bench_f9_cmp.cc.o.d"
+  "bench_f9_cmp"
+  "bench_f9_cmp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f9_cmp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t1_configs.dir/bench_t1_configs.cc.o"
+  "CMakeFiles/bench_t1_configs.dir/bench_t1_configs.cc.o.d"
+  "bench_t1_configs"
+  "bench_t1_configs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t1_configs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t8_efficiency.dir/bench_t8_efficiency.cc.o"
+  "CMakeFiles/bench_t8_efficiency.dir/bench_t8_efficiency.cc.o.d"
+  "bench_t8_efficiency"
+  "bench_t8_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t8_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

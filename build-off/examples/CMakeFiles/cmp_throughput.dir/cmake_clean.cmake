@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmp_throughput.dir/cmp_throughput.cpp.o"
+  "CMakeFiles/cmp_throughput.dir/cmp_throughput.cpp.o.d"
+  "cmp_throughput"
+  "cmp_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmp_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latency_wall.dir/latency_wall.cpp.o"
+  "CMakeFiles/latency_wall.dir/latency_wall.cpp.o.d"
+  "latency_wall"
+  "latency_wall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latency_wall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oltp_study.dir/oltp_study.cpp.o"
+  "CMakeFiles/oltp_study.dir/oltp_study.cpp.o.d"
+  "oltp_study"
+  "oltp_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oltp_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sampled_sim.dir/sampled_sim.cpp.o"
+  "CMakeFiles/sampled_sim.dir/sampled_sim.cpp.o.d"
+  "sampled_sim"
+  "sampled_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sampled_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-off/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("trace")
+subdirs("fault")
+subdirs("isa")
+subdirs("func")
+subdirs("mem")
+subdirs("branch")
+subdirs("core")
+subdirs("power")
+subdirs("workloads")
+subdirs("sim")
+subdirs("exp")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sst_branch.dir/predictor.cc.o"
+  "CMakeFiles/sst_branch.dir/predictor.cc.o.d"
+  "libsst_branch.a"
+  "libsst_branch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sst_branch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

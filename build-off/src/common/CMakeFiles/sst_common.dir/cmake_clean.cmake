@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sst_common.dir/config.cc.o"
+  "CMakeFiles/sst_common.dir/config.cc.o.d"
+  "CMakeFiles/sst_common.dir/logging.cc.o"
+  "CMakeFiles/sst_common.dir/logging.cc.o.d"
+  "CMakeFiles/sst_common.dir/rng.cc.o"
+  "CMakeFiles/sst_common.dir/rng.cc.o.d"
+  "CMakeFiles/sst_common.dir/stats.cc.o"
+  "CMakeFiles/sst_common.dir/stats.cc.o.d"
+  "CMakeFiles/sst_common.dir/table.cc.o"
+  "CMakeFiles/sst_common.dir/table.cc.o.d"
+  "libsst_common.a"
+  "libsst_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sst_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sst_core.dir/core.cc.o"
+  "CMakeFiles/sst_core.dir/core.cc.o.d"
+  "CMakeFiles/sst_core.dir/inorder.cc.o"
+  "CMakeFiles/sst_core.dir/inorder.cc.o.d"
+  "CMakeFiles/sst_core.dir/ooo.cc.o"
+  "CMakeFiles/sst_core.dir/ooo.cc.o.d"
+  "CMakeFiles/sst_core.dir/smt.cc.o"
+  "CMakeFiles/sst_core.dir/smt.cc.o.d"
+  "CMakeFiles/sst_core.dir/sst.cc.o"
+  "CMakeFiles/sst_core.dir/sst.cc.o.d"
+  "libsst_core.a"
+  "libsst_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sst_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sst_exp.dir/json.cc.o"
+  "CMakeFiles/sst_exp.dir/json.cc.o.d"
+  "CMakeFiles/sst_exp.dir/runner.cc.o"
+  "CMakeFiles/sst_exp.dir/runner.cc.o.d"
+  "CMakeFiles/sst_exp.dir/sweep.cc.o"
+  "CMakeFiles/sst_exp.dir/sweep.cc.o.d"
+  "CMakeFiles/sst_exp.dir/threadpool.cc.o"
+  "CMakeFiles/sst_exp.dir/threadpool.cc.o.d"
+  "libsst_exp.a"
+  "libsst_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sst_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sst_fault.dir/fault.cc.o"
+  "CMakeFiles/sst_fault.dir/fault.cc.o.d"
+  "libsst_fault.a"
+  "libsst_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sst_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

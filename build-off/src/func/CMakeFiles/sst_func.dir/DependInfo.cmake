@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/func/executor.cc" "src/func/CMakeFiles/sst_func.dir/executor.cc.o" "gcc" "src/func/CMakeFiles/sst_func.dir/executor.cc.o.d"
+  "/root/repo/src/func/memory_image.cc" "src/func/CMakeFiles/sst_func.dir/memory_image.cc.o" "gcc" "src/func/CMakeFiles/sst_func.dir/memory_image.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-off/src/common/CMakeFiles/sst_common.dir/DependInfo.cmake"
+  "/root/repo/build-off/src/isa/CMakeFiles/sst_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

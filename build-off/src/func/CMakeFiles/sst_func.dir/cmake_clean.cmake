@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sst_func.dir/executor.cc.o"
+  "CMakeFiles/sst_func.dir/executor.cc.o.d"
+  "CMakeFiles/sst_func.dir/memory_image.cc.o"
+  "CMakeFiles/sst_func.dir/memory_image.cc.o.d"
+  "libsst_func.a"
+  "libsst_func.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sst_func.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sst_isa.dir/assembler.cc.o"
+  "CMakeFiles/sst_isa.dir/assembler.cc.o.d"
+  "CMakeFiles/sst_isa.dir/builder.cc.o"
+  "CMakeFiles/sst_isa.dir/builder.cc.o.d"
+  "CMakeFiles/sst_isa.dir/instruction.cc.o"
+  "CMakeFiles/sst_isa.dir/instruction.cc.o.d"
+  "CMakeFiles/sst_isa.dir/opcodes.cc.o"
+  "CMakeFiles/sst_isa.dir/opcodes.cc.o.d"
+  "CMakeFiles/sst_isa.dir/program.cc.o"
+  "CMakeFiles/sst_isa.dir/program.cc.o.d"
+  "libsst_isa.a"
+  "libsst_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sst_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/cache.cc" "src/mem/CMakeFiles/sst_mem.dir/cache.cc.o" "gcc" "src/mem/CMakeFiles/sst_mem.dir/cache.cc.o.d"
+  "/root/repo/src/mem/dram.cc" "src/mem/CMakeFiles/sst_mem.dir/dram.cc.o" "gcc" "src/mem/CMakeFiles/sst_mem.dir/dram.cc.o.d"
+  "/root/repo/src/mem/hierarchy.cc" "src/mem/CMakeFiles/sst_mem.dir/hierarchy.cc.o" "gcc" "src/mem/CMakeFiles/sst_mem.dir/hierarchy.cc.o.d"
+  "/root/repo/src/mem/mshr.cc" "src/mem/CMakeFiles/sst_mem.dir/mshr.cc.o" "gcc" "src/mem/CMakeFiles/sst_mem.dir/mshr.cc.o.d"
+  "/root/repo/src/mem/prefetcher.cc" "src/mem/CMakeFiles/sst_mem.dir/prefetcher.cc.o" "gcc" "src/mem/CMakeFiles/sst_mem.dir/prefetcher.cc.o.d"
+  "/root/repo/src/mem/tlb.cc" "src/mem/CMakeFiles/sst_mem.dir/tlb.cc.o" "gcc" "src/mem/CMakeFiles/sst_mem.dir/tlb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-off/src/common/CMakeFiles/sst_common.dir/DependInfo.cmake"
+  "/root/repo/build-off/src/trace/CMakeFiles/sst_trace.dir/DependInfo.cmake"
+  "/root/repo/build-off/src/fault/CMakeFiles/sst_fault.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

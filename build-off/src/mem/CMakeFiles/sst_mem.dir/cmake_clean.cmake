@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sst_mem.dir/cache.cc.o"
+  "CMakeFiles/sst_mem.dir/cache.cc.o.d"
+  "CMakeFiles/sst_mem.dir/dram.cc.o"
+  "CMakeFiles/sst_mem.dir/dram.cc.o.d"
+  "CMakeFiles/sst_mem.dir/hierarchy.cc.o"
+  "CMakeFiles/sst_mem.dir/hierarchy.cc.o.d"
+  "CMakeFiles/sst_mem.dir/mshr.cc.o"
+  "CMakeFiles/sst_mem.dir/mshr.cc.o.d"
+  "CMakeFiles/sst_mem.dir/prefetcher.cc.o"
+  "CMakeFiles/sst_mem.dir/prefetcher.cc.o.d"
+  "CMakeFiles/sst_mem.dir/tlb.cc.o"
+  "CMakeFiles/sst_mem.dir/tlb.cc.o.d"
+  "libsst_mem.a"
+  "libsst_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sst_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

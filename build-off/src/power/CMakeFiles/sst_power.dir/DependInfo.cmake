@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/model.cc" "src/power/CMakeFiles/sst_power.dir/model.cc.o" "gcc" "src/power/CMakeFiles/sst_power.dir/model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-off/src/common/CMakeFiles/sst_common.dir/DependInfo.cmake"
+  "/root/repo/build-off/src/core/CMakeFiles/sst_core.dir/DependInfo.cmake"
+  "/root/repo/build-off/src/func/CMakeFiles/sst_func.dir/DependInfo.cmake"
+  "/root/repo/build-off/src/isa/CMakeFiles/sst_isa.dir/DependInfo.cmake"
+  "/root/repo/build-off/src/mem/CMakeFiles/sst_mem.dir/DependInfo.cmake"
+  "/root/repo/build-off/src/trace/CMakeFiles/sst_trace.dir/DependInfo.cmake"
+  "/root/repo/build-off/src/fault/CMakeFiles/sst_fault.dir/DependInfo.cmake"
+  "/root/repo/build-off/src/branch/CMakeFiles/sst_branch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

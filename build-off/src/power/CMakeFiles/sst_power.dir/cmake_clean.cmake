@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sst_power.dir/model.cc.o"
+  "CMakeFiles/sst_power.dir/model.cc.o.d"
+  "libsst_power.a"
+  "libsst_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sst_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

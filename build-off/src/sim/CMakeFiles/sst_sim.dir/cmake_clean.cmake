@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sst_sim.dir/cmp.cc.o"
+  "CMakeFiles/sst_sim.dir/cmp.cc.o.d"
+  "CMakeFiles/sst_sim.dir/machine.cc.o"
+  "CMakeFiles/sst_sim.dir/machine.cc.o.d"
+  "CMakeFiles/sst_sim.dir/presets.cc.o"
+  "CMakeFiles/sst_sim.dir/presets.cc.o.d"
+  "CMakeFiles/sst_sim.dir/sampling.cc.o"
+  "CMakeFiles/sst_sim.dir/sampling.cc.o.d"
+  "libsst_sim.a"
+  "libsst_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sst_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

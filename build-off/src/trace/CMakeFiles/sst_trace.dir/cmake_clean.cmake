@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sst_trace.dir/chrome.cc.o"
+  "CMakeFiles/sst_trace.dir/chrome.cc.o.d"
+  "CMakeFiles/sst_trace.dir/cpistack.cc.o"
+  "CMakeFiles/sst_trace.dir/cpistack.cc.o.d"
+  "CMakeFiles/sst_trace.dir/trace.cc.o"
+  "CMakeFiles/sst_trace.dir/trace.cc.o.d"
+  "libsst_trace.a"
+  "libsst_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sst_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

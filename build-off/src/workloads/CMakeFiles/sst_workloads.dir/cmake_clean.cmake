@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sst_workloads.dir/workloads.cc.o"
+  "CMakeFiles/sst_workloads.dir/workloads.cc.o.d"
+  "libsst_workloads.a"
+  "libsst_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sst_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_builder_assembler.dir/test_builder_assembler.cc.o"
+  "CMakeFiles/test_builder_assembler.dir/test_builder_assembler.cc.o.d"
+  "test_builder_assembler"
+  "test_builder_assembler.pdb"
+  "test_builder_assembler[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_builder_assembler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cores.dir/test_cores.cc.o"
+  "CMakeFiles/test_cores.dir/test_cores.cc.o.d"
+  "test_cores"
+  "test_cores.pdb"
+  "test_cores[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cores.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

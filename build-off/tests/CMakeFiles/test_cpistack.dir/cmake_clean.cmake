@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cpistack.dir/test_cpistack.cc.o"
+  "CMakeFiles/test_cpistack.dir/test_cpistack.cc.o.d"
+  "test_cpistack"
+  "test_cpistack.pdb"
+  "test_cpistack[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cpistack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

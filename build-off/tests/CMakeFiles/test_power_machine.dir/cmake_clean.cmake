@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_power_machine.dir/test_power_machine.cc.o"
+  "CMakeFiles/test_power_machine.dir/test_power_machine.cc.o.d"
+  "test_power_machine"
+  "test_power_machine.pdb"
+  "test_power_machine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_power_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

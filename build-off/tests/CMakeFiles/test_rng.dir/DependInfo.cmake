@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_rng.cc" "tests/CMakeFiles/test_rng.dir/test_rng.cc.o" "gcc" "tests/CMakeFiles/test_rng.dir/test_rng.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-off/src/sim/CMakeFiles/sst_sim.dir/DependInfo.cmake"
+  "/root/repo/build-off/src/power/CMakeFiles/sst_power.dir/DependInfo.cmake"
+  "/root/repo/build-off/src/core/CMakeFiles/sst_core.dir/DependInfo.cmake"
+  "/root/repo/build-off/src/func/CMakeFiles/sst_func.dir/DependInfo.cmake"
+  "/root/repo/build-off/src/mem/CMakeFiles/sst_mem.dir/DependInfo.cmake"
+  "/root/repo/build-off/src/trace/CMakeFiles/sst_trace.dir/DependInfo.cmake"
+  "/root/repo/build-off/src/fault/CMakeFiles/sst_fault.dir/DependInfo.cmake"
+  "/root/repo/build-off/src/branch/CMakeFiles/sst_branch.dir/DependInfo.cmake"
+  "/root/repo/build-off/src/workloads/CMakeFiles/sst_workloads.dir/DependInfo.cmake"
+  "/root/repo/build-off/src/isa/CMakeFiles/sst_isa.dir/DependInfo.cmake"
+  "/root/repo/build-off/src/common/CMakeFiles/sst_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

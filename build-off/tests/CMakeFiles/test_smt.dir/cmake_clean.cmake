@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_smt.dir/test_smt.cc.o"
+  "CMakeFiles/test_smt.dir/test_smt.cc.o.d"
+  "test_smt"
+  "test_smt.pdb"
+  "test_smt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_smt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

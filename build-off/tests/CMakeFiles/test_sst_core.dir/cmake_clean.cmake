@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sst_core.dir/test_sst_core.cc.o"
+  "CMakeFiles/test_sst_core.dir/test_sst_core.cc.o.d"
+  "test_sst_core"
+  "test_sst_core.pdb"
+  "test_sst_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sst_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

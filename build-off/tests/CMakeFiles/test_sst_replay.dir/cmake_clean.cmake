@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sst_replay.dir/test_sst_replay.cc.o"
+  "CMakeFiles/test_sst_replay.dir/test_sst_replay.cc.o.d"
+  "test_sst_replay"
+  "test_sst_replay.pdb"
+  "test_sst_replay[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sst_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats_json.dir/test_stats_json.cc.o"
+  "CMakeFiles/test_stats_json.dir/test_stats_json.cc.o.d"
+  "test_stats_json"
+  "test_stats_json.pdb"
+  "test_stats_json[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats_json.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

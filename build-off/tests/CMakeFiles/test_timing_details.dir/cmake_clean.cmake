@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_timing_details.dir/test_timing_details.cc.o"
+  "CMakeFiles/test_timing_details.dir/test_timing_details.cc.o.d"
+  "test_timing_details"
+  "test_timing_details.pdb"
+  "test_timing_details[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_timing_details.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sstsim.dir/sstsim.cc.o"
+  "CMakeFiles/sstsim.dir/sstsim.cc.o.d"
+  "sstsim"
+  "sstsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sstsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
