@@ -189,6 +189,9 @@ class ReturnAddressStack
     void push(std::uint64_t returnPc);
     /** Pop a prediction; returns invalid when empty. */
     std::uint64_t pop();
+    /** True when pop() would return invalid (and leave the stack
+     *  untouched). */
+    bool empty() const { return count_ == 0; }
     void reset() { top_ = 0; count_ = 0; }
 
     static constexpr std::uint64_t invalidTarget = ~std::uint64_t{0};

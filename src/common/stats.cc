@@ -105,6 +105,26 @@ Distribution::sample(std::uint64_t v)
         ++buckets_[idx];
 }
 
+void
+Distribution::sample(std::uint64_t v, std::uint64_t n)
+{
+    if (n == 0)
+        return;
+    count_ += n;
+    sum_ += v * n;
+    if (v > maxSample_)
+        maxSample_ = v;
+    if (buckets_.empty()) {
+        overflow_ += n;
+        return;
+    }
+    std::uint64_t idx = v / width_;
+    if (idx >= buckets_.size())
+        overflow_ += n;
+    else
+        buckets_[idx] += n;
+}
+
 double
 Distribution::mean() const
 {

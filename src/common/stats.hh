@@ -64,6 +64,11 @@ class Distribution
 
     void sample(std::uint64_t v);
 
+    /** Record @p v as @p n identical samples in O(1) — exactly
+     *  equivalent to calling sample(v) n times (fast-forwarded stall
+     *  windows re-sample a frozen occupancy every cycle). */
+    void sample(std::uint64_t v, std::uint64_t n);
+
     std::uint64_t count() const { return count_; }
     std::uint64_t sum() const { return sum_; }
     std::uint64_t maxSample() const { return maxSample_; }

@@ -55,6 +55,24 @@ Core::tick()
     ++cyclesStat_;
 }
 
+void
+Core::advanceIdle(Cycle n)
+{
+    if (n == 0)
+        return;
+    idleAdvance(n);
+    now_ += n;
+    cyclesStat_ += n;
+}
+
+void
+Core::idleAdvance(Cycle n)
+{
+    (void)n;
+    panic("%s: advanceIdle without an idleAdvance implementation",
+          params_.name.c_str());
+}
+
 double
 Core::ipc() const
 {

@@ -85,6 +85,39 @@ class Core
     /** Advance one clock cycle. */
     void tick();
 
+    /** nextWakeCycle(): "this cycle" — the core can act right now, so
+     *  the run loop must tick it naively. */
+    static constexpr Cycle kWakeNow = 0;
+    /** nextWakeCycle(): "never" — the core is halted. */
+    static constexpr Cycle kWakeNever = invalidCycle;
+
+    /**
+     * Wake-cycle protocol. Returns the earliest future cycle at which
+     * this core can possibly make progress (or change any observable
+     * state, including per-cycle stall counters that differ from the
+     * current stalled shape): the blocking fill's ready cycle for the
+     * scoreboarded models, the earliest of ROB-head completion / IQ
+     * wakeup for OoO, the min over ahead-strand blocker / DQ
+     * replay-ready / divide completion for SST. Anything the core would
+     * do *this* cycle — including stall paths that re-probe the cache
+     * port and therefore mutate hierarchy stats — reports kWakeNow.
+     *
+     * Contract: call immediately after a tick() that retired nothing;
+     * a subsequent advanceIdle(n) with now+n <= nextWakeCycle() must
+     * leave the core byte-identical (stats, traces, state) to n naive
+     * ticks. The base implementation never skips.
+     */
+    virtual Cycle nextWakeCycle() const { return kWakeNow; }
+
+    /**
+     * Skip @p n stalled cycles in one step: replays exactly the stat
+     * increments (stall scalars, CPI-stack attribution, occupancy
+     * distribution samples) the naive per-cycle loop would have made,
+     * then advances the cycle counters. Only valid immediately after
+     * the nextWakeCycle() call whose classification it consumes.
+     */
+    void advanceIdle(Cycle n);
+
     /** True once HALT has architecturally committed. */
     bool halted() const { return arch_.halted; }
 
@@ -191,6 +224,30 @@ class Core
     {
         cpiStack_.add(retired ? trace::CpiCat::Base : stallCat_);
     }
+
+    /**
+     * Shared classification of a stalled window, produced by each
+     * model's nextWakeCycle() analysis and consumed by idleAdvance():
+     * when the window's first-failing condition releases (wake) and
+     * which per-cycle accounting every cycle inside it repeats.
+     */
+    struct IdleClass
+    {
+        Cycle wake = kWakeNow;
+        /** CPI category each skipped cycle charges (what noteStall
+         *  would have recorded). */
+        trace::CpiCat cat = trace::CpiCat::Other;
+        /** Per-cycle stall scalar to bulk-increment, if any. */
+        Scalar *counter = nullptr;
+    };
+
+    /**
+     * Model hook for advanceIdle(): account @p n skipped cycles exactly
+     * as n naive stalled ticks would have. Models that return a future
+     * nextWakeCycle() must override this; the base panics because the
+     * base nextWakeCycle() never allows a skip.
+     */
+    virtual void idleAdvance(Cycle n);
 
   private:
     std::function<void(const std::string &)> traceSink_;

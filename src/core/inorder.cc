@@ -1,5 +1,7 @@
 #include "core/inorder.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace sst
@@ -16,6 +18,94 @@ InOrderCore::InOrderCore(const CoreParams &params, const Program &program,
       stallFetchCycles_(stats_.addScalar("stall_fetch_cycles",
                                          "cycles stalled on I-fetch"))
 {
+}
+
+Cycle
+InOrderCore::nextWakeCycle() const
+{
+    idle_ = classifyIdle();
+    return idle_.wake;
+}
+
+void
+InOrderCore::idleAdvance(Cycle n)
+{
+    // Each skipped cycle would have failed issueOne() at the same
+    // condition: one stall-scalar bump and one CPI-stack charge apiece.
+    if (idle_.counter)
+        *idle_.counter += n;
+    cpiStack_.add(idle_.cat, n);
+}
+
+Core::IdleClass
+InOrderCore::classifyIdle() const
+{
+    IdleClass ic;
+    if (arch_.halted) {
+        ic.wake = kWakeNever;
+        return ic;
+    }
+    Cycle wake = kWakeNever;
+
+    // Store-buffer drain: a front entry due now does a port access (a
+    // real event, possibly rejected); one due later bounds the skip.
+    if (!storeBuffer_.empty()) {
+        if (storeBuffer_.front().issuableAt <= now_)
+            return ic; // kWakeNow
+        wake = std::min(wake, storeBuffer_.front().issuableAt);
+    }
+
+    // Mirror issueOne()'s first-failing condition: it decides which
+    // stall scalar and CPI category every cycle in the window repeats.
+    if (frontEndReadyAt_ > now_) {
+        ic.wake = std::min(wake, frontEndReadyAt_);
+        ic.cat = trace::CpiCat::Fetch;
+        ic.counter = &stallFetchCycles_;
+        return ic;
+    }
+    std::uint64_t pc = arch_.pc;
+    Addr line = port_.l1i().lineAddr(program_.instAddr(pc));
+    if (line != lastFetchLine_)
+        return ic; // new-line fetch probes the port: act now
+    if (fetchLineReady_ > now_) {
+        ic.wake = std::min(wake, fetchLineReady_);
+        ic.cat = trace::CpiCat::Fetch;
+        ic.counter = &stallFetchCycles_;
+        return ic;
+    }
+
+    const Inst &inst = program_.at(pc);
+    const OpInfo &info = opInfo(inst.op);
+    Cycle op_ready = 0;
+    if (info.readsRs1 && inst.rs1 != 0)
+        op_ready = std::max(op_ready, regReady_[inst.rs1]);
+    if (info.readsRs2 && inst.rs2 != 0)
+        op_ready = std::max(op_ready, regReady_[inst.rs2]);
+    if (op_ready > now_) {
+        ic.wake = std::min(wake, op_ready);
+        ic.cat = trace::CpiCat::UseStall;
+        ic.counter = &stallUseCycles_;
+        return ic;
+    }
+    if ((info.cls == OpClass::IntDiv || info.cls == OpClass::FpDiv)
+        && divBusyUntil_ > now_) {
+        ic.wake = std::min(wake, divBusyUntil_);
+        ic.cat = trace::CpiCat::UseStall;
+        ic.counter = &stallUseCycles_;
+        return ic;
+    }
+    if (isStore(inst.op)
+        && storeBuffer_.size() >= params_.storeBufferEntries) {
+        // Releases when the buffer drains; wake already bounds the
+        // skip at the front entry's drain attempt.
+        ic.wake = wake;
+        ic.cat = trace::CpiCat::StoreBuf;
+        ic.counter = &stallStoreBufCycles_;
+        return ic;
+    }
+    // A load re-probes the port every attempt (rejected or not), and
+    // anything else would issue: both are this-cycle actions.
+    return ic;
 }
 
 void

@@ -28,8 +28,126 @@ OoOCore::cycle()
     commitStage();
     if (arch_.halted)
         return;
-    issueStage();
-    dispatchStage();
+    unsigned issued = issueStage();
+    unsigned dispatched = dispatchStage();
+    pipeActive_ = issued > 0 || dispatched > 0;
+}
+
+Cycle
+OoOCore::nextWakeCycle() const
+{
+    idle_ = classifyIdle();
+    return idle_.wake;
+}
+
+void
+OoOCore::idleAdvance(Cycle n)
+{
+    // Every skipped cycle re-samples the frozen ROB occupancy, bumps at
+    // most one dispatch full-queue counter, and charges the commit
+    // stage's stall category. (Issued->Done flips are left unapplied:
+    // every consumer treats Issued-with-elapsed-doneCycle as Done.)
+    robOccupancy_.sample(rob_.size(), n);
+    if (idle_.counter)
+        *idle_.counter += n;
+    cpiStack_.add(idle_.cat, n);
+}
+
+Core::IdleClass
+OoOCore::classifyIdle() const
+{
+    IdleClass ic;
+    if (arch_.halted) {
+        ic.wake = kWakeNever;
+        return ic;
+    }
+    // An issue or dispatch last tick means in-flight work is advancing:
+    // answer "act now" without walking the ROB. (A window can only
+    // begin on a tick where nothing moved, and that tick reaches the
+    // analysis below.)
+    if (pipeActive_)
+        return ic;
+    Cycle wake = kWakeNever;
+
+    // Commit stage decides the window's CPI category; a committable
+    // head acts this cycle (a store head even re-probes the port).
+    if (rob_.empty()) {
+        ic.cat = trace::CpiCat::Fetch;
+    } else {
+        const RobEntry &head = rob_.front();
+        ic.cat = trace::CpiCat::UseStall;
+        if (head.state != State::Waiting) {
+            if (head.doneCycle <= now_)
+                return ic; // commit or store-retry: act now
+            wake = std::min(wake, head.doneCycle);
+        }
+        // A Waiting head wakes through the issue scan below.
+    }
+
+    // Dispatch stage (cheap; mirrors the stalled slot-0 iteration). The
+    // full-queue counters release via commit/issue events the other
+    // stages already bound; the fetch timers add their own candidates.
+    if (!fetchHalted_ && redirectBlockedOn_ == 0) {
+        if (frontEndReadyAt_ > now_) {
+            wake = std::min(wake, frontEndReadyAt_);
+        } else if (rob_.size() >= params_.robEntries) {
+            ic.counter = &robFullCycles_;
+        } else if (iqOccupancy_ >= params_.issueQueueEntries) {
+            ic.counter = &iqFullCycles_;
+        } else if (isMem(program_.at(arch_.pc).op)
+                   && lsqOccupancy_ >= params_.lsqEntries) {
+            ic.counter = &lsqFullCycles_;
+        } else {
+            Addr line =
+                port_.l1i().lineAddr(program_.instAddr(arch_.pc));
+            if (line != lastFetchLine_)
+                return ic; // new-line fetch probes the port: act now
+            if (fetchLineReady_ <= now_)
+                return ic; // dispatch proceeds this cycle
+            wake = std::min(wake, fetchLineReady_);
+        }
+    }
+
+    // Issue stage: earliest cycle any Waiting entry could issue. An
+    // entry whose producer is itself Waiting wakes via that producer's
+    // issue, which the scan already bounds.
+    for (const RobEntry &e : rob_) {
+        if (e.state != State::Waiting)
+            continue;
+        Cycle t = e.retryAt;
+        bool producer_waiting = false;
+        auto producer = [&](SeqNum seq) {
+            if (seq == 0)
+                return;
+            const RobEntry *p = entryFor(seq);
+            if (!p)
+                return; // already committed
+            if (p->state == State::Waiting)
+                producer_waiting = true;
+            else
+                t = std::max(t, p->doneCycle);
+        };
+        producer(e.src1Producer);
+        producer(e.src2Producer);
+        if (producer_waiting)
+            continue;
+        const OpInfo &info = opInfo(e.inst.op);
+        if (info.cls == OpClass::IntDiv || info.cls == OpClass::FpDiv)
+            t = std::max(t, divBusyUntil_);
+        if (e.isLd) {
+            const RobEntry *st = olderStoreFor(e);
+            if (st && st->state == State::Waiting)
+                continue; // forwards once the store issues
+        }
+        if (t <= now_) {
+            ic.wake = kWakeNow;
+            return ic; // issues this cycle
+        }
+        wake = std::min(wake, t);
+    }
+
+    ic.wake = wake;
+    return ic;
 }
 
 OoOCore::RobEntry *
@@ -109,10 +227,11 @@ OoOCore::commitStage()
     }
 }
 
-void
+unsigned
 OoOCore::issueStage()
 {
     unsigned slots = params_.issueWidth;
+    unsigned issued = 0;
     for (auto &e : rob_) {
         if (slots == 0)
             break;
@@ -160,6 +279,7 @@ OoOCore::issueStage()
 
         e.state = State::Issued;
         --slots;
+        ++issued;
         --iqOccupancy_;
 
         // A mispredicted control instruction redirects fetch when it
@@ -177,34 +297,36 @@ OoOCore::issueStage()
     for (auto &e : rob_)
         if (e.isLd || e.isSt)
             ++lsqOccupancy_;
+    return issued;
 }
 
-void
+unsigned
 OoOCore::dispatchStage()
 {
+    unsigned dispatched = 0;
     if (fetchHalted_ || redirectBlockedOn_ != 0
         || frontEndReadyAt_ > now_)
-        return;
+        return dispatched;
 
     for (unsigned slot = 0; slot < params_.fetchWidth; ++slot) {
         if (rob_.size() >= params_.robEntries) {
             ++robFullCycles_;
-            return;
+            return dispatched;
         }
         if (iqOccupancy_ >= params_.issueQueueEntries) {
             ++iqFullCycles_;
-            return;
+            return dispatched;
         }
         std::uint64_t pc = arch_.pc;
         const Inst &inst = program_.at(pc);
         if (isMem(inst.op) && lsqOccupancy_ >= params_.lsqEntries) {
             ++lsqFullCycles_;
-            return;
+            return dispatched;
         }
         Cycle fetchAt = fetchReady(pc);
         if (fetchAt > now_) {
             frontEndReadyAt_ = fetchAt;
-            return;
+            return dispatched;
         }
 
         RobEntry e;
@@ -243,15 +365,17 @@ OoOCore::dispatchStage()
             }
         }
         rob_.push_back(std::move(e));
+        ++dispatched;
 
         if (fetchHalted_ || redirectBlockedOn_ != 0)
-            return;
+            return dispatched;
         if (isCtrl && rob_.back().step.taken) {
             // Taken-branch fetch bubble ends the dispatch group.
             frontEndReadyAt_ = now_ + 1;
-            return;
+            return dispatched;
         }
     }
+    return dispatched;
 }
 
 } // namespace sst

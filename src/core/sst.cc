@@ -1,5 +1,7 @@
 #include "core/sst.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace sst
@@ -83,6 +85,10 @@ SstCore::SstCore(const CoreParams &params, const Program &program,
     fatal_if(params.checkpoints == 0, "SST needs at least one checkpoint");
     fatal_if(params.discardSpecWork && params.checkpoints != 1,
              "hardware-scout mode is single-checkpoint by definition");
+    // Replay results live at most one DQ's worth of producers per epoch;
+    // sizing the table up front keeps the publish/resolve hot path free
+    // of rehash allocations.
+    replayResults_.reserve(params.dqEntries * 2);
 }
 
 unsigned
@@ -262,6 +268,9 @@ SstCore::cycle()
         rollback(FailKind::Forced);
     if (epochs_.empty()) {
         normalCycle();
+        // If this tick opened an episode, the pipeline state is fresh:
+        // make the first speculating classify conservative.
+        specProgress_ = true;
         return;
     }
 
@@ -272,12 +281,262 @@ SstCore::cycle()
                                     : std::max(1u, params_.fetchWidth / 2);
     }
     unsigned used = behind_slots ? replayStrand(behind_slots) : 0;
+    unsigned ahead_issued = 0;
     if (!epochs_.empty()) {
         unsigned ahead_slots =
             params_.fetchWidth > used ? params_.fetchWidth - used : 0;
-        aheadStrand(ahead_slots);
+        ahead_issued = aheadStrand(ahead_slots);
     }
+    specProgress_ = used > 0 || ahead_issued > 0;
     tryCommit();
+}
+
+Cycle
+SstCore::nextWakeCycle() const
+{
+    idle_ = classifyIdle();
+    return idle_.wake;
+}
+
+void
+SstCore::idleAdvance(Cycle n)
+{
+    if (idle_.counter)
+        *idle_.counter += n;
+    if (!epochs_.empty()) {
+        // Mirror the speculating tick: one DQ-occupancy sample and one
+        // provisionally attributed cycle apiece (accountCycle() folds
+        // every category except the queue-full pair into Replay).
+        dqOccDist_.sample(dqOccupancy(), n);
+        trace::CpiCat cat = (idle_.cat == trace::CpiCat::DqFull
+                             || idle_.cat == trace::CpiCat::SsqFull)
+                                ? idle_.cat
+                                : trace::CpiCat::Replay;
+        pendingSpec_[static_cast<std::size_t>(cat)] += n;
+        return;
+    }
+    cpiStack_.add(idle_.cat, n);
+}
+
+Core::IdleClass
+SstCore::classifyIdle() const
+{
+    IdleClass ic;
+    if (arch_.halted) {
+        ic.wake = kWakeNever;
+        return ic;
+    }
+    Cycle wake = kWakeNever;
+
+    // Store-buffer drain: a front entry due now probes the port (a real
+    // event, possibly rejected); one due later bounds the skip.
+    if (!storeBuffer_.empty()) {
+        if (storeBuffer_.front().issuableAt <= now_)
+            return ic; // kWakeNow
+        wake = std::min(wake, storeBuffer_.front().issuableAt);
+    }
+
+    if (epochs_.empty()) {
+        // ---- normal mode: the in-order ladder (normalIssueOne keeps
+        // no per-cycle stall scalars, so only the CPI category matters).
+        if (frontEndReadyAt_ > now_) {
+            ic.wake = std::min(wake, frontEndReadyAt_);
+            ic.cat = trace::CpiCat::Fetch;
+            return ic;
+        }
+        std::uint64_t pc = arch_.pc;
+        Addr line = port_.l1i().lineAddr(program_.instAddr(pc));
+        if (line != lastFetchLine_)
+            return ic; // new-line fetch probes the port: act now
+        if (fetchLineReady_ > now_) {
+            ic.wake = std::min(wake, fetchLineReady_);
+            ic.cat = trace::CpiCat::Fetch;
+            return ic;
+        }
+        const Inst &inst = program_.at(pc);
+        const OpInfo &info = opInfo(inst.op);
+        Cycle op_ready = 0;
+        if (info.readsRs1 && inst.rs1 != 0)
+            op_ready = std::max(op_ready, regReady_[inst.rs1]);
+        if (info.readsRs2 && inst.rs2 != 0)
+            op_ready = std::max(op_ready, regReady_[inst.rs2]);
+        if (op_ready > now_) {
+            ic.wake = std::min(wake, op_ready);
+            ic.cat = trace::CpiCat::UseStall;
+            return ic;
+        }
+        if ((info.cls == OpClass::IntDiv || info.cls == OpClass::FpDiv)
+            && divBusyUntil_ > now_) {
+            ic.wake = std::min(wake, divBusyUntil_);
+            ic.cat = trace::CpiCat::UseStall;
+            return ic;
+        }
+        // Loads probe the port (and may enter speculation); anything
+        // else issues: both are this-cycle actions.
+        return ic;
+    }
+
+    // ---- speculating ----
+    // With abort injection armed, every speculating cycle draws from
+    // the fault RNG; skipping any would desynchronise the stream.
+    if (port_.faults().params().forceAbortRate > 0)
+        return ic;
+
+    // An actively issuing or replaying episode (the common case while
+    // scouting) acts every cycle; skip the per-strand analysis.
+    if (specProgress_)
+        return ic;
+
+    if (params_.discardSpecWork) {
+        // Scout: the region ends (rolls back) when the trigger returns.
+        Cycle tr = epochs_.front().triggerReady;
+        if (tr != 0) {
+            if (tr <= now_)
+                return ic;
+            wake = std::min(wake, tr);
+        }
+    } else {
+        // Behind strand: earliest cycle the front DQ entry can replay.
+        // A pass swap or a re-deferral is a per-cycle state change, so
+        // both classify as "act now".
+        const Epoch &front = epochs_.front();
+        if (front.dq.empty())
+            return ic;
+        const DqEntry &entry = front.dq.front();
+        Cycle ready = now_;
+        bool pending = false;
+        auto resolve = [&](const DeferredOperand &op) {
+            if (!op.used || op.captured)
+                return;
+            auto it = replayResults_.find(op.producer);
+            if (it == replayResults_.end())
+                pending = true;
+            else
+                ready = std::max(ready, it->second.readyCycle);
+        };
+        resolve(entry.src1);
+        resolve(entry.src2);
+        if (pending)
+            return ic;
+        if (entry.requestIssued)
+            ready = std::max(ready, entry.readyCycle);
+        if (ready <= now_)
+            return ic; // replays (and possibly probes the port) now
+        wake = std::min(wake, ready);
+    }
+
+    if (aheadHalted_) {
+        ic.wake = wake;
+        return ic;
+    }
+
+    // Ahead strand: mirror aheadIssueOne()'s first-failing condition.
+    bool discard = params_.discardSpecWork;
+    if (aheadFrontEndReadyAt_ > now_) {
+        // No stall scalar on this path; the category stays Other
+        // (folded into Replay while speculating).
+        ic.wake = std::min(wake, aheadFrontEndReadyAt_);
+        return ic;
+    }
+    std::uint64_t pc = aheadPc_;
+    Addr line = port_.l1i().lineAddr(program_.instAddr(pc));
+    if (line != lastFetchLine_)
+        return ic; // new-line fetch probes the port: act now
+    if (fetchLineReady_ > now_) {
+        ic.wake = std::min(wake, fetchLineReady_);
+        return ic;
+    }
+
+    const Inst &inst = program_.at(pc);
+    const OpInfo &info = opInfo(inst.op);
+    bool na1 = info.readsRs1 && inst.rs1 != 0 && na_[inst.rs1];
+    bool na2 = info.readsRs2 && inst.rs2 != 0 && na_[inst.rs2];
+
+    Cycle op_ready = 0;
+    if (info.readsRs1 && !na1 && inst.rs1 != 0)
+        op_ready = std::max(op_ready, specReady_[inst.rs1]);
+    if (info.readsRs2 && !na2 && inst.rs2 != 0)
+        op_ready = std::max(op_ready, specReady_[inst.rs2]);
+    if (op_ready > now_) {
+        ic.counter = &aheadStallUseCycles_;
+        ic.cat = trace::CpiCat::UseStall;
+        ic.wake = std::min(wake, op_ready);
+        return ic;
+    }
+    if ((info.cls == OpClass::IntDiv || info.cls == OpClass::FpDiv)
+        && aheadDivBusyUntil_ > now_) {
+        ic.counter = &aheadStallUseCycles_;
+        ic.cat = trace::CpiCat::UseStall;
+        ic.wake = std::min(wake, aheadDivBusyUntil_);
+        return ic;
+    }
+
+    if (na1 || na2) {
+        // ---- deferral path; the queue-full stalls release through
+        // replay/commit progress the strand analysis above bounds. ----
+        if (!discard && dqOccupancy() >= dqCapacity_) {
+            ic.counter = &dqFullStallCycles_;
+            ic.cat = trace::CpiCat::DqFull;
+            ic.wake = wake;
+            return ic;
+        }
+        if (isStore(inst.op) && ssqOccupancy() >= ssqCapacity_) {
+            ic.counter = &ssqFullStallCycles_;
+            ic.cat = trace::CpiCat::SsqFull;
+            ic.wake = wake;
+            return ic;
+        }
+        if (inst.op == Opcode::JALR) {
+            bool is_return =
+                inst.rd == 0 && inst.rs1 == 1 && inst.imm == 0;
+            if (is_return && !ras_.empty())
+                return ic; // the RAS pop mutates state every attempt
+            // Non-return, or a return with an empty RAS: unpredictable
+            // target, a pure stall until replay resolves the register.
+            ic.counter = &naJumpStallCycles_;
+            ic.wake = wake;
+            return ic;
+        }
+        if (isCondBranch(inst.op) && params_.maxDeferredBranches != 0
+            && unverifiedBranches_ >= params_.maxDeferredBranches) {
+            ic.counter = &branchThrottleStallCycles_;
+            ic.wake = wake;
+            return ic;
+        }
+        return ic; // defers this cycle
+    }
+
+    if (isLoad(inst.op) && !discard) {
+        // A load parked on an older unresolved store's address stalls
+        // on a full DQ without touching the port; any other load shape
+        // probes the port (or defers) this cycle.
+        std::uint64_t v1 = inst.rs1 == 0 ? 0 : specRegs_[inst.rs1];
+        Addr addr = semantics::effectiveAddr(inst, v1);
+        unsigned size = memAccessSize(inst.op);
+        SeqNum mem_producer = 0;
+        for (const auto &st : ssq_) {
+            if (st.resolved || st.addr == invalidAddr)
+                continue;
+            Addr lo = std::max(st.addr, addr);
+            Addr hi = std::min(st.addr + st.size, addr + size);
+            if (lo < hi)
+                mem_producer = st.seq;
+        }
+        if (mem_producer != 0 && dqOccupancy() >= dqCapacity_) {
+            ic.counter = &dqFullStallCycles_;
+            ic.cat = trace::CpiCat::DqFull;
+            ic.wake = wake;
+            return ic;
+        }
+        return ic;
+    }
+    if (isStore(inst.op) && ssqOccupancy() >= ssqCapacity_) {
+        ic.counter = &ssqFullStallCycles_;
+        ic.cat = trace::CpiCat::SsqFull;
+        ic.wake = wake;
+        return ic;
+    }
+    return ic; // executes (or probes the port) this cycle
 }
 
 void
@@ -444,15 +703,18 @@ SstCore::takeCheckpoint(std::uint64_t trigger_pc, SeqNum start_seq)
     return true;
 }
 
-void
+unsigned
 SstCore::aheadStrand(unsigned slots)
 {
+    unsigned issued = 0;
     for (unsigned slot = 0; slot < slots; ++slot) {
         if (aheadHalted_ || epochs_.empty())
             break;
         if (!aheadIssueOne())
             break;
+        ++issued;
     }
+    return issued;
 }
 
 bool
@@ -994,7 +1256,39 @@ SstCore::commitOldestEpoch()
     if (tracing())
         trace("COMMIT epoch=%u insts=%llu", front.id,
               static_cast<unsigned long long>(insts));
+    SeqNum bound = next.startSeq;
     epochs_.pop_front();
+    // Drop replay results the committed epoch owned. A parked consumer
+    // in a younger epoch may still name an older producer (publish only
+    // clears NA bits, not DQ operands), so keep any seq a remaining
+    // deferred operand references.
+    if (!replayResults_.empty()) {
+        std::vector<SeqNum> live;
+        auto keep = [&](const DqEntry &e) {
+            if (e.src1.used && !e.src1.captured
+                && e.src1.producer < bound)
+                live.push_back(e.src1.producer);
+            if (e.src2.used && !e.src2.captured
+                && e.src2.producer < bound)
+                live.push_back(e.src2.producer);
+        };
+        for (const auto &epoch : epochs_) {
+            for (const auto &e : epoch.dq)
+                keep(e);
+            for (const auto &e : epoch.redeferred)
+                keep(e);
+        }
+        std::sort(live.begin(), live.end());
+        for (auto it = replayResults_.begin();
+             it != replayResults_.end();) {
+            if (it->first < bound
+                && !std::binary_search(live.begin(), live.end(),
+                                       it->first))
+                it = replayResults_.erase(it);
+            else
+                ++it;
+        }
+    }
     ++epochsCommitted_;
     // The oldest region retired: pending speculation cycles keep their
     // provisional categories. (Cycles of still-live younger epochs are

@@ -69,8 +69,11 @@ class SstCore : public Core
     /** Flush speculating cycles still awaiting their region's fate. */
     void finalizeAttribution() override;
 
+    Cycle nextWakeCycle() const override;
+
   protected:
     void cycle() override;
+    void idleAdvance(Cycle n) override;
 
     /** In-speculation cycles are attributed provisionally: their final
      *  category depends on whether the region commits (replay /
@@ -156,7 +159,7 @@ class SstCore : public Core
     void normalCycle();
     bool normalIssueOne();
     unsigned replayStrand(unsigned slots);
-    void aheadStrand(unsigned slots);
+    unsigned aheadStrand(unsigned slots);
     bool aheadIssueOne();
     void drainStoreBuffer();
     void tryCommit();
@@ -197,6 +200,10 @@ class SstCore : public Core
      *  @p discarded. */
     void flushPendingSpec(bool discarded);
 
+    /** Wake-cycle analysis across the store buffer, the behind strand's
+     *  replay front and the ahead strand's first-failing condition. */
+    IdleClass classifyIdle() const;
+
     /** Speculating cycles charged but not yet assigned a final CPI
      *  category (indexed by provisional CpiCat). */
     std::array<std::uint64_t, trace::numCpiCats> pendingSpec_{};
@@ -208,6 +215,11 @@ class SstCore : public Core
     std::array<Cycle, numArchRegs> specReady_{};
     std::uint64_t aheadPc_ = 0;
     bool aheadHalted_ = false;
+    /** A strand issued or replayed last tick: the episode is actively
+     *  working, so classifyIdle() answers "act now" without the full
+     *  stall analysis. Reset optimistically on every normal-mode tick
+     *  so a freshly opened episode starts conservative. */
+    bool specProgress_ = false;
     Cycle aheadFrontEndReadyAt_ = 0;
     Cycle aheadDivBusyUntil_ = 0;
 
@@ -249,6 +261,9 @@ class SstCore : public Core
     std::uint64_t lastRollbackCommitted_ = ~std::uint64_t{0};
     unsigned consecutiveFails_ = 0;
     std::uint64_t suppressTriggerPc_ = ~std::uint64_t{0};
+
+    /** Cached by nextWakeCycle() for the paired advanceIdle() call. */
+    mutable IdleClass idle_;
 
     // --- stats ---
     Scalar &checkpointsTaken_;

@@ -77,9 +77,21 @@ MemoryImage::write(Addr addr, std::uint64_t value, unsigned size)
 void
 MemoryImage::loadSegments(const Program &program)
 {
-    for (const auto &seg : program.segments())
-        for (std::size_t i = 0; i < seg.bytes.size(); ++i)
-            writeByte(seg.base + i, seg.bytes[i]);
+    // Page-sized memcpy chunks: one page lookup per 4 KiB instead of
+    // per byte (this runs once per Machine and used to dominate it).
+    for (const auto &seg : program.segments()) {
+        Addr addr = seg.base;
+        std::size_t i = 0;
+        while (i < seg.bytes.size()) {
+            Page &p = touchPage(addr);
+            Addr off = addr & (pageSize - 1);
+            std::size_t n = std::min<std::size_t>(
+                pageSize - off, seg.bytes.size() - i);
+            std::memcpy(p.data() + off, seg.bytes.data() + i, n);
+            addr += n;
+            i += n;
+        }
+    }
 }
 
 bool

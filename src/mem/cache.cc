@@ -36,6 +36,7 @@ Cache::Cache(const CacheParams &params, StatGroup &parentStats)
     lineShift_ = static_cast<unsigned>(std::countr_zero(
         static_cast<std::uint64_t>(params.lineBytes)));
     lines_.resize(numLines);
+    mruWay_.assign(numSets_, 0);
 
     stats_.addFormula("miss_rate", "misses / accesses", [this] {
         auto a = accesses_.value();
@@ -64,10 +65,20 @@ Cache::findLine(Addr addr)
 {
     unsigned set = setIndex(addr);
     Addr tag = tagOf(addr);
-    for (unsigned w = 0; w < params_.assoc; ++w) {
-        Line &line = lines_[set * params_.assoc + w];
+    unsigned hint = mruWay_[set];
+    {
+        Line &line = lines_[set * params_.assoc + hint];
         if (line.valid && line.tag == tag)
             return &line;
+    }
+    for (unsigned w = 0; w < params_.assoc; ++w) {
+        if (w == hint)
+            continue;
+        Line &line = lines_[set * params_.assoc + w];
+        if (line.valid && line.tag == tag) {
+            mruWay_[set] = w;
+            return &line;
+        }
     }
     return nullptr;
 }
@@ -164,6 +175,7 @@ Cache::fill(Addr addr, Cycle fillReady, bool dirty)
 
     unsigned set = setIndex(addr);
     unsigned way = victimWay(set);
+    mruWay_[set] = way;
     Line &line = lines_[set * params_.assoc + way];
 
     Eviction ev;

@@ -128,6 +128,11 @@ class Cache
     unsigned numSets_;
     unsigned lineShift_;
     std::vector<Line> lines_; // numSets_ * assoc, row-major by set
+    /** Per-set way of the last hit/fill. Cache lookups are heavily
+     *  repeat-biased (fetch re-probes, load retries), so checking this
+     *  way first short-circuits most associative scans. Tags are unique
+     *  within a set, so probe order cannot change any result. */
+    std::vector<std::uint32_t> mruWay_;
     std::uint64_t useCounter_ = 0;
     Rng rng_;
 

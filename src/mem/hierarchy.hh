@@ -87,8 +87,25 @@ class CorePort
     }
 
     const MshrFile &mshrs() const { return mshrs_; }
+    const Tlb &dtlb() const { return dtlb_; }
     Cache &l1d() { return l1d_; }
     Cache &l1i() { return l1i_; }
+
+    /**
+     * Earliest pending completion on this port strictly after @p now —
+     * the min over in-flight MSHR fills and TLB walks — or invalidCycle
+     * when nothing is outstanding. A wake-cycle probe for tests and
+     * diagnostics: a stalled core's own nextWakeCycle() already carries
+     * the fill it waits on via the access result, so the run loops do
+     * not clamp skips with this (fills nobody waits for — e.g.
+     * prefetches — must not truncate a skip).
+     */
+    Cycle nextWakeCycle(Cycle now) const
+    {
+        Cycle mshr = mshrs_.earliestCompletion(now);
+        Cycle walk = dtlb_.earliestWalkCompletion(now);
+        return mshr < walk ? mshr : walk;
+    }
     StatGroup &stats() { return stats_; }
 
     /** The shared fault injector (chaos hooks; disabled by default). */

@@ -41,6 +41,18 @@ class MshrFile
     /** Earliest cycle at which an entry will free up (full file only). */
     Cycle earliestFree() const;
 
+    /** Earliest fill completion strictly after @p now, or invalidCycle
+     *  when nothing is in flight (wake-cycle probe; entries expire
+     *  lazily, so stale completions are skipped rather than trusted). */
+    Cycle earliestCompletion(Cycle now) const
+    {
+        Cycle best = invalidCycle;
+        for (const auto &e : entries_)
+            if (e.completion > now && e.completion < best)
+                best = e.completion;
+        return best;
+    }
+
     /**
      * Allocate an entry for @p lineAddr completing at @p completion.
      * Caller must ensure !full(). @p isDemand distinguishes demand misses

@@ -19,6 +19,7 @@ Tlb::Tlb(const TlbParams &params, const std::string &name,
                      : 0.0;
     });
     parentStats.addChild(stats_);
+    entries_.reserve(params_.entries);
 }
 
 Tlb::LookupResult
@@ -29,18 +30,15 @@ Tlb::access(Addr addr, Cycle now)
         return res;
 
     Addr page = pageOf(addr);
-    auto it = map_.find(page);
-    if (it != map_.end()) {
-        lru_.splice(lru_.begin(), lru_, it->second);
-        auto walk = walkReady_.find(page);
-        if (walk != walkReady_.end()) {
-            if (walk->second > now) {
-                // Walk still in flight: report as a miss-in-progress.
-                res.hit = false;
-                res.readyCycle = walk->second;
-                return res;
-            }
-            walkReady_.erase(walk);
+    for (auto &e : entries_) {
+        if (e.page != page)
+            continue;
+        e.lastUse = ++useCounter_;
+        if (e.walkReady > now) {
+            // Walk still in flight: report as a miss-in-progress.
+            res.hit = false;
+            res.readyCycle = e.walkReady;
+            return res;
         }
         ++hits_;
         res.hit = true;
@@ -48,18 +46,20 @@ Tlb::access(Addr addr, Cycle now)
         return res;
     }
 
-    // Miss: start a walk, install the entry with its completion time.
+    // Miss: start a walk, install the entry with its completion time,
+    // evicting the least-recently-touched translation when full.
     ++misses_;
     res.hit = false;
     res.readyCycle = now + params_.walkLatency;
-    lru_.push_front(page);
-    map_[page] = lru_.begin();
-    walkReady_[page] = res.readyCycle;
-    if (lru_.size() > params_.entries) {
-        Addr victim = lru_.back();
-        lru_.pop_back();
-        map_.erase(victim);
-        walkReady_.erase(victim);
+    Entry fresh{page, ++useCounter_, res.readyCycle};
+    if (entries_.size() < params_.entries) {
+        entries_.push_back(fresh);
+    } else {
+        Entry *victim = &entries_.front();
+        for (auto &e : entries_)
+            if (e.lastUse < victim->lastUse)
+                victim = &e;
+        *victim = fresh;
     }
     return res;
 }
@@ -67,9 +67,17 @@ Tlb::access(Addr addr, Cycle now)
 void
 Tlb::flush()
 {
-    lru_.clear();
-    map_.clear();
-    walkReady_.clear();
+    entries_.clear();
+}
+
+Cycle
+Tlb::earliestWalkCompletion(Cycle now) const
+{
+    Cycle best = invalidCycle;
+    for (const auto &e : entries_)
+        if (e.walkReady > now && e.walkReady < best)
+            best = e.walkReady;
+    return best;
 }
 
 } // namespace sst

@@ -13,9 +13,8 @@
 #define SSTSIM_MEM_TLB_HH
 
 #include <cstdint>
-#include <list>
 #include <string>
-#include <unordered_map>
+#include <vector>
 
 #include "common/stats.hh"
 #include "common/types.hh"
@@ -60,15 +59,29 @@ class Tlb
     /** Drop all entries. */
     void flush();
 
+    /** Earliest in-flight page-walk completion strictly after @p now,
+     *  or invalidCycle when no walk is pending (wake-cycle probe). */
+    Cycle earliestWalkCompletion(Cycle now) const;
+
   private:
     Addr pageOf(Addr addr) const { return addr / params_.pageBytes; }
 
+    /**
+     * One cached translation. The TLB is small (tens of entries) and
+     * sits on the hot path of every data access, so it is a flat array
+     * scanned linearly with stamp-based LRU — no list/map node churn.
+     */
+    struct Entry
+    {
+        Addr page = invalidAddr;
+        std::uint64_t lastUse = 0;
+        /** In-flight walk completion (stale once <= access time). */
+        Cycle walkReady = 0;
+    };
+
     TlbParams params_;
-    /** LRU list of pages (front = MRU) + index into it. */
-    std::list<Addr> lru_;
-    std::unordered_map<Addr, std::list<Addr>::iterator> map_;
-    /** In-flight walk completion per cached page. */
-    std::unordered_map<Addr, Cycle> walkReady_;
+    std::vector<Entry> entries_;
+    std::uint64_t useCounter_ = 0;
 
     StatGroup stats_;
     Scalar &hits_;

@@ -1,6 +1,9 @@
 #include "sim/cmp.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
+#include "sim/fastfwd.hh"
 #include "sim/machine.hh"
 
 namespace sst
@@ -35,18 +38,50 @@ Cmp::run(std::uint64_t max_cycles)
 
     bool all_halted = false;
     bool livelocked = false;
+    const bool fastfwd = fastForwardEnabled();
     std::uint64_t cycle = 0;
     while (!all_halted && !livelocked && cycle < max_cycles) {
         all_halted = true;
+        bool any_retired = false;
         for (std::size_t i = 0; i < cores_.size(); ++i) {
-            cores_[i]->tick();
-            all_halted &= cores_[i]->halted();
+            Core &core = *cores_[i];
+            // A halted core's tick/observe are no-ops; don't pay for
+            // them every remaining cycle of the run.
+            if (core.halted())
+                continue;
+            std::uint64_t before = core.instsRetired();
+            core.tick();
+            any_retired |= core.instsRetired() != before;
+            all_halted &= core.halted();
             // One livelocked core sinks the whole chip: the run result
             // must not be mistaken for a throughput measurement.
             if (!watchdogs[i].observe())
                 livelocked = true;
         }
         ++cycle;
+
+        // Lockstep fast-forward: when every live core is stalled past
+        // this cycle, nothing (cores or shared hierarchy) can change
+        // until the earliest wake. Halted cores stay frozen, matching
+        // the naive loop's early-out tick.
+        if (!fastfwd || any_retired || all_halted || livelocked)
+            continue;
+        Cycle wake = invalidCycle;
+        for (auto &core : cores_)
+            if (!core->halted())
+                wake = std::min(wake, core->nextWakeCycle());
+        if (wake <= cycle)
+            continue;
+        Cycle target = std::min<Cycle>(wake, max_cycles);
+        for (std::size_t i = 0; i < cores_.size(); ++i)
+            if (!cores_[i]->halted())
+                target = std::min(target, watchdogs[i].skipBound());
+        if (target <= cycle)
+            continue;
+        for (auto &core : cores_)
+            if (!core->halted())
+                core->advanceIdle(target - cycle);
+        cycle = target;
     }
 
     for (auto &core : cores_)

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Global switch for stall-cycle fast-forwarding (the wake-cycle
+ * protocol's escape hatch).
+ *
+ * The run loops in Machine/Cmp skip stalled windows in bulk via
+ * Core::nextWakeCycle()/advanceIdle(). The skip is designed to be
+ * invisible — stats, traces and results byte-identical to the naive
+ * per-cycle loop — and this switch exists to *prove* that claim:
+ *
+ *  - env var SSTSIM_NO_FASTFWD=1 disables skipping at runtime (any
+ *    value other than empty/"0" counts);
+ *  - setFastForward() overrides the env var (differential tests flip it
+ *    both ways in-process);
+ *  - the CMake option SST_FASTFWD=OFF compiles the fast path out
+ *    entirely (fastForwardEnabled() becomes constant false).
+ */
+
+#ifndef SSTSIM_SIM_FASTFWD_HH
+#define SSTSIM_SIM_FASTFWD_HH
+
+namespace sst
+{
+
+/** True when the run loops may skip stalled cycles in bulk. */
+bool fastForwardEnabled();
+
+/** Force fast-forwarding on/off for this process (overrides the env
+ *  var; no-op in SST_FASTFWD=OFF builds). */
+void setFastForward(bool on);
+
+/** Drop any setFastForward() override; the env var rules again. */
+void clearFastForwardOverride();
+
+} // namespace sst
+
+#endif // SSTSIM_SIM_FASTFWD_HH

@@ -1,6 +1,9 @@
 #include "sim/machine.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
+#include "sim/fastfwd.hh"
 
 namespace sst
 {
@@ -64,6 +67,15 @@ Watchdog::observe()
     return true;
 }
 
+Cycle
+Watchdog::skipBound() const
+{
+    if (!params_.enabled || core_.halted())
+        return invalidCycle;
+    Cycle deadline = windowStart_ + params_.stallCycles;
+    return deadline == 0 ? 0 : deadline - 1;
+}
+
 Machine::Machine(const MachineConfig &config, const Program &program)
     : config_(config), program_(program), memsys_(config.mem)
 {
@@ -87,12 +99,29 @@ Machine::run(std::uint64_t max_cycles)
 {
     Watchdog watchdog(config_.watchdog, *core_);
     bool livelocked = false;
+    const bool fastfwd = fastForwardEnabled();
     while (!core_->halted() && core_->cycles() < max_cycles) {
+        std::uint64_t before = core_->instsRetired();
         core_->tick();
         if (!watchdog.observe()) {
             livelocked = true;
             break;
         }
+        // Fast-forward: after a tick that retired nothing, ask the core
+        // for the earliest cycle it can act again and replay the stalled
+        // window in one step. Capped so the cycle budget and the
+        // watchdog's intervention deadline are still hit by real ticks.
+        if (!fastfwd || core_->halted()
+            || core_->instsRetired() != before)
+            continue;
+        Cycle wake = core_->nextWakeCycle();
+        Cycle now = core_->cycles();
+        if (wake <= now)
+            continue;
+        Cycle target = std::min(std::min(wake, max_cycles),
+                                watchdog.skipBound());
+        if (target > now)
+            core_->advanceIdle(target - now);
     }
 
     core_->finalizeAttribution();

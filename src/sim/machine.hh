@@ -50,6 +50,17 @@ class Watchdog
     /** Observe one elapsed cycle. @return false on declared livelock. */
     bool observe();
 
+    /**
+     * Latest cycle a fast-forward skip may advance the core to without
+     * changing this watchdog's behaviour. The cycle at
+     * windowStart + stallCycles is where observe() would intervene, so
+     * the run loop must reach it via a real tick+observe; every
+     * no-retirement observe strictly before it is a no-op, making the
+     * cycles up to (deadline - 1) safe to skip. Unbounded when disabled
+     * or the core has halted.
+     */
+    Cycle skipBound() const;
+
     std::uint64_t recoveries() const { return recoveries_; }
     std::uint64_t interventions() const { return interventions_; }
     bool gaveUp() const { return gaveUp_; }

@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Stall-cycle fast-forwarding must be invisible: for every preset and
+ * workload, a run with the wake-cycle skip enabled must produce results,
+ * stats and traces byte-identical to the naive per-cycle loop. These
+ * tests flip the runtime switch both ways in-process and compare
+ * everything the simulator exposes, plus check the wake-cycle contract
+ * itself (no premature progress before the reported wake).
+ */
+
+#include <gtest/gtest.h>
+
+#include <iterator>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "sim/cmp.hh"
+#include "sim/fastfwd.hh"
+#include "sim/machine.hh"
+#include "sim/presets.hh"
+#include "trace/trace.hh"
+#include "workloads/workloads.hh"
+
+using namespace sst;
+
+namespace
+{
+
+const std::vector<std::string> kAllPresets = {
+    "inorder", "scout", "ea",        "sst2",      "sst4",
+    "sst8",    "ooo-small", "ooo-large", "ooo-huge",
+};
+
+const std::vector<std::string> kWorkloads = {
+    "pointer_chase",
+    "oltp_mix",
+    "hash_join",
+};
+
+Program
+workloadProgram(const std::string &name)
+{
+    WorkloadParams wp;
+    wp.lengthScale = 0.1;
+    return makeWorkload(name, wp).program;
+}
+
+void
+expectStatsEqual(const std::map<std::string, double> &naive,
+                 const std::map<std::string, double> &fast)
+{
+    EXPECT_EQ(naive.size(), fast.size());
+    for (const auto &kv : naive) {
+        auto it = fast.find(kv.first);
+        ASSERT_NE(it, fast.end()) << "stat missing: " << kv.first;
+        EXPECT_EQ(kv.second, it->second) << "stat differs: " << kv.first;
+    }
+}
+
+void
+expectTracesEqual(const trace::TraceBuffer &naive,
+                  const trace::TraceBuffer &fast)
+{
+    EXPECT_EQ(naive.recorded(), fast.recorded());
+    EXPECT_EQ(naive.dropped(), fast.dropped());
+    auto a = naive.snapshot();
+    auto b = fast.snapshot();
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        SCOPED_TRACE("event " + std::to_string(i));
+        EXPECT_EQ(a[i].cycle, b[i].cycle);
+        EXPECT_EQ(a[i].pc, b[i].pc);
+        EXPECT_EQ(a[i].seq, b[i].seq);
+        EXPECT_EQ(a[i].arg, b[i].arg);
+        EXPECT_EQ(a[i].kind, b[i].kind);
+        EXPECT_EQ(a[i].strand, b[i].strand);
+        if (a[i].cycle != b[i].cycle || a[i].pc != b[i].pc
+            || a[i].seq != b[i].seq)
+            break; // one divergence point is enough noise
+    }
+}
+
+RunResult
+runOnce(const std::string &preset, const Program &program, bool fastfwd,
+        trace::TraceBuffer *buf)
+{
+    setFastForward(fastfwd);
+    Machine machine(makePreset(preset), program);
+    if (buf)
+        machine.attachTraceBuffer(buf);
+    RunResult res = machine.run();
+    clearFastForwardOverride();
+    return res;
+}
+
+} // namespace
+
+/** The headline invariant: every preset × workload, skip on == skip
+ *  off, down to every stat and every structured trace event. */
+TEST(FastForward, DifferentialAllPresets)
+{
+    for (const auto &wl : kWorkloads) {
+        Program program = workloadProgram(wl);
+        for (const auto &preset : kAllPresets) {
+            SCOPED_TRACE(preset + " / " + wl);
+            trace::TraceBuffer naiveTrace;
+            trace::TraceBuffer fastTrace;
+            RunResult naive = runOnce(preset, program, false, &naiveTrace);
+            RunResult fast = runOnce(preset, program, true, &fastTrace);
+
+            EXPECT_EQ(naive.cycles, fast.cycles);
+            EXPECT_EQ(naive.insts, fast.insts);
+            EXPECT_EQ(naive.ipc, fast.ipc);
+            EXPECT_EQ(naive.finished, fast.finished);
+            EXPECT_EQ(naive.degrade, fast.degrade);
+            EXPECT_EQ(naive.l1dMissRate, fast.l1dMissRate);
+            EXPECT_EQ(naive.meanDemandMlp, fast.meanDemandMlp);
+            EXPECT_EQ(naive.mispredictRate, fast.mispredictRate);
+            expectStatsEqual(naive.stats, fast.stats);
+            expectTracesEqual(naiveTrace, fastTrace);
+        }
+    }
+}
+
+/** Same invariant for the CMP lockstep loop (shared L2/DRAM). */
+TEST(FastForward, DifferentialCmp)
+{
+    Program program = workloadProgram("oltp_mix");
+    std::vector<const Program *> programs{&program, &program};
+    for (const auto &preset : {"inorder", "sst4", "ooo-large"}) {
+        SCOPED_TRACE(preset);
+        setFastForward(false);
+        Cmp naiveCmp(makePreset(preset), programs);
+        CmpResult naive = naiveCmp.run();
+        setFastForward(true);
+        Cmp fastCmp(makePreset(preset), programs);
+        CmpResult fast = fastCmp.run();
+        clearFastForwardOverride();
+
+        EXPECT_EQ(naive.cycles, fast.cycles);
+        EXPECT_EQ(naive.totalInsts, fast.totalInsts);
+        EXPECT_EQ(naive.aggregateIpc, fast.aggregateIpc);
+        EXPECT_EQ(naive.finished, fast.finished);
+        EXPECT_EQ(naive.degrade, fast.degrade);
+        EXPECT_EQ(naive.watchdogRecoveries, fast.watchdogRecoveries);
+        ASSERT_EQ(naive.perCoreIpc.size(), fast.perCoreIpc.size());
+        for (std::size_t i = 0; i < naive.perCoreIpc.size(); ++i)
+            EXPECT_EQ(naive.perCoreIpc[i], fast.perCoreIpc[i]);
+        for (unsigned i = 0; i < naive.cores; ++i)
+            expectStatsEqual(naiveCmp.core(i).stats().flatten(),
+                             fastCmp.core(i).stats().flatten());
+    }
+}
+
+/**
+ * The wake-cycle contract, checked against the naive loop itself: after
+ * a tick that retired nothing, no tick that starts before the reported
+ * wake cycle may retire anything. (The other direction — that skipping
+ * to the wake reproduces the same stats — is what the differential
+ * tests above prove.)
+ */
+TEST(FastForward, WakeIsNeverPremature)
+{
+    Program program = workloadProgram("oltp_mix");
+    for (const auto &preset : {"inorder", "scout", "sst4", "ooo-large"}) {
+        SCOPED_TRACE(preset);
+        setFastForward(false);
+        Machine machine(makePreset(preset), program);
+        Core &core = machine.core();
+        std::uint64_t windows = 0;
+        while (!core.halted() && core.cycles() < 5'000'000) {
+            std::uint64_t before = core.instsRetired();
+            core.tick();
+            if (core.halted() || core.instsRetired() != before)
+                continue;
+            Cycle wake = core.nextWakeCycle();
+            if (wake == Core::kWakeNever)
+                break;
+            if (wake <= core.cycles())
+                continue;
+            ++windows;
+            while (!core.halted() && core.cycles() < wake) {
+                std::uint64_t b = core.instsRetired();
+                core.tick();
+                ASSERT_EQ(core.instsRetired(), b)
+                    << "retired inside a window declared idle until "
+                    << wake;
+            }
+        }
+        clearFastForwardOverride();
+        EXPECT_GT(windows, 0u) << "workload never produced a skippable "
+                                  "stall window";
+    }
+}
+
+/** Bulk Distribution::sample(v, n) must equal n repeated samples. */
+TEST(FastForward, BulkDistributionSample)
+{
+    Distribution loop;
+    Distribution bulk;
+    loop.init(128, 16);
+    bulk.init(128, 16);
+    const std::uint64_t values[] = {0, 1, 7, 8, 64, 127, 128, 500};
+    const std::uint64_t counts[] = {1, 3, 10, 0, 2, 5, 4, 7};
+    for (std::size_t i = 0; i < std::size(values); ++i) {
+        for (std::uint64_t k = 0; k < counts[i]; ++k)
+            loop.sample(values[i]);
+        bulk.sample(values[i], counts[i]);
+    }
+    EXPECT_EQ(loop.toJson(), bulk.toJson());
+    EXPECT_EQ(loop.count(), bulk.count());
+    EXPECT_EQ(loop.mean(), bulk.mean());
+    EXPECT_EQ(loop.maxSample(), bulk.maxSample());
+}
+
+/** The in-process override beats the environment in both directions. */
+TEST(FastForward, OverrideSwitch)
+{
+    setFastForward(false);
+    EXPECT_FALSE(fastForwardEnabled());
+#if !SST_DISABLE_FASTFWD
+    setFastForward(true);
+    EXPECT_TRUE(fastForwardEnabled());
+#endif
+    clearFastForwardOverride();
+}

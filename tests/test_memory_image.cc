@@ -50,6 +50,29 @@ TEST(MemoryImage, PageCrossingAccess)
     EXPECT_EQ(m.pageCount(), 2u);
 }
 
+TEST(MemoryImage, LoadSegmentsUnalignedAcrossPages)
+{
+    // A segment starting mid-page and spanning several pages must load
+    // identically to a byte-at-a-time copy.
+    Program p("t");
+    std::vector<std::uint8_t> bytes(3 * MemoryImage::pageSize + 100);
+    for (std::size_t i = 0; i < bytes.size(); ++i)
+        bytes[i] = static_cast<std::uint8_t>(i * 13 + 1);
+    const Addr base = 0x7fc0; // 64 bytes shy of a page boundary
+    p.addData(base, bytes);
+
+    MemoryImage chunked;
+    chunked.loadSegments(p);
+    MemoryImage bytewise;
+    for (std::size_t i = 0; i < bytes.size(); ++i)
+        bytewise.writeByte(base + i, bytes[i]);
+
+    EXPECT_TRUE(chunked.contentEquals(bytewise));
+    EXPECT_EQ(chunked.readByte(base), bytes[0]);
+    EXPECT_EQ(chunked.readByte(base + bytes.size() - 1), bytes.back());
+    EXPECT_EQ(chunked.readByte(base + bytes.size()), 0u);
+}
+
 TEST(MemoryImage, LoadSegments)
 {
     Program p("t");
