@@ -1,0 +1,98 @@
+/**
+ * @file
+ * B2 — snapshot and state-hash throughput (google-benchmark).
+ *
+ * Not a paper figure: sizes the cost of the checkpoint machinery so
+ * users can pick snap_every / diff --stride sensibly. Reports
+ * serialized image size and MB/s for whole-machine snapshot(), the
+ * cost of a full restore(), and stateHash() rate — the per-compare
+ * cost of the lockstep differ.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "bench_util.hh"
+#include "sim/machine.hh"
+#include "sim/presets.hh"
+#include "workloads/workloads.hh"
+
+using namespace sst;
+
+namespace
+{
+
+Workload &
+cachedWorkload()
+{
+    static Workload wl = [] {
+        WorkloadParams p;
+        p.lengthScale = bench::benchScale();
+        return makeWorkload("oltp_mix", p);
+    }();
+    return wl;
+}
+
+/** One sst4 machine advanced into steady state, so caches, predictors
+ *  and stats hold representative (non-trivial) content. */
+Machine &
+warmMachine()
+{
+    static Machine machine(makePreset("sst4"), cachedWorkload().program);
+    static bool warmed = [] {
+        machine.stepTo(20'000);
+        return true;
+    }();
+    (void)warmed;
+    return machine;
+}
+
+void
+BM_Snapshot(benchmark::State &state)
+{
+    Machine &machine = warmMachine();
+    std::size_t bytes = 0;
+    for (auto _ : state) {
+        std::vector<std::uint8_t> image = machine.snapshot();
+        bytes = image.size();
+        benchmark::DoNotOptimize(image.data());
+    }
+    state.counters["image_bytes"] = static_cast<double>(bytes);
+    state.counters["snap_bytes_per_s"] = benchmark::Counter(
+        static_cast<double>(bytes) * state.iterations(),
+        benchmark::Counter::kIsRate);
+}
+
+void
+BM_Restore(benchmark::State &state)
+{
+    Machine &machine = warmMachine();
+    std::vector<std::uint8_t> image = machine.snapshot();
+    Machine target(makePreset("sst4"), cachedWorkload().program);
+    for (auto _ : state) {
+        target.restore(image);
+        benchmark::DoNotOptimize(target.core().cycles());
+    }
+}
+
+void
+BM_StateHash(benchmark::State &state)
+{
+    Machine &machine = warmMachine();
+    for (auto _ : state) {
+        std::uint64_t h = machine.stateHash();
+        benchmark::DoNotOptimize(h);
+    }
+    state.counters["hashes_per_s"] = benchmark::Counter(
+        static_cast<double>(state.iterations()),
+        benchmark::Counter::kIsRate);
+}
+
+} // namespace
+
+BENCHMARK(BM_Snapshot)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Restore)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_StateHash)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,6 +1,7 @@
 #include "branch/predictor.hh"
 
 #include "common/logging.hh"
+#include "snap/snap.hh"
 
 namespace sst
 {
@@ -221,6 +222,123 @@ ReturnAddressStack::pop()
     top_ = (top_ + stack_.size() - 1) % stack_.size();
     --count_;
     return stack_[top_];
+}
+
+namespace
+{
+
+void
+saveByteTable(snap::Writer &w, const std::vector<std::uint8_t> &table)
+{
+    w.u32(static_cast<std::uint32_t>(table.size()));
+    w.bytes(table.data(), table.size());
+}
+
+void
+loadByteTable(snap::Reader &r, std::vector<std::uint8_t> &table)
+{
+    std::uint32_t n = r.u32();
+    fatal_if(n != table.size(),
+             "snapshot: predictor table has %u entries, expected %zu "
+             "(configuration mismatch)",
+             n, table.size());
+    r.bytes(table.data(), table.size());
+}
+
+} // namespace
+
+void
+BimodalPredictor::save(snap::Writer &w) const
+{
+    saveByteTable(w, table_);
+}
+
+void
+BimodalPredictor::load(snap::Reader &r)
+{
+    loadByteTable(r, table_);
+}
+
+void
+GsharePredictor::save(snap::Writer &w) const
+{
+    saveByteTable(w, table_);
+    w.u64(history_);
+}
+
+void
+GsharePredictor::load(snap::Reader &r)
+{
+    loadByteTable(r, table_);
+    history_ = r.u64();
+}
+
+void
+TournamentPredictor::save(snap::Writer &w) const
+{
+    bimodal_.save(w);
+    gshare_.save(w);
+    saveByteTable(w, chooser_);
+    w.b(lastBimodal_);
+    w.b(lastGshare_);
+}
+
+void
+TournamentPredictor::load(snap::Reader &r)
+{
+    bimodal_.load(r);
+    gshare_.load(r);
+    loadByteTable(r, chooser_);
+    lastBimodal_ = r.b();
+    lastGshare_ = r.b();
+}
+
+void
+Btb::save(snap::Writer &w) const
+{
+    w.u32(static_cast<std::uint32_t>(entries_.size()));
+    for (const Entry &e : entries_) {
+        w.u64(e.tag);
+        w.u64(e.target);
+    }
+}
+
+void
+Btb::load(snap::Reader &r)
+{
+    std::uint32_t n = r.u32();
+    fatal_if(n != entries_.size(),
+             "snapshot: BTB has %u entries, expected %zu "
+             "(configuration mismatch)",
+             n, entries_.size());
+    for (Entry &e : entries_) {
+        e.tag = r.u64();
+        e.target = r.u64();
+    }
+}
+
+void
+ReturnAddressStack::save(snap::Writer &w) const
+{
+    w.u32(static_cast<std::uint32_t>(stack_.size()));
+    for (std::uint64_t v : stack_)
+        w.u64(v);
+    w.u32(top_);
+    w.u32(count_);
+}
+
+void
+ReturnAddressStack::load(snap::Reader &r)
+{
+    std::uint32_t n = r.u32();
+    fatal_if(n != stack_.size(),
+             "snapshot: RAS depth %u, expected %zu (configuration "
+             "mismatch)",
+             n, stack_.size());
+    for (std::uint64_t &v : stack_)
+        v = r.u64();
+    top_ = r.u32();
+    count_ = r.u32();
 }
 
 } // namespace sst

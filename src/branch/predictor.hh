@@ -24,11 +24,22 @@
 namespace sst
 {
 
+namespace snap
+{
+class Writer;
+class Reader;
+} // namespace snap
+
 /** Direction predictor interface. PCs are instruction indices. */
 class BranchPredictor
 {
   public:
     virtual ~BranchPredictor() = default;
+
+    /** Serialize tables + history. load() assumes a predictor of the
+     *  same kind and geometry (configuration is not serialized). */
+    virtual void save(snap::Writer &) const {}
+    virtual void load(snap::Reader &) {}
 
     /** Predict the direction of the branch at @p pc. */
     virtual bool predict(std::uint64_t pc) = 0;
@@ -96,6 +107,9 @@ class BimodalPredictor : public BranchPredictor
     void update(std::uint64_t pc, bool taken) override;
     const char *name() const override { return "bimodal"; }
 
+    void save(snap::Writer &w) const override;
+    void load(snap::Reader &r) override;
+
   private:
     unsigned index(std::uint64_t pc) const;
     std::vector<std::uint8_t> table_;
@@ -118,6 +132,9 @@ class GsharePredictor : public BranchPredictor
     std::uint64_t snapshotHistory() const override { return history_; }
     void restoreHistory(std::uint64_t h) override { history_ = h; }
     const char *name() const override { return "gshare"; }
+
+    void save(snap::Writer &w) const override;
+    void load(snap::Reader &r) override;
 
   private:
     unsigned index(std::uint64_t pc) const;
@@ -142,6 +159,9 @@ class TournamentPredictor : public BranchPredictor
     std::uint64_t snapshotHistory() const override;
     void restoreHistory(std::uint64_t h) override;
     const char *name() const override { return "tournament"; }
+
+    void save(snap::Writer &w) const override;
+    void load(snap::Reader &r) override;
 
   private:
     BimodalPredictor bimodal_;
@@ -170,6 +190,9 @@ class Btb
 
     static constexpr std::uint64_t invalidTarget = ~std::uint64_t{0};
 
+    void save(snap::Writer &w) const;
+    void load(snap::Reader &r);
+
   private:
     struct Entry
     {
@@ -195,6 +218,9 @@ class ReturnAddressStack
     void reset() { top_ = 0; count_ = 0; }
 
     static constexpr std::uint64_t invalidTarget = ~std::uint64_t{0};
+
+    void save(snap::Writer &w) const;
+    void load(snap::Reader &r);
 
   private:
     std::vector<std::uint64_t> stack_;

@@ -16,6 +16,12 @@
 namespace sst
 {
 
+namespace snap
+{
+class Writer;
+class Reader;
+} // namespace snap
+
 /**
  * One SplitMix64 step: advances @p state and returns the next output.
  * This is the reference seeding generator; exposed so that seed
@@ -78,6 +84,10 @@ class Rng
      * the OLTP-style workload generators.
      */
     std::uint64_t zipf(std::uint64_t n, double s);
+
+    /** Serialize the generator state mid-stream (defined in src/snap/). */
+    void save(snap::Writer &w) const;
+    void load(snap::Reader &r);
 
   private:
     std::uint64_t state_[4];

@@ -19,6 +19,12 @@
 namespace sst
 {
 
+namespace snap
+{
+class Writer;
+class Reader;
+} // namespace snap
+
 /** Escape @p s for inclusion in a JSON string literal (no quotes). */
 std::string jsonEscape(const std::string &s);
 
@@ -80,6 +86,11 @@ class Distribution
 
     /** JSON object: count/sum/mean/max/bucket_width/buckets/overflow. */
     std::string toJson() const;
+
+    /** Serialize counts only; bucket geometry must already match (it is
+     *  configuration, re-established by init()). Defined in src/snap/. */
+    void save(snap::Writer &w) const;
+    void load(snap::Reader &r);
 
   private:
     std::vector<std::uint64_t> buckets_;
@@ -144,6 +155,16 @@ class StatGroup
 
     /** Zero all scalars and distributions (recursively). */
     void reset();
+
+    /**
+     * Serialize all scalar and distribution *values* (recursively, with
+     * names for validation); formulas are derived and skipped. load()
+     * requires an identically shaped tree — stats layout is part of the
+     * snapshot format, guarded by snap::formatVersion. Defined in
+     * src/snap/ so the common library does not depend on snap.
+     */
+    void save(snap::Writer &w) const;
+    void load(snap::Reader &r);
 
   private:
     struct NamedScalar

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "common/logging.hh"
+#include "snap/snap.hh"
 
 namespace sst
 {
@@ -123,6 +124,51 @@ Core::trace(const char *fmt, ...)
     va_end(ap);
     line.resize(static_cast<std::size_t>(n) + need);
     traceSink_(line);
+}
+
+void
+Core::save(snap::Writer &w) const
+{
+    w.tag("core");
+    w.str(model());
+    arch_.save(w);
+    w.u64(now_);
+    w.u64(startCycle_);
+    w.u64(lastFetchLine_);
+    w.u64(fetchLineReady_);
+    w.u8(static_cast<std::uint8_t>(stallCat_));
+    predictor_->save(w);
+    btb_.save(w);
+    ras_.save(w);
+    stats_.save(w);
+    w.tag("core-extra");
+    saveExtra(w);
+}
+
+void
+Core::load(snap::Reader &r)
+{
+    r.tag("core");
+    std::string m = r.str();
+    fatal_if(m != model(),
+             "snapshot: core model '%s' where '%s' expected "
+             "(configuration mismatch)",
+             m.c_str(), model());
+    arch_.load(r);
+    now_ = r.u64();
+    startCycle_ = r.u64();
+    lastFetchLine_ = r.u64();
+    fetchLineReady_ = r.u64();
+    std::uint8_t cat = r.u8();
+    fatal_if(cat >= static_cast<std::uint8_t>(trace::CpiCat::NumCats),
+             "snapshot: bad CPI category %u (corrupt snapshot)", cat);
+    stallCat_ = static_cast<trace::CpiCat>(cat);
+    predictor_->load(r);
+    btb_.load(r);
+    ras_.load(r);
+    stats_.load(r);
+    r.tag("core-extra");
+    loadExtra(r);
 }
 
 Cycle

@@ -183,6 +183,17 @@ class Core
      */
     virtual void finalizeAttribution() {}
 
+    /**
+     * Serialize complete core state: committed arch state, clocks,
+     * fetch-line tracking, predictor/BTB/RAS, the whole stats tree
+     * (which includes the CPI stack and this core's port stats), then
+     * the model's extra state via saveExtra(). Runtime attachments
+     * (trace sink, trace buffer pointer) are not state and are not
+     * serialized; cached wake classifications are recomputed.
+     */
+    void save(snap::Writer &w) const;
+    void load(snap::Reader &r);
+
   protected:
     /** True when someone is listening; guard any formatting work. */
     bool tracing() const { return static_cast<bool>(traceSink_); }
@@ -248,6 +259,10 @@ class Core
      * base nextWakeCycle() never allows a skip.
      */
     virtual void idleAdvance(Cycle n);
+
+    /** Model-specific snapshot state (scoreboards, queues, epochs). */
+    virtual void saveExtra(snap::Writer &) const {}
+    virtual void loadExtra(snap::Reader &) {}
 
   private:
     std::function<void(const std::string &)> traceSink_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "snap/snap.hh"
 
 namespace sst
 {
@@ -232,6 +233,58 @@ InOrderCore::issueOne()
         break;
     }
     return true;
+}
+
+
+namespace
+{
+
+template <typename Q>
+void
+saveStoreBuffer(sst::snap::Writer &w, const Q &q)
+{
+    w.u32(static_cast<std::uint32_t>(q.size()));
+    for (const auto &st : q) {
+        w.u64(st.addr);
+        w.u32(st.size);
+        w.u64(st.issuableAt);
+    }
+}
+
+template <typename Q>
+void
+loadStoreBuffer(sst::snap::Reader &r, Q &q)
+{
+    q.clear();
+    std::uint32_t n = r.u32();
+    for (std::uint32_t i = 0; i < n; ++i) {
+        auto &st = q.emplace_back();
+        st.addr = r.u64();
+        st.size = r.u32();
+        st.issuableAt = r.u64();
+    }
+}
+
+} // namespace
+
+void
+InOrderCore::saveExtra(snap::Writer &w) const
+{
+    for (Cycle rdy : regReady_)
+        w.u64(rdy);
+    saveStoreBuffer(w, storeBuffer_);
+    w.u64(divBusyUntil_);
+    w.u64(frontEndReadyAt_);
+}
+
+void
+InOrderCore::loadExtra(snap::Reader &r)
+{
+    for (Cycle &rdy : regReady_)
+        rdy = r.u64();
+    loadStoreBuffer(r, storeBuffer_);
+    divBusyUntil_ = r.u64();
+    frontEndReadyAt_ = r.u64();
 }
 
 } // namespace sst

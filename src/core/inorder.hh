@@ -32,6 +32,8 @@ class InOrderCore : public Core
   protected:
     void cycle() override;
     void idleAdvance(Cycle n) override;
+    void saveExtra(snap::Writer &w) const override;
+    void loadExtra(snap::Reader &r) override;
 
   private:
     /** Try to issue the instruction at arch_.pc. @return true on issue. */

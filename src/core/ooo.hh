@@ -34,6 +34,8 @@ class OoOCore : public Core
   protected:
     void cycle() override;
     void idleAdvance(Cycle n) override;
+    void saveExtra(snap::Writer &w) const override;
+    void loadExtra(snap::Reader &r) override;
 
   private:
     enum class State

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "snap/snap.hh"
 
 namespace sst
 {
@@ -1435,6 +1436,230 @@ SstCore::degradeSpeculation()
     consecutiveFails_ = 0;
     ++watchdogDegrades_;
     return true;
+}
+
+
+void
+SstCore::saveExtra(snap::Writer &w) const
+{
+    auto saveDq = [&w](const std::deque<DqEntry> &dq) {
+        w.u32(static_cast<std::uint32_t>(dq.size()));
+        for (const DqEntry &e : dq) {
+            w.u64(e.seq);
+            w.u64(e.pc);
+            w.u64(e.inst.encode());
+            for (const DeferredOperand *op : {&e.src1, &e.src2}) {
+                w.b(op->used);
+                w.b(op->captured);
+                w.u64(op->value);
+                w.u64(op->producer);
+            }
+            w.b(e.predTaken);
+            w.u64(e.predHistory);
+            w.u64(e.predTarget);
+            w.b(e.requestIssued);
+            w.u64(e.readyCycle);
+        }
+    };
+
+    for (std::uint64_t v : pendingSpec_)
+        w.u64(v);
+    for (std::uint64_t v : specRegs_)
+        w.u64(v);
+    for (bool v : na_)
+        w.b(v);
+    for (SeqNum v : naWriter_)
+        w.u64(v);
+    for (Cycle v : specReady_)
+        w.u64(v);
+    w.u64(aheadPc_);
+    w.b(aheadHalted_);
+    w.b(specProgress_);
+    w.u64(aheadFrontEndReadyAt_);
+    w.u64(aheadDivBusyUntil_);
+    for (Cycle v : regReady_)
+        w.u64(v);
+    w.u64(frontEndReadyAt_);
+    w.u64(divBusyUntil_);
+    w.u64(nextSeq_);
+    w.u32(nextEpochId_);
+    w.u32(dqCapacity_);
+    w.u32(ssqCapacity_);
+    w.u32(unverifiedBranches_);
+
+    w.u32(static_cast<std::uint32_t>(epochs_.size()));
+    for (const Epoch &ep : epochs_) {
+        w.u32(ep.id);
+        w.u64(ep.pc);
+        w.u64(ep.startSeq);
+        for (std::uint64_t v : ep.regs)
+            w.u64(v);
+        for (bool v : ep.na)
+            w.b(v);
+        for (SeqNum v : ep.naWriter)
+            w.u64(v);
+        w.u64(ep.predictorHistory);
+        w.u64(ep.triggerReady);
+        saveDq(ep.dq);
+        saveDq(ep.redeferred);
+    }
+
+    w.u32(static_cast<std::uint32_t>(ssq_.size()));
+    for (const SsqEntry &e : ssq_) {
+        w.u64(e.seq);
+        w.b(e.resolved);
+        w.u64(e.addr);
+        w.u32(e.size);
+        w.u64(e.value);
+    }
+
+    w.u32(static_cast<std::uint32_t>(loadLog_.size()));
+    for (const SpecLoad &l : loadLog_) {
+        w.u64(l.seq);
+        w.u64(l.addr);
+        w.u32(l.size);
+    }
+
+    // unordered_map: emit sorted by seq so equal state hashes equal.
+    std::vector<SeqNum> seqs;
+    seqs.reserve(replayResults_.size());
+    for (const auto &kv : replayResults_)
+        seqs.push_back(kv.first);
+    std::sort(seqs.begin(), seqs.end());
+    w.u32(static_cast<std::uint32_t>(seqs.size()));
+    for (SeqNum seq : seqs) {
+        const ReplayResult &res = replayResults_.at(seq);
+        w.u64(seq);
+        w.u64(res.value);
+        w.u64(res.readyCycle);
+    }
+
+    w.u32(static_cast<std::uint32_t>(storeBuffer_.size()));
+    for (const PendingStore &st : storeBuffer_) {
+        w.u64(st.addr);
+        w.u32(st.size);
+        w.u64(st.issuableAt);
+    }
+
+    w.u64(lastFailTriggerPc_);
+    w.u64(lastRollbackCommitted_);
+    w.u32(consecutiveFails_);
+    w.u64(suppressTriggerPc_);
+}
+
+void
+SstCore::loadExtra(snap::Reader &r)
+{
+    auto loadDq = [&r](std::deque<DqEntry> &dq) {
+        dq.clear();
+        std::uint32_t n = r.u32();
+        for (std::uint32_t i = 0; i < n; ++i) {
+            DqEntry &e = dq.emplace_back();
+            e.seq = r.u64();
+            e.pc = r.u64();
+            e.inst = Inst::decode(r.u64());
+            for (DeferredOperand *op : {&e.src1, &e.src2}) {
+                op->used = r.b();
+                op->captured = r.b();
+                op->value = r.u64();
+                op->producer = r.u64();
+            }
+            e.predTaken = r.b();
+            e.predHistory = r.u64();
+            e.predTarget = r.u64();
+            e.requestIssued = r.b();
+            e.readyCycle = r.u64();
+        }
+    };
+
+    for (std::uint64_t &v : pendingSpec_)
+        v = r.u64();
+    for (std::uint64_t &v : specRegs_)
+        v = r.u64();
+    for (std::size_t i = 0; i < na_.size(); ++i)
+        na_[i] = r.b();
+    for (SeqNum &v : naWriter_)
+        v = r.u64();
+    for (Cycle &v : specReady_)
+        v = r.u64();
+    aheadPc_ = r.u64();
+    aheadHalted_ = r.b();
+    specProgress_ = r.b();
+    aheadFrontEndReadyAt_ = r.u64();
+    aheadDivBusyUntil_ = r.u64();
+    for (Cycle &v : regReady_)
+        v = r.u64();
+    frontEndReadyAt_ = r.u64();
+    divBusyUntil_ = r.u64();
+    nextSeq_ = r.u64();
+    nextEpochId_ = r.u32();
+    dqCapacity_ = r.u32();
+    ssqCapacity_ = r.u32();
+    unverifiedBranches_ = r.u32();
+
+    epochs_.clear();
+    std::uint32_t nEpochs = r.u32();
+    for (std::uint32_t i = 0; i < nEpochs; ++i) {
+        Epoch &ep = epochs_.emplace_back();
+        ep.id = r.u32();
+        ep.pc = r.u64();
+        ep.startSeq = r.u64();
+        for (std::uint64_t &v : ep.regs)
+            v = r.u64();
+        for (std::size_t j = 0; j < ep.na.size(); ++j)
+            ep.na[j] = r.b();
+        for (SeqNum &v : ep.naWriter)
+            v = r.u64();
+        ep.predictorHistory = r.u64();
+        ep.triggerReady = r.u64();
+        loadDq(ep.dq);
+        loadDq(ep.redeferred);
+    }
+
+    ssq_.clear();
+    std::uint32_t nSsq = r.u32();
+    ssq_.resize(nSsq);
+    for (SsqEntry &e : ssq_) {
+        e.seq = r.u64();
+        e.resolved = r.b();
+        e.addr = r.u64();
+        e.size = r.u32();
+        e.value = r.u64();
+    }
+
+    loadLog_.clear();
+    std::uint32_t nLoads = r.u32();
+    loadLog_.resize(nLoads);
+    for (SpecLoad &l : loadLog_) {
+        l.seq = r.u64();
+        l.addr = r.u64();
+        l.size = r.u32();
+    }
+
+    replayResults_.clear();
+    std::uint32_t nReplay = r.u32();
+    replayResults_.reserve(nReplay);
+    for (std::uint32_t i = 0; i < nReplay; ++i) {
+        SeqNum seq = r.u64();
+        ReplayResult res;
+        res.value = r.u64();
+        res.readyCycle = r.u64();
+        replayResults_.emplace(seq, res);
+    }
+
+    storeBuffer_.clear();
+    std::uint32_t nStores = r.u32();
+    for (std::uint32_t i = 0; i < nStores; ++i) {
+        PendingStore &st = storeBuffer_.emplace_back();
+        st.addr = r.u64();
+        st.size = r.u32();
+        st.issuableAt = r.u64();
+    }
+
+    lastFailTriggerPc_ = r.u64();
+    lastRollbackCommitted_ = r.u64();
+    consecutiveFails_ = r.u32();
+    suppressTriggerPc_ = r.u64();
 }
 
 } // namespace sst

@@ -74,6 +74,8 @@ class SstCore : public Core
   protected:
     void cycle() override;
     void idleAdvance(Cycle n) override;
+    void saveExtra(snap::Writer &w) const override;
+    void loadExtra(snap::Reader &r) override;
 
     /** In-speculation cycles are attributed provisionally: their final
      *  category depends on whether the region commits (replay /

@@ -2,13 +2,19 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
 
 #include "common/logging.hh"
 #include "common/rng.hh"
 #include "common/stats.hh"
+#include "exp/json.hh"
 #include "exp/threadpool.hh"
 #include "func/executor.hh"
 #include "sim/presets.hh"
+#include "snap/snap.hh"
 #include "workloads/workloads.hh"
 
 namespace sst::exp
@@ -86,6 +92,83 @@ buildRecord(const JobOutcome &out, const Config &effectiveConfig,
     return j;
 }
 
+std::string
+jobRecordPath(const std::string &dir, std::size_t index)
+{
+    return dir + "/job-" + std::to_string(index) + ".json";
+}
+
+std::string
+jobSnapPath(const std::string &dir, std::size_t index)
+{
+    return dir + "/job-" + std::to_string(index) + ".snap";
+}
+
+/**
+ * Rebuild a JobOutcome from a persisted record, validating that the
+ * artifact belongs to this manifest's job @p job (index, preset,
+ * workload and seeds must all match — a stale artifact directory from
+ * a different sweep must not masquerade as finished work). Only the
+ * summary fields travel back (enough for every consumer of a resumed
+ * sweep: exit code, tables, JSON export via the verbatim record); the
+ * flattened stats map is not reconstructed.
+ */
+bool
+outcomeFromRecord(const JobSpec &job, const std::string &text,
+                  JobOutcome &out)
+{
+    auto parsed = Json::parse(text);
+    if (!parsed.ok() || !parsed.value().isObject())
+        return false;
+    const Json &j = parsed.value();
+    auto num = [&](const char *key) {
+        const Json *v = j.find(key);
+        return v && v->kind() == Json::Kind::Number ? v->asNumber()
+                                                    : 0.0;
+    };
+    auto str = [&](const char *key) -> std::string {
+        const Json *v = j.find(key);
+        return v && v->kind() == Json::Kind::String ? v->asString()
+                                                    : std::string();
+    };
+    auto boolean = [&](const char *key) {
+        const Json *v = j.find(key);
+        return v && v->kind() == Json::Kind::Bool && v->asBool();
+    };
+    // Seeds are full 64-bit values; the JSON parser reads numbers as
+    // doubles, so compare both sides after the same double rounding.
+    if (static_cast<std::size_t>(num("index")) != job.index
+        || str("preset") != job.preset || str("workload") != job.workload
+        || num("job_seed") != static_cast<double>(job.jobSeed)
+        || num("workload_seed")
+               != static_cast<double>(job.workloadSeed))
+        return false;
+
+    out.spec = job;
+    out.ran = boolean("ran");
+    out.error = str("error");
+    out.result.preset = job.preset;
+    out.result.workload = job.workload;
+    out.result.cycles = static_cast<Cycle>(num("cycles"));
+    out.result.insts = static_cast<std::uint64_t>(num("insts"));
+    out.result.ipc = num("ipc");
+    out.result.l1dMissRate = num("l1d_miss_rate");
+    out.result.meanDemandMlp = num("demand_mlp");
+    out.result.mispredictRate = num("mispredict_rate");
+    out.result.finished = boolean("finished");
+    std::string degrade = str("degrade");
+    out.result.degrade = degrade == "livelock" ? DegradeReason::Livelock
+                         : degrade == "cycle_budget"
+                             ? DegradeReason::CycleBudget
+                             : DegradeReason::None;
+    const Json *archOk = j.find("arch_ok");
+    out.archVerified = archOk && !archOk->isNull();
+    out.archOk = out.archVerified && archOk->asBool();
+    out.log = str("log");
+    out.recordJson = text;
+    return true;
+}
+
 } // namespace
 
 void
@@ -110,7 +193,8 @@ ResultSink::recorded() const
 }
 
 JobOutcome
-runJob(const SweepSpec &sweep, const JobSpec &job)
+runJob(const SweepSpec &sweep, const JobSpec &job,
+       const SweepRunOptions &options)
 {
     JobOutcome out;
     out.spec = job;
@@ -135,7 +219,27 @@ runJob(const SweepSpec &sweep, const JobSpec &job)
         applyOverrides(mc, effective);
 
         Machine machine(mc, wl.program);
-        out.result = machine.run(sweep.maxCycles);
+        SnapPolicy policy;
+        if (!options.artifactDir.empty() && options.snapEvery) {
+            policy.everyCycles = options.snapEvery;
+            policy.path = jobSnapPath(options.artifactDir, job.index);
+        }
+        if (options.resume && !options.artifactDir.empty()) {
+            std::string snapPath =
+                jobSnapPath(options.artifactDir, job.index);
+            std::error_code ec;
+            if (std::filesystem::exists(snapPath, ec)) {
+                auto restored = machine.restoreFromFile(snapPath);
+                if (!restored.ok())
+                    warn("resume: checkpoint '%s' unusable (%s); "
+                         "restarting job #%zu from cycle 0",
+                         snapPath.c_str(),
+                         restored.error().message.c_str(), job.index);
+            }
+        }
+        out.result = policy.everyCycles
+                         ? machine.run(sweep.maxCycles, policy)
+                         : machine.run(sweep.maxCycles);
         coreStatsJson = machine.core().stats().toJson();
         faultStatsJson = machine.memsys().faults().stats().toJson();
 
@@ -160,6 +264,22 @@ runJob(const SweepSpec &sweep, const JobSpec &job)
     out.log = capture.take();
     out.recordJson =
         buildRecord(out, effective, coreStatsJson, faultStatsJson);
+
+    if (!options.artifactDir.empty()) {
+        // Record first (atomic), then drop the now-redundant
+        // checkpoint: a crash between the two leaves both, and resume
+        // prefers the record.
+        std::string path = jobRecordPath(options.artifactDir, job.index);
+        std::vector<std::uint8_t> bytes(out.recordJson.begin(),
+                                        out.recordJson.end());
+        if (auto written = snap::writeFile(path, bytes); !written.ok())
+            warn("cannot write job artifact '%s': %s", path.c_str(),
+                 written.error().message.c_str());
+        std::error_code ec;
+        std::filesystem::remove(jobSnapPath(options.artifactDir,
+                                            job.index),
+                                ec);
+    }
     return out;
 }
 
@@ -170,10 +290,44 @@ runSweep(const SweepSpec &spec, const SweepRunOptions &options,
     const std::vector<JobSpec> jobs = spec.expand();
     unsigned workers = options.jobs ? options.jobs
                                     : ThreadPool::defaultWorkers();
+
+    if (!options.artifactDir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(options.artifactDir, ec);
+        if (ec)
+            warn("cannot create artifact directory '%s': %s",
+                 options.artifactDir.c_str(), ec.message().c_str());
+    }
+
+    // Resume pass: jobs whose record artifact already exists (and
+    // matches this manifest's identity for that index) are finished
+    // work — rebuild their outcomes instead of re-running.
+    std::vector<char> done(jobs.size(), 0);
+    if (options.resume && !options.artifactDir.empty()) {
+        for (std::size_t i = 0; i < jobs.size(); ++i) {
+            std::ifstream in(jobRecordPath(options.artifactDir,
+                                           jobs[i].index));
+            if (!in)
+                continue;
+            std::stringstream ss;
+            ss << in.rdbuf();
+            JobOutcome out;
+            if (outcomeFromRecord(jobs[i], ss.str(), out)) {
+                done[i] = 1;
+                sink.record(std::move(out));
+            } else {
+                warn("resume: artifact for job #%zu does not match the "
+                     "manifest; re-running",
+                     jobs[i].index);
+            }
+        }
+    }
+
     {
         ThreadPool pool(workers);
         parallelFor(pool, jobs.size(), [&](std::size_t i) {
-            sink.record(runJob(spec, jobs[i]));
+            if (!done[i])
+                sink.record(runJob(spec, jobs[i], options));
         });
     }
 

@@ -82,10 +82,27 @@ struct SweepRunOptions
 {
     /** Worker threads; 0 = one per hardware thread. */
     unsigned jobs = 1;
+    /**
+     * Per-job artifact directory ("" disables). Each completed job
+     * writes "<dir>/job-<index>.json" (its record, atomically); with
+     * snapEvery > 0, in-flight jobs additionally checkpoint the whole
+     * machine to "<dir>/job-<index>.snap" every snapEvery cycles.
+     */
+    std::string artifactDir;
+    std::uint64_t snapEvery = 0;
+    /**
+     * Resume an interrupted sweep from artifactDir: jobs whose record
+     * artifact exists (and matches the manifest's identity for that
+     * index) are not re-run — their outcome is rebuilt from the record;
+     * jobs with only a .snap checkpoint restart from it instead of
+     * cycle 0.
+     */
+    bool resume = false;
 };
 
 /** Run one job in isolation (also the unit the pool executes). */
-JobOutcome runJob(const SweepSpec &spec, const JobSpec &job);
+JobOutcome runJob(const SweepSpec &spec, const JobSpec &job,
+                  const SweepRunOptions &options = {});
 
 /**
  * Expand @p spec and run every job; outcomes land in @p sink. The call

@@ -1,5 +1,7 @@
 #include "fault/fault.hh"
 
+#include "snap/snap.hh"
+
 #include <algorithm>
 
 namespace sst
@@ -79,6 +81,20 @@ FaultInjector::forceAbort()
     ++injected_;
     ++forcedAborts_;
     return true;
+}
+
+void
+FaultInjector::save(snap::Writer &w) const
+{
+    w.tag("fault");
+    rng_.save(w);
+}
+
+void
+FaultInjector::load(snap::Reader &r)
+{
+    r.tag("fault");
+    rng_.load(r);
 }
 
 } // namespace sst

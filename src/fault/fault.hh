@@ -106,6 +106,11 @@ class FaultInjector
 
     StatGroup &stats() { return stats_; }
 
+    /** Serialize the fault RNG stream (counters travel with the stats
+     *  tree). */
+    void save(snap::Writer &w) const;
+    void load(snap::Reader &r);
+
   private:
     FaultParams params_;
     Rng rng_;

@@ -24,12 +24,21 @@ namespace sst
 
 class Program;
 
+namespace snap
+{
+class Writer;
+class Reader;
+} // namespace snap
+
 /** Committed architectural state of one hardware context. */
 struct ArchState
 {
     std::array<std::uint64_t, numArchRegs> regs{};
     std::uint64_t pc = 0;
     bool halted = false;
+
+    void save(snap::Writer &w) const;
+    void load(snap::Reader &r);
 
     std::uint64_t reg(RegId r) const { return r == 0 ? 0 : regs[r]; }
 
@@ -76,6 +85,9 @@ struct StepInfo
     std::uint64_t result = 0;   ///< value written to rd (if any)
     bool taken = false;         ///< branch/jump redirected the PC
     bool halted = false;
+
+    void save(snap::Writer &w) const;
+    void load(snap::Reader &r);
 };
 
 /** Drives ArchState through a Program one instruction at a time. */

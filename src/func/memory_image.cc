@@ -1,9 +1,12 @@
 #include "func/memory_image.hh"
 
+#include <algorithm>
 #include <cstring>
+#include <vector>
 
 #include "common/logging.hh"
 #include "isa/program.hh"
+#include "snap/snap.hh"
 
 namespace sst
 {
@@ -115,6 +118,67 @@ MemoryImage::contentEquals(const MemoryImage &other) const
         return true;
     };
     return coveredBy(*this, other) && coveredBy(other, *this);
+}
+
+Addr
+MemoryImage::highWater() const
+{
+    Addr top = 0;
+    for (const auto &kv : pages_) {
+        Addr pageEnd = (kv.first + 1) << pageShift;
+        const Page &p = *kv.second;
+        // Trim trailing zero bytes so an incidentally touched-but-blank
+        // tail does not inflate the footprint.
+        Addr used = pageSize;
+        while (used > 0 && p[used - 1] == 0)
+            --used;
+        if (used == 0)
+            continue;
+        top = std::max(top, pageEnd - (pageSize - used));
+    }
+    return top;
+}
+
+void
+MemoryImage::save(snap::Writer &w) const
+{
+    static const Page zeroPage = [] {
+        Page p;
+        p.fill(0);
+        return p;
+    }();
+
+    std::vector<Addr> keys;
+    keys.reserve(pages_.size());
+    for (const auto &kv : pages_)
+        if (std::memcmp(kv.second->data(), zeroPage.data(), pageSize) != 0)
+            keys.push_back(kv.first);
+    std::sort(keys.begin(), keys.end());
+
+    w.tag("memimage");
+    w.u64(keys.size());
+    for (Addr key : keys) {
+        w.u64(key);
+        w.bytes(pages_.at(key)->data(), pageSize);
+    }
+}
+
+void
+MemoryImage::load(snap::Reader &r)
+{
+    r.tag("memimage");
+    pages_.clear();
+    std::uint64_t n = r.u64();
+    Addr prev = 0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        Addr key = r.u64();
+        fatal_if(i > 0 && key <= prev,
+                 "snapshot: memory pages out of order (corrupt snapshot)");
+        prev = key;
+        auto page = std::make_unique<Page>();
+        r.bytes(page->data(), pageSize);
+        pages_.emplace(key, std::move(page));
+    }
 }
 
 } // namespace sst

@@ -18,6 +18,12 @@ namespace sst
 
 class Program;
 
+namespace snap
+{
+class Writer;
+class Reader;
+} // namespace snap
+
 /**
  * Page-granular sparse memory. Unwritten bytes read as zero, which the
  * workload generators rely on for zero-initialised heaps.
@@ -47,6 +53,17 @@ class MemoryImage
 
     /** Exact content equality (zero pages compare equal to absence). */
     bool contentEquals(const MemoryImage &other) const;
+
+    /** Drop every page (restore starts from a blank image). */
+    void clear() { pages_.clear(); }
+
+    /** One past the highest touched byte address; 0 when untouched. */
+    Addr highWater() const;
+
+    /** Serialize pages sorted by address (all-zero pages elided), so
+     *  equal contents encode to equal bytes regardless of touch order. */
+    void save(snap::Writer &w) const;
+    void load(snap::Reader &r);
 
   private:
     using Page = std::array<std::uint8_t, pageSize>;

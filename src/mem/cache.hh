@@ -106,6 +106,11 @@ class Cache
         traceLevel_ = level;
     }
 
+    /** Serialize tag/replacement state (geometry must already match;
+     *  stats travel with the owning StatGroup tree). */
+    void save(snap::Writer &w) const;
+    void load(snap::Reader &r);
+
   private:
     struct Line
     {

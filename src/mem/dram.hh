@@ -56,6 +56,9 @@ class Dram
     /** Emit a Fill event (level 3) per access into @p buf. */
     void setTrace(trace::TraceBuffer *buf) { traceBuf_ = buf; }
 
+    void save(snap::Writer &w) const;
+    void load(snap::Reader &r);
+
   private:
     struct Bank
     {

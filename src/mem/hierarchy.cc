@@ -1,6 +1,9 @@
 #include "mem/hierarchy.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
+#include "snap/snap.hh"
 
 namespace sst
 {
@@ -268,6 +271,78 @@ MemorySystem::flushAll()
     l2PortFree_ = 0;
     for (auto &port : ports_)
         port->flush();
+}
+
+void
+CorePort::save(snap::Writer &w) const
+{
+    w.tag("coreport");
+    w.u32(coreId_);
+    w.u64(addressSalt_);
+    l1i_.save(w);
+    l1d_.save(w);
+    mshrs_.save(w);
+    dtlb_.save(w);
+    dataPf_.save(w);
+    instPf_.save(w);
+    std::vector<Addr> lines(prefetchedLines_.begin(),
+                            prefetchedLines_.end());
+    std::sort(lines.begin(), lines.end());
+    w.u64(lines.size());
+    for (Addr line : lines)
+        w.u64(line);
+}
+
+void
+CorePort::load(snap::Reader &r)
+{
+    r.tag("coreport");
+    std::uint32_t id = r.u32();
+    fatal_if(id != coreId_,
+             "snapshot: core port %u where %u expected "
+             "(configuration mismatch)",
+             id, coreId_);
+    addressSalt_ = r.u64();
+    l1i_.load(r);
+    l1d_.load(r);
+    mshrs_.load(r);
+    dtlb_.load(r);
+    dataPf_.load(r);
+    instPf_.load(r);
+    prefetchedLines_.clear();
+    std::uint64_t n = r.u64();
+    for (std::uint64_t i = 0; i < n; ++i)
+        prefetchedLines_.insert(r.u64());
+}
+
+void
+MemorySystem::save(snap::Writer &w) const
+{
+    w.tag("memsys");
+    l2_.save(w);
+    dram_.save(w);
+    faults_.save(w);
+    w.u64(l2PortFree_);
+    w.u32(static_cast<std::uint32_t>(ports_.size()));
+    for (const auto &port : ports_)
+        port->save(w);
+}
+
+void
+MemorySystem::load(snap::Reader &r)
+{
+    r.tag("memsys");
+    l2_.load(r);
+    dram_.load(r);
+    faults_.load(r);
+    l2PortFree_ = r.u64();
+    std::uint32_t n = r.u32();
+    fatal_if(n != ports_.size(),
+             "snapshot: %u core ports where %zu expected "
+             "(configuration mismatch)",
+             n, ports_.size());
+    for (auto &port : ports_)
+        port->load(r);
 }
 
 } // namespace sst

@@ -107,12 +107,19 @@ class CorePort
         return mshr < walk ? mshr : walk;
     }
     StatGroup &stats() { return stats_; }
+    const StatGroup &stats() const { return stats_; }
 
     /** The shared fault injector (chaos hooks; disabled by default). */
     FaultInjector &faults();
 
     /** Invalidate both L1s (between benchmark phases). */
     void flush();
+
+    /** Serialize caches/MSHRs/TLB/prefetchers + the prefetched-line set
+     *  (sorted, so equal state encodes to equal bytes). The stats tree
+     *  is serialized by the owning Machine, not here. */
+    void save(snap::Writer &w) const;
+    void load(snap::Reader &r);
 
   private:
     friend class MemorySystem;
@@ -150,10 +157,17 @@ class MemorySystem
     Cache &l2() { return l2_; }
     Dram &dram() { return dram_; }
     StatGroup &stats() { return stats_; }
+    const StatGroup &stats() const { return stats_; }
     FaultInjector &faults() { return faults_; }
 
     /** Invalidate all caches and drain DRAM state. */
     void flushAll();
+
+    /** Serialize L2/DRAM/fault-RNG/port-arbiter state plus every
+     *  registered core port (ports must already exist: configuration,
+     *  including core count, is re-created before load). */
+    void save(snap::Writer &w) const;
+    void load(snap::Reader &r);
 
   private:
     friend class CorePort;

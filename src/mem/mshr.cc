@@ -1,6 +1,7 @@
 #include "mem/mshr.hh"
 
 #include "common/logging.hh"
+#include "snap/snap.hh"
 
 namespace sst
 {
@@ -78,6 +79,37 @@ void
 MshrFile::reset()
 {
     entries_.clear();
+}
+
+
+void
+MshrFile::save(snap::Writer &w) const
+{
+    w.tag("mshr");
+    w.u32(static_cast<std::uint32_t>(entries_.size()));
+    for (const Entry &e : entries_) {
+        w.u64(e.lineAddr);
+        w.u64(e.completion);
+        w.b(e.demand);
+    }
+}
+
+void
+MshrFile::load(snap::Reader &r)
+{
+    r.tag("mshr");
+    std::uint32_t n = r.u32();
+    fatal_if(n > capacity_,
+             "snapshot: %u in-flight MSHR entries exceed capacity %u "
+             "(configuration mismatch)",
+             n, capacity_);
+    entries_.clear();
+    entries_.resize(n);
+    for (Entry &e : entries_) {
+        e.lineAddr = r.u64();
+        e.completion = r.u64();
+        e.demand = r.b();
+    }
 }
 
 } // namespace sst

@@ -80,6 +80,9 @@ class MshrFile
     double meanDemandMlp() const { return mlp_.mean(); }
     const Distribution &mlpDist() const { return mlp_; }
 
+    void save(snap::Writer &w) const;
+    void load(snap::Reader &r);
+
   private:
     unsigned capacity_;
     std::vector<Entry> entries_;

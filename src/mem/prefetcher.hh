@@ -54,6 +54,9 @@ class Prefetcher
     void noteIssued() { ++issued_; }
     void noteUseful() { ++useful_; }
 
+    void save(snap::Writer &w) const;
+    void load(snap::Reader &r);
+
   private:
     std::vector<Addr> nextLineTargets(Addr lineAddr, bool miss);
     std::vector<Addr> strideTargets(Addr lineAddr, bool miss);

@@ -1,6 +1,7 @@
 #include "mem/tlb.hh"
 
 #include "common/logging.hh"
+#include "snap/snap.hh"
 
 namespace sst
 {
@@ -78,6 +79,37 @@ Tlb::earliestWalkCompletion(Cycle now) const
         if (e.walkReady > now && e.walkReady < best)
             best = e.walkReady;
     return best;
+}
+
+
+void
+Tlb::save(snap::Writer &w) const
+{
+    w.tag("tlb");
+    w.u32(static_cast<std::uint32_t>(entries_.size()));
+    for (const Entry &e : entries_) {
+        w.u64(e.page);
+        w.u64(e.lastUse);
+        w.u64(e.walkReady);
+    }
+    w.u64(useCounter_);
+}
+
+void
+Tlb::load(snap::Reader &r)
+{
+    r.tag("tlb");
+    std::uint32_t n = r.u32();
+    fatal_if(n != entries_.size(),
+             "snapshot: TLB has %u entries, expected %zu "
+             "(configuration mismatch)",
+             n, entries_.size());
+    for (Entry &e : entries_) {
+        e.page = r.u64();
+        e.lastUse = r.u64();
+        e.walkReady = r.u64();
+    }
+    useCounter_ = r.u64();
 }
 
 } // namespace sst

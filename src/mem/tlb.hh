@@ -63,6 +63,9 @@ class Tlb
      *  or invalidCycle when no walk is pending (wake-cycle probe). */
     Cycle earliestWalkCompletion(Cycle now) const;
 
+    void save(snap::Writer &w) const;
+    void load(snap::Reader &r);
+
   private:
     Addr pageOf(Addr addr) const { return addr / params_.pageBytes; }
 

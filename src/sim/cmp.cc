@@ -5,43 +5,64 @@
 #include "common/logging.hh"
 #include "sim/fastfwd.hh"
 #include "sim/machine.hh"
+#include "snap/snap.hh"
 
 namespace sst
 {
 
+namespace
+{
+
+/** Highest physical byte a program's timing accesses can touch: the
+ *  data image's high-water mark or one past the last instruction's
+ *  byte address, whichever is larger. */
+Addr
+programFootprint(const Program &program, const MemoryImage &image)
+{
+    return std::max<Addr>(image.highWater(),
+                          program.codeBase() + program.size() * 8);
+}
+
+} // namespace
+
 Cmp::Cmp(const MachineConfig &config,
          const std::vector<const Program *> &programs)
-    : config_(config), memsys_(config.mem)
+    : config_(config), programs_(programs), memsys_(config.mem)
 {
     fatal_if(programs.empty(), "Cmp needs at least one program");
     for (std::size_t i = 0; i < programs.size(); ++i) {
         CorePort &port = memsys_.addCore();
-        // 1 GiB per-core physical window keeps line/set alignment while
-        // separating the cores' footprints.
-        port.setAddressSalt(static_cast<Addr>(i) << 30);
+        // saltStride bytes of physical window per core keeps line/set
+        // alignment while separating the cores' footprints.
+        port.setAddressSalt(static_cast<Addr>(i) * saltStride);
         images_.push_back(std::make_unique<MemoryImage>());
         images_.back()->loadSegments(*programs[i]);
+        // A footprint past the stride would alias the next core's
+        // window and silently corrupt the timing model (shared lines
+        // that don't exist architecturally). Refuse up front.
+        Addr footprint = programFootprint(*programs[i], *images_.back());
+        fatal_if(programs.size() > 1 && footprint > saltStride,
+                 "Cmp: program '%s' footprint 0x%llx exceeds the "
+                 "per-core address salt stride 0x%llx; core %zu would "
+                 "alias core %zu's physical range",
+                 programs[i]->name().c_str(),
+                 static_cast<unsigned long long>(footprint),
+                 static_cast<unsigned long long>(saltStride), i, i + 1);
         MachineConfig cfg = config_;
         cfg.core.name = "core" + std::to_string(i);
         cores_.push_back(
             makeCore(cfg, *programs[i], *images_.back(), port));
+        watchdogs_.push_back(
+            std::make_unique<Watchdog>(config_.watchdog, *cores_.back()));
     }
 }
 
 CmpResult
 Cmp::run(std::uint64_t max_cycles)
 {
-    std::vector<Watchdog> watchdogs;
-    watchdogs.reserve(cores_.size());
-    for (auto &core : cores_)
-        watchdogs.emplace_back(config_.watchdog, *core);
-
-    bool all_halted = false;
-    bool livelocked = false;
     const bool fastfwd = fastForwardEnabled();
-    std::uint64_t cycle = 0;
-    while (!all_halted && !livelocked && cycle < max_cycles) {
-        all_halted = true;
+    while (!allHalted_ && !livelocked_ && cycle_ < max_cycles) {
+        allHalted_ = true;
         bool any_retired = false;
         for (std::size_t i = 0; i < cores_.size(); ++i) {
             Core &core = *cores_[i];
@@ -52,36 +73,36 @@ Cmp::run(std::uint64_t max_cycles)
             std::uint64_t before = core.instsRetired();
             core.tick();
             any_retired |= core.instsRetired() != before;
-            all_halted &= core.halted();
+            allHalted_ &= core.halted();
             // One livelocked core sinks the whole chip: the run result
             // must not be mistaken for a throughput measurement.
-            if (!watchdogs[i].observe())
-                livelocked = true;
+            if (!watchdogs_[i]->observe())
+                livelocked_ = true;
         }
-        ++cycle;
+        ++cycle_;
 
         // Lockstep fast-forward: when every live core is stalled past
         // this cycle, nothing (cores or shared hierarchy) can change
         // until the earliest wake. Halted cores stay frozen, matching
         // the naive loop's early-out tick.
-        if (!fastfwd || any_retired || all_halted || livelocked)
+        if (!fastfwd || any_retired || allHalted_ || livelocked_)
             continue;
         Cycle wake = invalidCycle;
         for (auto &core : cores_)
             if (!core->halted())
                 wake = std::min(wake, core->nextWakeCycle());
-        if (wake <= cycle)
+        if (wake <= cycle_)
             continue;
         Cycle target = std::min<Cycle>(wake, max_cycles);
         for (std::size_t i = 0; i < cores_.size(); ++i)
             if (!cores_[i]->halted())
-                target = std::min(target, watchdogs[i].skipBound());
-        if (target <= cycle)
+                target = std::min(target, watchdogs_[i]->skipBound());
+        if (target <= cycle_)
             continue;
         for (auto &core : cores_)
             if (!core->halted())
-                core->advanceIdle(target - cycle);
-        cycle = target;
+                core->advanceIdle(target - cycle_);
+        cycle_ = target;
     }
 
     for (auto &core : cores_)
@@ -90,12 +111,12 @@ Cmp::run(std::uint64_t max_cycles)
     CmpResult res;
     res.preset = config_.presetName;
     res.cores = static_cast<unsigned>(cores_.size());
-    res.finished = all_halted;
-    if (!all_halted)
-        res.degrade = livelocked ? DegradeReason::Livelock
-                                 : DegradeReason::CycleBudget;
-    for (auto &dog : watchdogs)
-        res.watchdogRecoveries += dog.recoveries();
+    res.finished = allHalted_;
+    if (!allHalted_)
+        res.degrade = livelocked_ ? DegradeReason::Livelock
+                                  : DegradeReason::CycleBudget;
+    for (auto &dog : watchdogs_)
+        res.watchdogRecoveries += dog->recoveries();
     Cycle slowest = 0;
     for (auto &core : cores_) {
         res.totalInsts += core->instsRetired();
@@ -108,6 +129,95 @@ Cmp::run(std::uint64_t max_cycles)
                       / static_cast<double>(slowest)
                 : 0.0;
     return res;
+}
+
+std::vector<std::uint8_t>
+Cmp::snapshot() const
+{
+    snap::Writer w;
+    w.u64(snap::fileMagic);
+    w.u32(snap::formatVersion);
+    w.u8(1); // kind: chip multiprocessor
+    w.str(config_.presetName);
+    w.str(config_.model);
+    w.u32(static_cast<std::uint32_t>(cores_.size()));
+    for (const Program *program : programs_) {
+        w.str(program->name());
+        w.u64(programFingerprint(*program));
+    }
+    w.u64(cycle_);
+    w.tag("cmp-state");
+    w.b(allHalted_);
+    w.b(livelocked_);
+    for (std::size_t i = 0; i < cores_.size(); ++i) {
+        cores_[i]->save(w);
+        watchdogs_[i]->save(w);
+        images_[i]->save(w);
+    }
+    memsys_.save(w);
+    memsys_.stats().save(w);
+    return w.data();
+}
+
+void
+Cmp::restore(const std::vector<std::uint8_t> &bytes)
+{
+    snap::Reader r(bytes);
+    fatal_if(r.u64() != snap::fileMagic,
+             "snapshot: bad magic (not a snapshot file?)");
+    std::uint32_t version = r.u32();
+    fatal_if(version != snap::formatVersion,
+             "snapshot: format version %u, this build reads %u", version,
+             snap::formatVersion);
+    fatal_if(r.u8() != 1, "snapshot: not a CMP image");
+    std::string preset = r.str();
+    fatal_if(preset != config_.presetName,
+             "snapshot: preset '%s' where '%s' expected", preset.c_str(),
+             config_.presetName.c_str());
+    std::string model = r.str();
+    fatal_if(model != config_.model,
+             "snapshot: core model '%s' where '%s' expected",
+             model.c_str(), config_.model.c_str());
+    std::uint32_t n = r.u32();
+    fatal_if(n != cores_.size(),
+             "snapshot: %u cores where %zu expected", n, cores_.size());
+    for (const Program *program : programs_) {
+        std::string name = r.str();
+        fatal_if(name != program->name(),
+                 "snapshot: workload '%s' where '%s' expected",
+                 name.c_str(), program->name().c_str());
+        fatal_if(r.u64() != programFingerprint(*program),
+                 "snapshot: program '%s' differs from the one "
+                 "snapshotted",
+                 program->name().c_str());
+    }
+    cycle_ = r.u64();
+    r.tag("cmp-state");
+    allHalted_ = r.b();
+    livelocked_ = r.b();
+    for (std::size_t i = 0; i < cores_.size(); ++i) {
+        cores_[i]->load(r);
+        watchdogs_[i]->load(r);
+        images_[i]->load(r);
+    }
+    memsys_.load(r);
+    memsys_.stats().load(r);
+    r.done();
+}
+
+Result<void>
+Cmp::snapshotToFile(const std::string &path) const
+{
+    return snap::writeFile(path, snapshot());
+}
+
+Result<void>
+Cmp::restoreFromFile(const std::string &path)
+{
+    auto bytes = snap::readFile(path);
+    if (!bytes.ok())
+        return bytes.error();
+    return trapFatal([&] { restore(bytes.value()); });
 }
 
 } // namespace sst

@@ -41,22 +41,42 @@ class Cmp
     /**
      * Each core runs its own program (same address layout is fine: the
      * harness salts every core's timing addresses into a disjoint
-     * physical range). @p programs must outlive the Cmp.
+     * physical range). @p programs must outlive the Cmp. A program
+     * whose footprint exceeds the per-core salt stride would alias
+     * another core's physical range and is rejected with fatal().
      */
     Cmp(const MachineConfig &config,
         const std::vector<const Program *> &programs);
 
-    /** Round-robin tick all cores until all halt or the budget ends. */
+    /** Physical address space each core's accesses are salted into.
+     *  Core i owns [i * stride, (i+1) * stride). */
+    static constexpr Addr saltStride = Addr{1} << 30;
+
+    /** Round-robin tick all cores until all halt or the budget ends.
+     *  Resumes from the current state after restore(). */
     CmpResult run(std::uint64_t max_cycles = 500'000'000);
 
     Core &core(unsigned i) { return *cores_[i]; }
     MemorySystem &memsys() { return memsys_; }
+    Cycle cycles() const { return cycle_; }
+    bool allHalted() const { return allHalted_; }
+
+    /** Complete chip image / inverse, mirroring Machine::snapshot(). */
+    std::vector<std::uint8_t> snapshot() const;
+    void restore(const std::vector<std::uint8_t> &bytes);
+    Result<void> snapshotToFile(const std::string &path) const;
+    Result<void> restoreFromFile(const std::string &path);
 
   private:
     MachineConfig config_;
+    const std::vector<const Program *> programs_;
     MemorySystem memsys_;
     std::vector<std::unique_ptr<MemoryImage>> images_;
     std::vector<std::unique_ptr<Core>> cores_;
+    std::vector<std::unique_ptr<Watchdog>> watchdogs_;
+    Cycle cycle_ = 0;
+    bool allHalted_ = false;
+    bool livelocked_ = false;
 };
 
 } // namespace sst

@@ -4,6 +4,8 @@
 
 #include "common/logging.hh"
 #include "sim/fastfwd.hh"
+#include "snap/snap.hh"
+#include "trace/trace.hh"
 
 namespace sst
 {
@@ -22,6 +24,22 @@ makeCore(const MachineConfig &config, const Program &program,
         return std::make_unique<SstCore>(config.core, program, memory,
                                          port);
     fatal("unknown core model '%s'", config.model.c_str());
+}
+
+std::uint64_t
+programFingerprint(const Program &program)
+{
+    snap::Hasher h;
+    h.mixU64(program.codeBase());
+    h.mixU64(program.size());
+    for (const Inst &inst : program.insts())
+        h.mixU64(inst.encode());
+    for (const auto &seg : program.segments()) {
+        h.mixU64(seg.base);
+        h.mixU64(seg.bytes.size());
+        h.mix(seg.bytes.data(), seg.bytes.size());
+    }
+    return h.value();
 }
 
 const char *
@@ -76,17 +94,43 @@ Watchdog::skipBound() const
     return deadline == 0 ? 0 : deadline - 1;
 }
 
+void
+Watchdog::save(snap::Writer &w) const
+{
+    w.tag("watchdog");
+    w.u64(lastInsts_);
+    w.u64(windowStart_);
+    w.u32(fruitless_);
+    w.u64(recoveries_);
+    w.u64(interventions_);
+    w.b(gaveUp_);
+}
+
+void
+Watchdog::load(snap::Reader &r)
+{
+    r.tag("watchdog");
+    lastInsts_ = r.u64();
+    windowStart_ = r.u64();
+    fruitless_ = r.u32();
+    recoveries_ = r.u64();
+    interventions_ = r.u64();
+    gaveUp_ = r.b();
+}
+
 Machine::Machine(const MachineConfig &config, const Program &program)
     : config_(config), program_(program), memsys_(config.mem)
 {
     image_.loadSegments(program);
     CorePort &port = memsys_.addCore();
     core_ = makeCore(config_, program_, image_, port);
+    watchdog_ = std::make_unique<Watchdog>(config_.watchdog, *core_);
 }
 
 void
 Machine::attachTraceBuffer(trace::TraceBuffer *buf)
 {
+    traceBuf_ = buf;
     core_->attachTraceBuffer(buf);
     core_->port().l1i().setTrace(buf, 1);
     core_->port().l1d().setTrace(buf, 1);
@@ -94,36 +138,52 @@ Machine::attachTraceBuffer(trace::TraceBuffer *buf)
     memsys_.dram().setTrace(buf);
 }
 
-RunResult
-Machine::run(std::uint64_t max_cycles)
+void
+Machine::loopTo(Cycle bound, const SnapPolicy *snap)
 {
-    Watchdog watchdog(config_.watchdog, *core_);
-    bool livelocked = false;
     const bool fastfwd = fastForwardEnabled();
-    while (!core_->halted() && core_->cycles() < max_cycles) {
+    Cycle nextSnapAt = snap && snap->everyCycles
+                           ? core_->cycles() + snap->everyCycles
+                           : invalidCycle;
+    while (!livelocked_ && !core_->halted() && core_->cycles() < bound) {
         std::uint64_t before = core_->instsRetired();
         core_->tick();
-        if (!watchdog.observe()) {
-            livelocked = true;
+        if (!watchdog_->observe()) {
+            livelocked_ = true;
             break;
         }
         // Fast-forward: after a tick that retired nothing, ask the core
         // for the earliest cycle it can act again and replay the stalled
-        // window in one step. Capped so the cycle budget and the
+        // window in one step. Capped so the cycle bound and the
         // watchdog's intervention deadline are still hit by real ticks.
-        if (!fastfwd || core_->halted()
-            || core_->instsRetired() != before)
-            continue;
-        Cycle wake = core_->nextWakeCycle();
-        Cycle now = core_->cycles();
-        if (wake <= now)
-            continue;
-        Cycle target = std::min(std::min(wake, max_cycles),
-                                watchdog.skipBound());
-        if (target > now)
-            core_->advanceIdle(target - now);
+        if (fastfwd && !core_->halted()
+            && core_->instsRetired() == before) {
+            Cycle wake = core_->nextWakeCycle();
+            Cycle now = core_->cycles();
+            Cycle target = std::min(std::min(wake, bound),
+                                    watchdog_->skipBound());
+            if (wake > now && target > now)
+                core_->advanceIdle(target - now);
+        }
+        if (core_->cycles() >= nextSnapAt) {
+            auto res = snapshotToFile(snap->path);
+            if (!res.ok())
+                warn("periodic snapshot to '%s' failed: %s",
+                     snap->path.c_str(), res.error().message.c_str());
+            nextSnapAt = core_->cycles() + snap->everyCycles;
+        }
     }
+}
 
+void
+Machine::stepTo(Cycle target)
+{
+    loopTo(target, nullptr);
+}
+
+RunResult
+Machine::harvest()
+{
     core_->finalizeAttribution();
 
     RunResult res;
@@ -134,15 +194,15 @@ Machine::run(std::uint64_t max_cycles)
     res.ipc = core_->ipc();
     res.finished = core_->halted();
     if (!res.finished)
-        res.degrade = livelocked ? DegradeReason::Livelock
-                                 : DegradeReason::CycleBudget;
+        res.degrade = livelocked_ ? DegradeReason::Livelock
+                                  : DegradeReason::CycleBudget;
     res.stats = core_->stats().flatten();
     for (const auto &kv : memsys_.faults().stats().flatten())
         res.stats[kv.first] = kv.second;
     res.stats["watchdog.recoveries"] =
-        static_cast<double>(watchdog.recoveries());
+        static_cast<double>(watchdog_->recoveries());
     res.stats["watchdog.interventions"] =
-        static_cast<double>(watchdog.interventions());
+        static_cast<double>(watchdog_->interventions());
 
     auto stat = [&](const std::string &suffix) {
         for (const auto &kv : res.stats)
@@ -157,6 +217,125 @@ Machine::run(std::uint64_t max_cycles)
     res.meanDemandMlp = stat("l1_mshrs.demand_mlp.mean");
     res.mispredictRate = stat(".mispredict_rate");
     return res;
+}
+
+RunResult
+Machine::run(std::uint64_t max_cycles)
+{
+    loopTo(max_cycles, nullptr);
+    return harvest();
+}
+
+RunResult
+Machine::run(std::uint64_t max_cycles, const SnapPolicy &snap)
+{
+    loopTo(max_cycles, snap.everyCycles ? &snap : nullptr);
+    return harvest();
+}
+
+void
+Machine::saveState(snap::Writer &w) const
+{
+    w.tag("machine-state");
+    core_->save(w);
+    memsys_.save(w);
+    memsys_.stats().save(w);
+    image_.save(w);
+    watchdog_->save(w);
+    w.b(livelocked_);
+}
+
+void
+Machine::loadState(snap::Reader &r)
+{
+    r.tag("machine-state");
+    core_->load(r);
+    memsys_.load(r);
+    memsys_.stats().load(r);
+    image_.load(r);
+    watchdog_->load(r);
+    livelocked_ = r.b();
+}
+
+std::uint64_t
+Machine::stateHash() const
+{
+    snap::Writer w;
+    saveState(w);
+    return w.hash();
+}
+
+std::vector<std::uint8_t>
+Machine::snapshot() const
+{
+    snap::Writer w;
+    w.u64(snap::fileMagic);
+    w.u32(snap::formatVersion);
+    w.u8(0); // kind: single-core machine
+    w.str(config_.presetName);
+    w.str(config_.model);
+    w.str(program_.name());
+    w.u64(programFingerprint(program_));
+    w.u64(core_->cycles());
+    saveState(w);
+    w.tag("trace");
+    w.b(traceBuf_ != nullptr);
+    if (traceBuf_)
+        traceBuf_->save(w);
+    return w.data();
+}
+
+void
+Machine::restore(const std::vector<std::uint8_t> &bytes)
+{
+    snap::Reader r(bytes);
+    fatal_if(r.u64() != snap::fileMagic,
+             "snapshot: bad magic (not a snapshot file?)");
+    std::uint32_t version = r.u32();
+    fatal_if(version != snap::formatVersion,
+             "snapshot: format version %u, this build reads %u", version,
+             snap::formatVersion);
+    fatal_if(r.u8() != 0, "snapshot: not a single-core machine image");
+    std::string preset = r.str();
+    fatal_if(preset != config_.presetName,
+             "snapshot: preset '%s' where '%s' expected", preset.c_str(),
+             config_.presetName.c_str());
+    std::string model = r.str();
+    fatal_if(model != config_.model,
+             "snapshot: core model '%s' where '%s' expected",
+             model.c_str(), config_.model.c_str());
+    std::string workload = r.str();
+    fatal_if(workload != program_.name(),
+             "snapshot: workload '%s' where '%s' expected",
+             workload.c_str(), program_.name().c_str());
+    fatal_if(r.u64() != programFingerprint(program_),
+             "snapshot: program '%s' differs from the one snapshotted",
+             program_.name().c_str());
+    r.u64(); // cycle, informational (authoritative copy in core state)
+    loadState(r);
+    r.tag("trace");
+    if (r.b()) {
+        fatal_if(!traceBuf_,
+                 "snapshot carries a trace buffer but none is attached; "
+                 "attach one before restore to keep traces byte-identical");
+        traceBuf_->load(r);
+    }
+    r.done();
+}
+
+Result<void>
+Machine::snapshotToFile(const std::string &path) const
+{
+    return snap::writeFile(path, snapshot());
+}
+
+Result<void>
+Machine::restoreFromFile(const std::string &path)
+{
+    auto bytes = snap::readFile(path);
+    if (!bytes.ok())
+        return bytes.error();
+    return trapFatal([&] { restore(bytes.value()); });
 }
 
 RunResult

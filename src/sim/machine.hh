@@ -7,10 +7,13 @@
 #ifndef SSTSIM_SIM_MACHINE_HH
 #define SSTSIM_SIM_MACHINE_HH
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
+#include "common/result.hh"
 #include "core/core.hh"
 #include "core/inorder.hh"
 #include "core/ooo.hh"
@@ -65,6 +68,10 @@ class Watchdog
     std::uint64_t interventions() const { return interventions_; }
     bool gaveUp() const { return gaveUp_; }
 
+    /** Serialize progress-tracking state (params stay bound). */
+    void save(snap::Writer &w) const;
+    void load(snap::Reader &r);
+
   private:
     const WatchdogParams params_;
     Core &core_;
@@ -94,10 +101,21 @@ struct RunResult
     std::map<std::string, double> stats;
 };
 
+/** Periodic snapshot policy for crash-resumable runs. */
+struct SnapPolicy
+{
+    std::uint64_t everyCycles = 0; ///< 0 disables periodic snapshots
+    std::string path;              ///< target file, atomically replaced
+};
+
 /** Instantiate the core model named by @p config. */
 std::unique_ptr<Core> makeCore(const MachineConfig &config,
                                const Program &program,
                                MemoryImage &memory, CorePort &port);
+
+/** Identity hash of a program (instructions + data + layout), used to
+ *  reject restoring a snapshot against the wrong workload. */
+std::uint64_t programFingerprint(const Program &program);
 
 /** One core + private hierarchy + loaded memory image. */
 class Machine
@@ -106,24 +124,69 @@ class Machine
     /** @p program must outlive the machine. */
     Machine(const MachineConfig &config, const Program &program);
 
-    /** Run to HALT or @p maxCycles; harvest metrics. */
+    /** Run to HALT or @p maxCycles; harvest metrics. Resumes from the
+     *  current state, so a restore() followed by run() continues the
+     *  interrupted simulation. */
     RunResult run(std::uint64_t max_cycles = 500'000'000);
+
+    /** run() that additionally writes a snapshot of the whole machine
+     *  to @p snap.path every snap.everyCycles simulated cycles. */
+    RunResult run(std::uint64_t max_cycles, const SnapPolicy &snap);
+
+    /**
+     * Advance to cycle @p target (or until HALT / livelock) with
+     * exactly run()'s tick + watchdog + fast-forward semantics. The
+     * lockstep divergence differ is built on this: two machines
+     * stepTo() the same cycle and compare stateHash().
+     */
+    void stepTo(Cycle target);
+
+    /** FNV-1a 64 over the complete serialized machine state. Equal
+     *  hashes at equal cycles ⇒ byte-identical future behaviour. */
+    std::uint64_t stateHash() const;
+
+    /** Complete machine image (header + state), restorable in a fresh
+     *  process via restore(). */
+    std::vector<std::uint8_t> snapshot() const;
+
+    /** Restore a snapshot() image. The machine must have been built
+     *  with the same preset, model and program; mismatches fatal(). */
+    void restore(const std::vector<std::uint8_t> &bytes);
+
+    Result<void> snapshotToFile(const std::string &path) const;
+    Result<void> restoreFromFile(const std::string &path);
+
+    /** True once the watchdog declared livelock (sticky; saved). */
+    bool livelocked() const { return livelocked_; }
 
     Core &core() { return *core_; }
     MemorySystem &memsys() { return memsys_; }
     MemoryImage &image() { return image_; }
     const MachineConfig &config() const { return config_; }
+    Watchdog &watchdog() { return *watchdog_; }
 
     /** Route structured pipeline + cache-fill events from the core and
      *  every hierarchy level into @p buf (null detaches everywhere). */
     void attachTraceBuffer(trace::TraceBuffer *buf);
 
   private:
+    /** Shared loop body of run()/stepTo(). */
+    void loopTo(Cycle bound, const SnapPolicy *snap);
+    RunResult harvest();
+
+    /** State payload shared by snapshot(), restore() and stateHash()
+     *  (no file header). */
+    void saveState(snap::Writer &w) const;
+    void loadState(snap::Reader &r);
+
     MachineConfig config_;
     const Program &program_;
     MemorySystem memsys_;
     MemoryImage image_;
     std::unique_ptr<Core> core_;
+    std::unique_ptr<Watchdog> watchdog_;
+    trace::TraceBuffer *traceBuf_ = nullptr;
+    bool livelocked_ = false;
 };
 
 /**

@@ -50,9 +50,24 @@ runSampled(const MachineConfig &config, const Program &program,
                 AccessType type = isStore(info.inst.op)
                                       ? AccessType::Store
                                       : AccessType::Load;
-                // Warm the hierarchy; rejections are fine to ignore
-                // (warming is best-effort).
-                (void)port.access(type, info.effAddr, clock);
+                ++result.warmAccesses;
+                auto res = port.access(type, info.effAddr, clock);
+                // A rejected access (MSHRs full) is dropped by the
+                // port, not queued. Ignoring the rejection meant that
+                // once the coarse warm clock filled the MSHR file,
+                // every later access in the window bounced and warming
+                // silently stopped. Advance the clock to the port's
+                // retry cycle — that is when an MSHR frees — and
+                // re-issue, bounded so a pathological port cannot wedge
+                // the functional cursor.
+                for (int tries = 0;
+                     res.rejected && res.retryCycle > clock && tries < 4;
+                     ++tries) {
+                    clock = res.retryCycle;
+                    res = port.access(type, info.effAddr, clock);
+                }
+                if (!res.rejected && res.l1Hit)
+                    ++result.warmHits;
             }
             clock += params.warmCpi;
             ++done;

@@ -47,6 +47,13 @@ struct SampledResult
     /** Instructions simulated in detail / skipped functionally. */
     std::uint64_t detailedInsts = 0;
     std::uint64_t skippedInsts = 0;
+    /** Cache-warming accesses issued during fast-forward, and how many
+     *  hit the L1. A healthy run has warmHits > 0: if warming silently
+     *  stopped (e.g. every access rejected on full MSHRs), the detailed
+     *  windows would start against a cold hierarchy and overestimate
+     *  miss rates. */
+    std::uint64_t warmAccesses = 0;
+    std::uint64_t warmHits = 0;
     bool reachedEnd = false;
 
     /** Sample standard deviation of the window IPCs. */

@@ -1,0 +1,148 @@
+#include "snap/diff.hh"
+
+#include <algorithm>
+
+#include "sim/fastfwd.hh"
+#include "snap/snap.hh"
+
+namespace sst::snap
+{
+
+namespace
+{
+
+/** Advance one side to @p target with its own fast-forward setting,
+ *  applying the side-B bit injection exactly once when the window
+ *  (current, target] contains opt.injectCycle. Being inside the shared
+ *  helper makes the injection replayable: bisection restores a
+ *  pre-injection snapshot and re-advancing re-applies it at the same
+ *  cycle. */
+void
+advanceSide(Machine &m, bool is_b, Cycle target, bool fastfwd,
+            const DiffOptions &opt)
+{
+    setFastForward(fastfwd);
+    if (is_b && opt.injectCycle != invalidCycle
+        && m.core().cycles() < opt.injectCycle
+        && opt.injectCycle <= target) {
+        m.stepTo(opt.injectCycle);
+        if (m.core().cycles() == opt.injectCycle) {
+            MemoryImage &img = m.image();
+            img.writeByte(opt.injectAddr,
+                          img.readByte(opt.injectAddr) ^ 0x01);
+        }
+    }
+    m.stepTo(target);
+}
+
+bool
+statesEqual(Machine &a, Machine &b)
+{
+    return a.core().cycles() == b.core().cycles()
+           && a.stateHash() == b.stateHash();
+}
+
+bool
+sideDone(Machine &m)
+{
+    return m.core().halted() || m.livelocked();
+}
+
+void
+fillReport(DiffReport &rep, Machine &a, Machine &b)
+{
+    rep.hashA = a.stateHash();
+    rep.hashB = b.stateHash();
+    rep.cyclesA = a.core().cycles();
+    rep.cyclesB = b.core().cycles();
+    rep.finishedA = a.core().halted();
+    rep.finishedB = b.core().halted();
+}
+
+} // namespace
+
+DiffReport
+diffMachines(Machine &a, Machine &b, const DiffOptions &opt)
+{
+    DiffReport rep;
+
+    // Last compare point with equal states, as restorable images.
+    std::vector<std::uint8_t> goodA = a.snapshot();
+    std::vector<std::uint8_t> goodB = b.snapshot();
+    Cycle good = a.core().cycles();
+    Cycle divergedAt = invalidCycle; // compare point that mismatched
+
+    if (!statesEqual(a, b)) {
+        // Different before a single cycle ran: configuration-level
+        // mismatch (different preset geometry, different programs).
+        rep.diverged = true;
+        rep.firstDivergentCycle = good;
+        fillReport(rep, a, b);
+    } else {
+        while (good < opt.maxCycles && !(sideDone(a) && sideDone(b))) {
+            Cycle next = std::min<Cycle>(good + opt.stride,
+                                         opt.maxCycles);
+            advanceSide(a, false, next, opt.fastfwdA, opt);
+            advanceSide(b, true, next, opt.fastfwdB, opt);
+            if (!statesEqual(a, b)) {
+                divergedAt = next;
+                break;
+            }
+            ++rep.comparedPoints;
+            good = next;
+            goodA = a.snapshot();
+            goodB = b.snapshot();
+        }
+    }
+
+    if (divergedAt != invalidCycle) {
+        // Bisect (good, divergedAt]: restore both sides from the last
+        // equal snapshot and probe the midpoint until the window is one
+        // cycle wide. The invariant is that goodA/goodB restore to
+        // equal states at cycle `good`.
+        Cycle lo = good;
+        Cycle hi = divergedAt;
+        while (hi - lo > 1) {
+            Cycle mid = lo + (hi - lo) / 2;
+            a.restore(goodA);
+            b.restore(goodB);
+            advanceSide(a, false, mid, opt.fastfwdA, opt);
+            advanceSide(b, true, mid, opt.fastfwdB, opt);
+            if (statesEqual(a, b)) {
+                lo = mid;
+                goodA = a.snapshot();
+                goodB = b.snapshot();
+            } else {
+                hi = mid;
+            }
+        }
+        // Materialize both sides at the first divergent cycle.
+        a.restore(goodA);
+        b.restore(goodB);
+        advanceSide(a, false, hi, opt.fastfwdA, opt);
+        advanceSide(b, true, hi, opt.fastfwdB, opt);
+        rep.diverged = true;
+        rep.firstDivergentCycle = hi;
+        fillReport(rep, a, b);
+    } else if (!rep.diverged) {
+        fillReport(rep, a, b);
+    }
+
+    if (rep.diverged && !opt.outPrefix.empty()) {
+        rep.snapA = opt.outPrefix + ".a.snap";
+        rep.snapB = opt.outPrefix + ".b.snap";
+        auto ra = a.snapshotToFile(rep.snapA);
+        if (!ra.ok())
+            warn("diff: dump '%s' failed: %s", rep.snapA.c_str(),
+                 ra.error().message.c_str());
+        auto rb = b.snapshotToFile(rep.snapB);
+        if (!rb.ok())
+            warn("diff: dump '%s' failed: %s", rep.snapB.c_str(),
+                 rb.error().message.c_str());
+    }
+
+    clearFastForwardOverride();
+    return rep;
+}
+
+} // namespace sst::snap

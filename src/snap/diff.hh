@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Lockstep divergence differ: run two machines that should behave
+ * identically, compare full-state hashes at a stride, and binary-search
+ * the first divergent cycle using snapshots.
+ *
+ * The canonical use is differential validation of "invisible"
+ * optimisations (stall-cycle fast-forwarding, sampling warm paths): the
+ * two sides are the same preset + workload with one knob flipped, and
+ * any state difference at equal cycle counts is a bug. When the sides
+ * diverge, the differ restores both from the last equal snapshot,
+ * bisects to the exact first cycle whose post-cycle states differ, and
+ * dumps both sides' snapshots there for inspection.
+ *
+ * The injectCycle test hook flips one bit of side B's memory image at
+ * a chosen cycle. It is applied inside the shared advance helper, so
+ * bisection replays from pre-injection snapshots reproduce it — the
+ * self-test that the differ pinpoints a single-bit, single-cycle
+ * divergence exactly.
+ */
+
+#ifndef SSTSIM_SNAP_DIFF_HH
+#define SSTSIM_SNAP_DIFF_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+#include "sim/machine.hh"
+
+namespace sst::snap
+{
+
+/** Knobs for one diffMachines() call. */
+struct DiffOptions
+{
+    std::uint64_t maxCycles = 500'000'000;
+    /** Lockstep compare interval; divergence inside a stride is then
+     *  bisected to the exact cycle. */
+    Cycle stride = 1024;
+    /** Per-side stall-cycle fast-forwarding. The default pair checks
+     *  the fast-forward path against the naive per-cycle loop. */
+    bool fastfwdA = true;
+    bool fastfwdB = false;
+    /** Test hook: flip bit 0 of side B's image byte at injectAddr when
+     *  side B reaches this cycle (invalidCycle disables). */
+    Cycle injectCycle = invalidCycle;
+    Addr injectAddr = 0;
+    /** When non-empty and diverged: dump "<prefix>.a.snap" and
+     *  "<prefix>.b.snap" taken at the first divergent cycle. */
+    std::string outPrefix;
+};
+
+/** What diffMachines() found. */
+struct DiffReport
+{
+    bool diverged = false;
+    /** First cycle whose post-cycle states differ (valid when
+     *  diverged). */
+    Cycle firstDivergentCycle = 0;
+    std::uint64_t hashA = 0;
+    std::uint64_t hashB = 0;
+    /** Cycle each side reached when the comparison ended. */
+    Cycle cyclesA = 0;
+    Cycle cyclesB = 0;
+    bool finishedA = false;
+    bool finishedB = false;
+    /** Number of lockstep compare points that matched. */
+    std::uint64_t comparedPoints = 0;
+    /** Snapshot dump paths (set when diverged and outPrefix given). */
+    std::string snapA;
+    std::string snapB;
+};
+
+/**
+ * Run @p a and @p b in lockstep from their current states and report
+ * the first divergent cycle, or a clean no-divergence result when both
+ * finish with equal states. Both machines are left positioned at the
+ * comparison's final point (the divergent cycle, or completion).
+ * Leaves the process-global fast-forward override cleared.
+ */
+DiffReport diffMachines(Machine &a, Machine &b, const DiffOptions &opt);
+
+} // namespace sst::snap
+
+#endif // SSTSIM_SNAP_DIFF_HH

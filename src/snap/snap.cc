@@ -1,0 +1,237 @@
+#include "snap/snap.hh"
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace sst::snap
+{
+
+std::uint64_t
+fnv1a(const void *data, std::size_t len, std::uint64_t seed)
+{
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    std::uint64_t h = seed;
+    for (std::size_t i = 0; i < len; ++i) {
+        h ^= p[i];
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+void
+Hasher::mixU64(std::uint64_t v)
+{
+    std::uint8_t le[8];
+    for (int i = 0; i < 8; ++i)
+        le[i] = static_cast<std::uint8_t>(v >> (8 * i));
+    mix(le, sizeof(le));
+}
+
+void
+Writer::u16(std::uint16_t v)
+{
+    u8(static_cast<std::uint8_t>(v));
+    u8(static_cast<std::uint8_t>(v >> 8));
+}
+
+void
+Writer::u32(std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        u8(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void
+Writer::u64(std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        u8(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void
+Writer::f64(double v)
+{
+    // Bit pattern, not text: exact round trip including -0.0 and NaN.
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+}
+
+void
+Writer::str(const std::string &s)
+{
+    u32(static_cast<std::uint32_t>(s.size()));
+    bytes(s.data(), s.size());
+}
+
+void
+Writer::bytes(const void *data, std::size_t len)
+{
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    buf_.insert(buf_.end(), p, p + len);
+}
+
+void
+Writer::tag(const char *name)
+{
+    str(name);
+}
+
+std::uint64_t
+Writer::hash() const
+{
+    return fnv1a(buf_.data(), buf_.size());
+}
+
+void
+Reader::need(std::size_t n) const
+{
+    fatal_if(size_ - pos_ < n,
+             "snapshot: truncated stream (need %zu bytes at offset %zu, "
+             "have %zu)",
+             n, pos_, size_ - pos_);
+}
+
+std::uint8_t
+Reader::u8()
+{
+    need(1);
+    return data_[pos_++];
+}
+
+std::uint16_t
+Reader::u16()
+{
+    need(2);
+    std::uint16_t v = static_cast<std::uint16_t>(data_[pos_]) |
+                      static_cast<std::uint16_t>(data_[pos_ + 1]) << 8;
+    pos_ += 2;
+    return v;
+}
+
+std::uint32_t
+Reader::u32()
+{
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(data_[pos_ + i]) << (8 * i);
+    pos_ += 4;
+    return v;
+}
+
+std::uint64_t
+Reader::u64()
+{
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+    pos_ += 8;
+    return v;
+}
+
+bool
+Reader::b()
+{
+    std::uint8_t v = u8();
+    fatal_if(v > 1, "snapshot: bad bool encoding 0x%02x at offset %zu", v,
+             pos_ - 1);
+    return v != 0;
+}
+
+double
+Reader::f64()
+{
+    std::uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+}
+
+std::string
+Reader::str()
+{
+    std::uint32_t len = u32();
+    need(len);
+    std::string s(reinterpret_cast<const char *>(data_ + pos_), len);
+    pos_ += len;
+    return s;
+}
+
+void
+Reader::bytes(void *out, std::size_t len)
+{
+    need(len);
+    std::memcpy(out, data_ + pos_, len);
+    pos_ += len;
+}
+
+void
+Reader::tag(const char *name)
+{
+    std::size_t at = pos_;
+    std::string got = str();
+    fatal_if(got != name,
+             "snapshot: expected section '%s' at offset %zu, found '%s' "
+             "(corrupt or incompatible snapshot)",
+             name, at, got.c_str());
+}
+
+void
+Reader::done() const
+{
+    fatal_if(pos_ != size_,
+             "snapshot: %zu trailing bytes after last section (corrupt or "
+             "incompatible snapshot)",
+             size_ - pos_);
+}
+
+Result<void>
+writeFile(const std::string &path, const std::vector<std::uint8_t> &bytes)
+{
+    std::string tmp = path + ".tmp";
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (!f)
+        return Error{"cannot open '" + tmp + "' for writing"};
+    std::size_t written =
+        bytes.empty() ? 0 : std::fwrite(bytes.data(), 1, bytes.size(), f);
+    bool ok = written == bytes.size();
+    ok = std::fclose(f) == 0 && ok;
+    if (!ok) {
+        std::remove(tmp.c_str());
+        return Error{"short write to '" + tmp + "'"};
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return Error{"cannot rename '" + tmp + "' to '" + path + "'"};
+    }
+    return {};
+}
+
+Result<std::vector<std::uint8_t>>
+readFile(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return Error{"cannot open snapshot '" + path + "'"};
+    std::fseek(f, 0, SEEK_END);
+    long size = std::ftell(f);
+    if (size < 0) {
+        std::fclose(f);
+        return Error{"cannot size snapshot '" + path + "'"};
+    }
+    std::fseek(f, 0, SEEK_SET);
+    std::vector<std::uint8_t> buf(static_cast<std::size_t>(size));
+    std::size_t got =
+        buf.empty() ? 0 : std::fread(buf.data(), 1, buf.size(), f);
+    std::fclose(f);
+    if (got != buf.size())
+        return Error{"short read from snapshot '" + path + "'"};
+    return buf;
+}
+
+} // namespace sst::snap

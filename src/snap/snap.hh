@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Versioned, endian-stable binary serialization of machine state.
+ *
+ * Every stateful simulator component exposes a save(Writer&)/load(Reader&)
+ * pair built on these two classes. The encoding is deliberately dumb:
+ * fixed-width little-endian integers, length-prefixed strings, and
+ * explicit tag markers at section boundaries so a corrupt or mismatched
+ * snapshot fails with a named location instead of silently misaligned
+ * reads. Writer output is a pure function of the saved state — no
+ * pointers, no map iteration order, no host endianness — which is what
+ * makes the FNV state hash (and the `sstsim diff` divergence search
+ * built on it) meaningful across processes and machines.
+ *
+ * Error discipline: Reader failures call fatal(), matching the repo's
+ * convention for bad user input; CLI entry points wrap restore paths in
+ * trapFatal() to convert them into exit codes.
+ */
+
+#ifndef SSTSIM_SNAP_SNAP_HH
+#define SSTSIM_SNAP_SNAP_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.hh"
+
+namespace sst::snap
+{
+
+/** Bump on any incompatible change to a component's save() layout. */
+constexpr std::uint32_t formatVersion = 1;
+
+/** Leading bytes of every snapshot file. */
+constexpr std::uint64_t fileMagic = 0x30504e53'54535353ULL; // "SSSTSNP0"
+
+/** FNV-1a 64-bit over @p len bytes, chained from @p seed. */
+std::uint64_t fnv1a(const void *data, std::size_t len,
+                    std::uint64_t seed = 0xcbf29ce484222325ULL);
+
+/** Incremental FNV-1a accumulator for component-wise state hashing. */
+class Hasher
+{
+  public:
+    void mix(const void *data, std::size_t len)
+    {
+        hash_ = fnv1a(data, len, hash_);
+    }
+    void mixU64(std::uint64_t v);
+    std::uint64_t value() const { return hash_; }
+
+  private:
+    std::uint64_t hash_ = 0xcbf29ce484222325ULL;
+};
+
+/** Append-only little-endian encoder. */
+class Writer
+{
+  public:
+    void u8(std::uint8_t v) { buf_.push_back(v); }
+    void u16(std::uint16_t v);
+    void u32(std::uint32_t v);
+    void u64(std::uint64_t v);
+    void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+    void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+    void b(bool v) { u8(v ? 1 : 0); }
+    void f64(double v);
+    void str(const std::string &s);
+    void bytes(const void *data, std::size_t len);
+
+    /** Section marker; Reader::tag() verifies it by name. */
+    void tag(const char *name);
+
+    const std::vector<std::uint8_t> &data() const { return buf_; }
+    std::size_t size() const { return buf_.size(); }
+
+    /** FNV-1a over everything written so far. */
+    std::uint64_t hash() const;
+
+  private:
+    std::vector<std::uint8_t> buf_;
+};
+
+/** Bounds-checked little-endian decoder over a byte span. */
+class Reader
+{
+  public:
+    Reader(const std::uint8_t *data, std::size_t size)
+        : data_(data), size_(size)
+    {
+    }
+    explicit Reader(const std::vector<std::uint8_t> &buf)
+        : Reader(buf.data(), buf.size())
+    {
+    }
+
+    std::uint8_t u8();
+    std::uint16_t u16();
+    std::uint32_t u32();
+    std::uint64_t u64();
+    std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+    std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+    bool b();
+    double f64();
+    std::string str();
+    void bytes(void *out, std::size_t len);
+
+    /** Consume a tag written by Writer::tag(); fatal on mismatch. */
+    void tag(const char *name);
+
+    std::size_t remaining() const { return size_ - pos_; }
+    bool atEnd() const { return pos_ == size_; }
+
+    /** Assert the whole buffer was consumed (trailing garbage check). */
+    void done() const;
+
+  private:
+    void need(std::size_t n) const;
+
+    const std::uint8_t *data_;
+    std::size_t size_;
+    std::size_t pos_ = 0;
+};
+
+/** Write @p bytes to @p path atomically (tmp file + rename). */
+Result<void> writeFile(const std::string &path,
+                       const std::vector<std::uint8_t> &bytes);
+
+/** Read a whole file into memory. */
+Result<std::vector<std::uint8_t>> readFile(const std::string &path);
+
+} // namespace sst::snap
+
+#endif // SSTSIM_SNAP_SNAP_HH

@@ -1,6 +1,7 @@
 #include "trace/trace.hh"
 
 #include "common/logging.hh"
+#include "snap/snap.hh"
 
 namespace sst::trace
 {
@@ -63,6 +64,62 @@ TraceBuffer::clear()
     oldest_ = 0;
     recorded_ = 0;
     dropped_ = 0;
+}
+
+void
+TraceBuffer::save(snap::Writer &w) const
+{
+    w.tag("tracebuf");
+    w.u64(capacity_);
+    w.u64(oldest_);
+    w.u64(recorded_);
+    w.u64(dropped_);
+    w.u64(events_.size());
+    for (const TraceEvent &ev : events_) {
+        w.u64(ev.cycle);
+        w.u64(ev.pc);
+        w.u64(ev.seq);
+        w.u32(ev.arg);
+        w.u8(static_cast<std::uint8_t>(ev.kind));
+        w.u8(static_cast<std::uint8_t>(ev.strand));
+    }
+}
+
+void
+TraceBuffer::load(snap::Reader &r)
+{
+    r.tag("tracebuf");
+    std::uint64_t cap = r.u64();
+    fatal_if(cap != capacity_,
+             "snapshot: trace buffer capacity %llu, expected %zu "
+             "(configuration mismatch)",
+             static_cast<unsigned long long>(cap), capacity_);
+    oldest_ = r.u64();
+    recorded_ = r.u64();
+    dropped_ = r.u64();
+    std::uint64_t n = r.u64();
+    fatal_if(n > capacity_,
+             "snapshot: trace buffer holds %llu > capacity %zu events "
+             "(corrupt snapshot)",
+             static_cast<unsigned long long>(n), capacity_);
+    events_.clear();
+    events_.resize(n);
+    for (TraceEvent &ev : events_) {
+        ev.cycle = r.u64();
+        ev.pc = r.u64();
+        ev.seq = r.u64();
+        ev.arg = r.u32();
+        std::uint8_t kind = r.u8();
+        fatal_if(kind >= static_cast<std::uint8_t>(TraceKind::NumKinds),
+                 "snapshot: bad trace kind %u (corrupt snapshot)", kind);
+        ev.kind = static_cast<TraceKind>(kind);
+        std::uint8_t strand = r.u8();
+        fatal_if(strand >=
+                     static_cast<std::uint8_t>(TraceStrand::NumStrands),
+                 "snapshot: bad trace strand %u (corrupt snapshot)",
+                 strand);
+        ev.strand = static_cast<TraceStrand>(strand);
+    }
 }
 
 } // namespace sst::trace

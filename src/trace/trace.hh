@@ -29,6 +29,12 @@
 #define SST_TRACE 1
 #endif
 
+namespace sst::snap
+{
+class Writer;
+class Reader;
+} // namespace sst::snap
+
 namespace sst::trace
 {
 
@@ -110,6 +116,11 @@ class TraceBuffer
     std::vector<TraceEvent> snapshot() const;
 
     void clear();
+
+    /** Serialize ring contents + cursors, so a restored run's trace
+     *  stream continues byte-identically to an uninterrupted one. */
+    void save(snap::Writer &w) const;
+    void load(snap::Reader &r);
 
   private:
     std::size_t capacity_;

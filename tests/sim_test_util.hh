@@ -3,8 +3,12 @@
 #ifndef SSTSIM_TESTS_SIM_TEST_UTIL_HH
 #define SSTSIM_TESTS_SIM_TEST_UTIL_HH
 
+#include <gtest/gtest.h>
+
+#include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/inorder.hh"
 #include "core/ooo.hh"
@@ -13,9 +17,68 @@
 #include "isa/assembler.hh"
 #include "mem/hierarchy.hh"
 #include "sim/machine.hh"
+#include "trace/trace.hh"
+#include "workloads/workloads.hh"
 
 namespace sst::test
 {
+
+/** The differential harness sweep: every preset, three workloads that
+ *  exercise distinct behaviours (dependent misses, mixed transactions,
+ *  streaming joins). Shared by the fast-forward and snapshot tests. */
+inline const std::vector<std::string> kAllPresets = {
+    "inorder", "scout",     "ea",        "sst2",     "sst4",
+    "sst8",    "ooo-small", "ooo-large", "ooo-huge",
+};
+
+inline const std::vector<std::string> kWorkloads = {
+    "pointer_chase",
+    "oltp_mix",
+    "hash_join",
+};
+
+inline Program
+workloadProgram(const std::string &name)
+{
+    WorkloadParams wp;
+    wp.lengthScale = 0.1;
+    return makeWorkload(name, wp).program;
+}
+
+inline void
+expectStatsEqual(const std::map<std::string, double> &want,
+                 const std::map<std::string, double> &got)
+{
+    EXPECT_EQ(want.size(), got.size());
+    for (const auto &kv : want) {
+        auto it = got.find(kv.first);
+        ASSERT_NE(it, got.end()) << "stat missing: " << kv.first;
+        EXPECT_EQ(kv.second, it->second) << "stat differs: " << kv.first;
+    }
+}
+
+inline void
+expectTracesEqual(const trace::TraceBuffer &want,
+                  const trace::TraceBuffer &got)
+{
+    EXPECT_EQ(want.recorded(), got.recorded());
+    EXPECT_EQ(want.dropped(), got.dropped());
+    auto a = want.snapshot();
+    auto b = got.snapshot();
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        SCOPED_TRACE("event " + std::to_string(i));
+        EXPECT_EQ(a[i].cycle, b[i].cycle);
+        EXPECT_EQ(a[i].pc, b[i].pc);
+        EXPECT_EQ(a[i].seq, b[i].seq);
+        EXPECT_EQ(a[i].arg, b[i].arg);
+        EXPECT_EQ(a[i].kind, b[i].kind);
+        EXPECT_EQ(a[i].strand, b[i].strand);
+        if (a[i].cycle != b[i].cycle || a[i].pc != b[i].pc
+            || a[i].seq != b[i].seq)
+            break; // one divergence point is enough noise
+    }
+}
 
 /** One assembled program run on one core model, with its golden twin. */
 struct CoreRun

@@ -20,67 +20,19 @@
 #include "sim/fastfwd.hh"
 #include "sim/machine.hh"
 #include "sim/presets.hh"
+#include "sim_test_util.hh"
 #include "trace/trace.hh"
 #include "workloads/workloads.hh"
 
 using namespace sst;
+using test::expectStatsEqual;
+using test::expectTracesEqual;
+using test::kAllPresets;
+using test::kWorkloads;
+using test::workloadProgram;
 
 namespace
 {
-
-const std::vector<std::string> kAllPresets = {
-    "inorder", "scout", "ea",        "sst2",      "sst4",
-    "sst8",    "ooo-small", "ooo-large", "ooo-huge",
-};
-
-const std::vector<std::string> kWorkloads = {
-    "pointer_chase",
-    "oltp_mix",
-    "hash_join",
-};
-
-Program
-workloadProgram(const std::string &name)
-{
-    WorkloadParams wp;
-    wp.lengthScale = 0.1;
-    return makeWorkload(name, wp).program;
-}
-
-void
-expectStatsEqual(const std::map<std::string, double> &naive,
-                 const std::map<std::string, double> &fast)
-{
-    EXPECT_EQ(naive.size(), fast.size());
-    for (const auto &kv : naive) {
-        auto it = fast.find(kv.first);
-        ASSERT_NE(it, fast.end()) << "stat missing: " << kv.first;
-        EXPECT_EQ(kv.second, it->second) << "stat differs: " << kv.first;
-    }
-}
-
-void
-expectTracesEqual(const trace::TraceBuffer &naive,
-                  const trace::TraceBuffer &fast)
-{
-    EXPECT_EQ(naive.recorded(), fast.recorded());
-    EXPECT_EQ(naive.dropped(), fast.dropped());
-    auto a = naive.snapshot();
-    auto b = fast.snapshot();
-    ASSERT_EQ(a.size(), b.size());
-    for (std::size_t i = 0; i < a.size(); ++i) {
-        SCOPED_TRACE("event " + std::to_string(i));
-        EXPECT_EQ(a[i].cycle, b[i].cycle);
-        EXPECT_EQ(a[i].pc, b[i].pc);
-        EXPECT_EQ(a[i].seq, b[i].seq);
-        EXPECT_EQ(a[i].arg, b[i].arg);
-        EXPECT_EQ(a[i].kind, b[i].kind);
-        EXPECT_EQ(a[i].strand, b[i].strand);
-        if (a[i].cycle != b[i].cycle || a[i].pc != b[i].pc
-            || a[i].seq != b[i].seq)
-            break; // one divergence point is enough noise
-    }
-}
 
 RunResult
 runOnce(const std::string &preset, const Program &program, bool fastfwd,

@@ -1,0 +1,299 @@
+/**
+ * @file
+ * Unit tests for the snap serialization layer: the Writer/Reader
+ * primitives (including the on-the-wire little-endian byte layout the
+ * cross-machine hash depends on), the corruption discipline (tag
+ * mismatches and truncation are fatal, never silent), the FNV hash,
+ * the atomic file helpers, and save/load round trips of the leaf
+ * components (Rng, Distribution, StatGroup, TraceBuffer).
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "snap/snap.hh"
+#include "trace/trace.hh"
+
+using namespace sst;
+
+namespace
+{
+
+/** Unique temp path per test (tests may run concurrently). */
+std::string
+tmpPath(const std::string &stem)
+{
+    return ::testing::TempDir() + "sstsim_" + stem + "_"
+           + std::to_string(::getpid()) + ".snap";
+}
+
+} // namespace
+
+TEST(Snap, PrimitiveRoundTrip)
+{
+    snap::Writer w;
+    w.u8(0xab);
+    w.u16(0xbeef);
+    w.u32(0xdeadbeefu);
+    w.u64(0x0123456789abcdefULL);
+    w.i32(-42);
+    w.i64(-1234567890123LL);
+    w.b(true);
+    w.b(false);
+    w.f64(3.14159265358979);
+    w.str("hello");
+    w.str("");
+    const std::uint8_t raw[3] = {1, 2, 3};
+    w.bytes(raw, sizeof raw);
+
+    snap::Reader r(w.data());
+    EXPECT_EQ(r.u8(), 0xab);
+    EXPECT_EQ(r.u16(), 0xbeef);
+    EXPECT_EQ(r.u32(), 0xdeadbeefu);
+    EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+    EXPECT_EQ(r.i32(), -42);
+    EXPECT_EQ(r.i64(), -1234567890123LL);
+    EXPECT_TRUE(r.b());
+    EXPECT_FALSE(r.b());
+    EXPECT_EQ(r.f64(), 3.14159265358979);
+    EXPECT_EQ(r.str(), "hello");
+    EXPECT_EQ(r.str(), "");
+    std::uint8_t got[3] = {};
+    r.bytes(got, sizeof got);
+    EXPECT_EQ(got[0], 1);
+    EXPECT_EQ(got[1], 2);
+    EXPECT_EQ(got[2], 3);
+    EXPECT_TRUE(r.atEnd());
+    r.done();
+}
+
+/** The encoding is little-endian by definition, not by host accident —
+ *  this is what makes snapshots and state hashes portable. */
+TEST(Snap, LittleEndianLayout)
+{
+    snap::Writer w;
+    w.u32(0x01020304u);
+    ASSERT_EQ(w.size(), 4u);
+    EXPECT_EQ(w.data()[0], 0x04);
+    EXPECT_EQ(w.data()[1], 0x03);
+    EXPECT_EQ(w.data()[2], 0x02);
+    EXPECT_EQ(w.data()[3], 0x01);
+
+    snap::Writer w2;
+    w2.u64(0x1122334455667788ULL);
+    ASSERT_EQ(w2.size(), 8u);
+    EXPECT_EQ(w2.data()[0], 0x88);
+    EXPECT_EQ(w2.data()[7], 0x11);
+}
+
+TEST(Snap, TagMismatchIsFatal)
+{
+    snap::Writer w;
+    w.tag("caches");
+    auto res = trapFatal([&] {
+        snap::Reader r(w.data());
+        r.tag("predictor");
+    });
+    ASSERT_FALSE(res.ok());
+    EXPECT_NE(res.error().message.find("predictor"), std::string::npos);
+}
+
+TEST(Snap, TruncationIsFatal)
+{
+    snap::Writer w;
+    w.u16(7);
+    auto res = trapFatal([&] {
+        snap::Reader r(w.data());
+        (void)r.u64(); // only 2 bytes available
+    });
+    EXPECT_FALSE(res.ok());
+}
+
+TEST(Snap, TrailingGarbageIsFatal)
+{
+    snap::Writer w;
+    w.u32(1);
+    w.u8(0xcc); // one byte the reader will not consume
+    auto res = trapFatal([&] {
+        snap::Reader r(w.data());
+        (void)r.u32();
+        r.done();
+    });
+    EXPECT_FALSE(res.ok());
+}
+
+TEST(Snap, HasherMatchesOneShotFnv)
+{
+    const char payload[] = "simultaneous speculative threading";
+    snap::Hasher h;
+    h.mix(payload, 10);
+    h.mix(payload + 10, sizeof(payload) - 10);
+    EXPECT_EQ(h.value(), snap::fnv1a(payload, sizeof(payload)));
+
+    // Writer::hash() is the same function over the serialized bytes.
+    snap::Writer w;
+    w.str("abc");
+    w.u64(99);
+    EXPECT_EQ(w.hash(), snap::fnv1a(w.data().data(), w.size()));
+}
+
+TEST(Snap, FileRoundTrip)
+{
+    const std::string path = tmpPath("file_roundtrip");
+    std::vector<std::uint8_t> bytes = {0, 1, 2, 254, 255, 0, 42};
+    auto wr = snap::writeFile(path, bytes);
+    ASSERT_TRUE(wr.ok()) << wr.error().message;
+    auto rd = snap::readFile(path);
+    ASSERT_TRUE(rd.ok()) << rd.error().message;
+    EXPECT_EQ(rd.value(), bytes);
+    std::remove(path.c_str());
+}
+
+TEST(Snap, ReadMissingFileIsAnError)
+{
+    auto rd = snap::readFile(tmpPath("no_such_file"));
+    EXPECT_FALSE(rd.ok());
+}
+
+/** An Rng restored mid-stream must continue the exact stream. */
+TEST(Snap, RngRoundTrip)
+{
+    Rng rng(0x1234abcdULL);
+    for (int i = 0; i < 1000; ++i)
+        (void)rng.next();
+
+    snap::Writer w;
+    rng.save(w);
+    std::vector<std::uint64_t> expect;
+    for (int i = 0; i < 100; ++i)
+        expect.push_back(rng.next());
+
+    Rng other(999); // deliberately different seed
+    snap::Reader r(w.data());
+    other.load(r);
+    r.done();
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(other.next(), expect[i]) << "draw " << i;
+}
+
+TEST(Snap, DistributionRoundTrip)
+{
+    Distribution d;
+    d.init(100, 10);
+    for (std::uint64_t v : {3ULL, 55ULL, 99ULL, 250ULL})
+        d.sample(v);
+    d.sample(7, 12); // bulk path
+
+    snap::Writer w;
+    d.save(w);
+
+    Distribution e;
+    e.init(100, 10); // geometry is config, re-established by init()
+    snap::Reader r(w.data());
+    e.load(r);
+    r.done();
+
+    EXPECT_EQ(e.count(), d.count());
+    EXPECT_EQ(e.sum(), d.sum());
+    EXPECT_EQ(e.maxSample(), d.maxSample());
+    EXPECT_EQ(e.overflow(), d.overflow());
+    EXPECT_EQ(e.buckets(), d.buckets());
+    EXPECT_EQ(e.toJson(), d.toJson());
+}
+
+TEST(Snap, StatGroupRoundTripAndValidation)
+{
+    StatGroup g("core");
+    Scalar &a = g.addScalar("insts", "retired");
+    Scalar &b = g.addScalar("cycles", "elapsed");
+    Distribution &d = g.addDist("occupancy", "dq occupancy", 64, 8);
+    g.addFormula("ipc", "derived", [&] {
+        return double(a.value()) / double(b.value() ? b.value() : 1);
+    });
+    a += 1000;
+    b += 500;
+    d.sample(13);
+
+    snap::Writer w;
+    g.save(w);
+
+    // Identically shaped tree: values transfer (and the formula,
+    // being derived, recomputes from the restored scalars).
+    StatGroup g2("core");
+    Scalar &a2 = g2.addScalar("insts", "retired");
+    Scalar &b2 = g2.addScalar("cycles", "elapsed");
+    g2.addDist("occupancy", "dq occupancy", 64, 8);
+    g2.addFormula("ipc", "derived", [&] {
+        return double(a2.value()) / double(b2.value() ? b2.value() : 1);
+    });
+    {
+        snap::Reader r(w.data());
+        g2.load(r);
+        r.done();
+    }
+    EXPECT_EQ(a2.value(), 1000u);
+    EXPECT_EQ(g2.flatten(), g.flatten());
+
+    // Differently shaped tree: load is fatal, with the stat named.
+    StatGroup g3("core");
+    g3.addScalar("instructions", "renamed stat");
+    g3.addScalar("cycles", "elapsed");
+    g3.addDist("occupancy", "dq occupancy", 64, 8);
+    auto res = trapFatal([&] {
+        snap::Reader r(w.data());
+        g3.load(r);
+    });
+    EXPECT_FALSE(res.ok());
+}
+
+TEST(Snap, TraceBufferRoundTrip)
+{
+    // Small capacity so the test also exercises the overwrite cursors.
+    trace::TraceBuffer buf(16);
+    for (std::uint64_t i = 0; i < 32; ++i) {
+        trace::TraceEvent e;
+        e.cycle = 10 * i;
+        e.pc = i;
+        e.seq = i;
+        e.arg = static_cast<std::uint32_t>(i * 3);
+        e.kind = trace::TraceKind::Commit;
+        e.strand = (i & 1) ? trace::TraceStrand::Ahead
+                           : trace::TraceStrand::Main;
+        buf.record(e);
+    }
+
+    snap::Writer w;
+    buf.save(w);
+
+    trace::TraceBuffer other(16);
+    snap::Reader r(w.data());
+    other.load(r);
+    r.done();
+
+    // Capacity is configuration, not state: a mismatch is fatal.
+    trace::TraceBuffer wrongCap(32);
+    auto res = trapFatal([&] {
+        snap::Reader r2(w.data());
+        wrongCap.load(r2);
+    });
+    EXPECT_FALSE(res.ok());
+
+    EXPECT_EQ(other.recorded(), buf.recorded());
+    EXPECT_EQ(other.dropped(), buf.dropped());
+    auto x = buf.snapshot();
+    auto y = other.snapshot();
+    ASSERT_EQ(x.size(), y.size());
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        EXPECT_EQ(x[i].cycle, y[i].cycle);
+        EXPECT_EQ(x[i].pc, y[i].pc);
+        EXPECT_EQ(x[i].kind, y[i].kind);
+    }
+}

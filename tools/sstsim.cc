@@ -30,13 +30,31 @@
  *   sample=true [detail= skip=]  sampled instead of full simulation
  *   trace=true             pipeline event trace to stderr
  *   max_cycles=<n>         simulation budget
+ *   snap_every=<n> [snap_out=<file>]  periodic machine snapshots
+ *   resume=<file>          restore a snapshot before running
  *
  * Sweep mode (parallel experiment runner, src/exp):
  *   sstsim sweep <manifest> [-j N] [--json FILE] [--verify] [--quiet]
+ *                [--resume DIR] [--snap-every N]
  * runs the manifest's config x workload x seed matrix on a
  * work-stealing thread pool and reports aggregate tables plus an
  * optional structured JSON document. Per-job records are bit-identical
  * for every -j (see docs/INTERNALS.md, "The experiment runner").
+ * --resume skips jobs whose record artifact already exists in DIR and
+ * restarts in-flight jobs from their last machine checkpoint.
+ *
+ * Diff mode (lockstep divergence search, src/snap):
+ *   sstsim diff <preset> <workload> [--stride N] [--out PREFIX]
+ *               [--a-fastfwd 0|1] [--b-fastfwd 0|1]
+ *               [--inject-cycle N] [--inject-addr A]
+ *               [a:key=value | b:key=value | key=value ...]
+ * builds two machines that should behave identically (bare key=value
+ * applies to both sides; "a:"/"b:" prefixes apply to one), runs them in
+ * lockstep comparing full-state hashes, and bisects to the exact first
+ * divergent cycle, dumping both sides' snapshots there. The default
+ * sides compare fast-forwarding on (A) vs off (B) — the self-check that
+ * stall-skipping is invisible. --inject-cycle flips one bit of side B's
+ * memory at that cycle (differ self-test).
  *
  * Trace mode (structured event capture, src/trace):
  *   sstsim trace <preset> <workload> [--out FILE] [--cpistack]
@@ -47,8 +65,9 @@
  * categories are asserted to sum to the cycle count.
  *
  * Exit codes: 0 success, 2 architectural mismatch vs golden, 3 cycle
- * budget exhausted, 4 livelock declared by the watchdog, 64 bad usage
- * (unknown/malformed key), 65 bad input (config value, asm, workload).
+ * budget exhausted, 4 livelock declared by the watchdog, 5 state
+ * divergence found by diff mode, 64 bad usage (unknown/malformed key),
+ * 65 bad input (config value, asm, workload).
  */
 
 #include <algorithm>
@@ -70,6 +89,8 @@
 #include "isa/assembler.hh"
 #include "sim/machine.hh"
 #include "sim/sampling.hh"
+#include "snap/diff.hh"
+#include "snap/snap.hh"
 #include "trace/chrome.hh"
 #include "trace/cpistack.hh"
 #include "trace/trace.hh"
@@ -88,6 +109,7 @@ driverKeys()
         "workload", "asm",    "preset", "seed",   "length_scale",
         "footprint_scale",    "stats",  "json",   "sample",
         "detail",   "skip",   "trace",  "max_cycles",
+        "snap_every", "snap_out", "resume",
     };
     return keys;
 }
@@ -177,13 +199,33 @@ sweepMain(int argc, char **argv)
 {
     std::string manifest;
     std::string jsonPath;
+    std::string artifactDir;
+    std::uint64_t snapEvery = 0;
     unsigned jobs = 1;
     bool quiet = false;
     bool forceVerify = false;
 
     for (int i = 2; i < argc; ++i) {
         std::string arg = argv[i];
-        if (arg == "-j") {
+        if (arg == "--resume") {
+            if (++i >= argc)
+                return fail(Error{"--resume needs an artifact directory",
+                                  exit_code::usage});
+            artifactDir = argv[i];
+        } else if (arg == "--snap-every") {
+            if (++i >= argc)
+                return fail(Error{"--snap-every needs a cycle count",
+                                  exit_code::usage});
+            char *end = nullptr;
+            unsigned long long n = std::strtoull(argv[i], &end, 10);
+            if (end == argv[i] || *end != '\0' || n == 0)
+                return fail(Error{"bad --snap-every value '"
+                                      + std::string(argv[i])
+                                      + "' (want a positive cycle "
+                                        "count)",
+                                  exit_code::usage});
+            snapEvery = n;
+        } else if (arg == "-j") {
             if (++i >= argc)
                 return fail(Error{"-j needs a thread count",
                                   exit_code::usage});
@@ -210,7 +252,7 @@ sweepMain(int argc, char **argv)
         } else if (!arg.empty() && arg[0] == '-') {
             return fail(Error{"unknown sweep option '" + arg
                                   + "' (know -j, --json, --verify, "
-                                    "--quiet)",
+                                    "--quiet, --resume, --snap-every)",
                               exit_code::usage});
         } else if (manifest.empty()) {
             manifest = arg;
@@ -222,7 +264,12 @@ sweepMain(int argc, char **argv)
     }
     if (manifest.empty())
         return fail(Error{"usage: sstsim sweep <manifest> [-j N] "
-                          "[--json FILE] [--verify] [--quiet]",
+                          "[--json FILE] [--verify] [--quiet] "
+                          "[--resume DIR] [--snap-every N]",
+                          exit_code::usage});
+    if (snapEvery && artifactDir.empty())
+        return fail(Error{"--snap-every needs --resume DIR (the "
+                          "checkpoints live in the artifact directory)",
                           exit_code::usage});
 
     auto parsed = exp::SweepSpec::parseFile(manifest);
@@ -234,6 +281,9 @@ sweepMain(int argc, char **argv)
 
     exp::SweepRunOptions options;
     options.jobs = jobs ? jobs : exp::ThreadPool::defaultWorkers();
+    options.artifactDir = artifactDir;
+    options.snapEvery = snapEvery;
+    options.resume = !artifactDir.empty();
 
     if (!quiet)
         std::printf("sweep '%s': %zu points x %zu presets = %zu jobs "
@@ -466,6 +516,164 @@ traceMain(int argc, char **argv)
     return exit_code::ok;
 }
 
+/**
+ * `sstsim diff <preset> <workload> [--stride N] [--max-cycles N]
+ * [--out PREFIX] [--a-fastfwd 0|1] [--b-fastfwd 0|1]
+ * [--inject-cycle N] [--inject-addr A] [a:k=v | b:k=v | k=v ...]`
+ * — lockstep state-hash comparison of two machines that should behave
+ * identically; bisects to the first divergent cycle.
+ */
+int
+diffMain(int argc, char **argv)
+{
+    std::string preset_name;
+    std::string workload_name;
+    snap::DiffOptions opt;
+    opt.maxCycles = 20'000'000;
+    opt.outPrefix = "diff";
+    Config shared, onlyA, onlyB;
+
+    auto uintArg = [&](int &i, const char *what,
+                       std::uint64_t &out) -> Result<void> {
+        if (++i >= argc)
+            return Error{std::string(what) + " needs a value",
+                         exit_code::usage};
+        char *end = nullptr;
+        unsigned long long n = std::strtoull(argv[i], &end, 10);
+        if (end == argv[i] || *end != '\0')
+            return Error{std::string("bad ") + what + " value '"
+                             + argv[i] + "'",
+                         exit_code::usage};
+        out = n;
+        return {};
+    };
+
+    for (int i = 2; i < argc; ++i) {
+        std::string arg = argv[i];
+        Result<void> parsed = {};
+        std::uint64_t n = 0;
+        if (arg == "--stride") {
+            if (parsed = uintArg(i, "--stride", n); parsed.ok()) {
+                if (n == 0)
+                    return fail(Error{"--stride must be positive",
+                                      exit_code::usage});
+                opt.stride = n;
+            }
+        } else if (arg == "--max-cycles") {
+            if (parsed = uintArg(i, "--max-cycles", n); parsed.ok())
+                opt.maxCycles = n;
+        } else if (arg == "--inject-cycle") {
+            if (parsed = uintArg(i, "--inject-cycle", n); parsed.ok())
+                opt.injectCycle = n;
+        } else if (arg == "--inject-addr") {
+            if (parsed = uintArg(i, "--inject-addr", n); parsed.ok())
+                opt.injectAddr = n;
+        } else if (arg == "--a-fastfwd") {
+            if (parsed = uintArg(i, "--a-fastfwd", n); parsed.ok())
+                opt.fastfwdA = n != 0;
+        } else if (arg == "--b-fastfwd") {
+            if (parsed = uintArg(i, "--b-fastfwd", n); parsed.ok())
+                opt.fastfwdB = n != 0;
+        } else if (arg == "--out") {
+            if (++i >= argc)
+                return fail(Error{"--out needs a path prefix",
+                                  exit_code::usage});
+            opt.outPrefix = argv[i];
+        } else if (!arg.empty() && arg[0] == '-') {
+            return fail(Error{"unknown diff option '" + arg
+                                  + "' (know --stride, --max-cycles, "
+                                    "--out, --a-fastfwd, --b-fastfwd, "
+                                    "--inject-cycle, --inject-addr)",
+                              exit_code::usage});
+        } else if (arg.find('=') != std::string::npos) {
+            Config *target = &shared;
+            std::string assignment = arg;
+            if (arg.rfind("a:", 0) == 0) {
+                target = &onlyA;
+                assignment = arg.substr(2);
+            } else if (arg.rfind("b:", 0) == 0) {
+                target = &onlyB;
+                assignment = arg.substr(2);
+            }
+            if (auto p = target->tryParseAssignment(assignment); !p.ok())
+                return fail(p.error());
+        } else if (preset_name.empty()) {
+            preset_name = arg;
+        } else if (workload_name.empty()) {
+            workload_name = arg;
+        } else {
+            return fail(Error{"unexpected argument '" + arg + "'",
+                              exit_code::usage});
+        }
+        if (!parsed.ok())
+            return fail(parsed.error());
+    }
+    if (preset_name.empty() || workload_name.empty())
+        return fail(Error{"usage: sstsim diff <preset> <workload> "
+                          "[--stride N] [--max-cycles N] [--out PREFIX] "
+                          "[--a-fastfwd 0|1] [--b-fastfwd 0|1] "
+                          "[--inject-cycle N] [--inject-addr A] "
+                          "[a:k=v | b:k=v | k=v ...]",
+                          exit_code::usage});
+
+    std::string category;
+    Config load_cfg = shared;
+    load_cfg.set("workload", workload_name);
+    auto loaded = loadProgram(load_cfg, category);
+    if (!loaded.ok())
+        return fail(loaded.error());
+    Program program = loaded.take();
+
+    auto makeSide = [&](const Config &side) {
+        return trapFatal(
+            [&] {
+                MachineConfig mc = makePreset(preset_name);
+                Config cfg = shared;
+                for (const auto &kv : side.items())
+                    cfg.set(kv.first, kv.second);
+                applyOverrides(mc, cfg);
+                return mc;
+            },
+            exit_code::usage);
+    };
+    auto mcA = makeSide(onlyA);
+    if (!mcA.ok())
+        return fail(mcA.error());
+    auto mcB = makeSide(onlyB);
+    if (!mcB.ok())
+        return fail(mcB.error());
+
+    Machine a(mcA.take(), program);
+    Machine b(mcB.take(), program);
+    snap::DiffReport rep = snap::diffMachines(a, b, opt);
+
+    if (!rep.diverged) {
+        std::printf("diff: %s/%s no divergence over %llu cycles "
+                    "(%llu compare points, A %s at %llu, B %s at "
+                    "%llu)\n",
+                    preset_name.c_str(), program.name().c_str(),
+                    static_cast<unsigned long long>(
+                        std::max(rep.cyclesA, rep.cyclesB)),
+                    static_cast<unsigned long long>(rep.comparedPoints),
+                    rep.finishedA ? "halted" : "stopped",
+                    static_cast<unsigned long long>(rep.cyclesA),
+                    rep.finishedB ? "halted" : "stopped",
+                    static_cast<unsigned long long>(rep.cyclesB));
+        return exit_code::ok;
+    }
+
+    std::printf("diff: %s/%s DIVERGED at cycle %llu "
+                "(hash A %016llx != B %016llx)\n",
+                preset_name.c_str(), program.name().c_str(),
+                static_cast<unsigned long long>(rep.firstDivergentCycle),
+                static_cast<unsigned long long>(rep.hashA),
+                static_cast<unsigned long long>(rep.hashB));
+    if (!rep.snapA.empty())
+        std::printf("diff: snapshots dumped: %s %s\n", rep.snapA.c_str(),
+                    rep.snapB.c_str());
+    return exit_code::diverged;
+}
+
 } // namespace
 
 int
@@ -475,6 +683,8 @@ main(int argc, char **argv)
         return sweepMain(argc, argv);
     if (argc >= 2 && std::string(argv[1]) == "trace")
         return traceMain(argc, argv);
+    if (argc >= 2 && std::string(argv[1]) == "diff")
+        return diffMain(argc, argv);
 
     Config cfg;
     for (int i = 1; i < argc; ++i) {
@@ -543,7 +753,23 @@ main(int argc, char **argv)
         machine.core().setTraceSink([](const std::string &line) {
             std::fprintf(stderr, "%s\n", line.c_str());
         });
-    RunResult r = machine.run(cfg.getUint("max_cycles", 500'000'000ULL));
+
+    std::string resume_path = cfg.getString("resume", "");
+    if (!resume_path.empty()) {
+        auto restored = machine.restoreFromFile(resume_path);
+        if (!restored.ok())
+            return fail(restored.error());
+        std::fprintf(stderr, "sstsim: resumed from '%s' at cycle %llu\n",
+                     resume_path.c_str(),
+                     static_cast<unsigned long long>(
+                         machine.core().cycles()));
+    }
+    SnapPolicy snap;
+    snap.everyCycles = cfg.getUint("snap_every", 0);
+    snap.path = cfg.getString("snap_out", "sstsim.snap");
+
+    RunResult r = machine.run(cfg.getUint("max_cycles", 500'000'000ULL),
+                              snap);
     if (!r.finished) {
         std::fprintf(stderr,
                      "sstsim: run degraded (%s) after %llu cycles, "
