@@ -177,6 +177,13 @@ class JsonParser
             std::string key;
             if (auto r = string(key); !r.ok())
                 return r.error();
+            // Duplicate keys are rejected rather than last-wins: a
+            // corrupted job record with a repeated "index" or seed
+            // member must fail loudly, not silently pass identity
+            // validation with whichever copy happened to come last.
+            for (const auto &kv : out.members_)
+                if (kv.first == key)
+                    return fail("duplicate object key '" + key + "'");
             skipSpace();
             if (!consume(':'))
                 return fail("expected ':'");

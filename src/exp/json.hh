@@ -8,7 +8,10 @@
  * round-trip tests and result-consuming tools need to get values back
  * out. It supports the full JSON grammar the simulator produces
  * (objects, arrays, strings with escapes, numbers, booleans, null) and
- * preserves object member order.
+ * preserves object member order. Duplicate object keys are a parse
+ * error: the documents this reads back (job records, sweep exports)
+ * never legitimately repeat a key, and accepting last-wins would let a
+ * corrupted record shadow the identity fields resume validates.
  */
 
 #ifndef SSTSIM_EXP_JSON_HH

@@ -12,6 +12,7 @@
 #include "common/stats.hh"
 #include "exp/json.hh"
 #include "exp/threadpool.hh"
+#include "fault/chaos.hh"
 #include "func/executor.hh"
 #include "sim/presets.hh"
 #include "snap/snap.hh"
@@ -92,6 +93,8 @@ buildRecord(const JobOutcome &out, const Config &effectiveConfig,
     return j;
 }
 
+} // namespace
+
 std::string
 jobRecordPath(const std::string &dir, std::size_t index)
 {
@@ -104,22 +107,30 @@ jobSnapPath(const std::string &dir, std::size_t index)
     return dir + "/job-" + std::to_string(index) + ".snap";
 }
 
-/**
- * Rebuild a JobOutcome from a persisted record, validating that the
- * artifact belongs to this manifest's job @p job (index, preset,
- * workload and seeds must all match — a stale artifact directory from
- * a different sweep must not masquerade as finished work). Only the
- * summary fields travel back (enough for every consumer of a resumed
- * sweep: exit code, tables, JSON export via the verbatim record); the
- * flattened stats map is not reconstructed.
+/*
+ * A stale artifact directory from a different sweep must not
+ * masquerade as finished work, and a torn record from a killed worker
+ * must read as "re-run this job", never crash the resume pass. Only
+ * the summary fields travel back (enough for every consumer of a
+ * resumed sweep: exit code, tables, JSON export via the verbatim
+ * record); the flattened stats map is not reconstructed.
  */
 bool
 outcomeFromRecord(const JobSpec &job, const std::string &text,
-                  JobOutcome &out)
+                  JobOutcome &out, std::string *why)
 {
     auto parsed = Json::parse(text);
-    if (!parsed.ok() || !parsed.value().isObject())
+    if (!parsed.ok()) {
+        if (why)
+            *why = "unreadable record (truncated or corrupt: "
+                   + parsed.error().message + ")";
         return false;
+    }
+    if (!parsed.value().isObject()) {
+        if (why)
+            *why = "record is not a JSON object";
+        return false;
+    }
     const Json &j = parsed.value();
     auto num = [&](const char *key) {
         const Json *v = j.find(key);
@@ -141,8 +152,11 @@ outcomeFromRecord(const JobSpec &job, const std::string &text,
         || str("preset") != job.preset || str("workload") != job.workload
         || num("job_seed") != static_cast<double>(job.jobSeed)
         || num("workload_seed")
-               != static_cast<double>(job.workloadSeed))
+               != static_cast<double>(job.workloadSeed)) {
+        if (why)
+            *why = "record identity does not match the manifest";
         return false;
+    }
 
     out.spec = job;
     out.ran = boolean("ran");
@@ -161,15 +175,56 @@ outcomeFromRecord(const JobSpec &job, const std::string &text,
                          : degrade == "cycle_budget"
                              ? DegradeReason::CycleBudget
                              : DegradeReason::None;
+    // A corrupt record can hold any value here; only a real bool is a
+    // verification verdict (asBool() on anything else would panic).
     const Json *archOk = j.find("arch_ok");
-    out.archVerified = archOk && !archOk->isNull();
+    out.archVerified = archOk && archOk->kind() == Json::Kind::Bool;
     out.archOk = out.archVerified && archOk->asBool();
     out.log = str("log");
     out.recordJson = text;
     return true;
 }
 
-} // namespace
+JobOutcome
+unrunOutcome(const JobSpec &job, const std::string &error)
+{
+    JobOutcome out;
+    out.spec = job;
+    out.ran = false;
+    out.error = error;
+    out.recordJson = buildRecord(out, job.overrides, "", "");
+    return out;
+}
+
+std::size_t
+loadFinishedRecords(const std::vector<JobSpec> &jobs,
+                    const std::string &artifactDir, ResultSink &sink,
+                    std::vector<char> &done)
+{
+    panic_if(done.size() != jobs.size(),
+             "done vector sized %zu for %zu jobs", done.size(),
+             jobs.size());
+    std::size_t resumed = 0;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        std::ifstream in(jobRecordPath(artifactDir, jobs[i].index));
+        if (!in)
+            continue;
+        std::stringstream ss;
+        ss << in.rdbuf();
+        JobOutcome out;
+        std::string why;
+        if (outcomeFromRecord(jobs[i], ss.str(), out, &why)) {
+            done[i] = 1;
+            ++resumed;
+            sink.tryRecord(std::move(out));
+        } else {
+            warn("resume: artifact for job #%zu ignored (%s); "
+                 "re-running",
+                 jobs[i].index, why.c_str());
+        }
+    }
+    return resumed;
+}
 
 void
 ResultSink::record(JobOutcome outcome)
@@ -180,9 +235,35 @@ ResultSink::record(JobOutcome outcome)
              "job index %zu out of range (sink sized for %zu)", index,
              outcomes_.size());
     outcomes_[index] = std::move(outcome);
+    present_[index] = 1;
     ++recorded_;
     if (onRecord_)
         onRecord_(outcomes_[index]);
+}
+
+bool
+ResultSink::tryRecord(JobOutcome outcome)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::size_t index = outcome.spec.index;
+    panic_if(index >= outcomes_.size(),
+             "job index %zu out of range (sink sized for %zu)", index,
+             outcomes_.size());
+    if (present_[index])
+        return false;
+    outcomes_[index] = std::move(outcome);
+    present_[index] = 1;
+    ++recorded_;
+    if (onRecord_)
+        onRecord_(outcomes_[index]);
+    return true;
+}
+
+bool
+ResultSink::has(std::size_t index) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return index < present_.size() && present_[index] != 0;
 }
 
 std::size_t
@@ -219,6 +300,14 @@ runJob(const SweepSpec &sweep, const JobSpec &job,
         applyOverrides(mc, effective);
 
         Machine machine(mc, wl.program);
+        if (options.chaos) {
+            // Poison-job hook: a config-carried chaos_exit_cycle kills
+            // this process at that simulated cycle, every attempt —
+            // the retry budget turns that into quarantine.
+            if (mc.mem.fault.chaosExitCycle)
+                options.chaos->scheduleExit(mc.mem.fault.chaosExitCycle);
+            machine.setChaosMonitor(options.chaos);
+        }
         SnapPolicy policy;
         if (!options.artifactDir.empty() && options.snapEvery) {
             policy.everyCycles = options.snapEvery;
@@ -229,7 +318,13 @@ runJob(const SweepSpec &sweep, const JobSpec &job,
                 jobSnapPath(options.artifactDir, job.index);
             std::error_code ec;
             if (std::filesystem::exists(snapPath, ec)) {
-                auto restored = machine.restoreFromFile(snapPath);
+                // Validate the handoff before restoring: a checkpoint
+                // some other worker wrote must carry the snapshot
+                // magic/version before this process trusts it.
+                auto usable = snap::probeSnapshotFile(snapPath);
+                auto restored = usable.ok()
+                                    ? machine.restoreFromFile(snapPath)
+                                    : usable;
                 if (!restored.ok())
                     warn("resume: checkpoint '%s' unusable (%s); "
                          "restarting job #%zu from cycle 0",
@@ -303,25 +398,8 @@ runSweep(const SweepSpec &spec, const SweepRunOptions &options,
     // matches this manifest's identity for that index) are finished
     // work — rebuild their outcomes instead of re-running.
     std::vector<char> done(jobs.size(), 0);
-    if (options.resume && !options.artifactDir.empty()) {
-        for (std::size_t i = 0; i < jobs.size(); ++i) {
-            std::ifstream in(jobRecordPath(options.artifactDir,
-                                           jobs[i].index));
-            if (!in)
-                continue;
-            std::stringstream ss;
-            ss << in.rdbuf();
-            JobOutcome out;
-            if (outcomeFromRecord(jobs[i], ss.str(), out)) {
-                done[i] = 1;
-                sink.record(std::move(out));
-            } else {
-                warn("resume: artifact for job #%zu does not match the "
-                     "manifest; re-running",
-                     jobs[i].index);
-            }
-        }
-    }
+    if (options.resume && !options.artifactDir.empty())
+        loadFinishedRecords(jobs, options.artifactDir, sink, done);
 
     {
         ThreadPool pool(workers);
@@ -331,6 +409,12 @@ runSweep(const SweepSpec &spec, const SweepRunOptions &options,
         });
     }
 
+    return sweepExitCode(sink);
+}
+
+int
+sweepExitCode(const ResultSink &sink)
+{
     bool anyError = false, anyLivelock = false, anyBudget = false,
          anyMismatch = false;
     for (const auto &out : sink.outcomes()) {

@@ -30,6 +30,11 @@
 #include "exp/sweep.hh"
 #include "sim/machine.hh"
 
+namespace sst
+{
+class ChaosMonitor;
+}
+
 namespace sst::exp
 {
 
@@ -54,10 +59,25 @@ struct JobOutcome
 class ResultSink
 {
   public:
-    explicit ResultSink(std::size_t jobCount) : outcomes_(jobCount) {}
+    explicit ResultSink(std::size_t jobCount)
+        : outcomes_(jobCount), present_(jobCount, 0)
+    {
+    }
 
     /** Store @p outcome (and fire the progress callback, if any). */
     void record(JobOutcome outcome);
+
+    /**
+     * record() that tolerates duplicates: a second outcome for an
+     * already-recorded index is dropped (first write wins, keeping
+     * resumed-then-recomputed results stable). @return true when the
+     * outcome was stored. Out-of-range indices still panic — they mean
+     * the caller mixed sinks from different manifests.
+     */
+    bool tryRecord(JobOutcome outcome);
+
+    /** True once an outcome for @p index has been recorded. */
+    bool has(std::size_t index) const;
 
     /** Completion-order callback; called under the sink lock. */
     void setOnRecord(std::function<void(const JobOutcome &)> fn)
@@ -73,6 +93,7 @@ class ResultSink
   private:
     mutable std::mutex mutex_;
     std::vector<JobOutcome> outcomes_;
+    std::vector<char> present_;
     std::size_t recorded_ = 0;
     std::function<void(const JobOutcome &)> onRecord_;
 };
@@ -95,10 +116,56 @@ struct SweepRunOptions
      * artifact exists (and matches the manifest's identity for that
      * index) are not re-run — their outcome is rebuilt from the record;
      * jobs with only a .snap checkpoint restart from it instead of
-     * cycle 0.
+     * cycle 0. Unreadable, truncated or mismatching records are
+     * re-run with a warning, never fatal — a torn write from a killed
+     * worker must not wedge the whole sweep.
      */
     bool resume = false;
+    /**
+     * Process-chaos monitor to attach to each job's machine (service
+     * workers pass theirs; in-process sweeps leave it null). When set,
+     * a job whose effective config carries fault.chaos_exit_cycle will
+     * kill/stall this process at that simulated cycle — the poison-job
+     * and crash-recovery test hook. See fault/chaos.hh.
+     */
+    ChaosMonitor *chaos = nullptr;
 };
+
+/** Record artifact path for job @p index: "<dir>/job-<index>.json". */
+std::string jobRecordPath(const std::string &dir, std::size_t index);
+
+/** Checkpoint artifact path: "<dir>/job-<index>.snap". */
+std::string jobSnapPath(const std::string &dir, std::size_t index);
+
+/**
+ * Rebuild a JobOutcome from a persisted record, validating that the
+ * artifact belongs to this manifest's job @p job (index, preset,
+ * workload and seeds must all match). @return false — with a
+ * diagnostic in @p why when non-null — for unparseable text or an
+ * identity mismatch; the caller re-runs the job.
+ */
+bool outcomeFromRecord(const JobSpec &job, const std::string &text,
+                       JobOutcome &out, std::string *why = nullptr);
+
+/**
+ * A synthetic never-ran outcome (ran=false, @p error recorded) with a
+ * well-formed record, used to quarantine poison jobs that kill every
+ * worker that leases them: the sweep completes with the failure
+ * documented instead of wedging on the job.
+ */
+JobOutcome unrunOutcome(const JobSpec &job, const std::string &error);
+
+/**
+ * Resume pass shared by the in-process runner and the service broker:
+ * scan @p artifactDir for finished records of @p jobs, feed matching
+ * ones to @p sink and mark them in @p done (sized to jobs.size()).
+ * Corrupt or mismatching artifacts warn and stay un-done. @return the
+ * number of jobs resumed.
+ */
+std::size_t loadFinishedRecords(const std::vector<JobSpec> &jobs,
+                                const std::string &artifactDir,
+                                ResultSink &sink,
+                                std::vector<char> &done);
 
 /** Run one job in isolation (also the unit the pool executes). */
 JobOutcome runJob(const SweepSpec &spec, const JobSpec &job,
@@ -111,6 +178,13 @@ JobOutcome runJob(const SweepSpec &spec, const JobSpec &job,
  */
 int runSweep(const SweepSpec &spec, const SweepRunOptions &options,
              ResultSink &sink);
+
+/**
+ * Worst exit code over all recorded outcomes (the code runSweep
+ * returns): badInput > archMismatch > livelock > cycleBudget > ok.
+ * Shared with the service broker, which folds quarantine on top.
+ */
+int sweepExitCode(const ResultSink &sink);
 
 /**
  * The whole sweep as one JSON document:

@@ -67,6 +67,16 @@ struct FaultParams
     unsigned dqSqueeze = 0;
     unsigned ssqSqueeze = 0;
 
+    /**
+     * Poison-job chaos hook for the experiment service: kill the host
+     * process at this simulated cycle (0 = off). Honoured only when a
+     * ChaosMonitor is attached to the machine (service workers do
+     * this; in-process sweeps and plain runs ignore it), and excluded
+     * from enabled() because it perturbs the host, not the simulation.
+     * See fault/chaos.hh.
+     */
+    std::uint64_t chaosExitCycle = 0;
+
     bool
     enabled() const
     {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "fault/chaos.hh"
 #include "sim/fastfwd.hh"
 #include "snap/snap.hh"
 #include "trace/trace.hh"
@@ -172,6 +173,10 @@ Machine::loopTo(Cycle bound, const SnapPolicy *snap)
                      snap->path.c_str(), res.error().message.c_str());
             nextSnapAt = core_->cycles() + snap->everyCycles;
         }
+        // After the snapshot write, so a kill scheduled on a snapshot
+        // boundary hands the freshest checkpoint to the next worker.
+        if (chaos_)
+            chaos_->observe(core_->cycles());
     }
 }
 

@@ -24,6 +24,8 @@
 namespace sst
 {
 
+class ChaosMonitor;
+
 /** Why a run stopped short of committing HALT. */
 enum class DegradeReason
 {
@@ -169,6 +171,14 @@ class Machine
      *  every hierarchy level into @p buf (null detaches everywhere). */
     void attachTraceBuffer(trace::TraceBuffer *buf);
 
+    /**
+     * Attach a process-chaos monitor (fault/chaos.hh): the run loop
+     * calls observe(cycle) every iteration, which both feeds the
+     * service worker's heartbeat probe and fires any scheduled
+     * kill/stall at its deterministic simulated cycle. Null detaches.
+     */
+    void setChaosMonitor(ChaosMonitor *monitor) { chaos_ = monitor; }
+
   private:
     /** Shared loop body of run()/stepTo(). */
     void loopTo(Cycle bound, const SnapPolicy *snap);
@@ -186,6 +196,7 @@ class Machine
     std::unique_ptr<Core> core_;
     std::unique_ptr<Watchdog> watchdog_;
     trace::TraceBuffer *traceBuf_ = nullptr;
+    ChaosMonitor *chaos_ = nullptr;
     bool livelocked_ = false;
 };
 

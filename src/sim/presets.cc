@@ -182,6 +182,8 @@ applyOverrides(MachineConfig &config, const Config &overrides)
         overrides.getUint("fault.dq_squeeze", f.dqSqueeze));
     f.ssqSqueeze = static_cast<unsigned>(
         overrides.getUint("fault.ssq_squeeze", f.ssqSqueeze));
+    f.chaosExitCycle =
+        overrides.getUint("fault.chaos_exit_cycle", f.chaosExitCycle);
 
     WatchdogParams &w = config.watchdog;
     w.enabled = overrides.getBool("watchdog.enabled", w.enabled);
@@ -229,6 +231,7 @@ machineConfigKeys()
         "fault.force_abort_rate",
         "fault.dq_squeeze",
         "fault.ssq_squeeze",
+        "fault.chaos_exit_cycle",
         "watchdog.enabled",
         "watchdog.stall_cycles",
         "watchdog.max_interventions",

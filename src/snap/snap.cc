@@ -1,7 +1,11 @@
 #include "snap/snap.hh"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
+
+#include <fcntl.h>
+#include <unistd.h>
 
 #include "common/logging.hh"
 
@@ -193,22 +197,86 @@ Reader::done() const
 Result<void>
 writeFile(const std::string &path, const std::vector<std::uint8_t> &bytes)
 {
-    std::string tmp = path + ".tmp";
-    std::FILE *f = std::fopen(tmp.c_str(), "wb");
-    if (!f)
-        return Error{"cannot open '" + tmp + "' for writing"};
-    std::size_t written =
-        bytes.empty() ? 0 : std::fwrite(bytes.data(), 1, bytes.size(), f);
-    bool ok = written == bytes.size();
-    ok = std::fclose(f) == 0 && ok;
-    if (!ok) {
+    // tmp + fsync + rename + directory fsync: the rename makes the
+    // replacement atomic against process death, and the two fsyncs
+    // extend that to power loss — without the directory fsync the
+    // rename itself can be lost, leaving a stale (or no) checkpoint
+    // after the machine comes back. The pid in the tmp name keeps
+    // concurrent writers of the same target (a re-leased job's new
+    // worker racing its stalled predecessor) from renaming each
+    // other's half-written staging files into place.
+    std::string tmp = path + ".tmp." + std::to_string(::getpid());
+    int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0)
+        return Error{"cannot open '" + tmp + "' for writing: "
+                     + std::strerror(errno)};
+    std::size_t done = 0;
+    while (done < bytes.size()) {
+        ssize_t n = ::write(fd, bytes.data() + done, bytes.size() - done);
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n <= 0) {
+            int err = errno;
+            ::close(fd);
+            std::remove(tmp.c_str());
+            return Error{"short write to '" + tmp + "': "
+                         + std::strerror(err)};
+        }
+        done += static_cast<std::size_t>(n);
+    }
+    bool synced = ::fsync(fd) == 0;
+    bool closed = ::close(fd) == 0;
+    if (!synced || !closed) {
         std::remove(tmp.c_str());
-        return Error{"short write to '" + tmp + "'"};
+        return Error{"cannot sync '" + tmp + "': " + std::strerror(errno)};
     }
     if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        int err = errno;
         std::remove(tmp.c_str());
-        return Error{"cannot rename '" + tmp + "' to '" + path + "'"};
+        return Error{"cannot rename '" + tmp + "' to '" + path + "': "
+                     + std::strerror(err)};
     }
+    // Persist the rename: fsync the containing directory. Failure here
+    // is reported (the caller may retry elsewhere) but the file content
+    // itself is already safely in place for process-death crashes.
+    std::size_t slash = path.find_last_of('/');
+    std::string dir = slash == std::string::npos ? "."
+                                                 : path.substr(0, slash);
+    if (dir.empty())
+        dir = "/";
+    int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (dfd < 0)
+        return Error{"cannot open directory '" + dir + "' to sync '"
+                     + path + "': " + std::strerror(errno)};
+    bool dirSynced = ::fsync(dfd) == 0;
+    int err = errno;
+    ::close(dfd);
+    if (!dirSynced)
+        return Error{"cannot sync directory '" + dir + "' after writing '"
+                     + path + "': " + std::strerror(err)};
+    return {};
+}
+
+Result<void>
+probeSnapshotFile(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return Error{"cannot open snapshot '" + path + "'"};
+    std::uint8_t head[12];
+    std::size_t got = std::fread(head, 1, sizeof(head), f);
+    std::fclose(f);
+    if (got != sizeof(head))
+        return Error{"snapshot '" + path + "' is truncated ("
+                     + std::to_string(got) + " bytes)"};
+    Reader r(head, sizeof(head));
+    if (r.u64() != fileMagic)
+        return Error{"snapshot '" + path + "' has bad magic (not a "
+                     "snapshot file, or a torn write)"};
+    if (std::uint32_t v = r.u32(); v != formatVersion)
+        return Error{"snapshot '" + path + "' is format version "
+                     + std::to_string(v) + ", this build reads "
+                     + std::to_string(formatVersion)};
     return {};
 }
 

@@ -123,12 +123,22 @@ class Reader
     std::size_t pos_ = 0;
 };
 
-/** Write @p bytes to @p path atomically (tmp file + rename). */
+/** Write @p bytes to @p path atomically and durably (tmp file + fsync
+ *  + rename + fsync of the containing directory, so the replacement
+ *  survives power loss, not just process death). */
 Result<void> writeFile(const std::string &path,
                        const std::vector<std::uint8_t> &bytes);
 
 /** Read a whole file into memory. */
 Result<std::vector<std::uint8_t>> readFile(const std::string &path);
+
+/**
+ * Cheap sanity probe of a snapshot file: checks only the leading magic
+ * and format version, without reading component state. Used to decide
+ * whether a checkpoint handed off from a crashed worker is worth
+ * attempting a full (fatal-on-corruption) restore from.
+ */
+Result<void> probeSnapshotFile(const std::string &path);
 
 } // namespace sst::snap
 

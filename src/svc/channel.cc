@@ -1,0 +1,173 @@
+#include "svc/channel.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace sst::svc
+{
+
+namespace
+{
+
+Result<int>
+unixSocket(const std::string &path, sockaddr_un &addr)
+{
+    if (path.size() >= sizeof(addr.sun_path))
+        return Error{"socket path '" + path + "' exceeds the "
+                     + std::to_string(sizeof(addr.sun_path) - 1)
+                     + "-byte sun_path limit"};
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        return Error{std::string("socket: ") + std::strerror(errno)};
+    return fd;
+}
+
+} // namespace
+
+Result<int>
+listenUnix(const std::string &path)
+{
+    sockaddr_un addr;
+    auto fd = unixSocket(path, addr);
+    if (!fd.ok())
+        return fd;
+    ::unlink(path.c_str());
+    if (::bind(fd.value(), reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr))
+        != 0) {
+        Error e{"bind '" + path + "': " + std::strerror(errno)};
+        ::close(fd.value());
+        return e;
+    }
+    if (::listen(fd.value(), 64) != 0) {
+        Error e{"listen '" + path + "': " + std::strerror(errno)};
+        ::close(fd.value());
+        return e;
+    }
+    return fd;
+}
+
+Result<int>
+connectUnix(const std::string &path)
+{
+    sockaddr_un addr;
+    auto fd = unixSocket(path, addr);
+    if (!fd.ok())
+        return fd;
+    if (::connect(fd.value(), reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr))
+        != 0) {
+        Error e{"connect '" + path + "': " + std::strerror(errno)};
+        ::close(fd.value());
+        return e;
+    }
+    return fd;
+}
+
+Result<void>
+setNonBlocking(int fd)
+{
+    int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0)
+        return Error{std::string("fcntl O_NONBLOCK: ")
+                     + std::strerror(errno)};
+    return Result<void>();
+}
+
+Result<void>
+sendLine(int fd, const std::string &line)
+{
+    std::string framed = line + '\n';
+    std::size_t off = 0;
+    while (off < framed.size()) {
+        ssize_t n = ::write(fd, framed.data() + off, framed.size() - off);
+        if (n > 0) {
+            off += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+            // Peer is slow to drain; wait for writability rather than
+            // spin. Protocol messages are small, so this is rare.
+            pollfd p{fd, POLLOUT, 0};
+            (void)::poll(&p, 1, 1000);
+            continue;
+        }
+        return Error{std::string("write: ")
+                     + (n == 0 ? "no progress" : std::strerror(errno))};
+    }
+    return Result<void>();
+}
+
+void
+LineReader::split(std::vector<std::string> &out)
+{
+    std::size_t start = 0;
+    for (;;) {
+        std::size_t nl = buf_.find('\n', start);
+        if (nl == std::string::npos)
+            break;
+        out.push_back(buf_.substr(start, nl - start));
+        start = nl + 1;
+    }
+    buf_.erase(0, start);
+}
+
+Result<std::string>
+LineReader::readLine()
+{
+    for (;;) {
+        std::size_t nl = buf_.find('\n');
+        if (nl != std::string::npos) {
+            std::string line = buf_.substr(0, nl);
+            buf_.erase(0, nl + 1);
+            return line;
+        }
+        char chunk[4096];
+        ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+        if (n > 0) {
+            buf_.append(chunk, static_cast<std::size_t>(n));
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n == 0)
+            return Error{"connection closed by peer"};
+        return Error{std::string("read: ") + std::strerror(errno)};
+    }
+}
+
+bool
+LineReader::drain(std::vector<std::string> &out)
+{
+    for (;;) {
+        char chunk[4096];
+        ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+        if (n > 0) {
+            buf_.append(chunk, static_cast<std::size_t>(n));
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+            split(out);
+            return true;
+        }
+        // EOF or hard error: hand over whatever is complete; a torn
+        // trailing fragment (the peer died mid-write) is dropped.
+        split(out);
+        return false;
+    }
+}
+
+} // namespace sst::svc

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Minimal Unix-domain stream plumbing for the experiment service:
+ * listen/connect helpers plus a buffered line reader that works in
+ * both blocking (worker) and non-blocking (broker poll loop) mode.
+ *
+ * The service is strictly local — broker and workers share a
+ * filesystem (artifacts, checkpoints) by design — so a Unix socket is
+ * the whole transport. Note the sun_path limit (~107 bytes): callers
+ * should keep socket paths short, e.g. under /tmp.
+ */
+
+#ifndef SSTSIM_SVC_CHANNEL_HH
+#define SSTSIM_SVC_CHANNEL_HH
+
+#include <string>
+#include <vector>
+
+#include "common/result.hh"
+
+namespace sst::svc
+{
+
+/** Create, bind and listen on a Unix stream socket at @p path; any
+ *  stale socket file is removed first. @return the listening fd. */
+Result<int> listenUnix(const std::string &path);
+
+/** Connect to the broker's socket. @return the connected fd. */
+Result<int> connectUnix(const std::string &path);
+
+/** Set O_NONBLOCK on @p fd (broker side of accepted connections). */
+Result<void> setNonBlocking(int fd);
+
+/** Write @p line plus a trailing newline, restarting on EINTR and
+ *  partial writes. Blocks (briefly) even on non-blocking fds. */
+Result<void> sendLine(int fd, const std::string &line);
+
+/**
+ * Per-connection receive buffer that reassembles newline-delimited
+ * messages across arbitrary read() boundaries.
+ */
+class LineReader
+{
+  public:
+    explicit LineReader(int fd) : fd_(fd) {}
+
+    /**
+     * Blocking: read until one full line is available and return it
+     * (newline stripped). Errors on EOF — in this protocol the peer
+     * never half-closes mid-conversation.
+     */
+    Result<std::string> readLine();
+
+    /**
+     * Non-blocking: drain everything currently readable, appending
+     * complete lines to @p out. @return false once the peer has hung
+     * up (EOF or hard error) and the final buffered lines are drained.
+     */
+    bool drain(std::vector<std::string> &out);
+
+  private:
+    /** Pop complete lines off the front of buf_ into @p out. */
+    void split(std::vector<std::string> &out);
+
+    int fd_;
+    std::string buf_;
+};
+
+} // namespace sst::svc
+
+#endif // SSTSIM_SVC_CHANNEL_HH

@@ -1,0 +1,156 @@
+#include "svc/proto.hh"
+
+#include <cstdio>
+
+#include "common/stats.hh"
+#include "exp/json.hh"
+#include "snap/snap.hh"
+
+namespace sst::svc
+{
+
+namespace
+{
+
+std::string
+quoted(const std::string &s)
+{
+    return '"' + jsonEscape(s) + '"';
+}
+
+} // namespace
+
+std::string
+manifestHash(const std::string &text)
+{
+    snap::Hasher h;
+    h.mix(text.data(), text.size());
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(h.value()));
+    return buf;
+}
+
+std::string
+helloLine(const std::string &worker, std::int64_t pid)
+{
+    return "{\"type\":\"hello\",\"worker\":" + quoted(worker)
+           + ",\"pid\":" + std::to_string(pid) + "}";
+}
+
+std::string
+leaseReqLine()
+{
+    return "{\"type\":\"lease_req\"}";
+}
+
+std::string
+heartbeatLine(std::size_t job, std::uint64_t cycle)
+{
+    return "{\"type\":\"heartbeat\",\"job\":" + std::to_string(job)
+           + ",\"cycle\":" + std::to_string(cycle) + "}";
+}
+
+std::string
+resultLine(std::size_t job, const std::string &record)
+{
+    return "{\"type\":\"result\",\"job\":" + std::to_string(job)
+           + ",\"record\":" + quoted(record) + "}";
+}
+
+std::string
+failLine(std::size_t job, const std::string &error)
+{
+    return "{\"type\":\"fail\",\"job\":" + std::to_string(job)
+           + ",\"error\":" + quoted(error) + "}";
+}
+
+std::string
+goodbyeLine()
+{
+    return "{\"type\":\"goodbye\"}";
+}
+
+std::string
+welcomeLine(const std::string &manifest, const std::string &artifactDir,
+            std::uint64_t snapEvery, bool resume)
+{
+    return "{\"type\":\"welcome\",\"manifest\":" + quoted(manifest)
+           + ",\"manifest_hash\":" + quoted(manifestHash(manifest))
+           + ",\"artifact_dir\":" + quoted(artifactDir)
+           + ",\"snap_every\":" + std::to_string(snapEvery)
+           + ",\"resume\":" + (resume ? "true" : "false") + "}";
+}
+
+std::string
+leaseLine(std::size_t job, unsigned attempt)
+{
+    return "{\"type\":\"lease\",\"job\":" + std::to_string(job)
+           + ",\"attempt\":" + std::to_string(attempt) + "}";
+}
+
+std::string
+waitLine(std::uint64_t ms)
+{
+    return "{\"type\":\"wait\",\"ms\":" + std::to_string(ms) + "}";
+}
+
+std::string
+doneLine()
+{
+    return "{\"type\":\"done\"}";
+}
+
+std::string
+errorLine(const std::string &message)
+{
+    return "{\"type\":\"error\",\"message\":" + quoted(message) + "}";
+}
+
+Result<Message>
+parseMessage(const std::string &line)
+{
+    auto parsed = exp::Json::parse(line);
+    if (!parsed.ok())
+        return Error{"svc message: " + parsed.error().message};
+    const exp::Json &j = parsed.value();
+    if (!j.isObject())
+        return Error{"svc message: not a JSON object"};
+
+    auto str = [&](const char *key) -> std::string {
+        const exp::Json *v = j.find(key);
+        return v && v->kind() == exp::Json::Kind::String
+                   ? v->asString()
+                   : std::string();
+    };
+    auto num = [&](const char *key) -> double {
+        const exp::Json *v = j.find(key);
+        return v && v->kind() == exp::Json::Kind::Number ? v->asNumber()
+                                                         : 0.0;
+    };
+    auto boolean = [&](const char *key) {
+        const exp::Json *v = j.find(key);
+        return v && v->kind() == exp::Json::Kind::Bool && v->asBool();
+    };
+
+    Message m;
+    m.type = str("type");
+    if (m.type.empty())
+        return Error{"svc message: missing \"type\""};
+    m.worker = str("worker");
+    m.pid = static_cast<std::int64_t>(num("pid"));
+    m.job = static_cast<std::size_t>(num("job"));
+    m.attempt = static_cast<unsigned>(num("attempt"));
+    m.cycle = static_cast<std::uint64_t>(num("cycle"));
+    m.waitMs = static_cast<std::uint64_t>(num("ms"));
+    m.record = str("record");
+    m.error = m.type == "error" ? str("message") : str("error");
+    m.manifest = str("manifest");
+    m.manifestHash = str("manifest_hash");
+    m.artifactDir = str("artifact_dir");
+    m.snapEvery = static_cast<std::uint64_t>(num("snap_every"));
+    m.resume = boolean("resume");
+    return m;
+}
+
+} // namespace sst::svc

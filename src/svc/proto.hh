@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Wire protocol of the experiment service: newline-delimited JSON
+ * objects over a local stream socket.
+ *
+ * One message per line, one JSON object per message, every message
+ * carrying a "type" discriminator. Worker-originated types:
+ *
+ *   hello      {worker, pid}            first message after connect
+ *   lease_req  {}                       ask for work
+ *   heartbeat  {job, cycle}             lease keep-alive with progress
+ *   result     {job, record}            finished record (verbatim text)
+ *   fail       {job, error}             attempt failed, worker survives
+ *   goodbye    {}                       clean disconnect
+ *
+ * Broker-originated types:
+ *
+ *   welcome    {manifest, manifest_hash, artifact_dir, snap_every,
+ *               resume}                 reply to hello
+ *   lease      {job, attempt}           work granted
+ *   wait       {ms}                     nothing leasable yet; ask again
+ *   done       {}                       sweep complete, worker may exit
+ *   error      {message}                protocol violation; broker will
+ *                                       drop the connection
+ *
+ * The job record travels as an escaped JSON *string*, not as an
+ * embedded object: the broker must store the exact bytes the worker's
+ * runJob produced, because the aggregate sweep JSON is byte-compared
+ * against sequential runs. Re-serialising through a parser would be a
+ * second source of truth for number formatting. The manifest text in
+ * welcome travels the same way, paired with an FNV-1a 64 hash (hex
+ * string — JSON numbers are doubles and cannot carry 64 bits) that the
+ * worker recomputes to prove both sides expanded the same matrix.
+ */
+
+#ifndef SSTSIM_SVC_PROTO_HH
+#define SSTSIM_SVC_PROTO_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.hh"
+
+namespace sst::svc
+{
+
+/** Union of all message fields; `type` says which are meaningful. */
+struct Message
+{
+    std::string type;
+    std::string worker;       ///< hello
+    std::int64_t pid = 0;     ///< hello
+    std::size_t job = 0;      ///< lease / heartbeat / result / fail
+    unsigned attempt = 0;     ///< lease
+    std::uint64_t cycle = 0;  ///< heartbeat
+    std::uint64_t waitMs = 0; ///< wait
+    std::string record;       ///< result (verbatim record bytes)
+    std::string error;        ///< fail / error
+    std::string manifest;     ///< welcome (verbatim manifest text)
+    std::string manifestHash; ///< welcome (FNV-1a 64, hex)
+    std::string artifactDir;  ///< welcome
+    std::uint64_t snapEvery = 0; ///< welcome
+    bool resume = false;         ///< welcome
+};
+
+/** FNV-1a 64 of @p text as a 16-digit hex string. */
+std::string manifestHash(const std::string &text);
+
+std::string helloLine(const std::string &worker, std::int64_t pid);
+std::string leaseReqLine();
+std::string heartbeatLine(std::size_t job, std::uint64_t cycle);
+std::string resultLine(std::size_t job, const std::string &record);
+std::string failLine(std::size_t job, const std::string &error);
+std::string goodbyeLine();
+
+std::string welcomeLine(const std::string &manifest,
+                        const std::string &artifactDir,
+                        std::uint64_t snapEvery, bool resume);
+std::string leaseLine(std::size_t job, unsigned attempt);
+std::string waitLine(std::uint64_t ms);
+std::string doneLine();
+std::string errorLine(const std::string &message);
+
+/** Parse one message line (without trailing newline). */
+Result<Message> parseMessage(const std::string &line);
+
+} // namespace sst::svc
+
+#endif // SSTSIM_SVC_PROTO_HH

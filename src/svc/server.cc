@@ -1,0 +1,386 @@
+#include "svc/server.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "common/logging.hh"
+#include "exp/runner.hh"
+#include "svc/channel.hh"
+#include "svc/proto.hh"
+
+namespace sst::svc
+{
+
+namespace
+{
+
+std::uint64_t
+steadyMs()
+{
+    using namespace std::chrono;
+    return static_cast<std::uint64_t>(
+        duration_cast<milliseconds>(
+            steady_clock::now().time_since_epoch())
+            .count());
+}
+
+/** One accepted worker connection. */
+struct Conn
+{
+    int fd = -1;
+    std::unique_ptr<LineReader> reader;
+    int workerId = -1; ///< broker id once hello arrives
+    std::string name;
+    bool saidGoodbye = false;
+};
+
+/** One spawned (supervised) worker process slot. */
+struct Spawned
+{
+    pid_t pid = -1;
+    unsigned slot = 0; ///< stable log-file suffix across respawns
+};
+
+/**
+ * Fork+exec one worker against @p options, with stderr appended to
+ * "<artifactDir>/worker-<slot>.log". @return the child pid, -1 on
+ * failure.
+ */
+pid_t
+spawnWorker(const ServeOptions &options, unsigned slot)
+{
+    std::string exe = options.exePath.empty() ? "/proc/self/exe"
+                                              : options.exePath;
+    std::string logPath = options.artifactDir + "/worker-"
+                          + std::to_string(slot) + ".log";
+    std::string name = "w" + std::to_string(slot);
+
+    std::vector<std::string> args = {exe,
+                                     "work",
+                                     "--socket",
+                                     options.socketPath,
+                                     "--name",
+                                     name};
+    for (const auto &extra : options.workerArgs)
+        args.push_back(extra);
+
+    pid_t pid = ::fork();
+    if (pid != 0)
+        return pid;
+
+    // Child. Route diagnostics to the per-slot log (append: respawns
+    // continue the same file; both streams — inform() uses stdout),
+    // then become the worker.
+    int logFd = ::open(logPath.c_str(),
+                       O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (logFd >= 0) {
+        ::dup2(logFd, 1);
+        ::dup2(logFd, 2);
+        ::close(logFd);
+    }
+    std::vector<char *> argv;
+    for (auto &a : args)
+        argv.push_back(a.data());
+    argv.push_back(nullptr);
+    ::execv(exe.c_str(), argv.data());
+    std::fprintf(stderr, "exec '%s' failed: %s\n", exe.c_str(),
+                 std::strerror(errno));
+    ::_exit(127);
+}
+
+void
+printScoreboard(const Scoreboard &b)
+{
+    std::printf("service scoreboard: %zu jobs | %zu resumed | "
+                "%zu completed | %zu retries | %zu timeouts | "
+                "%zu worker deaths | %zu quarantined\n",
+                b.total, b.resumed, b.completed, b.retries, b.timeouts,
+                b.workerDeaths, b.quarantined);
+}
+
+} // namespace
+
+int
+serveSweep(const exp::SweepSpec &spec, const std::string &manifestText,
+           const ServeOptions &options)
+{
+    std::signal(SIGPIPE, SIG_IGN);
+
+    if (options.artifactDir.empty()) {
+        warn("serve: an artifact directory is required");
+        return exit_code::usage;
+    }
+    std::error_code ec;
+    std::filesystem::create_directories(options.artifactDir, ec);
+    if (ec) {
+        warn("serve: cannot create artifact directory '%s': %s",
+             options.artifactDir.c_str(), ec.message().c_str());
+        return exit_code::badInput;
+    }
+
+    const std::vector<exp::JobSpec> jobs = spec.expand();
+    exp::ResultSink sink(jobs.size());
+    std::vector<char> done(jobs.size(), 0);
+    if (options.resume)
+        exp::loadFinishedRecords(jobs, options.artifactDir, sink, done);
+
+    Broker broker(jobs, options.broker, sink, done);
+
+    auto listening = listenUnix(options.socketPath);
+    if (!listening.ok()) {
+        warn("serve: %s", listening.error().message.c_str());
+        return exit_code::svcFailure;
+    }
+    int listenFd = listening.value();
+
+    std::vector<Spawned> children;
+    // Respawn budget: enough that every job could burn its full
+    // attempt budget on a fresh process, but still bounded so a
+    // pathological crash loop terminates.
+    std::size_t respawnsLeft =
+        options.spawnWorkers
+            ? options.spawnWorkers
+                  + jobs.size() * options.broker.maxAttempts
+            : 0;
+    for (unsigned slot = 0; slot < options.spawnWorkers; ++slot) {
+        if (respawnsLeft)
+            --respawnsLeft;
+        pid_t pid = spawnWorker(options, slot);
+        if (pid < 0) {
+            warn("serve: fork failed: %s", std::strerror(errno));
+            continue;
+        }
+        children.push_back({pid, slot});
+    }
+
+    std::vector<Conn> conns;
+    auto closeConn = [&](Conn &conn, std::uint64_t nowMs) {
+        if (conn.workerId >= 0 && !conn.saidGoodbye)
+            broker.workerLeft(conn.workerId, nowMs);
+        ::close(conn.fd);
+        conn.fd = -1;
+    };
+
+    bool infraFailed = false;
+    std::uint64_t finishedAtMs = 0;
+    // Grace window for workers to observe "done" and disconnect once
+    // the sweep completes before the server force-closes them.
+    const std::uint64_t graceMs = 5000;
+
+    for (;;) {
+        std::uint64_t now = steadyMs();
+        broker.checkTimeouts(now);
+
+        if (broker.finished() && !finishedAtMs)
+            finishedAtMs = now;
+        if (finishedAtMs
+            && (conns.empty() || now - finishedAtMs > graceMs))
+            break;
+
+        // Reap exited children; respawn while there is still work.
+        for (auto &child : children) {
+            if (child.pid < 0)
+                continue;
+            int status = 0;
+            pid_t r = ::waitpid(child.pid, &status, WNOHANG);
+            if (r != child.pid)
+                continue;
+            child.pid = -1;
+            if (WIFSIGNALED(status))
+                inform("serve: worker slot %u killed by signal %d",
+                       child.slot, WTERMSIG(status));
+            if (!broker.finished() && respawnsLeft) {
+                --respawnsLeft;
+                pid_t pid = spawnWorker(options, child.slot);
+                if (pid > 0) {
+                    inform("serve: respawned worker slot %u",
+                           child.slot);
+                    child.pid = pid;
+                }
+            }
+        }
+
+        // A spawned-pool sweep with no live workers, no external
+        // connections and no respawn budget left can never finish:
+        // surface that instead of wedging.
+        if (!broker.finished() && options.spawnWorkers
+            && conns.empty() && !respawnsLeft
+            && std::all_of(children.begin(), children.end(),
+                           [](const Spawned &c) { return c.pid < 0; })) {
+            warn("serve: worker pool exhausted with work remaining");
+            infraFailed = true;
+            break;
+        }
+
+        std::vector<pollfd> fds;
+        fds.push_back({listenFd, POLLIN, 0});
+        const std::size_t polled = conns.size();
+        for (const Conn &conn : conns)
+            fds.push_back({conn.fd, POLLIN, 0});
+
+        std::uint64_t deadline = broker.nextDeadline(now);
+        int timeout = 200;
+        if (deadline > now)
+            timeout = static_cast<int>(
+                std::min<std::uint64_t>(deadline - now, 200));
+        int ready = ::poll(fds.data(), fds.size(), timeout);
+        if (ready < 0 && errno != EINTR) {
+            warn("serve: poll: %s", std::strerror(errno));
+            infraFailed = true;
+            break;
+        }
+        now = steadyMs();
+
+        if (fds[0].revents & POLLIN) {
+            int fd = ::accept(listenFd, nullptr, nullptr);
+            if (fd >= 0) {
+                if (auto nb = setNonBlocking(fd); !nb.ok()) {
+                    warn("serve: %s", nb.error().message.c_str());
+                    ::close(fd);
+                } else {
+                    Conn conn;
+                    conn.fd = fd;
+                    conn.reader = std::make_unique<LineReader>(fd);
+                    conns.push_back(std::move(conn));
+                }
+            }
+        }
+
+        // `polled` caps the scan: a connection accepted above has no
+        // pollfd entry this round.
+        for (std::size_t c = 0; c < polled; ++c) {
+            Conn &conn = conns[c];
+            if (!(fds[c + 1].revents & (POLLIN | POLLHUP | POLLERR)))
+                continue;
+            std::vector<std::string> lines;
+            bool open = conn.reader->drain(lines);
+            for (const std::string &line : lines) {
+                auto pm = parseMessage(line);
+                if (!pm.ok()) {
+                    warn("serve: dropping connection: %s",
+                         pm.error().message.c_str());
+                    (void)sendLine(conn.fd,
+                                   errorLine(pm.error().message));
+                    open = false;
+                    break;
+                }
+                const Message m = pm.take();
+                if (m.type == "hello") {
+                    conn.workerId = broker.workerJoined(
+                        m.worker.empty() ? "anonymous" : m.worker, now);
+                    conn.name = m.worker;
+                    if (!options.quiet)
+                        inform("serve: worker '%s' joined (pid %lld)",
+                               conn.name.c_str(),
+                               static_cast<long long>(m.pid));
+                    (void)sendLine(
+                        conn.fd,
+                        welcomeLine(manifestText, options.artifactDir,
+                                    options.snapEvery, true));
+                } else if (conn.workerId < 0) {
+                    (void)sendLine(conn.fd,
+                                   errorLine("hello required first"));
+                    open = false;
+                    break;
+                } else if (m.type == "lease_req") {
+                    auto d = broker.lease(conn.workerId, now);
+                    std::string reply =
+                        d.kind == Broker::LeaseDecision::Kind::Grant
+                            ? leaseLine(d.job, d.attempt)
+                        : d.kind == Broker::LeaseDecision::Kind::Finished
+                            ? doneLine()
+                            : waitLine(d.waitMs);
+                    (void)sendLine(conn.fd, reply);
+                } else if (m.type == "heartbeat") {
+                    broker.heartbeat(conn.workerId, m.job, now);
+                } else if (m.type == "result") {
+                    broker.result(conn.workerId, m.job, m.record, now);
+                } else if (m.type == "fail") {
+                    broker.fail(conn.workerId, m.job, m.error, now);
+                } else if (m.type == "goodbye") {
+                    conn.saidGoodbye = true;
+                } else {
+                    (void)sendLine(conn.fd,
+                                   errorLine("unknown message type '"
+                                             + m.type + "'"));
+                }
+            }
+            if (!open)
+                closeConn(conn, now);
+        }
+        conns.erase(std::remove_if(conns.begin(), conns.end(),
+                                   [](const Conn &conn) {
+                                       return conn.fd < 0;
+                                   }),
+                    conns.end());
+    }
+
+    std::uint64_t now = steadyMs();
+    for (Conn &conn : conns)
+        closeConn(conn, now);
+    ::close(listenFd);
+    ::unlink(options.socketPath.c_str());
+
+    // Give exiting children a moment, then make sure none outlive us.
+    for (auto &child : children) {
+        if (child.pid < 0)
+            continue;
+        int status = 0;
+        for (int i = 0; i < 50; ++i) {
+            if (::waitpid(child.pid, &status, WNOHANG) == child.pid) {
+                child.pid = -1;
+                break;
+            }
+            ::usleep(20'000);
+        }
+        if (child.pid >= 0) {
+            ::kill(child.pid, SIGKILL);
+            ::waitpid(child.pid, &status, 0);
+        }
+    }
+
+    // Jobs that never completed (pool exhausted / early abort) still
+    // get a record so the aggregate output names every job.
+    if (infraFailed)
+        for (std::size_t i = 0; i < jobs.size(); ++i)
+            if (!sink.has(i))
+                sink.tryRecord(exp::unrunOutcome(
+                    jobs[i], "experiment service aborted before this "
+                             "job could run"));
+
+    if (!options.jsonPath.empty()) {
+        std::ofstream out(options.jsonPath);
+        if (!out) {
+            warn("serve: cannot write '%s'", options.jsonPath.c_str());
+            return exit_code::badInput;
+        }
+        out << exp::sweepJson(spec, sink);
+        if (!options.quiet)
+            std::printf("wrote %s (%zu records)\n",
+                        options.jsonPath.c_str(),
+                        sink.outcomes().size());
+    }
+
+    if (!options.quiet) {
+        printScoreboard(broker.scoreboard());
+        exp::aggregateTable(spec, sink).print();
+        if (!spec.baseline.empty())
+            exp::baselineTable(spec, sink).print();
+    }
+
+    return infraFailed ? exit_code::svcFailure : broker.exitCode();
+}
+
+} // namespace sst::svc

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The broker's socket shell: accept loop, worker process management,
+ * and the final scoreboard.
+ *
+ * serveSweep() wraps the pure Broker state machine (broker.hh) in a
+ * poll()-driven Unix-socket server. It can run broker-only (workers
+ * join externally via `sstsim work`) or spawn-and-supervise its own
+ * worker pool (`sstsim sweep --distributed N`): spawned workers get
+ * their stderr redirected to "<artifactDir>/worker-<slot>.log", are
+ * reaped on exit, and are respawned — within a bounded budget — while
+ * the sweep still has work, so a SIGKILLed worker costs one lease
+ * retry, not the sweep.
+ *
+ * Crash-safety contract: every record is written to the artifact
+ * directory by the worker that produced it (atomically, fsynced)
+ * *before* it is reported over the socket, and in-flight jobs leave
+ * periodic checkpoints. Killing any worker — or the whole service —
+ * at any point therefore loses at most the work since the last
+ * checkpoint, and a re-run with --resume (or a re-leased job) picks
+ * up exactly where the artifacts say it stopped, producing
+ * byte-identical aggregate output.
+ */
+
+#ifndef SSTSIM_SVC_SERVER_HH
+#define SSTSIM_SVC_SERVER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exp/sweep.hh"
+#include "svc/broker.hh"
+
+namespace sst::svc
+{
+
+/** Configuration of one serveSweep() invocation. */
+struct ServeOptions
+{
+    std::string socketPath;
+    /** Artifact directory (records, checkpoints, worker logs);
+     *  required — the service is pointless without shared artifacts. */
+    std::string artifactDir;
+    std::uint64_t snapEvery = 0;
+    /** Scan artifactDir for finished records before leasing. */
+    bool resume = true;
+    /** Worker processes to spawn and supervise (0 = external only). */
+    unsigned spawnWorkers = 0;
+    /** argv[0] to exec for spawned workers ("" = /proc/self/exe). */
+    std::string exePath;
+    /** Extra CLI args appended to every spawned worker's `work`
+     *  command line (chaos flags in tests). */
+    std::vector<std::string> workerArgs;
+    /** Aggregate JSON output path ("" = none). */
+    std::string jsonPath;
+    bool quiet = false;
+    BrokerOptions broker;
+};
+
+/**
+ * Serve @p spec (whose manifest text is @p manifestText, shipped
+ * verbatim to workers) until every job is Done or Quarantined.
+ * @return the sweep exit code (quarantine folds in as
+ * exit_code::quarantine, service infrastructure loss as svcFailure).
+ */
+int serveSweep(const exp::SweepSpec &spec,
+               const std::string &manifestText,
+               const ServeOptions &options);
+
+} // namespace sst::svc
+
+#endif // SSTSIM_SVC_SERVER_HH

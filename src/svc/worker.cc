@@ -1,0 +1,227 @@
+#include "svc/worker.hh"
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include <unistd.h>
+
+#include "common/logging.hh"
+#include "common/result.hh"
+#include "exp/runner.hh"
+#include "exp/sweep.hh"
+#include "fault/chaos.hh"
+#include "svc/broker.hh"
+#include "svc/channel.hh"
+#include "svc/proto.hh"
+
+namespace sst::svc
+{
+
+namespace
+{
+
+std::uint64_t
+steadyMs()
+{
+    using namespace std::chrono;
+    return static_cast<std::uint64_t>(
+        duration_cast<milliseconds>(
+            steady_clock::now().time_since_epoch())
+            .count());
+}
+
+/**
+ * Run one leased job while heartbeating the broker. The simulation
+ * runs on its own thread; the calling thread is the only socket
+ * writer, sending a heartbeat every @p hbMs until the job finishes
+ * (or the chaos monitor mutes us to simulate a hung worker).
+ */
+Result<void>
+runLeased(int sock, const exp::SweepSpec &spec,
+          const exp::JobSpec &job, const exp::SweepRunOptions &runOpts,
+          ChaosMonitor &chaos, std::uint64_t hbMs)
+{
+    std::atomic<bool> running{true};
+    exp::JobOutcome out;
+    std::thread sim([&] {
+        out = exp::runJob(spec, job, runOpts);
+        running.store(false, std::memory_order_release);
+    });
+
+    std::uint64_t lastBeat = steadyMs();
+    Result<void> sent;
+    while (running.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        std::uint64_t now = steadyMs();
+        if (now - lastBeat < hbMs)
+            continue;
+        lastBeat = now;
+        if (chaos.muted())
+            continue;
+        sent = sendLine(sock,
+                        heartbeatLine(job.index, chaos.lastObserved()));
+        if (!sent.ok())
+            break; // broker gone; finish the job, fail on result send
+    }
+    sim.join();
+    return sendLine(sock, resultLine(job.index, out.recordJson));
+}
+
+} // namespace
+
+int
+runWorker(const WorkerOptions &options)
+{
+    std::signal(SIGPIPE, SIG_IGN);
+
+    auto connected = connectUnix(options.socketPath);
+    if (!connected.ok()) {
+        warn("worker: %s", connected.error().message.c_str());
+        return exit_code::svcFailure;
+    }
+    int sock = connected.value();
+    LineReader reader(sock);
+    std::string name = options.name.empty()
+                           ? "w" + std::to_string(::getpid())
+                           : options.name;
+
+    auto fatalSocket = [&](const Error &e) {
+        warn("worker %s: %s", name.c_str(), e.message.c_str());
+        ::close(sock);
+        return exit_code::svcFailure;
+    };
+
+    if (auto s = sendLine(sock, helloLine(name, ::getpid())); !s.ok())
+        return fatalSocket(s.error());
+    auto line = reader.readLine();
+    if (!line.ok())
+        return fatalSocket(line.error());
+    auto msg = parseMessage(line.value());
+    if (!msg.ok())
+        return fatalSocket(msg.error());
+    const Message welcome = msg.take();
+    if (welcome.type != "welcome") {
+        warn("worker %s: broker said '%s' instead of welcome: %s",
+             name.c_str(), welcome.type.c_str(),
+             welcome.error.c_str());
+        ::close(sock);
+        return exit_code::svcFailure;
+    }
+
+    // Identity check: both sides must expand the identical matrix, or
+    // leased indices would name different jobs on each end.
+    if (manifestHash(welcome.manifest) != welcome.manifestHash) {
+        warn("worker %s: manifest hash mismatch (got %s, computed %s)",
+             name.c_str(), welcome.manifestHash.c_str(),
+             manifestHash(welcome.manifest).c_str());
+        ::close(sock);
+        return exit_code::badInput;
+    }
+    auto parsedSpec = exp::SweepSpec::parse(welcome.manifest,
+                                            "broker manifest");
+    if (!parsedSpec.ok()) {
+        warn("worker %s: %s", name.c_str(),
+             parsedSpec.error().message.c_str());
+        ::close(sock);
+        return exit_code::badInput;
+    }
+    const exp::SweepSpec spec = parsedSpec.take();
+    const std::vector<exp::JobSpec> jobs = spec.expand();
+
+    ChaosMonitor chaos;
+    exp::SweepRunOptions runOpts;
+    runOpts.jobs = 1;
+    runOpts.artifactDir = welcome.artifactDir;
+    runOpts.snapEvery = welcome.snapEvery;
+    // Always resume: a re-leased job picks up the checkpoint its
+    // previous worker left behind instead of restarting from cycle 0.
+    runOpts.resume = true;
+    runOpts.chaos = &chaos;
+    std::uint64_t hbMs = options.heartbeatMs
+                             ? options.heartbeatMs
+                             : BrokerOptions{}.leaseTimeoutMs / 3;
+
+    inform("worker %s: connected to %s (%zu jobs in matrix)",
+           name.c_str(), options.socketPath.c_str(), jobs.size());
+
+    for (;;) {
+        if (auto s = sendLine(sock, leaseReqLine()); !s.ok())
+            return fatalSocket(s.error());
+        auto reply = reader.readLine();
+        if (!reply.ok())
+            return fatalSocket(reply.error());
+        auto pm = parseMessage(reply.value());
+        if (!pm.ok())
+            return fatalSocket(pm.error());
+        const Message m = pm.take();
+
+        if (m.type == "done") {
+            (void)sendLine(sock, goodbyeLine());
+            ::close(sock);
+            inform("worker %s: sweep done", name.c_str());
+            return exit_code::ok;
+        }
+        if (m.type == "wait") {
+            std::this_thread::sleep_for(std::chrono::milliseconds(
+                std::min<std::uint64_t>(m.waitMs ? m.waitMs : 50,
+                                        2000)));
+            continue;
+        }
+        if (m.type == "error") {
+            warn("worker %s: broker error: %s", name.c_str(),
+                 m.error.c_str());
+            ::close(sock);
+            return exit_code::svcFailure;
+        }
+        if (m.type != "lease" || m.job >= jobs.size()) {
+            warn("worker %s: unexpected broker message '%s'",
+                 name.c_str(), m.type.c_str());
+            ::close(sock);
+            return exit_code::svcFailure;
+        }
+
+        const exp::JobSpec &job = jobs[m.job];
+        inform("worker %s: leased job #%zu (%s/%s) attempt %u",
+               name.c_str(), job.index, job.preset.c_str(),
+               job.workload.c_str(), m.attempt);
+
+        // A previous holder may have finished the record but died
+        // before reporting it; reuse it rather than recompute.
+        if (!runOpts.artifactDir.empty()) {
+            std::ifstream in(
+                exp::jobRecordPath(runOpts.artifactDir, job.index));
+            if (in) {
+                std::stringstream ss;
+                ss << in.rdbuf();
+                exp::JobOutcome prior;
+                if (exp::outcomeFromRecord(job, ss.str(), prior)) {
+                    if (auto s = sendLine(sock,
+                                          resultLine(job.index,
+                                                     prior.recordJson));
+                        !s.ok())
+                        return fatalSocket(s.error());
+                    continue;
+                }
+            }
+        }
+
+        chaos.reset();
+        if (options.chaosKillCycle
+            && m.attempt == options.chaosKillAttempt)
+            chaos.scheduleExit(options.chaosKillCycle, SIGKILL);
+        if (options.chaosStallCycle
+            && m.attempt == options.chaosStallAttempt)
+            chaos.scheduleStall(options.chaosStallCycle,
+                                options.chaosStallMs);
+
+        if (auto s = runLeased(sock, spec, job, runOpts, chaos, hbMs);
+            !s.ok())
+            return fatalSocket(s.error());
+    }
+}
+
+} // namespace sst::svc

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The sweep worker: connects to a broker, leases jobs, runs them and
+ * streams results + heartbeats back.
+ *
+ * A worker owns no sweep state of its own — the manifest text arrives
+ * in the broker's welcome message and the worker expands it locally,
+ * proving agreement via the FNV hash in the welcome. That makes
+ * workers stateless and freely joinable mid-sweep: `sstsim work
+ * --socket S` against a running broker is always safe.
+ *
+ * Each leased job runs on a detached simulation thread while the main
+ * thread heartbeats the broker; the ChaosMonitor attached to the job's
+ * machine supplies the heartbeat's progress cycle and fires any
+ * scheduled chaos (CLI-driven kill/stall for tests, config-carried
+ * poison cycles) at its deterministic simulated cycle.
+ */
+
+#ifndef SSTSIM_SVC_WORKER_HH
+#define SSTSIM_SVC_WORKER_HH
+
+#include <cstdint>
+#include <string>
+
+namespace sst::svc
+{
+
+/** Worker configuration (CLI-shaped). */
+struct WorkerOptions
+{
+    std::string socketPath;
+    /** Name reported to the broker ("" derives one from the pid). */
+    std::string name;
+    /** Test chaos: kill this process (SIGKILL) at this simulated
+     *  cycle of a leased job (0 = off)... */
+    std::uint64_t chaosKillCycle = 0;
+    /** ...but only when running the job's Nth lease attempt. With the
+     *  default of 1 a respawned/other worker's retry (attempt 2) runs
+     *  clean, so a single flag models "die once, then recover". */
+    unsigned chaosKillAttempt = 1;
+    /** Test chaos: stall (mute heartbeats + sleep chaosStallMs) at
+     *  this simulated cycle, forcing a lease timeout (0 = off). */
+    std::uint64_t chaosStallCycle = 0;
+    unsigned chaosStallMs = 0;
+    unsigned chaosStallAttempt = 1;
+    /** Heartbeat period; 0 derives it from the broker lease timeout
+     *  default (a third of it). */
+    std::uint64_t heartbeatMs = 0;
+};
+
+/**
+ * Run the worker loop until the broker reports the sweep done (exit
+ * ok), the socket dies (svcFailure), or the welcome fails validation
+ * (badInput). This is the whole body of `sstsim work`.
+ */
+int runWorker(const WorkerOptions &options);
+
+} // namespace sst::svc
+
+#endif // SSTSIM_SVC_WORKER_HH

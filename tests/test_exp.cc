@@ -9,7 +9,11 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <atomic>
+#include <filesystem>
+#include <fstream>
 #include <set>
 #include <thread>
 
@@ -392,4 +396,131 @@ TEST(SweepRunner, BadConfigValueFailsTheJobNotTheProcess)
     auto parsed = Json::parse(out.recordJson);
     ASSERT_TRUE(parsed.ok()) << parsed.error().message;
     EXPECT_FALSE(parsed.value()["ran"].asBool());
+}
+
+namespace
+{
+
+/** Fresh artifact directory under the test temp root. */
+std::string
+artifactDir(const std::string &stem)
+{
+    std::string dir = ::testing::TempDir() + "sstsim_" + stem + "_"
+                      + std::to_string(::getpid());
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    return dir;
+}
+
+void
+writeText(const std::string &path, const std::string &text)
+{
+    std::ofstream out(path);
+    out << text;
+    ASSERT_TRUE(out.good()) << path;
+}
+
+} // namespace
+
+TEST(OutcomeFromRecord, DiagnosesEveryRejectionMode)
+{
+    SweepSpec spec = SweepSpec::parse("preset = sst2\n"
+                                      "workload = stream\n"
+                                      "sweep.repeats = 2\n",
+                                      "m")
+                         .take();
+    auto jobs = spec.expand();
+    JobOutcome out;
+    std::string why;
+
+    // Truncated mid-string: the classic torn write from a killed
+    // worker.
+    const std::string good = unrunOutcome(jobs[0], "x").recordJson;
+    EXPECT_FALSE(outcomeFromRecord(jobs[0],
+                                   good.substr(0, good.size() / 2), out,
+                                   &why));
+    EXPECT_NE(why.find("truncated or corrupt"), std::string::npos)
+        << why;
+
+    EXPECT_FALSE(outcomeFromRecord(jobs[0], "[1, 2]", out, &why));
+    EXPECT_EQ(why, "record is not a JSON object");
+
+    // A perfectly valid record — for a different job.
+    EXPECT_FALSE(outcomeFromRecord(
+        jobs[0], unrunOutcome(jobs[1], "x").recordJson, out, &why));
+    EXPECT_EQ(why, "record identity does not match the manifest");
+
+    // The good record round-trips.
+    ASSERT_TRUE(outcomeFromRecord(jobs[0], good, out, &why)) << why;
+    EXPECT_FALSE(out.ran);
+    EXPECT_EQ(out.error, "x");
+    EXPECT_EQ(out.recordJson, good);
+}
+
+TEST(SweepResume, CorruptRecordsAreRerunNotFatal)
+{
+    // A resumed sweep seeded with one truncated artifact, one garbage
+    // artifact and one valid-but-foreign artifact must quietly re-run
+    // those jobs and still produce records byte-identical to a clean
+    // run — torn writes from a crashed worker never wedge a sweep.
+    const std::string manifest = "sweep.length_scale = 0.05\n"
+                                 "preset = sst2\n"
+                                 "workload = compute_kernel\n"
+                                 "sweep.repeats = 3\n";
+    SweepSpec spec = SweepSpec::parse(manifest, "resume").take();
+    auto jobs = spec.expand();
+    ASSERT_EQ(jobs.size(), 3u);
+
+    ResultSink ref(spec.jobCount());
+    SweepRunOptions refOpt;
+    ASSERT_EQ(runSweep(spec, refOpt, ref), 0);
+
+    const std::string dir = artifactDir("resume_corrupt");
+    writeText(jobRecordPath(dir, 0),
+              ref.outcomes()[0].recordJson.substr(0, 40));
+    writeText(jobRecordPath(dir, 1), "not json at all");
+    // Job 2's slot holds job 0's (valid!) record: identity mismatch.
+    writeText(jobRecordPath(dir, 2), ref.outcomes()[0].recordJson);
+
+    std::vector<char> done(jobs.size(), 0);
+    ResultSink probe(spec.jobCount());
+    EXPECT_EQ(loadFinishedRecords(jobs, dir, probe, done), 0u);
+    EXPECT_EQ(done, std::vector<char>(jobs.size(), 0));
+
+    ResultSink sink(spec.jobCount());
+    SweepRunOptions opt;
+    opt.artifactDir = dir;
+    opt.resume = true;
+    EXPECT_EQ(runSweep(spec, opt, sink), 0);
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+        EXPECT_EQ(sink.outcomes()[i].recordJson,
+                  ref.outcomes()[i].recordJson)
+            << "record " << i;
+    std::filesystem::remove_all(dir);
+}
+
+TEST(SweepResume, ValidRecordsAreReusedWithoutRerunning)
+{
+    const std::string manifest = "sweep.length_scale = 0.05\n"
+                                 "preset = sst2\n"
+                                 "workload = compute_kernel\n"
+                                 "sweep.repeats = 2\n";
+    SweepSpec spec = SweepSpec::parse(manifest, "reuse").take();
+    auto jobs = spec.expand();
+    const std::string dir = artifactDir("resume_reuse");
+
+    ResultSink first(spec.jobCount());
+    SweepRunOptions opt;
+    opt.artifactDir = dir;
+    ASSERT_EQ(runSweep(spec, opt, first), 0);
+
+    std::vector<char> done(jobs.size(), 0);
+    ResultSink resumed(spec.jobCount());
+    EXPECT_EQ(loadFinishedRecords(jobs, dir, resumed, done),
+              jobs.size());
+    EXPECT_EQ(done, std::vector<char>(jobs.size(), 1));
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+        EXPECT_EQ(resumed.outcomes()[i].recordJson,
+                  first.outcomes()[i].recordJson);
+    std::filesystem::remove_all(dir);
 }

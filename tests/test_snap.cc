@@ -297,3 +297,91 @@ TEST(Snap, TraceBufferRoundTrip)
         EXPECT_EQ(x[i].kind, y[i].kind);
     }
 }
+
+TEST(Snap, WriteFileReportsUnwritableTargets)
+{
+    // A parent path component that is a regular file fails for any
+    // uid (ENOTDIR) — unlike permission-based setups, which evaporate
+    // when the tests run as root.
+    const std::string blocker = tmpPath("write_blocker");
+    {
+        auto wr = snap::writeFile(blocker, {1, 2, 3});
+        ASSERT_TRUE(wr.ok()) << wr.error().message;
+    }
+    auto wr = snap::writeFile(blocker + "/nested.snap", {4, 5, 6});
+    ASSERT_FALSE(wr.ok());
+    EXPECT_NE(wr.error().message.find("cannot open"), std::string::npos)
+        << wr.error().message;
+
+    // A missing parent directory fails too, and leaves nothing behind.
+    auto missing =
+        snap::writeFile(blocker + "_no_such_dir/x.snap", {7});
+    EXPECT_FALSE(missing.ok());
+    std::remove(blocker.c_str());
+}
+
+TEST(Snap, WriteFileStagesThroughPerProcessTmp)
+{
+    // The staging file is pid-suffixed so two processes writing the
+    // same checkpoint (a re-leased job's new worker racing its stalled
+    // predecessor) never rename each other's half-written files, and
+    // it must be gone once writeFile returns.
+    const std::string path = tmpPath("write_stage");
+    auto wr = snap::writeFile(path, {9, 9, 9});
+    ASSERT_TRUE(wr.ok()) << wr.error().message;
+    const std::string tmp =
+        path + ".tmp." + std::to_string(::getpid());
+    EXPECT_FALSE(snap::readFile(tmp).ok())
+        << "staging file must not survive";
+    EXPECT_TRUE(snap::readFile(path).ok());
+    std::remove(path.c_str());
+}
+
+TEST(Snap, ProbeSnapshotFileDiagnosesHeaderDamage)
+{
+    // Missing file.
+    EXPECT_FALSE(snap::probeSnapshotFile(tmpPath("probe_none")).ok());
+
+    // Too short to even hold the magic+version header: the torn-write
+    // shape a SIGKILLed worker leaves behind without atomic staging.
+    const std::string shortPath = tmpPath("probe_short");
+    ASSERT_TRUE(snap::writeFile(shortPath, {1, 2, 3}).ok());
+    auto shortProbe = snap::probeSnapshotFile(shortPath);
+    ASSERT_FALSE(shortProbe.ok());
+    EXPECT_NE(shortProbe.error().message.find("truncated"),
+              std::string::npos)
+        << shortProbe.error().message;
+    std::remove(shortPath.c_str());
+
+    // Right size, wrong magic.
+    const std::string badPath = tmpPath("probe_badmagic");
+    ASSERT_TRUE(
+        snap::writeFile(badPath, std::vector<std::uint8_t>(32, 0xee))
+            .ok());
+    auto badProbe = snap::probeSnapshotFile(badPath);
+    ASSERT_FALSE(badProbe.ok());
+    EXPECT_NE(badProbe.error().message.find("bad magic"),
+              std::string::npos)
+        << badProbe.error().message;
+    std::remove(badPath.c_str());
+
+    // Good magic, future format version.
+    snap::Writer w;
+    w.u64(snap::fileMagic);
+    w.u32(snap::formatVersion + 1);
+    const std::string versPath = tmpPath("probe_version");
+    ASSERT_TRUE(snap::writeFile(versPath, w.data()).ok());
+    auto versProbe = snap::probeSnapshotFile(versPath);
+    ASSERT_FALSE(versProbe.ok());
+    EXPECT_NE(versProbe.error().message.find("format version"),
+              std::string::npos)
+        << versProbe.error().message;
+
+    // A well-formed header passes the probe.
+    snap::Writer good;
+    good.u64(snap::fileMagic);
+    good.u32(snap::formatVersion);
+    ASSERT_TRUE(snap::writeFile(versPath, good.data()).ok());
+    EXPECT_TRUE(snap::probeSnapshotFile(versPath).ok());
+    std::remove(versPath.c_str());
+}

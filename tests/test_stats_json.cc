@@ -203,3 +203,21 @@ TEST(StatsJson, EscapedNamesStayValid)
     ASSERT_TRUE(parsed.ok()) << parsed.error().message;
     EXPECT_EQ(parsed.value()["sl\\ash"].asNumber(), 1.0);
 }
+
+TEST(JsonParse, RejectsDuplicateObjectKeys)
+{
+    // Last-wins would let a corrupted record carry two "index" (or
+    // seed) members and pass identity validation with whichever copy
+    // the parser kept; reject loudly instead.
+    auto dup = Json::parse("{\"index\": 1, \"index\": 2}");
+    ASSERT_FALSE(dup.ok());
+    EXPECT_NE(dup.error().message.find("duplicate object key 'index'"),
+              std::string::npos)
+        << dup.error().message;
+    // Nested objects are checked too, each within its own scope.
+    EXPECT_FALSE(
+        Json::parse("{\"a\": {\"k\": 1, \"k\": 2}}").ok());
+    // The same key in *different* objects is fine.
+    EXPECT_TRUE(Json::parse("{\"a\": {\"k\": 1}, \"b\": {\"k\": 2}}")
+                    .ok());
+}

@@ -1,0 +1,471 @@
+/**
+ * @file
+ * Tests for the experiment service (src/svc): the wire protocol's
+ * round-trip fidelity (records must survive transport byte-exact),
+ * the line reader's reassembly across arbitrary read boundaries, and
+ * — the bulk — the broker state machine driven with a manual clock:
+ * lease grant order, heartbeat extension, timeout reclaim with
+ * exponential backoff, quarantine after the attempt budget, worker
+ * death, late/duplicate results, and invalid-record rejection. The
+ * broker takes every timestamp as a parameter precisely so these
+ * tests never sleep.
+ */
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/logging.hh"
+#include "common/result.hh"
+#include "exp/json.hh"
+#include "exp/runner.hh"
+#include "exp/sweep.hh"
+#include "fault/chaos.hh"
+#include "svc/broker.hh"
+#include "svc/channel.hh"
+#include "svc/proto.hh"
+
+using namespace sst;
+using namespace sst::svc;
+
+// ---------------------------------------------------------------- proto
+
+TEST(SvcProto, WorkerLinesRoundTrip)
+{
+    auto hello = parseMessage(helloLine("w3", 1234));
+    ASSERT_TRUE(hello.ok()) << hello.error().message;
+    EXPECT_EQ(hello.value().type, "hello");
+    EXPECT_EQ(hello.value().worker, "w3");
+    EXPECT_EQ(hello.value().pid, 1234);
+
+    auto hb = parseMessage(heartbeatLine(7, 123456789ULL));
+    ASSERT_TRUE(hb.ok());
+    EXPECT_EQ(hb.value().type, "heartbeat");
+    EXPECT_EQ(hb.value().job, 7u);
+    EXPECT_EQ(hb.value().cycle, 123456789ULL);
+
+    auto fail = parseMessage(failLine(2, "machine said \"no\"\n"));
+    ASSERT_TRUE(fail.ok());
+    EXPECT_EQ(fail.value().job, 2u);
+    EXPECT_EQ(fail.value().error, "machine said \"no\"\n");
+
+    EXPECT_EQ(parseMessage(leaseReqLine()).value().type, "lease_req");
+    EXPECT_EQ(parseMessage(goodbyeLine()).value().type, "goodbye");
+}
+
+TEST(SvcProto, RecordSurvivesTransportByteExact)
+{
+    // The aggregate sweep JSON is byte-compared against sequential
+    // runs, so the record must cross the socket without any
+    // re-serialisation drift: embedded quotes, newlines, backslashes,
+    // non-ASCII bytes and trailing whitespace all must survive.
+    const std::string record =
+        "{\"index\": 3, \"log\": \"warn: \\\"quoted\\\"\\nline2\\t\","
+        " \"path\": \"C:\\\\tmp\", \"utf8\": \"\xc3\xa9\"}\n";
+    auto m = parseMessage(resultLine(9, record));
+    ASSERT_TRUE(m.ok()) << m.error().message;
+    EXPECT_EQ(m.value().type, "result");
+    EXPECT_EQ(m.value().job, 9u);
+    EXPECT_EQ(m.value().record, record);
+}
+
+TEST(SvcProto, WelcomeCarriesManifestAndMatchingHash)
+{
+    const std::string manifest =
+        "preset = sst2\nworkload = stream\n# comment\n";
+    auto m = parseMessage(welcomeLine(manifest, "/tmp/arts", 5000, true));
+    ASSERT_TRUE(m.ok()) << m.error().message;
+    EXPECT_EQ(m.value().type, "welcome");
+    EXPECT_EQ(m.value().manifest, manifest);
+    EXPECT_EQ(m.value().manifestHash, manifestHash(manifest));
+    EXPECT_EQ(m.value().artifactDir, "/tmp/arts");
+    EXPECT_EQ(m.value().snapEvery, 5000u);
+    EXPECT_TRUE(m.value().resume);
+    // The hash is a pure function of the text: one byte flips it.
+    EXPECT_NE(manifestHash(manifest), manifestHash(manifest + " "));
+    EXPECT_EQ(manifestHash(manifest).size(), 16u);
+}
+
+TEST(SvcProto, BrokerLinesRoundTrip)
+{
+    auto lease = parseMessage(leaseLine(11, 2));
+    ASSERT_TRUE(lease.ok());
+    EXPECT_EQ(lease.value().type, "lease");
+    EXPECT_EQ(lease.value().job, 11u);
+    EXPECT_EQ(lease.value().attempt, 2u);
+
+    auto wait = parseMessage(waitLine(750));
+    ASSERT_TRUE(wait.ok());
+    EXPECT_EQ(wait.value().waitMs, 750u);
+
+    EXPECT_EQ(parseMessage(doneLine()).value().type, "done");
+    auto err = parseMessage(errorLine("bad client"));
+    ASSERT_TRUE(err.ok());
+    EXPECT_EQ(err.value().type, "error");
+    EXPECT_EQ(err.value().error, "bad client");
+}
+
+TEST(SvcProto, RejectsGarbageAndTypelessMessages)
+{
+    EXPECT_FALSE(parseMessage("not json at all").ok());
+    EXPECT_FALSE(parseMessage("{\"job\": 1}").ok());
+    EXPECT_FALSE(parseMessage("[1, 2, 3]").ok());
+    EXPECT_FALSE(parseMessage("{\"type\": 42}").ok());
+}
+
+// -------------------------------------------------------------- channel
+
+TEST(SvcChannel, LineReaderReassemblesAcrossReadBoundaries)
+{
+    int sv[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+    LineReader reader(sv[0]);
+
+    // One blocking line split across two writes.
+    ASSERT_TRUE(::write(sv[1], "hel", 3) == 3);
+    ASSERT_TRUE(::write(sv[1], "lo\nwor", 6) == 6);
+    auto line = reader.readLine();
+    ASSERT_TRUE(line.ok()) << line.error().message;
+    EXPECT_EQ(line.value(), "hello");
+
+    // The tail of the second write plus two more lines arrive in one
+    // burst; drain (which needs the broker's non-blocking fd mode)
+    // must hand all complete lines back at once.
+    ASSERT_TRUE(setNonBlocking(sv[0]).ok());
+    ASSERT_TRUE(::write(sv[1], "ld\nlast\n", 8) == 8);
+    std::vector<std::string> lines;
+    EXPECT_TRUE(reader.drain(lines));
+    EXPECT_EQ(lines, (std::vector<std::string>{"world", "last"}));
+
+    // Peer hangup: drain reports the connection closed.
+    ::close(sv[1]);
+    lines.clear();
+    EXPECT_FALSE(reader.drain(lines));
+    EXPECT_TRUE(lines.empty());
+    ::close(sv[0]);
+}
+
+TEST(SvcChannel, SendLineAppendsNewline)
+{
+    int sv[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+    ASSERT_TRUE(sendLine(sv[0], "{\"type\": \"goodbye\"}").ok());
+    char buf[64] = {};
+    ssize_t n = ::read(sv[1], buf, sizeof(buf));
+    EXPECT_EQ(std::string(buf, static_cast<std::size_t>(n)),
+              "{\"type\": \"goodbye\"}\n");
+    ::close(sv[0]);
+    ::close(sv[1]);
+}
+
+// --------------------------------------------------------------- broker
+
+namespace
+{
+
+/** A tiny two-job matrix (one preset, two repeats). */
+std::vector<exp::JobSpec>
+twoJobs()
+{
+    auto spec = exp::SweepSpec::parse(
+                    "preset = sst2\nworkload = stream\n"
+                    "sweep.repeats = 2\n",
+                    "unit")
+                    .take();
+    return spec.expand();
+}
+
+/** A manifest-valid record for @p job (identity matches, ran=false). */
+std::string
+validRecord(const exp::JobSpec &job)
+{
+    return exp::unrunOutcome(job, "made by the test").recordJson;
+}
+
+/** Fixture wiring a broker over twoJobs() with a manual clock. */
+struct BrokerTest : ::testing::Test
+{
+    BrokerTest()
+        : jobs(twoJobs()), sink(jobs.size()), done(jobs.size(), 0)
+    {
+        options.leaseTimeoutMs = 1000;
+        options.maxAttempts = 3;
+        options.backoffBaseMs = 100;
+        options.backoffFactor = 2.0;
+        options.backoffMaxMs = 8000;
+    }
+
+    Broker &broker()
+    {
+        if (!broker_)
+            broker_ = std::make_unique<Broker>(jobs, options, sink,
+                                               done);
+        return *broker_;
+    }
+
+    std::vector<exp::JobSpec> jobs;
+    BrokerOptions options;
+    exp::ResultSink sink;
+    std::vector<char> done;
+    std::unique_ptr<Broker> broker_;
+};
+
+} // namespace
+
+TEST_F(BrokerTest, LeasesLowestPendingIndexFirstThenWaits)
+{
+    Broker &b = broker();
+    int w0 = b.workerJoined("w0", 0);
+    int w1 = b.workerJoined("w1", 0);
+    auto d0 = b.lease(w0, 0);
+    ASSERT_EQ(d0.kind, Broker::LeaseDecision::Kind::Grant);
+    EXPECT_EQ(d0.job, 0u);
+    EXPECT_EQ(d0.attempt, 1u);
+    auto d1 = b.lease(w1, 0);
+    ASSERT_EQ(d1.kind, Broker::LeaseDecision::Kind::Grant);
+    EXPECT_EQ(d1.job, 1u);
+    // Matrix exhausted but not finished: a third worker must wait.
+    int w2 = b.workerJoined("w2", 0);
+    auto d2 = b.lease(w2, 0);
+    EXPECT_EQ(d2.kind, Broker::LeaseDecision::Kind::Wait);
+    EXPECT_GT(d2.waitMs, 0u);
+    EXPECT_FALSE(b.finished());
+}
+
+TEST_F(BrokerTest, ResultCompletesJobAndFinishesSweep)
+{
+    Broker &b = broker();
+    int w = b.workerJoined("w0", 0);
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+        auto d = b.lease(w, 10);
+        ASSERT_EQ(d.kind, Broker::LeaseDecision::Kind::Grant);
+        b.result(w, d.job, validRecord(jobs[d.job]), 20);
+    }
+    EXPECT_TRUE(b.finished());
+    EXPECT_EQ(b.lease(w, 30).kind,
+              Broker::LeaseDecision::Kind::Finished);
+    EXPECT_EQ(b.scoreboard().completed, 2u);
+    EXPECT_EQ(b.scoreboard().retries, 0u);
+    EXPECT_EQ(sink.recorded(), 2u);
+}
+
+TEST_F(BrokerTest, HeartbeatExtendsLeaseTimeoutReclaims)
+{
+    Broker &b = broker();
+    int w = b.workerJoined("w0", 0);
+    auto d = b.lease(w, 0);
+    ASSERT_EQ(d.kind, Broker::LeaseDecision::Kind::Grant);
+
+    // Heartbeats at 600 and 1200 keep a 1000 ms lease alive past its
+    // original expiry...
+    b.heartbeat(w, d.job, 600);
+    EXPECT_EQ(b.checkTimeouts(1100), 0u);
+    b.heartbeat(w, d.job, 1200);
+    EXPECT_EQ(b.checkTimeouts(2100), 0u);
+    // ...but silence eventually kills it.
+    EXPECT_EQ(b.checkTimeouts(2300), 1u);
+    EXPECT_EQ(b.scoreboard().timeouts, 1u);
+}
+
+TEST_F(BrokerTest, TimeoutRetriesWithExponentialBackoff)
+{
+    Broker &b = broker();
+    int w = b.workerJoined("w0", 0);
+    // Burn attempt 1 of job 0 via timeout.
+    ASSERT_EQ(b.lease(w, 0).job, 0u);
+    EXPECT_EQ(b.checkTimeouts(1001), 1u);
+
+    // Job 0 sits behind a 100 ms backoff gate; job 1 is free now, so
+    // lease order flips: job 1 first, then Wait until the gate opens.
+    auto d1 = b.lease(w, 1001);
+    ASSERT_EQ(d1.kind, Broker::LeaseDecision::Kind::Grant);
+    EXPECT_EQ(d1.job, 1u);
+    int w2 = b.workerJoined("w2", 1001);
+    auto gated = b.lease(w2, 1001);
+    ASSERT_EQ(gated.kind, Broker::LeaseDecision::Kind::Wait);
+    EXPECT_LE(gated.waitMs, 100u);
+    EXPECT_EQ(b.nextDeadline(1001), 1101u) << "backoff gate deadline";
+
+    auto retry = b.lease(w2, 1101);
+    ASSERT_EQ(retry.kind, Broker::LeaseDecision::Kind::Grant);
+    EXPECT_EQ(retry.job, 0u);
+    EXPECT_EQ(retry.attempt, 2u);
+    EXPECT_EQ(b.scoreboard().retries, 1u);
+
+    // Attempt 2's failure doubles the gate: 200 ms this time.
+    b.fail(w2, 0, "still broken", 1200);
+    EXPECT_EQ(b.nextDeadline(1200), 1400u);
+}
+
+TEST_F(BrokerTest, QuarantineAfterAttemptBudgetWithSyntheticRecord)
+{
+    Broker &b = broker();
+    int w = b.workerJoined("w0", 0);
+    std::uint64_t now = 0;
+    for (unsigned attempt = 1; attempt <= options.maxAttempts;
+         ++attempt) {
+        auto d = b.lease(w, now);
+        ASSERT_EQ(d.kind, Broker::LeaseDecision::Kind::Grant);
+        ASSERT_EQ(d.job, 0u);
+        EXPECT_EQ(d.attempt, attempt);
+        b.fail(w, 0, "poison", now + 1);
+        now += 10000; // past any backoff gate
+    }
+    EXPECT_EQ(b.scoreboard().quarantined, 1u);
+    // No fourth lease for job 0: the next grant is job 1.
+    EXPECT_EQ(b.lease(w, now).job, 1u);
+    // The sink got a synthetic ran=false record naming the failure.
+    ASSERT_TRUE(sink.has(0));
+    const exp::JobOutcome &out = sink.outcomes()[0];
+    EXPECT_FALSE(out.ran);
+    EXPECT_NE(out.error.find("quarantined after 3 attempts"),
+              std::string::npos)
+        << out.error;
+    EXPECT_NE(out.error.find("poison"), std::string::npos);
+    EXPECT_EQ(b.exitCode(), exit_code::quarantine);
+}
+
+TEST_F(BrokerTest, WorkerDeathReleasesItsLease)
+{
+    Broker &b = broker();
+    int w0 = b.workerJoined("w0", 0);
+    int w1 = b.workerJoined("w1", 0);
+    ASSERT_EQ(b.lease(w0, 0).job, 0u);
+    b.workerLeft(w0, 50);
+    EXPECT_EQ(b.scoreboard().workerDeaths, 1u);
+    // Job 0 comes back (behind its backoff gate) to the survivor.
+    auto d = b.lease(w1, 5000);
+    ASSERT_EQ(d.kind, Broker::LeaseDecision::Kind::Grant);
+    EXPECT_EQ(d.job, 0u);
+    EXPECT_EQ(d.attempt, 2u);
+    // A worker that never held a lease leaves without side effects.
+    int w2 = b.workerJoined("w2", 5000);
+    b.workerLeft(w2, 5001);
+    EXPECT_EQ(b.scoreboard().workerDeaths, 1u);
+}
+
+TEST_F(BrokerTest, LateResultFromReassignedLeaseStillCounts)
+{
+    Broker &b = broker();
+    int w0 = b.workerJoined("w0", 0);
+    ASSERT_EQ(b.lease(w0, 0).job, 0u);
+    // w0 goes quiet; the lease times out and moves to w1.
+    EXPECT_EQ(b.checkTimeouts(1001), 1u);
+    int w1 = b.workerJoined("w1", 1001);
+    ASSERT_EQ(b.lease(w1, 5000).job, 0u);
+    // w0 was only stalled, not dead: its (deterministic, therefore
+    // equally valid) result lands first and completes the job.
+    b.result(w0, 0, validRecord(jobs[0]), 5100);
+    ASSERT_TRUE(sink.has(0));
+    EXPECT_EQ(b.scoreboard().completed, 1u);
+    // w1's duplicate for the now-Done job is ignored.
+    b.result(w1, 0, validRecord(jobs[0]), 6000);
+    EXPECT_EQ(b.scoreboard().completed, 1u);
+    EXPECT_EQ(sink.recorded(), 1u);
+}
+
+TEST_F(BrokerTest, InvalidRecordCountsAsFailedAttempt)
+{
+    Broker &b = broker();
+    int w = b.workerJoined("w0", 0);
+    ASSERT_EQ(b.lease(w, 0).job, 0u);
+    // Torn write: not even JSON.
+    b.result(w, 0, "{\"index\": 0, \"pres", 10);
+    EXPECT_FALSE(sink.has(0));
+    EXPECT_EQ(b.scoreboard().completed, 0u);
+    // Identity mismatch: a record for some other manifest's job.
+    auto d = b.lease(w, 5000);
+    ASSERT_EQ(d.job, 0u);
+    ASSERT_EQ(d.attempt, 2u);
+    exp::JobSpec impostor = jobs[0];
+    impostor.preset = "inorder";
+    b.result(w, 0, validRecord(impostor), 5010);
+    EXPECT_FALSE(sink.has(0));
+    // Third attempt with a good record succeeds.
+    auto d3 = b.lease(w, 20000);
+    ASSERT_EQ(d3.attempt, 3u);
+    b.result(w, 0, validRecord(jobs[0]), 20010);
+    EXPECT_TRUE(sink.has(0));
+}
+
+TEST_F(BrokerTest, ResumedJobsAreNeverLeased)
+{
+    done[0] = 1;
+    sink.record(exp::unrunOutcome(jobs[0], "resumed from disk"));
+    Broker &b = broker();
+    EXPECT_EQ(b.scoreboard().resumed, 1u);
+    int w = b.workerJoined("w0", 0);
+    auto d = b.lease(w, 0);
+    ASSERT_EQ(d.kind, Broker::LeaseDecision::Kind::Grant);
+    EXPECT_EQ(d.job, 1u);
+    b.result(w, 1, validRecord(jobs[1]), 10);
+    EXPECT_TRUE(b.finished());
+    EXPECT_EQ(b.scoreboard().completed, 1u);
+}
+
+TEST_F(BrokerTest, HeartbeatFromNonOwnerDoesNotExtendLease)
+{
+    Broker &b = broker();
+    int w0 = b.workerJoined("w0", 0);
+    int w1 = b.workerJoined("w1", 0);
+    ASSERT_EQ(b.lease(w0, 0).job, 0u);
+    // A confused (or stale) worker heartbeats a job it does not own;
+    // the real owner's silence must still expire the lease on time.
+    b.heartbeat(w1, 0, 900);
+    EXPECT_EQ(b.checkTimeouts(1001), 1u);
+}
+
+// ------------------------------------------------------------ ResultSink
+
+TEST(SvcResultSink, TryRecordIsFirstWriteWins)
+{
+    auto jobs = twoJobs();
+    exp::ResultSink sink(jobs.size());
+    EXPECT_FALSE(sink.has(0));
+    exp::JobOutcome first = exp::unrunOutcome(jobs[0], "first");
+    exp::JobOutcome second = exp::unrunOutcome(jobs[0], "second");
+    EXPECT_TRUE(sink.tryRecord(first));
+    EXPECT_TRUE(sink.has(0));
+    EXPECT_FALSE(sink.tryRecord(second)) << "duplicate must be dropped";
+    EXPECT_EQ(sink.outcomes()[0].error, "first");
+    EXPECT_EQ(sink.recorded(), 1u);
+}
+
+// ----------------------------------------------------------------- chaos
+
+TEST(SvcChaos, StallMutesHeartbeatsAndTracksProgress)
+{
+    ChaosMonitor chaos;
+    chaos.scheduleStall(100, 1);
+    chaos.observe(50);
+    EXPECT_EQ(chaos.lastObserved(), 50u);
+    EXPECT_FALSE(chaos.muted());
+    chaos.observe(150);
+    EXPECT_TRUE(chaos.muted()) << "stall must mute heartbeats";
+    // reset() re-arms for the next job.
+    chaos.reset();
+    EXPECT_FALSE(chaos.muted());
+    chaos.observe(10'000'000);
+    EXPECT_FALSE(chaos.muted()) << "triggers must not survive reset";
+}
+
+TEST(SvcChaosDeathTest, ScheduledExitKillsTheProcess)
+{
+    EXPECT_EXIT(
+        {
+            ChaosMonitor chaos;
+            chaos.scheduleExit(1000, SIGKILL);
+            chaos.observe(999);  // before the trigger: survives
+            chaos.observe(1000); // at the trigger: raises SIGKILL
+            std::fprintf(stderr, "unreachable\n");
+        },
+        ::testing::KilledBySignal(SIGKILL), "");
+}

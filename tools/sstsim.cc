@@ -42,6 +42,19 @@
  * for every -j (see docs/INTERNALS.md, "The experiment runner").
  * --resume skips jobs whose record artifact already exists in DIR and
  * restarts in-flight jobs from their last machine checkpoint.
+ * --distributed N runs the same sweep as a crash-safe service instead:
+ * a broker leases jobs to N supervised worker *processes* (respawned
+ * if they die, retried with backoff, quarantined if poisonous) with
+ * byte-identical aggregate output (docs/INTERNALS.md, "The experiment
+ * service").
+ *
+ * Service mode (sharded experiment service, src/svc):
+ *   sstsim serve <manifest> --socket PATH --artifacts DIR [--workers N]
+ *   sstsim work --socket PATH [--name NAME]
+ * splits the broker and workers across processes: serve owns the
+ * manifest and leases jobs over a Unix socket; any number of work
+ * processes join, run jobs, stream records back and heartbeat their
+ * leases. Workers may join or die mid-sweep.
  *
  * Diff mode (lockstep divergence search, src/snap):
  *   sstsim diff <preset> <workload> [--stride N] [--out PREFIX]
@@ -66,7 +79,9 @@
  *
  * Exit codes: 0 success, 2 architectural mismatch vs golden, 3 cycle
  * budget exhausted, 4 livelock declared by the watchdog, 5 state
- * divergence found by diff mode, 64 bad usage (unknown/malformed key),
+ * divergence found by diff mode, 6 sweep finished with quarantined
+ * jobs, 7 experiment-service infrastructure failure (socket lost,
+ * worker pool exhausted), 64 bad usage (unknown/malformed key),
  * 65 bad input (config value, asm, workload).
  */
 
@@ -91,6 +106,8 @@
 #include "sim/sampling.hh"
 #include "snap/diff.hh"
 #include "snap/snap.hh"
+#include "svc/server.hh"
+#include "svc/worker.hh"
 #include "trace/chrome.hh"
 #include "trace/cpistack.hh"
 #include "trace/trace.hh"
@@ -194,20 +211,88 @@ loadProgram(const Config &cfg, std::string &category)
  * `sstsim sweep <manifest> [-j N] [--json FILE] [--verify] [--quiet]`
  * — expand the manifest and run its jobs on the parallel runner.
  */
+/** Parse a positive integer CLI operand or die with usage. */
+Result<std::uint64_t>
+parseCount(const char *flag, const char *text, bool allowZero = false)
+{
+    char *end = nullptr;
+    unsigned long long n = std::strtoull(text, &end, 10);
+    if (end == text || *end != '\0' || (!allowZero && n == 0))
+        return Error{std::string("bad ") + flag + " value '" + text
+                         + "' (want a positive integer)",
+                     exit_code::usage};
+    return static_cast<std::uint64_t>(n);
+}
+
 int
 sweepMain(int argc, char **argv)
 {
     std::string manifest;
     std::string jsonPath;
     std::string artifactDir;
+    std::string socketPath;
     std::uint64_t snapEvery = 0;
     unsigned jobs = 1;
+    unsigned distributed = 0;
     bool quiet = false;
     bool forceVerify = false;
+    svc::BrokerOptions brokerOpts;
+    std::vector<std::string> workerArgs;
+
+    // Service flags that take one integer operand and are forwarded /
+    // applied verbatim; parsed generically to keep the loop readable.
+    auto uintFlag = [&](const std::string &arg, int &i,
+                        std::uint64_t &out, bool allowZero = false) {
+        if (i + 1 >= argc)
+            return Result<bool>(
+                Error{arg + " needs a value", exit_code::usage});
+        auto n = parseCount(arg.c_str(), argv[++i], allowZero);
+        if (!n.ok())
+            return Result<bool>(n.error());
+        out = n.value();
+        return Result<bool>(true);
+    };
 
     for (int i = 2; i < argc; ++i) {
         std::string arg = argv[i];
-        if (arg == "--resume") {
+        std::uint64_t tmp = 0;
+        if (arg == "--distributed") {
+            if (auto r = uintFlag(arg, i, tmp); !r.ok())
+                return fail(r.error());
+            distributed = static_cast<unsigned>(tmp);
+        } else if (arg == "--socket") {
+            if (++i >= argc)
+                return fail(Error{"--socket needs a path",
+                                  exit_code::usage});
+            socketPath = argv[i];
+        } else if (arg == "--lease-timeout-ms") {
+            if (auto r = uintFlag(arg, i, brokerOpts.leaseTimeoutMs);
+                !r.ok())
+                return fail(r.error());
+        } else if (arg == "--max-attempts") {
+            if (auto r = uintFlag(arg, i, tmp); !r.ok())
+                return fail(r.error());
+            brokerOpts.maxAttempts = static_cast<unsigned>(tmp);
+        } else if (arg == "--backoff-base-ms") {
+            if (auto r = uintFlag(arg, i, brokerOpts.backoffBaseMs);
+                !r.ok())
+                return fail(r.error());
+        } else if (arg == "--backoff-max-ms") {
+            if (auto r = uintFlag(arg, i, brokerOpts.backoffMaxMs);
+                !r.ok())
+                return fail(r.error());
+        } else if (arg == "--chaos-kill-cycle"
+                   || arg == "--chaos-kill-attempt"
+                   || arg == "--chaos-stall-cycle"
+                   || arg == "--chaos-stall-ms"
+                   || arg == "--chaos-stall-attempt"
+                   || arg == "--heartbeat-ms") {
+            // Validated here, executed by the spawned workers.
+            if (auto r = uintFlag(arg, i, tmp); !r.ok())
+                return fail(r.error());
+            workerArgs.push_back(arg);
+            workerArgs.push_back(argv[i]);
+        } else if (arg == "--resume") {
             if (++i >= argc)
                 return fail(Error{"--resume needs an artifact directory",
                                   exit_code::usage});
@@ -252,7 +337,11 @@ sweepMain(int argc, char **argv)
         } else if (!arg.empty() && arg[0] == '-') {
             return fail(Error{"unknown sweep option '" + arg
                                   + "' (know -j, --json, --verify, "
-                                    "--quiet, --resume, --snap-every)",
+                                    "--quiet, --resume, --snap-every, "
+                                    "--distributed, --socket, "
+                                    "--lease-timeout-ms, "
+                                    "--max-attempts, --backoff-base-ms, "
+                                    "--backoff-max-ms, --chaos-*)",
                               exit_code::usage});
         } else if (manifest.empty()) {
             manifest = arg;
@@ -276,6 +365,43 @@ sweepMain(int argc, char **argv)
     if (!parsed.ok())
         return fail(parsed.error());
     exp::SweepSpec spec = parsed.take();
+
+    if (distributed) {
+        // The broker ships the manifest *text* to workers, which
+        // re-parse it locally; CLI-side spec mutations would silently
+        // not propagate, so verify must come from the manifest.
+        if (forceVerify)
+            return fail(
+                Error{"--verify cannot combine with --distributed; "
+                      "set 'sweep.verify = true' in the manifest",
+                      exit_code::usage});
+        if (artifactDir.empty())
+            return fail(Error{"--distributed needs --resume DIR (the "
+                              "workers share artifacts there)",
+                              exit_code::usage});
+        std::ifstream in(manifest);
+        std::stringstream ss;
+        ss << in.rdbuf();
+
+        svc::ServeOptions so;
+        so.socketPath = socketPath.empty()
+                            ? artifactDir + "/broker.sock"
+                            : socketPath;
+        so.artifactDir = artifactDir;
+        so.snapEvery = snapEvery;
+        so.resume = true;
+        so.spawnWorkers = distributed;
+        so.workerArgs = workerArgs;
+        so.jsonPath = jsonPath;
+        so.quiet = quiet;
+        so.broker = brokerOpts;
+        if (!quiet)
+            std::printf("sweep '%s': %zu jobs distributed over %u "
+                        "workers (socket %s)\n",
+                        spec.name.c_str(), spec.jobCount(), distributed,
+                        so.socketPath.c_str());
+        return svc::serveSweep(spec, ss.str(), so);
+    }
     if (forceVerify)
         spec.verifyGolden = true;
 
@@ -335,6 +461,170 @@ sweepMain(int argc, char **argv)
                              out.error.c_str());
     }
     return code;
+}
+
+/**
+ * `sstsim serve <manifest> --socket PATH --artifacts DIR
+ *  [--snap-every N] [--json FILE] [--workers N] [--lease-timeout-ms N]
+ *  [--max-attempts N] [--backoff-base-ms N] [--backoff-max-ms N]
+ *  [--quiet]`
+ * — run the sweep broker: lease the manifest's jobs to workers
+ * (`sstsim work`) over a Unix socket. --workers N additionally spawns
+ * and supervises N local workers (like sweep --distributed N).
+ */
+int
+serveMain(int argc, char **argv)
+{
+    std::string manifest;
+    svc::ServeOptions so;
+    std::uint64_t tmp = 0;
+
+    auto uintFlag = [&](const std::string &arg, int &i,
+                        std::uint64_t &out) {
+        if (i + 1 >= argc)
+            return Result<bool>(
+                Error{arg + " needs a value", exit_code::usage});
+        auto n = parseCount(arg.c_str(), argv[++i]);
+        if (!n.ok())
+            return Result<bool>(n.error());
+        out = n.value();
+        return Result<bool>(true);
+    };
+
+    for (int i = 2; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--socket" || arg == "--artifacts"
+            || arg == "--json") {
+            if (++i >= argc)
+                return fail(
+                    Error{arg + " needs a path", exit_code::usage});
+            (arg == "--socket"      ? so.socketPath
+             : arg == "--artifacts" ? so.artifactDir
+                                    : so.jsonPath) = argv[i];
+        } else if (arg == "--snap-every") {
+            if (auto r = uintFlag(arg, i, so.snapEvery); !r.ok())
+                return fail(r.error());
+        } else if (arg == "--workers") {
+            if (auto r = uintFlag(arg, i, tmp); !r.ok())
+                return fail(r.error());
+            so.spawnWorkers = static_cast<unsigned>(tmp);
+        } else if (arg == "--lease-timeout-ms") {
+            if (auto r = uintFlag(arg, i, so.broker.leaseTimeoutMs);
+                !r.ok())
+                return fail(r.error());
+        } else if (arg == "--max-attempts") {
+            if (auto r = uintFlag(arg, i, tmp); !r.ok())
+                return fail(r.error());
+            so.broker.maxAttempts = static_cast<unsigned>(tmp);
+        } else if (arg == "--backoff-base-ms") {
+            if (auto r = uintFlag(arg, i, so.broker.backoffBaseMs);
+                !r.ok())
+                return fail(r.error());
+        } else if (arg == "--backoff-max-ms") {
+            if (auto r = uintFlag(arg, i, so.broker.backoffMaxMs);
+                !r.ok())
+                return fail(r.error());
+        } else if (arg == "--quiet") {
+            so.quiet = true;
+        } else if (!arg.empty() && arg[0] == '-') {
+            return fail(Error{"unknown serve option '" + arg + "'",
+                              exit_code::usage});
+        } else if (manifest.empty()) {
+            manifest = arg;
+        } else {
+            return fail(Error{"more than one manifest given",
+                              exit_code::usage});
+        }
+    }
+    if (manifest.empty() || so.socketPath.empty()
+        || so.artifactDir.empty())
+        return fail(Error{"usage: sstsim serve <manifest> --socket "
+                          "PATH --artifacts DIR [--workers N] "
+                          "[--snap-every N] [--json FILE] [--quiet] "
+                          "[--lease-timeout-ms N] [--max-attempts N] "
+                          "[--backoff-base-ms N] [--backoff-max-ms N]",
+                          exit_code::usage});
+
+    std::ifstream in(manifest);
+    if (!in)
+        return fail(Error{"cannot open '" + manifest + "'",
+                          exit_code::badInput});
+    std::stringstream ss;
+    ss << in.rdbuf();
+    auto parsed = exp::SweepSpec::parse(ss.str(), manifest);
+    if (!parsed.ok())
+        return fail(parsed.error());
+    return svc::serveSweep(parsed.value(), ss.str(), so);
+}
+
+/**
+ * `sstsim work --socket PATH [--name NAME] [--heartbeat-ms N]
+ *  [--chaos-kill-cycle N] [--chaos-kill-attempt N]
+ *  [--chaos-stall-cycle N] [--chaos-stall-ms N]
+ *  [--chaos-stall-attempt N]`
+ * — join a running broker as one worker process. The chaos flags
+ * deterministically kill/stall this worker at a simulated cycle of a
+ * leased job (test hooks; see fault/chaos.hh).
+ */
+int
+workMain(int argc, char **argv)
+{
+    svc::WorkerOptions wo;
+    std::uint64_t tmp = 0;
+
+    auto uintFlag = [&](const std::string &arg, int &i,
+                        std::uint64_t &out) {
+        if (i + 1 >= argc)
+            return Result<bool>(
+                Error{arg + " needs a value", exit_code::usage});
+        auto n = parseCount(arg.c_str(), argv[++i]);
+        if (!n.ok())
+            return Result<bool>(n.error());
+        out = n.value();
+        return Result<bool>(true);
+    };
+
+    for (int i = 2; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--socket" || arg == "--name") {
+            if (++i >= argc)
+                return fail(
+                    Error{arg + " needs a value", exit_code::usage});
+            (arg == "--socket" ? wo.socketPath : wo.name) = argv[i];
+        } else if (arg == "--heartbeat-ms") {
+            if (auto r = uintFlag(arg, i, wo.heartbeatMs); !r.ok())
+                return fail(r.error());
+        } else if (arg == "--chaos-kill-cycle") {
+            if (auto r = uintFlag(arg, i, wo.chaosKillCycle); !r.ok())
+                return fail(r.error());
+        } else if (arg == "--chaos-kill-attempt") {
+            if (auto r = uintFlag(arg, i, tmp); !r.ok())
+                return fail(r.error());
+            wo.chaosKillAttempt = static_cast<unsigned>(tmp);
+        } else if (arg == "--chaos-stall-cycle") {
+            if (auto r = uintFlag(arg, i, wo.chaosStallCycle); !r.ok())
+                return fail(r.error());
+        } else if (arg == "--chaos-stall-ms") {
+            if (auto r = uintFlag(arg, i, tmp); !r.ok())
+                return fail(r.error());
+            wo.chaosStallMs = static_cast<unsigned>(tmp);
+        } else if (arg == "--chaos-stall-attempt") {
+            if (auto r = uintFlag(arg, i, tmp); !r.ok())
+                return fail(r.error());
+            wo.chaosStallAttempt = static_cast<unsigned>(tmp);
+        } else {
+            return fail(Error{"unknown work option '" + arg
+                                  + "' (usage: sstsim work --socket "
+                                    "PATH [--name NAME] "
+                                    "[--heartbeat-ms N] [--chaos-*])",
+                              exit_code::usage});
+        }
+    }
+    if (wo.socketPath.empty())
+        return fail(Error{"usage: sstsim work --socket PATH "
+                          "[--name NAME] [--heartbeat-ms N] [--chaos-*]",
+                          exit_code::usage});
+    return svc::runWorker(wo);
 }
 
 /**
@@ -681,6 +971,10 @@ main(int argc, char **argv)
 {
     if (argc >= 2 && std::string(argv[1]) == "sweep")
         return sweepMain(argc, argv);
+    if (argc >= 2 && std::string(argv[1]) == "serve")
+        return serveMain(argc, argv);
+    if (argc >= 2 && std::string(argv[1]) == "work")
+        return workMain(argc, argv);
     if (argc >= 2 && std::string(argv[1]) == "trace")
         return traceMain(argc, argv);
     if (argc >= 2 && std::string(argv[1]) == "diff")
