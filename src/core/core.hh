@@ -69,6 +69,11 @@ struct CoreParams
      *  granularity (the realistic s-bit mechanism: cheaper hardware,
      *  false-sharing aborts) instead of exact byte ranges. */
     bool lineGranularConflicts = false;
+    /** Speculative lock elision: execute past an AMOSWAP lock acquire
+     *  from a checkpoint instead of taking the lock, squashing when a
+     *  remote write hits the speculative read set. SST-only; needs a
+     *  coherent memory system to be meaningful. */
+    bool elideLocks = false;
 };
 
 /** Base class: owns arch state, predictor, fetch timing and stats. */

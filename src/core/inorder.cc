@@ -83,8 +83,12 @@ InOrderCore::classifyIdle() const
     if (info.readsRs2 && inst.rs2 != 0)
         op_ready = std::max(op_ready, regReady_[inst.rs2]);
     if (op_ready > now_) {
+        bool coh = (info.readsRs1 && inst.rs1 != 0
+                    && regReady_[inst.rs1] > now_ && regCoh_[inst.rs1])
+                   || (info.readsRs2 && inst.rs2 != 0
+                       && regReady_[inst.rs2] > now_ && regCoh_[inst.rs2]);
         ic.wake = std::min(wake, op_ready);
-        ic.cat = trace::CpiCat::UseStall;
+        ic.cat = coh ? trace::CpiCat::Coherence : trace::CpiCat::UseStall;
         ic.counter = &stallUseCycles_;
         return ic;
     }
@@ -162,8 +166,11 @@ InOrderCore::issueOne()
     auto ready = [&](RegId r) { return r == 0 || regReady_[r] <= now_; };
     if ((info.readsRs1 && !ready(inst.rs1))
         || (info.readsRs2 && !ready(inst.rs2))) {
+        bool coh = (info.readsRs1 && !ready(inst.rs1) && regCoh_[inst.rs1])
+                   || (info.readsRs2 && !ready(inst.rs2)
+                       && regCoh_[inst.rs2]);
         ++stallUseCycles_;
-        noteStall(trace::CpiCat::UseStall);
+        noteStall(coh ? trace::CpiCat::Coherence : trace::CpiCat::UseStall);
         return false;
     }
 
@@ -183,8 +190,15 @@ InOrderCore::issueOne()
     }
     if (isLoad(inst.op)) {
         // Probe without committing: a rejected load (no MSHR) must retry.
+        // Atomics go through this path too but access as a Store (the
+        // directory must treat them as writers); their memory update
+        // happens at execute time, bypassing the store buffer — an
+        // acceptable approximation since the atomicity comes from the
+        // sequential CMP tick, not the buffer.
         Addr addr = semantics::effectiveAddr(inst, arch_.reg(inst.rs1));
-        auto res = port_.access(AccessType::Load, addr, now_);
+        AccessType type =
+            isAtomic(inst.op) ? AccessType::Store : AccessType::Load;
+        auto res = port_.access(type, addr, now_);
         if (res.rejected) {
             ++stallUseCycles_;
             noteStall(trace::CpiCat::UseStall);
@@ -192,7 +206,10 @@ InOrderCore::issueOne()
         }
         exec_.step(arch_);
         ++loadsExecuted_;
+        if (isAtomic(inst.op))
+            ++storesExecuted_;
         regReady_[inst.rd] = res.readyCycle;
+        regCoh_[inst.rd] = res.coh;
         ++committed_;
         record(trace::TraceKind::Commit, trace::TraceStrand::Main, pc);
         return true;
@@ -202,6 +219,8 @@ InOrderCore::issueOne()
     ++committed_;
     record(trace::TraceKind::Commit, trace::TraceStrand::Main, pc);
 
+    if (info.writesRd)
+        regCoh_[inst.rd] = false; // non-load producers are never coherence
     switch (info.cls) {
       case OpClass::Store:
         ++storesExecuted_;
@@ -272,6 +291,8 @@ InOrderCore::saveExtra(snap::Writer &w) const
 {
     for (Cycle rdy : regReady_)
         w.u64(rdy);
+    for (bool coh : regCoh_)
+        w.b(coh);
     saveStoreBuffer(w, storeBuffer_);
     w.u64(divBusyUntil_);
     w.u64(frontEndReadyAt_);
@@ -282,6 +303,8 @@ InOrderCore::loadExtra(snap::Reader &r)
 {
     for (Cycle &rdy : regReady_)
         rdy = r.u64();
+    for (auto &&coh : regCoh_)
+        coh = r.b();
     loadStoreBuffer(r, storeBuffer_);
     divBusyUntil_ = r.u64();
     frontEndReadyAt_ = r.u64();

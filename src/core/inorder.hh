@@ -47,6 +47,12 @@ class InOrderCore : public Core
     /** Cycle at which each architectural register's value is ready. */
     std::array<Cycle, numArchRegs> regReady_{};
 
+    /** True when the register's pending value comes from a load whose
+     *  latency includes coherence traffic (invalidation/intervention or
+     *  a line lost to a remote write) — use-stalls on it are charged to
+     *  the Coherence CPI bucket instead of UseStall. */
+    std::array<bool, numArchRegs> regCoh_{};
+
     /** Pending stores: architecturally applied, timing queued. */
     struct PendingStore
     {

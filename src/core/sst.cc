@@ -50,6 +50,18 @@ SstCore::SstCore(const CoreParams &params, const Program &program,
       failForced_(stats_.addScalar("fail_forced",
                                    "rollbacks: injected fault or "
                                    "watchdog degradation")),
+      failCoh_(stats_.addScalar("fail_coh",
+                                "rollbacks: remote write hit the "
+                                "speculative read set")),
+      sleElisions_(stats_.addScalar("sle_elisions",
+                                    "lock acquires executed past "
+                                    "speculatively")),
+      sleCommits_(stats_.addScalar("sle_commits",
+                                   "elided critical sections committed "
+                                   "atomically")),
+      sleAborts_(stats_.addScalar("sle_aborts",
+                                  "elisions abandoned (conflict, nested "
+                                  "atomic, or forced rollback)")),
       scoutEnds_(stats_.addScalar("scout_ends",
                                   "scout regions ended by miss return")),
       livelockSuppressions_(
@@ -86,10 +98,38 @@ SstCore::SstCore(const CoreParams &params, const Program &program,
     fatal_if(params.checkpoints == 0, "SST needs at least one checkpoint");
     fatal_if(params.discardSpecWork && params.checkpoints != 1,
              "hardware-scout mode is single-checkpoint by definition");
+    fatal_if(params.elideLocks && params.discardSpecWork,
+             "lock elision needs committed speculative work; scout "
+             "discards it");
     // Replay results live at most one DQ's worth of producers per epoch;
     // sizing the table up front keeps the publish/resolve hot path free
     // of rehash allocations.
     replayResults_.reserve(params.dqEntries * 2);
+    port.setCohClient(this);
+}
+
+SstCore::~SstCore()
+{
+    port_.setCohClient(nullptr);
+}
+
+bool
+SstCore::specReadsLine(Addr line) const
+{
+    if (epochs_.empty())
+        return false;
+    const unsigned lb = port_.l1d().params().lineBytes;
+    for (const auto &ld : loadLog_) {
+        if (ld.addr < line + lb && line < ld.addr + ld.size)
+            return true;
+    }
+    return false;
+}
+
+void
+SstCore::cohSquash()
+{
+    pendingCohSquash_ = true;
 }
 
 unsigned
@@ -264,6 +304,14 @@ SstCore::drainStoreBuffer()
 void
 SstCore::cycle()
 {
+    if (pendingCohSquash_) {
+        // Noted during a remote core's tick; the round-robin harness
+        // guarantees nothing of ours ran in between, so the region that
+        // read the line is still the live one.
+        pendingCohSquash_ = false;
+        if (!epochs_.empty())
+            rollback(FailKind::CohConflict);
+    }
     drainStoreBuffer();
     if (!epochs_.empty() && port_.faults().forceAbort())
         rollback(FailKind::Forced);
@@ -323,6 +371,8 @@ Core::IdleClass
 SstCore::classifyIdle() const
 {
     IdleClass ic;
+    if (pendingCohSquash_)
+        return ic; // the squash rolls back state this cycle: act now
     if (arch_.halted) {
         ic.wake = kWakeNever;
         return ic;
@@ -362,8 +412,14 @@ SstCore::classifyIdle() const
         if (info.readsRs2 && inst.rs2 != 0)
             op_ready = std::max(op_ready, regReady_[inst.rs2]);
         if (op_ready > now_) {
+            bool coh = (info.readsRs1 && inst.rs1 != 0
+                        && regReady_[inst.rs1] > now_ && regCoh_[inst.rs1])
+                       || (info.readsRs2 && inst.rs2 != 0
+                           && regReady_[inst.rs2] > now_
+                           && regCoh_[inst.rs2]);
             ic.wake = std::min(wake, op_ready);
-            ic.cat = trace::CpiCat::UseStall;
+            ic.cat = coh ? trace::CpiCat::Coherence
+                         : trace::CpiCat::UseStall;
             return ic;
         }
         if ((info.cls == OpClass::IntDiv || info.cls == OpClass::FpDiv)
@@ -469,6 +525,18 @@ SstCore::classifyIdle() const
         ic.counter = &aheadStallUseCycles_;
         ic.cat = trace::CpiCat::UseStall;
         ic.wake = std::min(wake, aheadDivBusyUntil_);
+        return ic;
+    }
+
+    if (isAtomic(inst.op)) {
+        // Inside an elision the nested atomic aborts it this cycle;
+        // otherwise a barrier stall until the region drains and commits
+        // (bounded by the replay-strand wake above).
+        if (sleActive_)
+            return ic;
+        ic.counter = &aheadStallUseCycles_;
+        ic.cat = trace::CpiCat::UseStall;
+        ic.wake = wake;
         return ic;
     }
 
@@ -584,10 +652,66 @@ SstCore::normalIssueOne()
 
     if (isLoad(inst.op)) {
         Addr addr = semantics::effectiveAddr(inst, arch_.reg(inst.rs1));
-        auto res = port_.access(AccessType::Load, addr, now_);
+        bool atomic = isAtomic(inst.op);
+        // Elide a free lock's acquire: peek the functional value (the
+        // shared image is coherent by construction) and, instead of
+        // swapping, open a speculation region from this PC. The lock
+        // line enters the speculative read set, so a remote acquire
+        // squashes the region; the probe stays a *read* — elision must
+        // not invalidate the other readers it is cooperating with.
+        bool elide = atomic && params_.elideLocks
+                     && !params_.discardSpecWork
+                     && pc != suppressTriggerPc_ && pc != sleSuppressPc_
+                     && memory_.read(addr, memAccessSize(inst.op)) == 0;
+        AccessType type = atomic && !elide ? AccessType::Store
+                                           : AccessType::Load;
+        auto res = port_.access(type, addr, now_);
         if (res.rejected) {
             noteStall(trace::CpiCat::UseStall);
             return false;
+        }
+        if (atomic) {
+            if (elide) {
+                enterSpeculation(pc, res.readyCycle);
+                SeqNum seq = nextSeq_++;
+                logSpecLoad(seq, addr, memAccessSize(inst.op));
+                if (inst.rd != 0) {
+                    // The acquire reads the free value and "succeeds".
+                    specRegs_[inst.rd] = 0;
+                    specReady_[inst.rd] = res.readyCycle;
+                }
+                sleActive_ = true;
+                sleLockAddr_ = addr;
+                sleReleaseSeen_ = false;
+                ++sleElisions_;
+                record(trace::TraceKind::LockElide,
+                       trace::TraceStrand::Ahead, pc, seq, 1);
+                if (tracing())
+                    trace("ELIDE pc=%llu lock=%llu",
+                          static_cast<unsigned long long>(pc),
+                          static_cast<unsigned long long>(addr));
+                aheadPc_ = pc + 1;
+                return true;
+            }
+            if (pc == sleSuppressPc_)
+                sleSuppressPc_ = ~std::uint64_t{0}; // one-shot fallback
+            if (pc == suppressTriggerPc_) {
+                suppressTriggerPc_ = ~std::uint64_t{0};
+                consecutiveFails_ = 0;
+            }
+            // Conventional atomic: execute in place (the functional
+            // swap fires the write observer, squashing remote readers).
+            Executor exec(program_, memory_);
+            exec.step(arch_);
+            ++loadsExecuted_;
+            ++storesExecuted_;
+            regReady_[inst.rd] = res.readyCycle;
+            regCoh_[inst.rd] = res.coh;
+            record(trace::TraceKind::Commit, trace::TraceStrand::Main,
+                   pc, nextSeq_);
+            ++nextSeq_;
+            ++committed_;
+            return true;
         }
         bool trigger = !res.l1Hit
                        && (!params_.deferOnL2MissOnly || !res.l2Hit);
@@ -605,6 +729,7 @@ SstCore::normalIssueOne()
         exec.step(arch_);
         ++loadsExecuted_;
         regReady_[inst.rd] = res.readyCycle;
+        regCoh_[inst.rd] = res.coh;
         record(trace::TraceKind::Commit, trace::TraceStrand::Main, pc,
                nextSeq_);
         ++nextSeq_;
@@ -619,6 +744,8 @@ SstCore::normalIssueOne()
     ++nextSeq_;
     ++committed_;
 
+    if (info.writesRd)
+        regCoh_[inst.rd] = false; // non-load producers are never coherence
     switch (info.cls) {
       case OpClass::Store:
         ++storesExecuted_;
@@ -750,6 +877,21 @@ SstCore::aheadIssueOne()
 
     if ((info.cls == OpClass::IntDiv || info.cls == OpClass::FpDiv)
         && aheadDivBusyUntil_ > now_) {
+        ++aheadStallUseCycles_;
+        noteStall(trace::CpiCat::UseStall);
+        return false;
+    }
+
+    if (isAtomic(inst.op)) {
+        // Atomics never execute speculatively (their memory write is
+        // globally visible). A nested atomic inside an elision aborts
+        // it — the retry acquires conventionally; in a plain region the
+        // atomic is a barrier: stall until the region drains, commits
+        // through this PC, and normal mode re-issues it.
+        if (sleActive_) {
+            rollback(FailKind::CohConflict);
+            return false;
+        }
         ++aheadStallUseCycles_;
         noteStall(trace::CpiCat::UseStall);
         return false;
@@ -925,7 +1067,9 @@ SstCore::aheadIssueOne()
             // free, otherwise grow the current one.
             SeqNum seq = nextSeq_++;
             bool first_of_epoch = seq == epochs_.back().startSeq;
-            if (!discard && !first_of_epoch)
+            // While eliding, the single open epoch owns the region (it
+            // must publish atomically): no further checkpoints.
+            if (!discard && !first_of_epoch && !sleActive_)
                 takeCheckpoint(pc, seq); // may fail; that's fine
             if (discard && epochs_.front().triggerReady == 0)
                 epochs_.front().triggerReady = res.readyCycle;
@@ -968,6 +1112,19 @@ SstCore::aheadIssueOne()
         return true;
       }
       case OpClass::Store: {
+        Addr addr = semantics::effectiveAddr(inst, v1);
+        if (sleActive_ && !sleReleaseSeen_ && addr == sleLockAddr_
+            && v2 == 0) {
+            // The matching lock release: the store is elided too (the
+            // lock word never left its free value), and the region may
+            // now publish atomically.
+            SeqNum seq = nextSeq_++;
+            sleReleaseSeen_ = true;
+            record(trace::TraceKind::Exec, trace::TraceStrand::Ahead, pc,
+                   seq);
+            aheadPc_ = pc + 1;
+            return true;
+        }
         if (ssqOccupancy() >= ssqCapacity_) {
             ++ssqFullStallCycles_;
             noteStall(trace::CpiCat::SsqFull);
@@ -977,7 +1134,7 @@ SstCore::aheadIssueOne()
         SsqEntry st;
         st.seq = seq;
         st.resolved = true;
-        st.addr = semantics::effectiveAddr(inst, v1);
+        st.addr = addr;
         st.size = memAccessSize(inst.op);
         st.value = v2;
         // Scout also queues the store so younger speculative loads can
@@ -1113,6 +1270,9 @@ SstCore::replayStrand(unsigned slots)
 
         switch (info.cls) {
           case OpClass::Load: {
+            panic_if(isAtomic(inst.op),
+                     "atomic deferred into the DQ (the ahead strand "
+                     "must treat atomics as barriers)");
             Addr addr = semantics::effectiveAddr(inst, v1);
             unsigned size = memAccessSize(inst.op);
             auto res = port_.access(AccessType::Load, addr, now_);
@@ -1146,6 +1306,19 @@ SstCore::replayStrand(unsigned slots)
             if (storeConflicts(entry.seq, addr, size)) {
                 rollback(FailKind::MemConflict);
                 return used;
+            }
+            if (sleActive_ && !sleReleaseSeen_ && addr == sleLockAddr_
+                && v2 == 0) {
+                // A deferred lock release resolved here: elide it (drop
+                // its SSQ slot) so the free lock word is never written
+                // back — a committed rewrite of the same value would
+                // needlessly squash the other cores elided on it.
+                std::erase_if(ssq_, [&](const SsqEntry &st) {
+                    return st.seq == entry.seq;
+                });
+                sleReleaseSeen_ = true;
+                replayResults_[entry.seq] = ReplayResult{0, now_ + 1};
+                break;
             }
             resolveSsqPlaceholder(entry.seq, addr, size, v2);
             replayResults_[entry.seq] = ReplayResult{0, now_ + 1};
@@ -1227,6 +1400,23 @@ SstCore::tryCommit()
     Epoch &front = epochs_.front();
     if (!front.dq.empty() || !front.redeferred.empty())
         return;
+
+    if (sleActive_) {
+        // The elided critical section must publish atomically, and only
+        // once its release has been observed: until then nothing
+        // commits (sleActive_ also pins the region to this one epoch,
+        // so the whole DQ is the front DQ checked above).
+        if (!sleReleaseSeen_)
+            return;
+        commitAll();
+        sleActive_ = false;
+        sleLockAddr_ = invalidAddr;
+        sleReleaseSeen_ = false;
+        ++sleCommits_;
+        record(trace::TraceKind::LockElide, trace::TraceStrand::Main,
+               arch_.pc, nextSeq_, 1);
+        return;
+    }
 
     if (epochs_.size() == 1)
         commitAll();
@@ -1341,6 +1531,21 @@ SstCore::rollback(FailKind kind)
       case FailKind::MemConflict: ++failMem_; break;
       case FailKind::ScoutEnd: ++scoutEnds_; break;
       case FailKind::Forced: ++failForced_; break;
+      case FailKind::CohConflict: ++failCoh_; break;
+    }
+
+    if (sleActive_) {
+        // The elision is abandoned whatever the rollback's cause; the
+        // retry at the acquire PC (the front checkpoint's PC) takes the
+        // lock conventionally so two cores ping-ponging elisions cannot
+        // livelock (requester wins).
+        ++sleAborts_;
+        record(trace::TraceKind::LockElide, trace::TraceStrand::Main,
+               front.pc, front.startSeq, 0);
+        sleActive_ = false;
+        sleLockAddr_ = invalidAddr;
+        sleReleaseSeen_ = false;
+        sleSuppressPc_ = front.pc;
     }
 
     record(trace::TraceKind::Rollback, trace::TraceStrand::Main, front.pc,
@@ -1351,8 +1556,11 @@ SstCore::rollback(FailKind kind)
               static_cast<unsigned long long>(front.pc),
               static_cast<unsigned long long>(nextSeq_
                                               - front.startSeq));
-    // Every speculation cycle of this region was wasted work.
-    flushPendingSpec(true);
+    // Every speculation cycle of this region was wasted work; when a
+    // remote write caused it, the waste is coherence contention.
+    flushPendingSpec(true, kind == FailKind::CohConflict
+                               ? trace::CpiCat::Coherence
+                               : trace::CpiCat::RollbackDiscard);
     // Committed state is exactly the front checkpoint; re-execute from
     // its trigger PC (whose data has normally arrived by now).
     arch_.pc = front.pc;
@@ -1403,12 +1611,12 @@ SstCore::accountCycle(std::uint64_t retired)
 }
 
 void
-SstCore::flushPendingSpec(bool discarded)
+SstCore::flushPendingSpec(bool discarded, trace::CpiCat discardCat)
 {
     for (std::size_t i = 0; i < trace::numCpiCats; ++i) {
         if (pendingSpec_[i] == 0)
             continue;
-        cpiStack_.add(discarded ? trace::CpiCat::RollbackDiscard
+        cpiStack_.add(discarded ? discardCat
                                 : static_cast<trace::CpiCat>(i),
                       pendingSpec_[i]);
         pendingSpec_[i] = 0;
@@ -1545,6 +1753,14 @@ SstCore::saveExtra(snap::Writer &w) const
     w.u64(lastRollbackCommitted_);
     w.u32(consecutiveFails_);
     w.u64(suppressTriggerPc_);
+
+    for (bool v : regCoh_)
+        w.b(v);
+    w.b(pendingCohSquash_);
+    w.b(sleActive_);
+    w.u64(sleLockAddr_);
+    w.b(sleReleaseSeen_);
+    w.u64(sleSuppressPc_);
 }
 
 void
@@ -1660,6 +1876,14 @@ SstCore::loadExtra(snap::Reader &r)
     lastRollbackCommitted_ = r.u64();
     consecutiveFails_ = r.u32();
     suppressTriggerPc_ = r.u64();
+
+    for (auto &&v : regCoh_)
+        v = r.b();
+    pendingCohSquash_ = r.b();
+    sleActive_ = r.b();
+    sleLockAddr_ = r.u64();
+    sleReleaseSeen_ = r.b();
+    sleSuppressPc_ = r.u64();
 }
 
 } // namespace sst

@@ -49,16 +49,25 @@ namespace sst
 {
 
 /** Checkpoint-based dual-strand speculative core. */
-class SstCore : public Core
+class SstCore : public Core, public CohClient
 {
   public:
     SstCore(const CoreParams &params, const Program &program,
             MemoryImage &memory, CorePort &port);
+    ~SstCore() override;
 
     const char *model() const override
     {
         return params_.discardSpecWork ? "scout" : "sst";
     }
+
+    /** Coherence fabric probe: does the speculative read set (the load
+     *  log, which includes an elided lock's line) cover @p line? */
+    bool specReadsLine(Addr line) const override;
+    /** A remote functional write hit the read set: note the squash; it
+     *  is processed at the top of this core's next cycle (the fabric
+     *  calls in mid-tick of the *writing* core). */
+    void cohSquash() override;
 
     /** True while at least one checkpoint is live. */
     bool speculating() const { return !epochs_.empty(); }
@@ -154,7 +163,8 @@ class SstCore : public Core
         JumpMispredict,
         MemConflict,
         ScoutEnd,
-        Forced ///< injected fault or watchdog degradation
+        Forced,     ///< injected fault or watchdog degradation
+        CohConflict ///< remote write hit the speculative read set
     };
 
     // --- strand bodies ---
@@ -198,9 +208,12 @@ class SstCore : public Core
     bool storeConflicts(SeqNum store_seq, Addr addr, unsigned size) const;
 
     /** Move pending speculation cycles into the CPI stack: to their
-     *  provisional categories on commit, to RollbackDiscard when
-     *  @p discarded. */
-    void flushPendingSpec(bool discarded);
+     *  provisional categories on commit, to @p discardCat (normally
+     *  RollbackDiscard; Coherence for remote-write squashes, so the
+     *  sharing benches can attribute contention) when @p discarded. */
+    void flushPendingSpec(bool discarded,
+                          trace::CpiCat discardCat =
+                              trace::CpiCat::RollbackDiscard);
 
     /** Wake-cycle analysis across the store buffer, the behind strand's
      *  replay front and the ahead strand's first-failing condition. */
@@ -227,8 +240,26 @@ class SstCore : public Core
 
     // --- normal-mode scoreboard ---
     std::array<Cycle, numArchRegs> regReady_{};
+    /** Pending value's latency includes coherence traffic: use-stalls
+     *  on it charge the Coherence CPI bucket (normal mode only). */
+    std::array<bool, numArchRegs> regCoh_{};
     Cycle frontEndReadyAt_ = 0;
     Cycle divBusyUntil_ = 0;
+
+    // --- coherence / speculative lock elision ---
+    /** Set by cohSquash() during a remote core's tick; consumed (as a
+     *  rollback) at the top of this core's next cycle. */
+    bool pendingCohSquash_ = false;
+    /** An AMOSWAP lock acquire is currently elided: the region must
+     *  publish atomically (commitAll) and only after the matching
+     *  release store has been observed. While active, no further
+     *  checkpoints open — the elision owns the single epoch. */
+    bool sleActive_ = false;
+    Addr sleLockAddr_ = invalidAddr;
+    bool sleReleaseSeen_ = false;
+    /** One-shot: after an elision aborts, the retry at this PC acquires
+     *  the lock conventionally (requester-wins forward progress). */
+    std::uint64_t sleSuppressPc_ = ~std::uint64_t{0};
 
     SeqNum nextSeq_ = 1;
     unsigned nextEpochId_ = 0;
@@ -279,6 +310,10 @@ class SstCore : public Core
     Scalar &failJump_;
     Scalar &failMem_;
     Scalar &failForced_;
+    Scalar &failCoh_;
+    Scalar &sleElisions_;
+    Scalar &sleCommits_;
+    Scalar &sleAborts_;
     Scalar &scoutEnds_;
     Scalar &livelockSuppressions_;
     Scalar &watchdogDegrades_;

@@ -163,7 +163,15 @@ Executor::step(ArchState &state)
         info.effAddr = semantics::effectiveAddr(inst, state.reg(inst.rs1));
         info.memSize = memAccessSize(inst.op);
         std::uint64_t raw = memory_.read(info.effAddr, info.memSize);
-        info.result = semantics::extendLoad(inst.op, raw);
+        if (isAtomic(inst.op)) {
+            // AMOSWAP: the read-modify-write is indivisible because a
+            // whole step() runs between core ticks.
+            info.storeValue = state.reg(inst.rs2);
+            memory_.write(info.effAddr, info.storeValue, info.memSize);
+            info.result = raw;
+        } else {
+            info.result = semantics::extendLoad(inst.op, raw);
+        }
         state.setReg(inst.rd, info.result);
         break;
       }

@@ -37,9 +37,17 @@ MemoryImage::readByte(Addr addr) const
 }
 
 void
-MemoryImage::writeByte(Addr addr, std::uint8_t value)
+MemoryImage::rawWriteByte(Addr addr, std::uint8_t value)
 {
     touchPage(addr)[addr & (pageSize - 1)] = value;
+}
+
+void
+MemoryImage::writeByte(Addr addr, std::uint8_t value)
+{
+    rawWriteByte(addr, value);
+    if (writeObserver_)
+        writeObserver_(addr, 1);
 }
 
 std::uint64_t
@@ -71,10 +79,13 @@ MemoryImage::write(Addr addr, std::uint64_t value, unsigned size)
         Page &p = touchPage(addr);
         for (unsigned i = 0; i < size; ++i)
             p[off + i] = static_cast<std::uint8_t>(value >> (8 * i));
-        return;
+    } else {
+        for (unsigned i = 0; i < size; ++i)
+            rawWriteByte(addr + i,
+                         static_cast<std::uint8_t>(value >> (8 * i)));
     }
-    for (unsigned i = 0; i < size; ++i)
-        writeByte(addr + i, static_cast<std::uint8_t>(value >> (8 * i)));
+    if (writeObserver_)
+        writeObserver_(addr, size);
 }
 
 void

@@ -8,6 +8,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <unordered_map>
 
@@ -45,6 +46,18 @@ class MemoryImage
     std::uint8_t readByte(Addr addr) const;
     void writeByte(Addr addr, std::uint8_t value);
 
+    /**
+     * Observe every write to this image. With one image shared by all
+     * cores of a coherent CMP, the observer is how a store by the
+     * ticking core becomes visible to the others at the instant it
+     * happens (squashing any speculative reader). Not serialized; the
+     * owner re-installs it after restore.
+     */
+    void setWriteObserver(std::function<void(Addr, unsigned)> obs)
+    {
+        writeObserver_ = std::move(obs);
+    }
+
     /** Copy all of @p program's data segments into this image. */
     void loadSegments(const Program &program);
 
@@ -70,8 +83,10 @@ class MemoryImage
 
     const Page *findPage(Addr addr) const;
     Page &touchPage(Addr addr);
+    void rawWriteByte(Addr addr, std::uint8_t value);
 
     std::unordered_map<Addr, std::unique_ptr<Page>> pages_;
+    std::function<void(Addr, unsigned)> writeObserver_;
 };
 
 } // namespace sst

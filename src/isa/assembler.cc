@@ -222,9 +222,17 @@ assemble(const std::string &source, const std::string &name)
 
         switch (info.cls) {
           case OpClass::Load: {
-            expect(2);
             RegId base;
             std::int32_t disp;
+            if (isAtomic(op)) {
+                // amoswap rd, rs2, disp(base)
+                expect(3);
+                parseMemOperand(ops[2], lineNo, base, disp);
+                b.emit(inst::amoswap(parseReg(ops[0], lineNo),
+                                     parseReg(ops[1], lineNo), base, disp));
+                break;
+            }
+            expect(2);
             parseMemOperand(ops[1], lineNo, base, disp);
             b.emit(inst::load(op, parseReg(ops[0], lineNo), base, disp));
             break;

@@ -138,6 +138,13 @@ Builder::sb(RegId src, RegId base, std::int32_t disp)
 }
 
 Builder &
+Builder::amoswap(RegId rd, RegId src, RegId base, std::int32_t disp)
+{
+    prog_.append(inst::amoswap(rd, src, base, disp));
+    return *this;
+}
+
+Builder &
 Builder::ctrl(Opcode op, RegId rs1, RegId rs2, RegId rd,
               const std::string &target)
 {

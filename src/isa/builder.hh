@@ -73,6 +73,8 @@ class Builder
     Builder &st(RegId src, RegId base, std::int32_t disp);
     Builder &sw(RegId src, RegId base, std::int32_t disp);
     Builder &sb(RegId src, RegId base, std::int32_t disp);
+    /** rd = M[base+disp]; M[base+disp] = src, atomically. */
+    Builder &amoswap(RegId rd, RegId src, RegId base, std::int32_t disp);
 
     // --- control (label-targeted; forward references allowed) ---
     Builder &beq(RegId rs1, RegId rs2, const std::string &target);

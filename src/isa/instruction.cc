@@ -42,8 +42,12 @@ Inst::toString() const
     char buf[96];
     switch (info.cls) {
       case OpClass::Load:
-        std::snprintf(buf, sizeof(buf), "%-8s x%u, %d(x%u)", info.mnemonic,
-                      rd, imm, rs1);
+        if (isAtomic(op))
+            std::snprintf(buf, sizeof(buf), "%-8s x%u, x%u, %d(x%u)",
+                          info.mnemonic, rd, rs2, imm, rs1);
+        else
+            std::snprintf(buf, sizeof(buf), "%-8s x%u, %d(x%u)",
+                          info.mnemonic, rd, imm, rs1);
         break;
       case OpClass::Store:
         std::snprintf(buf, sizeof(buf), "%-8s x%u, %d(x%u)", info.mnemonic,
@@ -108,6 +112,12 @@ store(Opcode op, RegId src, RegId base, std::int32_t disp)
 {
     panic_if(!isStore(op), "store() with non-store opcode");
     return Inst{op, 0, base, src, disp};
+}
+
+Inst
+amoswap(RegId rd, RegId src, RegId base, std::int32_t disp)
+{
+    return Inst{Opcode::AMOSWAP, rd, base, src, disp};
 }
 
 Inst

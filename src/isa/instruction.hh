@@ -52,6 +52,7 @@ Inst rrr(Opcode op, RegId rd, RegId rs1, RegId rs2);
 Inst rri(Opcode op, RegId rd, RegId rs1, std::int32_t imm);
 Inst load(Opcode op, RegId rd, RegId base, std::int32_t disp);
 Inst store(Opcode op, RegId src, RegId base, std::int32_t disp);
+Inst amoswap(RegId rd, RegId src, RegId base, std::int32_t disp);
 Inst branch(Opcode op, RegId rs1, RegId rs2, std::int32_t rel);
 Inst jal(RegId rd, std::int32_t rel);
 Inst jalr(RegId rd, RegId rs1, std::int32_t disp);

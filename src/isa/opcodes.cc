@@ -49,6 +49,7 @@ const OpInfo table[] = {
     /* ST       */ {"st",      OpClass::Store,    1, true,  true,  false, true},
     /* SW       */ {"sw",      OpClass::Store,    1, true,  true,  false, true},
     /* SB       */ {"sb",      OpClass::Store,    1, true,  true,  false, true},
+    /* AMOSWAP  */ {"amoswap", OpClass::Load,     1, true,  true,  true,  true},
     /* BEQ      */ {"beq",     OpClass::Branch,   1, true,  true,  false, true},
     /* BNE      */ {"bne",     OpClass::Branch,   1, true,  true,  false, true},
     /* BLT      */ {"blt",     OpClass::Branch,   1, true,  true,  false, true},
@@ -95,6 +96,12 @@ isMem(Opcode op)
 }
 
 bool
+isAtomic(Opcode op)
+{
+    return op == Opcode::AMOSWAP;
+}
+
+bool
 isCondBranch(Opcode op)
 {
     return opInfo(op).cls == OpClass::Branch;
@@ -125,6 +132,7 @@ memAccessSize(Opcode op)
     switch (op) {
       case Opcode::LD:
       case Opcode::ST:
+      case Opcode::AMOSWAP:
         return 8;
       case Opcode::LW:
       case Opcode::SW:

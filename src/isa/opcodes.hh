@@ -32,8 +32,8 @@ enum class Opcode : std::uint8_t
     MUL, DIV, REM,
     // Floating point (IEEE-754 double carried in integer registers)
     FADD, FSUB, FMUL, FDIV, FCVT_D_L, FCVT_L_D,
-    // Memory
-    LD, LW, LB, ST, SW, SB,
+    // Memory (AMOSWAP atomically exchanges rs2 with M[rs1+imm])
+    LD, LW, LB, ST, SW, SB, AMOSWAP,
     // Control
     BEQ, BNE, BLT, BGE, BLTU, BGEU,
     JAL, JALR,
@@ -79,6 +79,8 @@ const OpInfo &opInfo(Opcode op);
 bool isLoad(Opcode op);
 bool isStore(Opcode op);
 bool isMem(Opcode op);
+/** True for read-modify-write memory ops (currently AMOSWAP). */
+bool isAtomic(Opcode op);
 bool isCondBranch(Opcode op);
 bool isJump(Opcode op);
 bool isControl(Opcode op);

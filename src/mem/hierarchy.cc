@@ -4,6 +4,7 @@
 
 #include "common/logging.hh"
 #include "snap/snap.hh"
+#include "trace/trace.hh"
 
 namespace sst
 {
@@ -18,7 +19,9 @@ CorePort::CorePort(MemorySystem &system, const HierarchyParams &params,
       mshrs_("l1_mshrs", params.l1MshrEntries, stats_),
       dtlb_(params.dtlb, "dtlb", stats_),
       dataPf_(params.dataPrefetch, params.l1d.lineBytes, "l1d_pf", stats_),
-      instPf_(params.instPrefetch, params.l1i.lineBytes, "l1i_pf", stats_)
+      instPf_(params.instPrefetch, params.l1i.lineBytes, "l1i_pf", stats_),
+      cohInvalidationsSeen_(stats_.addScalar(
+          "coh_invalidations", "L1D lines lost to remote writes"))
 {
 }
 
@@ -65,9 +68,24 @@ CorePort::dataAccess(AccessType type, Addr addr, Cycle now)
         }
     }
 
+    const bool coherent = system_.coherent();
     auto hit = l1d_.access(addr, isStore, now);
     if (hit.hit) {
         res.readyCycle = std::max(hit.readyCycle, xlat.readyCycle);
+        if (coherent && isStore) {
+            // A store hit may still owe the directory an upgrade (the
+            // line can be shared) or an intervention/invalidate (a
+            // remote owner the L1 doesn't know about can't exist — the
+            // owner's write would have invalidated us — so this is the
+            // S->M path).
+            CohAction act =
+                system_.coherenceAccess(line, coreId_, true, now);
+            if (act.latency != 0) {
+                res.readyCycle =
+                    std::max(res.readyCycle, now + act.latency);
+                res.coh = true;
+            }
+        }
         // A line still being filled (or a page still being walked) is
         // architecturally a merged miss: the pipeline sees the full
         // latency, and SST treats it as a deferral trigger just like a
@@ -87,6 +105,16 @@ CorePort::dataAccess(AccessType type, Addr addr, Cycle now)
     if (pending != invalidCycle) {
         mshrs_.noteMerge();
         res.readyCycle = std::max(pending, xlat.readyCycle);
+        if (coherent && isStore) {
+            // A store merging into a load's fill still needs ownership.
+            CohAction act =
+                system_.coherenceAccess(line, coreId_, true, now);
+            if (act.latency != 0) {
+                res.readyCycle =
+                    std::max(res.readyCycle, pending + act.latency);
+                res.coh = true;
+            }
+        }
         return res;
     }
 
@@ -111,6 +139,18 @@ CorePort::dataAccess(AccessType type, Addr addr, Cycle now)
     bool l2Hit = false;
     Cycle dataReady = system_.accessL2(line, now, l2Hit);
     dataReady = system_.faults().perturbFill(now, dataReady);
+    if (coherent) {
+        CohAction act =
+            system_.coherenceAccess(line, coreId_, isStore, now);
+        if (act.latency != 0) {
+            dataReady += act.latency;
+            res.coh = true;
+        }
+        // A miss on a line a remote writer stole is a coherence miss
+        // even when the steal itself was latency-free here.
+        if (cohInvalidatedLines_.erase(line))
+            res.coh = true;
+    }
     res.l2Hit = l2Hit;
     res.readyCycle = std::max(dataReady, xlat.readyCycle);
 
@@ -118,6 +158,8 @@ CorePort::dataAccess(AccessType type, Addr addr, Cycle now)
     auto ev = l1d_.fill(addr, dataReady, isStore);
     if (ev.valid && ev.dirty)
         system_.writebackToL2(ev.lineAddr, now);
+    if (ev.valid && coherent)
+        system_.noteEvict(ev.lineAddr, coreId_);
     if (type == AccessType::Prefetch)
         prefetchedLines_.insert(line);
     else
@@ -184,12 +226,22 @@ CorePort::issuePrefetches(Cache &cache, Prefetcher &pf, Addr lineAddr,
             break; // never stall the pipeline for a prefetch
         bool l2Hit = false;
         Cycle ready = system_.accessL2(target, now, l2Hit);
+        bool dataSide = &cache == &l1d_;
+        if (dataSide && system_.coherent()) {
+            // Prefetches register as readers so a later remote write
+            // invalidates the prefetched copy like any other.
+            CohAction act =
+                system_.coherenceAccess(target, coreId_, false, now);
+            ready += act.latency;
+        }
         mshrs_.allocate(target, ready, false, now);
         auto ev = cache.fill(target, ready, false);
         if (ev.valid && ev.dirty)
             system_.writebackToL2(ev.lineAddr, now);
+        if (ev.valid && dataSide && system_.coherent())
+            system_.noteEvict(ev.lineAddr, coreId_);
         pf.noteIssued();
-        if (&cache == &l1d_)
+        if (dataSide)
             prefetchedLines_.insert(target);
     }
 }
@@ -202,6 +254,19 @@ CorePort::flush()
     dtlb_.flush();
     mshrs_.reset();
     prefetchedLines_.clear();
+    cohInvalidatedLines_.clear();
+    if (system_.coherent())
+        system_.directory().dropCore(coreId_);
+}
+
+void
+CorePort::applyInvalidate(Addr line)
+{
+    l1d_.invalidate(line);
+    mshrs_.invalidate(line);
+    prefetchedLines_.erase(line);
+    cohInvalidatedLines_.insert(line);
+    ++cohInvalidationsSeen_;
 }
 
 MemorySystem::MemorySystem(const HierarchyParams &params)
@@ -210,8 +275,12 @@ MemorySystem::MemorySystem(const HierarchyParams &params)
       l2_(params.l2, stats_),
       dram_(params.dram, stats_),
       faults_(params.fault, stats_),
+      directory_(params.coh),
       l2PortStall_(stats_.addScalar("l2_port_stall_cycles",
-                                    "cycles requests queued on L2 port"))
+                                    "cycles requests queued on L2 port")),
+      cohSquashes_(stats_.addScalar(
+          "coh_squashes",
+          "speculative regions squashed by remote writes"))
 {
     fatal_if(params.l1i.lineBytes != params.l2.lineBytes
                  || params.l1d.lineBytes != params.l2.lineBytes,
@@ -263,6 +332,69 @@ MemorySystem::writebackToL2(Addr lineAddr, Cycle now)
         dram_.access(ev.lineAddr, start, true);
 }
 
+CohAction
+MemorySystem::coherenceAccess(Addr line, unsigned core, bool isStore,
+                              Cycle now)
+{
+    CohAction act = directory_.onAccess(line, core, isStore);
+    if (act.invalidateMask != 0) {
+        for (unsigned v = 0; v < ports_.size(); ++v) {
+            if (((act.invalidateMask >> v) & 1) == 0)
+                continue;
+            ports_[v]->applyInvalidate(line);
+            if (traceBuf_) {
+                trace::TraceEvent ev;
+                ev.cycle = now;
+                ev.pc = line;
+                ev.arg = v;
+                ev.kind = trace::TraceKind::CohInvalidate;
+                ev.strand = trace::TraceStrand::Mem;
+                traceBuf_->record(ev);
+            }
+        }
+    }
+    if (traceBuf_ && (act.upgrade || act.intervention)) {
+        trace::TraceEvent ev;
+        ev.cycle = now;
+        ev.pc = line;
+        ev.arg = core;
+        ev.kind = act.upgrade ? trace::TraceKind::CohUpgrade
+                              : trace::TraceKind::CohIntervention;
+        ev.strand = trace::TraceStrand::Mem;
+        traceBuf_->record(ev);
+    }
+    return act;
+}
+
+void
+MemorySystem::noteEvict(Addr line, unsigned core)
+{
+    directory_.onEvict(line, core);
+}
+
+void
+MemorySystem::onFunctionalWrite(Addr addr, unsigned size)
+{
+    if (!coherent() || ports_.size() < 2)
+        return;
+    const Addr mask = ~static_cast<Addr>(lineBytes() - 1);
+    const Addr first = addr & mask;
+    const Addr last = (addr + (size ? size - 1 : 0)) & mask;
+    for (Addr line = first;; line += lineBytes()) {
+        for (unsigned c = 0; c < ports_.size(); ++c) {
+            if (c == activeCore_)
+                continue;
+            CohClient *client = ports_[c]->cohClient();
+            if (client && client->specReadsLine(line)) {
+                client->cohSquash();
+                ++cohSquashes_;
+            }
+        }
+        if (line == last)
+            break;
+    }
+}
+
 void
 MemorySystem::flushAll()
 {
@@ -291,6 +423,12 @@ CorePort::save(snap::Writer &w) const
     w.u64(lines.size());
     for (Addr line : lines)
         w.u64(line);
+    std::vector<Addr> stolen(cohInvalidatedLines_.begin(),
+                             cohInvalidatedLines_.end());
+    std::sort(stolen.begin(), stolen.end());
+    w.u64(stolen.size());
+    for (Addr line : stolen)
+        w.u64(line);
 }
 
 void
@@ -313,6 +451,10 @@ CorePort::load(snap::Reader &r)
     std::uint64_t n = r.u64();
     for (std::uint64_t i = 0; i < n; ++i)
         prefetchedLines_.insert(r.u64());
+    cohInvalidatedLines_.clear();
+    std::uint64_t ns = r.u64();
+    for (std::uint64_t i = 0; i < ns; ++i)
+        cohInvalidatedLines_.insert(r.u64());
 }
 
 void
@@ -326,6 +468,7 @@ MemorySystem::save(snap::Writer &w) const
     w.u32(static_cast<std::uint32_t>(ports_.size()));
     for (const auto &port : ports_)
         port->save(w);
+    directory_.save(w);
 }
 
 void
@@ -343,6 +486,7 @@ MemorySystem::load(snap::Reader &r)
              n, ports_.size());
     for (auto &port : ports_)
         port->load(r);
+    directory_.load(r);
 }
 
 } // namespace sst

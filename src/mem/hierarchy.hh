@@ -17,6 +17,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "coh/coh.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "fault/fault.hh"
@@ -48,6 +49,10 @@ struct HierarchyParams
     TlbParams dtlb{0, 4096, 120};
     /** Fault injection (chaos testing); all off by default. */
     FaultParams fault{};
+    /** Coherence directory; disabled (private salted windows) by
+     *  default. When enabled the CMP shares one physical address space
+     *  and the directory models invalidation/intervention traffic. */
+    CohParams coh{};
 };
 
 class MemorySystem;
@@ -78,6 +83,15 @@ class CorePort
      * programs contend for L2 capacity without falsely sharing lines.
      */
     void setAddressSalt(Addr salt) { addressSalt_ = salt; }
+
+    /**
+     * Register the core's speculative-read-set interface. The fabric
+     * asks it, on every remote functional write, whether the written
+     * line is speculatively read here and must squash (null = core
+     * model without speculation; nothing to squash).
+     */
+    void setCohClient(CohClient *client) { cohClient_ = client; }
+    CohClient *cohClient() const { return cohClient_; }
 
     /** Demand misses in flight (for MLP accounting). */
     unsigned outstandingDemand(Cycle now)
@@ -129,6 +143,11 @@ class CorePort
     void issuePrefetches(Cache &cache, Prefetcher &pf, Addr lineAddr,
                          bool wasMiss, Cycle now);
 
+    /** A remote write took this core's copy of @p line: drop it from
+     *  L1D, poison any in-flight fill, and remember the theft so the
+     *  re-miss is attributed to coherence. */
+    void applyInvalidate(Addr line);
+
     MemorySystem &system_;
     unsigned coreId_;
     Addr addressSalt_ = 0;
@@ -141,6 +160,12 @@ class CorePort
     Prefetcher instPf_;
     /** Lines brought in by prefetch and not yet demanded. */
     std::unordered_set<Addr> prefetchedLines_;
+    CohClient *cohClient_ = nullptr;
+    /** Lines lost to remote writes; cleared on the next local access
+     *  (which reports coh=true so the stall lands in the coherence
+     *  CPI bucket). */
+    std::unordered_set<Addr> cohInvalidatedLines_;
+    Scalar &cohInvalidationsSeen_;
 };
 
 /** Shared L2 + DRAM; owns the per-core ports. */
@@ -162,6 +187,39 @@ class MemorySystem
 
     /** Invalidate all caches and drain DRAM state. */
     void flushAll();
+
+    /** True when the CMP runs one shared address space with the
+     *  directory arbitrating line ownership. */
+    bool coherent() const { return params_.coh.enabled; }
+    Directory &directory() { return directory_; }
+
+    /** The core whose tick is in progress: functional writes observed
+     *  while it runs are its writes (self-invalidation is skipped). */
+    void setActiveCore(unsigned core) { activeCore_ = core; }
+
+    /**
+     * A functional write of @p size bytes at @p addr just landed in the
+     * shared MemoryImage (fired by its write observer during the active
+     * core's tick). Squashes every *other* core whose speculative read
+     * set covers a written line — the requester-wins conflict rule that
+     * keeps committed regions serializable.
+     */
+    void onFunctionalWrite(Addr addr, unsigned size);
+
+    /**
+     * Directory lookup for an access by @p core to @p line, applying
+     * any invalidations to the victim cores' L1s/MSHRs and tracing the
+     * traffic. @return the coherence action; the caller folds
+     * .latency into the access's ready time.
+     */
+    CohAction coherenceAccess(Addr line, unsigned core, bool isStore,
+                              Cycle now);
+
+    /** Core @p core silently dropped @p line from its L1D. */
+    void noteEvict(Addr line, unsigned core);
+
+    /** Route coherence trace events into @p buf (null detaches). */
+    void setTraceBuffer(trace::TraceBuffer *buf) { traceBuf_ = buf; }
 
     /** Serialize L2/DRAM/fault-RNG/port-arbiter state plus every
      *  registered core port (ports must already exist: configuration,
@@ -186,8 +244,12 @@ class MemorySystem
     Cache l2_;
     Dram dram_;
     FaultInjector faults_;
+    Directory directory_;
     Cycle l2PortFree_ = 0;
     Scalar &l2PortStall_;
+    Scalar &cohSquashes_;
+    unsigned activeCore_ = 0;
+    trace::TraceBuffer *traceBuf_ = nullptr;
     std::vector<std::unique_ptr<CorePort>> ports_;
 };
 

@@ -81,6 +81,14 @@ MshrFile::reset()
     entries_.clear();
 }
 
+void
+MshrFile::invalidate(Addr lineAddr)
+{
+    for (auto &e : entries_)
+        if (e.lineAddr == lineAddr)
+            e.lineAddr = invalidAddr;
+}
+
 
 void
 MshrFile::save(snap::Writer &w) const

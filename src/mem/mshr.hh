@@ -76,6 +76,14 @@ class MshrFile
     /** Clear all entries (rollback/flush). */
     void reset();
 
+    /**
+     * Coherence poison: a remote write invalidated @p lineAddr while a
+     * fill was in flight. The entry keeps its completion time (it still
+     * occupies the file and frees on schedule) but stops matching
+     * lookups, so the next access re-misses and re-requests the line.
+     */
+    void invalidate(Addr lineAddr);
+
     /** Mean observed demand-MLP (computed from allocation samples). */
     double meanDemandMlp() const { return mlp_.mean(); }
     const Distribution &mlpDist() const { return mlp_; }

@@ -32,6 +32,10 @@ struct AccessResult
     /** Hit classification for stats/deferral decisions. */
     bool l1Hit = false;
     bool l2Hit = false;
+    /** True when coherence traffic shaped this access: the latency
+     *  includes invalidation/intervention/upgrade delay, or the miss
+     *  itself was caused by a remote invalidation. */
+    bool coh = false;
     /** True when the L1 lookup missed (the SST deferral trigger). */
     bool l1Miss() const { return !l1Hit; }
 };

@@ -30,24 +30,44 @@ Cmp::Cmp(const MachineConfig &config,
     : config_(config), programs_(programs), memsys_(config.mem)
 {
     fatal_if(programs.empty(), "Cmp needs at least one program");
+    const bool shared = memsys_.coherent();
+    if (shared) {
+        // True shared memory: one physical image for the whole chip.
+        // Every program's segments load into it (shared workloads emit
+        // identical init data and disjoint per-core result slots), and
+        // its write observer feeds the coherence fabric so remote
+        // speculative readers of a written line are squashed.
+        images_.push_back(std::make_unique<MemoryImage>());
+        for (const Program *program : programs)
+            images_.back()->loadSegments(*program);
+        images_.back()->setWriteObserver([this](Addr addr, unsigned size) {
+            memsys_.onFunctionalWrite(addr, size);
+        });
+    }
     for (std::size_t i = 0; i < programs.size(); ++i) {
         CorePort &port = memsys_.addCore();
-        // saltStride bytes of physical window per core keeps line/set
-        // alignment while separating the cores' footprints.
-        port.setAddressSalt(static_cast<Addr>(i) * saltStride);
-        images_.push_back(std::make_unique<MemoryImage>());
-        images_.back()->loadSegments(*programs[i]);
-        // A footprint past the stride would alias the next core's
-        // window and silently corrupt the timing model (shared lines
-        // that don't exist architecturally). Refuse up front.
-        Addr footprint = programFootprint(*programs[i], *images_.back());
-        fatal_if(programs.size() > 1 && footprint > saltStride,
-                 "Cmp: program '%s' footprint 0x%llx exceeds the "
-                 "per-core address salt stride 0x%llx; core %zu would "
-                 "alias core %zu's physical range",
-                 programs[i]->name().c_str(),
-                 static_cast<unsigned long long>(footprint),
-                 static_cast<unsigned long long>(saltStride), i, i + 1);
+        if (!shared) {
+            // saltStride bytes of physical window per core keeps
+            // line/set alignment while separating the cores'
+            // footprints.
+            port.setAddressSalt(static_cast<Addr>(i) * saltStride);
+            images_.push_back(std::make_unique<MemoryImage>());
+            images_.back()->loadSegments(*programs[i]);
+            // A footprint past the stride would alias the next core's
+            // window and silently corrupt the timing model (shared
+            // lines that don't exist architecturally). Refuse up front
+            // — aliasing needs a neighbour, so one core is exempt.
+            Addr footprint =
+                programFootprint(*programs[i], *images_.back());
+            fatal_if(programs.size() > 1 && footprint > saltStride,
+                     "Cmp: program '%s' footprint 0x%llx exceeds the "
+                     "per-core address salt stride 0x%llx; core %zu "
+                     "would alias core %zu's physical range",
+                     programs[i]->name().c_str(),
+                     static_cast<unsigned long long>(footprint),
+                     static_cast<unsigned long long>(saltStride), i,
+                     i + 1);
+        }
         MachineConfig cfg = config_;
         cfg.core.name = "core" + std::to_string(i);
         cores_.push_back(
@@ -71,6 +91,9 @@ Cmp::run(std::uint64_t max_cycles)
             if (core.halted())
                 continue;
             std::uint64_t before = core.instsRetired();
+            // Functional writes observed during this tick are core i's
+            // own (self-invalidation must be skipped).
+            memsys_.setActiveCore(static_cast<unsigned>(i));
             core.tick();
             any_retired |= core.instsRetired() != before;
             allHalted_ &= core.halted();
@@ -152,8 +175,10 @@ Cmp::snapshot() const
     for (std::size_t i = 0; i < cores_.size(); ++i) {
         cores_[i]->save(w);
         watchdogs_[i]->save(w);
-        images_[i]->save(w);
     }
+    // One image in coherent mode, one per core otherwise.
+    for (const auto &image : images_)
+        image->save(w);
     memsys_.save(w);
     memsys_.stats().save(w);
     return w.data();
@@ -198,8 +223,9 @@ Cmp::restore(const std::vector<std::uint8_t> &bytes)
     for (std::size_t i = 0; i < cores_.size(); ++i) {
         cores_[i]->load(r);
         watchdogs_[i]->load(r);
-        images_[i]->load(r);
     }
+    for (const auto &image : images_)
+        image->load(r);
     memsys_.load(r);
     memsys_.stats().load(r);
     r.done();

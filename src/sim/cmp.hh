@@ -39,11 +39,14 @@ class Cmp
 {
   public:
     /**
-     * Each core runs its own program (same address layout is fine: the
-     * harness salts every core's timing addresses into a disjoint
-     * physical range). @p programs must outlive the Cmp. A program
-     * whose footprint exceeds the per-core salt stride would alias
-     * another core's physical range and is rejected with fatal().
+     * Each core runs its own program. With coherence off (the default)
+     * the harness salts every core's timing addresses into a disjoint
+     * physical range and gives each core a private functional image; a
+     * program whose footprint exceeds the per-core salt stride would
+     * alias another core's physical range and is rejected with
+     * fatal(). With coherence on (config.mem.coh.enabled) all cores
+     * share one unsalted physical space and one functional image —
+     * true shared memory. @p programs must outlive the Cmp.
      */
     Cmp(const MachineConfig &config,
         const std::vector<const Program *> &programs);
@@ -57,6 +60,12 @@ class Cmp
     CmpResult run(std::uint64_t max_cycles = 500'000'000);
 
     Core &core(unsigned i) { return *cores_[i]; }
+    /** Core @p i's functional image (the one shared image when the
+     *  memory system is coherent). */
+    MemoryImage &image(unsigned i)
+    {
+        return *images_[memsys_.coherent() ? 0 : i];
+    }
     MemorySystem &memsys() { return memsys_; }
     Cycle cycles() const { return cycle_; }
     bool allHalted() const { return allHalted_; }

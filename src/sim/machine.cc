@@ -137,6 +137,7 @@ Machine::attachTraceBuffer(trace::TraceBuffer *buf)
     core_->port().l1d().setTrace(buf, 1);
     memsys_.l2().setTrace(buf, 2);
     memsys_.dram().setTrace(buf);
+    memsys_.setTraceBuffer(buf);
 }
 
 void

@@ -87,6 +87,17 @@ makePreset(const std::string &name)
         cfg.core.issueQueueEntries = 128;
         cfg.core.lsqEntries = 128;
         cfg.core.issueWidth = 8;
+    } else if (name == "rock16") {
+        // The ROCK chip: 16 SST cores (2 checkpoints apiece) over one
+        // coherent shared 2 MiB L2 — true shared memory, no address
+        // salting, lock elision available.
+        cfg.model = "sst";
+        cfg.core.checkpoints = 2;
+        cfg.core.dqEntries = 64;
+        cfg.core.ssqEntries = 32;
+        cfg.core.elideLocks = true;
+        cfg.mem.coh.enabled = true;
+        cfg.cmpCores = 16;
     } else {
         fatal("unknown machine preset '%s'", name.c_str());
     }
@@ -96,8 +107,9 @@ makePreset(const std::string &name)
 std::vector<std::string>
 presetNames()
 {
-    return {"inorder", "scout",     "ea",        "sst2",      "sst4",
-            "sst8",    "ooo-small", "ooo-large", "ooo-huge"};
+    return {"inorder",   "scout",     "ea",       "sst2",
+            "sst4",      "sst8",      "ooo-small", "ooo-large",
+            "ooo-huge",  "rock16"};
 }
 
 void
@@ -131,6 +143,10 @@ applyOverrides(MachineConfig &config, const Config &overrides)
         "core.max_deferred_branches", c.maxDeferredBranches));
     c.lineGranularConflicts = overrides.getBool(
         "core.line_granular_conflicts", c.lineGranularConflicts);
+    c.elideLocks = overrides.getBool("core.elide_locks", c.elideLocks);
+
+    config.cmpCores = static_cast<unsigned>(
+        overrides.getUint("cmp.cores", config.cmpCores));
 
     HierarchyParams &m = config.mem;
     m.l1d.sizeBytes =
@@ -161,6 +177,15 @@ applyOverrides(MachineConfig &config, const Config &overrides)
         overrides.getUint("mem.dtlb_entries", m.dtlb.entries));
     m.dtlb.walkLatency = static_cast<unsigned>(overrides.getUint(
         "mem.dtlb_walk_latency", m.dtlb.walkLatency));
+
+    CohParams &coh = m.coh;
+    coh.enabled = overrides.getBool("coh.enabled", coh.enabled);
+    coh.invalidateLatency = static_cast<unsigned>(overrides.getUint(
+        "coh.invalidate_latency", coh.invalidateLatency));
+    coh.interventionLatency = static_cast<unsigned>(overrides.getUint(
+        "coh.intervention_latency", coh.interventionLatency));
+    coh.upgradeLatency = static_cast<unsigned>(
+        overrides.getUint("coh.upgrade_latency", coh.upgradeLatency));
 
     FaultParams &f = m.fault;
     f.seed = overrides.getUint("fault.seed", f.seed);
@@ -211,6 +236,12 @@ machineConfigKeys()
         "core.defer_on_l2_miss_only",
         "core.max_deferred_branches",
         "core.line_granular_conflicts",
+        "core.elide_locks",
+        "cmp.cores",
+        "coh.enabled",
+        "coh.invalidate_latency",
+        "coh.intervention_latency",
+        "coh.upgrade_latency",
         "mem.l1d_kb",
         "mem.l2_kb",
         "mem.dram_base_latency",

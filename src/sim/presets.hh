@@ -55,6 +55,10 @@ struct MachineConfig
     CoreParams core;
     HierarchyParams mem;
     WatchdogParams watchdog;
+    /** Core count for CMP presets (0 = single-core preset; the CMP
+     *  harness is driven by the number of programs, this is the
+     *  preset's intended chip size for the CLI and benches). */
+    unsigned cmpCores = 0;
 };
 
 /** Build a named preset; unknown names are fatal. */

@@ -17,6 +17,7 @@ cpiCatName(CpiCat cat)
       case CpiCat::SsqFull: return "ssq_full";
       case CpiCat::Replay: return "replay";
       case CpiCat::RollbackDiscard: return "rollback_discard";
+      case CpiCat::Coherence: return "coherence";
       case CpiCat::Other: return "other";
       case CpiCat::NumCats: break;
     }
@@ -41,6 +42,8 @@ cpiCatDesc(CpiCat cat)
         return "committed speculation cycles overlapping misses";
       case CpiCat::RollbackDiscard:
         return "speculation cycles discarded by rollback";
+      case CpiCat::Coherence:
+        return "cycles stalled on cross-core coherence traffic";
       case CpiCat::Other: return "unattributed cycles";
       case CpiCat::NumCats: break;
     }

@@ -22,6 +22,9 @@
  *    (the overlapped-miss cycles the paper's win comes from).
  *  - rollback_discard: in-speculation cycles of regions later rolled
  *    back (wasted work; all of scout mode's speculation lands here).
+ *  - coherence: nothing retired; the binding operand came from a load
+ *    whose latency was inflated by coherence traffic (invalidation,
+ *    intervention or upgrade), or from a line a remote writer stole.
  *  - other:    residual (e.g. a cycle spent performing a rollback).
  */
 
@@ -47,6 +50,7 @@ enum class CpiCat : std::uint8_t
     SsqFull,
     Replay,
     RollbackDiscard,
+    Coherence,
     Other,
     NumCats
 };

@@ -21,6 +21,10 @@ traceKindName(TraceKind kind)
       case TraceKind::Rollback: return "rollback";
       case TraceKind::SsqDrain: return "ssq_drain";
       case TraceKind::Fill: return "fill";
+      case TraceKind::CohInvalidate: return "coh_invalidate";
+      case TraceKind::CohUpgrade: return "coh_upgrade";
+      case TraceKind::CohIntervention: return "coh_intervention";
+      case TraceKind::LockElide: return "lock_elide";
       case TraceKind::NumKinds: break;
     }
     panic("bad TraceKind %d", static_cast<int>(kind));

@@ -53,6 +53,11 @@ enum class TraceKind : std::uint8_t
     Rollback,   ///< speculation discarded (arg = FailKind)
     SsqDrain,   ///< speculative store drained to memory at commit
     Fill,       ///< cache fill completed (arg = level 1/2/3)
+    CohInvalidate,   ///< remote write invalidated a line (arg = victim)
+    CohUpgrade,      ///< S->M ownership upgrade (arg = requester)
+    CohIntervention, ///< dirty-owner data transfer (arg = requester)
+    LockElide,       ///< SLE elided a lock acquire (arg = 1) or
+                     ///< aborted back to conventional locking (arg = 0)
     NumKinds
 };
 

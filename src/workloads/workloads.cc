@@ -63,6 +63,248 @@ safeDoubleBits(Rng &rng)
     return 0x3ff0000000000000ULL | (rng.next() >> 12);
 }
 
+// --- shared-memory workloads ---------------------------------------
+
+// Layout: spinlocks live at dataBase, one per 64 B line so lock and
+// data traffic never false-share; shared payload starts one page up.
+constexpr Addr lockBase = dataBase;
+constexpr Addr sharedBase = dataBase + 4096;
+
+/** Store core @p core's checksum to its private result slot and halt. */
+void
+emitSharedEpilogue(Builder &b, RegId checksum, unsigned core)
+{
+    b.li(30, static_cast<std::int64_t>(resultAddr + core * 8ULL));
+    b.st(checksum, 30, 0);
+    b.halt();
+}
+
+/**
+ * Spin until the lock at (lockReg) is taken: rd gets the old value, 0
+ * means we own it. The held token is core+1, so a memory dump shows
+ * who owns each lock. The spin retires an instruction per attempt,
+ * which keeps the livelock watchdog quiet under heavy contention.
+ */
+void
+emitAcquire(Builder &b, RegId lockReg, RegId token, RegId old,
+            const std::string &label)
+{
+    b.label(label);
+    b.amoswap(old, token, lockReg, 0);
+    b.bne(old, 0, label);
+}
+
+/** Release = plain store of 0 (the SLE release idiom). */
+void
+emitRelease(Builder &b, RegId lockReg)
+{
+    b.st(0, lockReg, 0);
+}
+
+Workload
+makeSpinlockCounter(unsigned core, unsigned cores,
+                    const WorkloadParams &params)
+{
+    (void)cores;
+    Rng coreRng(params.seed + 21 + core * 1000);
+    const std::uint64_t slots =
+        scalePow2(64, params.footprintScale, 8); // 8 lines by default
+    const std::uint64_t iters = scaleCount(2000, params.lengthScale);
+    const Addr ctrBase = sharedBase;
+
+    Builder b("spinlock_counter.c" + std::to_string(core));
+    b.li(5, static_cast<std::int64_t>(lockBase));
+    b.li(6, static_cast<std::int64_t>(ctrBase));
+    b.li(7, static_cast<std::int64_t>(iters));
+    b.li(9, 0); // checksum
+    b.li(10, static_cast<std::int64_t>(coreRng.next() | 1)); // prng
+    b.li(20, static_cast<std::int64_t>(core + 1));           // token
+    b.li(21, static_cast<std::int64_t>(slots - 1));          // mask
+    b.label("loop");
+    emitXorshift(b, 10, 31);
+    b.and_(11, 10, 21);
+    b.slli(11, 11, 3);
+    b.add(11, 11, 6); // &counters[prng & mask]
+    emitAcquire(b, 5, 20, 12, "acquire");
+    b.ld(13, 11, 0); // critical section: counters[slot]++
+    b.addi(13, 13, 1);
+    b.st(13, 11, 0);
+    b.add(9, 9, 13);
+    emitRelease(b, 5);
+    b.addi(7, 7, -1);
+    b.bne(7, 0, "loop");
+    emitSharedEpilogue(b, 9, core);
+    // Identical init image from every core: lock free, counters zero.
+    b.words(lockBase, {0});
+    b.words(ctrBase, std::vector<std::uint64_t>(slots, 0));
+
+    Workload w;
+    w.name = "spinlock_counter";
+    w.category = "shared";
+    w.approxDynInsts = iters * 14;
+    w.program = b.finish();
+    return w;
+}
+
+Workload
+makeProducerConsumer(unsigned core, unsigned cores,
+                     const WorkloadParams &params)
+{
+    fatal_if(cores < 2 || cores % 2 != 0,
+             "producer_consumer needs an even core count, got %u", cores);
+    Rng coreRng(params.seed + 22 + core * 1000);
+    const std::uint64_t items = scaleCount(1500, params.lengthScale);
+    const unsigned capacity = 16; // ring entries (power of two)
+
+    // Ring k (cores 2k and 2k+1): lock on its own line, head/tail in
+    // one control line, then the entry buffer.
+    const unsigned ring = core / 2;
+    const Addr lockAddr = lockBase + ring * 64ULL;
+    const Addr ctlAddr = sharedBase + ring * 4096ULL; // head@0 tail@8
+    const Addr bufAddr = ctlAddr + 64;
+
+    const bool producer = core % 2 == 0;
+    Builder b(std::string(producer ? "producer" : "consumer") + ".c"
+              + std::to_string(core));
+    b.li(5, static_cast<std::int64_t>(lockAddr));
+    b.li(6, static_cast<std::int64_t>(ctlAddr));
+    b.li(8, static_cast<std::int64_t>(bufAddr));
+    b.li(7, static_cast<std::int64_t>(items));
+    b.li(9, 0); // checksum
+    b.li(10, static_cast<std::int64_t>(coreRng.next() | 1)); // prng
+    b.li(20, static_cast<std::int64_t>(core + 1));           // token
+    b.li(21, capacity);
+    b.li(22, capacity - 1); // index mask
+    if (producer) {
+        b.label("loop");
+        emitXorshift(b, 10, 31); // the item to publish
+        emitAcquire(b, 5, 20, 12, "acquire");
+        b.ld(13, 6, 0); // head
+        b.ld(14, 6, 8); // tail
+        b.sub(15, 13, 14);
+        b.bgeu(15, 21, "full");
+        b.and_(16, 13, 22);
+        b.slli(16, 16, 3);
+        b.add(16, 16, 8);
+        b.st(10, 16, 0); // buf[head & mask] = item
+        b.addi(13, 13, 1);
+        b.st(13, 6, 0); // publish head
+        emitRelease(b, 5);
+        b.add(9, 9, 10);
+        b.addi(7, 7, -1);
+        b.bne(7, 0, "loop");
+        b.j("done");
+        // Ring full: drop the lock and wait on the head/tail counters
+        // themselves before retrying.  Spinning on the lock instead
+        // would livelock — the deterministic round-robin tick and the
+        // fixed coherence latencies can phase-lock so the waiter's
+        // amoswap always samples the lock held.
+        b.label("full");
+        emitRelease(b, 5);
+        b.label("wait");
+        b.ld(13, 6, 0);
+        b.ld(14, 6, 8);
+        b.sub(15, 13, 14);
+        b.bgeu(15, 21, "wait");
+        b.j("acquire");
+        b.label("done");
+    } else {
+        b.label("loop");
+        emitAcquire(b, 5, 20, 12, "acquire");
+        b.ld(13, 6, 0); // head
+        b.ld(14, 6, 8); // tail
+        b.beq(13, 14, "empty");
+        b.and_(16, 14, 22);
+        b.slli(16, 16, 3);
+        b.add(16, 16, 8);
+        b.ld(17, 16, 0); // take buf[tail & mask]
+        b.addi(14, 14, 1);
+        b.st(14, 6, 8); // publish tail
+        emitRelease(b, 5);
+        b.add(9, 9, 17);
+        b.addi(7, 7, -1);
+        b.bne(7, 0, "loop");
+        b.j("done");
+        b.label("empty");
+        emitRelease(b, 5); // see the producer's "full" path
+        b.label("wait");
+        b.ld(13, 6, 0);
+        b.ld(14, 6, 8);
+        b.beq(13, 14, "wait");
+        b.j("acquire");
+        b.label("done");
+    }
+    emitSharedEpilogue(b, 9, core);
+    // Identical init image: all rings' locks free, heads/tails zero,
+    // buffers zero. Every core emits the full layout for every ring.
+    for (unsigned r = 0; r < cores / 2; ++r) {
+        b.words(lockBase + r * 64ULL, {0});
+        b.words(sharedBase + r * 4096ULL,
+                std::vector<std::uint64_t>(8 + capacity, 0));
+    }
+
+    Workload w;
+    w.name = "producer_consumer";
+    w.category = "shared";
+    w.approxDynInsts = items * 17;
+    w.program = b.finish();
+    return w;
+}
+
+Workload
+makeSharedTable(unsigned core, unsigned cores,
+                const WorkloadParams &params)
+{
+    (void)cores;
+    // Table contents are drawn from a seed-only stream so every core
+    // emits a byte-identical init image.
+    Rng dataRng(params.seed + 23);
+    Rng coreRng(params.seed + 24 + core * 1000);
+    const std::uint64_t entries =
+        scalePow2(512, params.footprintScale, 64);
+    const std::uint64_t iters = scaleCount(2500, params.lengthScale);
+    const Addr tableBase = sharedBase;
+
+    std::vector<std::uint64_t> table(entries);
+    for (auto &v : table)
+        v = dataRng.next() & 0xffff;
+
+    Builder b("shared_table.c" + std::to_string(core));
+    b.li(5, static_cast<std::int64_t>(lockBase));
+    b.li(6, static_cast<std::int64_t>(tableBase));
+    b.li(7, static_cast<std::int64_t>(iters));
+    b.li(9, 0); // checksum
+    b.li(10, static_cast<std::int64_t>(coreRng.next() | 1)); // prng
+    b.li(20, static_cast<std::int64_t>(core + 1));           // token
+    b.li(21, static_cast<std::int64_t>(entries - 1));        // mask
+    b.label("loop");
+    emitXorshift(b, 10, 31);
+    b.and_(11, 10, 21);
+    b.slli(11, 11, 3);
+    b.add(11, 11, 6); // &table[prng & mask]
+    emitAcquire(b, 5, 20, 12, "acquire");
+    b.ld(13, 11, 0); // lookup (the common case: read-only section)
+    b.add(9, 9, 13);
+    b.andi(14, 10, 15);
+    b.bne(14, 0, "release"); // ~1/16 of sections also update
+    b.addi(13, 13, 1);
+    b.st(13, 11, 0);
+    b.label("release");
+    emitRelease(b, 5);
+    b.addi(7, 7, -1);
+    b.bne(7, 0, "loop");
+    emitSharedEpilogue(b, 9, core);
+    b.words(lockBase, {0});
+    b.words(tableBase, table);
+
+    Workload w;
+    w.name = "shared_table";
+    w.category = "shared";
+    w.approxDynInsts = iters * 14;
+    w.program = b.finish();
+    return w;
+}
+
 } // namespace
 
 Workload
@@ -645,6 +887,32 @@ makeWorkload(const std::string &name, const WorkloadParams &params)
     if (name == "matrix_blocked")
         return makeMatrixBlocked(params);
     fatal("unknown workload '%s'", name.c_str());
+}
+
+std::vector<std::string>
+sharedWorkloadNames()
+{
+    return {"spinlock_counter", "producer_consumer", "shared_table"};
+}
+
+std::vector<Workload>
+makeSharedWorkload(const std::string &name, unsigned cores,
+                   const WorkloadParams &params)
+{
+    fatal_if(cores == 0, "shared workload needs at least one core");
+    std::vector<Workload> out;
+    out.reserve(cores);
+    for (unsigned core = 0; core < cores; ++core) {
+        if (name == "spinlock_counter")
+            out.push_back(makeSpinlockCounter(core, cores, params));
+        else if (name == "producer_consumer")
+            out.push_back(makeProducerConsumer(core, cores, params));
+        else if (name == "shared_table")
+            out.push_back(makeSharedTable(core, cores, params));
+        else
+            fatal("unknown shared workload '%s'", name.c_str());
+    }
+    return out;
 }
 
 } // namespace sst

@@ -25,6 +25,18 @@
  * | sorted_merge   | compute    | sequential              | data-dep   |
  * | column_scan    | commercial | sequential + predicate  | data-dep   |
  * | matrix_blocked | compute    | tiled, L1-friendly      | trivial    |
+ *
+ * Shared-memory workloads (coherent CMP only) emit one program per
+ * core over a single physical image. Critical sections are guarded by
+ * amoswap spinlocks (0 = free, nonzero = held; release is a plain
+ * store of 0) and deliberately never re-read the lock word inside the
+ * section, so they are elision-friendly (see INTERNALS.md).
+ *
+ * | name              | sharing behaviour                             |
+ * |-------------------|-----------------------------------------------|
+ * | spinlock_counter  | all cores contend one lock, bump counters     |
+ * | producer_consumer | core pairs move items through a locked ring   |
+ * | shared_table      | read-mostly lookups, ~1/16 updates, one lock  |
  */
 
 #ifndef SSTSIM_WORKLOADS_WORKLOADS_HH
@@ -82,6 +94,21 @@ std::vector<std::string> computeWorkloadNames();
 /** Build a workload by name; unknown names are fatal. */
 Workload makeWorkload(const std::string &name,
                       const WorkloadParams &params = {});
+
+/**
+ * Build a shared-memory workload: one program per core, all loading
+ * identical initial data into one shared image. Core @c k writes its
+ * checksum to a disjoint result slot (resultAddr + 8k). Per-core PRNG
+ * streams are seeded from (params.seed, core), so a given (name, cores,
+ * seed) triple is fully deterministic. "producer_consumer" requires an
+ * even core count; the others accept any count >= 1.
+ */
+std::vector<Workload> makeSharedWorkload(const std::string &name,
+                                         unsigned cores,
+                                         const WorkloadParams &params = {});
+
+/** All shared-memory workload names in canonical bench order. */
+std::vector<std::string> sharedWorkloadNames();
 
 } // namespace sst
 

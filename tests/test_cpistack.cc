@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "core/smt.hh"
+#include "sim/cmp.hh"
 #include "sim_test_util.hh"
 #include "trace/cpistack.hh"
 
@@ -91,6 +92,36 @@ TEST(CpiStack, FinalizeIsIdempotent)
     std::uint64_t total = r.core->cpiStack().total();
     r.core->finalizeAttribution();
     EXPECT_EQ(r.core->cpiStack().total(), total);
+}
+
+TEST(CpiStack, CoherentCmpSumsToCyclesWithCoherenceBucket)
+{
+    // Two in-order cores contending one spinlock over a coherent
+    // shared L2: the new Coherence category must receive the
+    // invalidation-induced stalls and still leave every cycle charged
+    // exactly once per core.
+    WorkloadParams wp;
+    wp.lengthScale = 0.1;
+    std::vector<Workload> w =
+        makeSharedWorkload("spinlock_counter", 2, wp);
+    std::vector<const Program *> programs;
+    for (const Workload &x : w)
+        programs.push_back(&x.program);
+    MachineConfig cfg;
+    cfg.model = "inorder";
+    cfg.core.name = "core";
+    cfg.mem.coh.enabled = true;
+    Cmp cmp(cfg, programs);
+    CmpResult res = cmp.run(100'000'000);
+    ASSERT_TRUE(res.finished);
+    std::uint64_t coh = 0;
+    for (unsigned c = 0; c < 2; ++c) {
+        EXPECT_EQ(cmp.core(c).cpiStack().total(),
+                  cmp.core(c).cycles())
+            << "core " << c;
+        coh += cmp.core(c).cpiStack().value(trace::CpiCat::Coherence);
+    }
+    EXPECT_GT(coh, 0u);
 }
 
 TEST(CpiStack, SmtSumsToCycles)

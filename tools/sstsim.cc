@@ -77,6 +77,15 @@
  * and optionally prints the CPI-stack attribution table. The CPI
  * categories are asserted to sum to the cycle count.
  *
+ * CMP mode (shared-memory chip multiprocessor, src/sim/cmp.*):
+ *   sstsim cmp <preset> <shared-workload> [--json] [key=value...]
+ * builds one program per core of a shared-memory workload
+ * (spinlock_counter, producer_consumer, shared_table), runs them on a
+ * coherent chip (e.g. preset=rock16, or any preset with coh.enabled=
+ * true and cmp.cores=N) and reports per-core and aggregate IPC.
+ * Without coherence the cores run salted disjoint address spaces and
+ * the "shared" data is private per core — useful only as a baseline.
+ *
  * Exit codes: 0 success, 2 architectural mismatch vs golden, 3 cycle
  * budget exhausted, 4 livelock declared by the watchdog, 5 state
  * divergence found by diff mode, 6 sweep finished with quarantined
@@ -102,6 +111,7 @@
 #include "exp/threadpool.hh"
 #include "func/executor.hh"
 #include "isa/assembler.hh"
+#include "sim/cmp.hh"
 #include "sim/machine.hh"
 #include "sim/sampling.hh"
 #include "snap/diff.hh"
@@ -143,6 +153,9 @@ listAndExit()
 {
     std::printf("workloads:");
     for (const auto &w : allWorkloadNames())
+        std::printf(" %s", w.c_str());
+    std::printf("\nshared workloads (sstsim cmp):");
+    for (const auto &w : sharedWorkloadNames())
         std::printf(" %s", w.c_str());
     std::printf("\npresets:");
     for (const auto &p : presetNames())
@@ -191,6 +204,14 @@ loadProgram(const Config &cfg, std::string &category)
         listAndExit();
     auto names = allWorkloadNames();
     if (std::find(names.begin(), names.end(), name) == names.end()) {
+        auto shared = sharedWorkloadNames();
+        if (std::find(shared.begin(), shared.end(), name)
+            != shared.end())
+            return Error{"'" + name
+                             + "' is a shared-memory workload; run it "
+                               "with 'sstsim cmp <preset> " + name
+                             + "'",
+                         exit_code::usage};
         std::string msg = "unknown workload '" + name + "'";
         std::string near = closestMatch(name, names);
         if (!near.empty())
@@ -628,6 +649,139 @@ workMain(int argc, char **argv)
 }
 
 /**
+ * `sstsim cmp <preset> <shared-workload> [--json] [key=value...]` —
+ * run a shared-memory workload on a chip multiprocessor. The core
+ * count comes from cmp.cores (falling back to the preset's size, then
+ * 2). No golden check: a multi-threaded outcome is interleaving-
+ * dependent, so correctness lives in tests/test_coherence.cc instead.
+ */
+int
+cmpMain(int argc, char **argv)
+{
+    std::string preset_name;
+    std::string workload_name;
+    bool json = false;
+    Config cfg;
+
+    for (int i = 2; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--json") {
+            json = true;
+        } else if (!arg.empty() && arg[0] == '-') {
+            return fail(Error{"unknown cmp option '" + arg
+                                  + "' (know --json)",
+                              exit_code::usage});
+        } else if (arg.find('=') != std::string::npos) {
+            auto parsed = cfg.tryParseAssignment(argv[i]);
+            if (!parsed.ok())
+                return fail(parsed.error());
+        } else if (preset_name.empty()) {
+            preset_name = arg;
+        } else if (workload_name.empty()) {
+            workload_name = arg;
+        } else {
+            return fail(Error{"unexpected argument '" + arg + "'",
+                              exit_code::usage});
+        }
+    }
+    if (preset_name.empty() || workload_name.empty())
+        return fail(Error{"usage: sstsim cmp <preset> "
+                          "<shared-workload> [--json] [key=value...]",
+                          exit_code::usage});
+    if (auto valid = validateKeys(cfg); !valid.ok())
+        return fail(valid.error());
+
+    auto names = sharedWorkloadNames();
+    if (std::find(names.begin(), names.end(), workload_name)
+        == names.end()) {
+        std::string msg = "unknown shared workload '" + workload_name
+                          + "'";
+        std::string near = closestMatch(workload_name, names);
+        if (!near.empty())
+            msg += "; did you mean '" + near + "'?";
+        return fail(Error{msg, exit_code::usage});
+    }
+
+    auto preset = trapFatal([&] { return makePreset(preset_name); },
+                            exit_code::usage);
+    if (!preset.ok()) {
+        Error e = preset.error();
+        std::string near = closestMatch(preset_name, presetNames());
+        if (!near.empty())
+            e.message += "; did you mean '" + near + "'?";
+        e.message += " (preset=list shows all)";
+        return fail(e);
+    }
+    MachineConfig mc = preset.take();
+    if (auto applied = trapFatal([&] { applyOverrides(mc, cfg); });
+        !applied.ok())
+        return fail(applied.error());
+    // Shared workloads only make sense over shared memory: coherence
+    // defaults ON here whatever the preset says (an explicit
+    // coh.enabled=false still wins, and salts the cores apart).
+    if (!cfg.has("coh.enabled"))
+        mc.mem.coh.enabled = true;
+    json = json || cfg.getBool("json", false);
+    unsigned cores = mc.cmpCores ? mc.cmpCores : 2;
+
+    WorkloadParams wp;
+    wp.seed = cfg.getUint("seed", 42);
+    wp.lengthScale = cfg.getDouble("length_scale", 1.0);
+    wp.footprintScale = cfg.getDouble("footprint_scale", 1.0);
+    auto built = trapFatal(
+        [&] { return makeSharedWorkload(workload_name, cores, wp); },
+        exit_code::usage);
+    if (!built.ok())
+        return fail(built.error());
+    std::vector<Workload> workloads = built.take();
+    std::vector<const Program *> programs;
+    for (const Workload &w : workloads)
+        programs.push_back(&w.program);
+
+    auto run = trapFatal([&] {
+        Cmp cmp(mc, programs);
+        return cmp.run(cfg.getUint("max_cycles", 500'000'000ULL));
+    });
+    if (!run.ok())
+        return fail(run.error());
+    CmpResult r = run.take();
+
+    if (json) {
+        std::printf("{\"preset\": \"%s\", \"workload\": \"%s\", "
+                    "\"cores\": %u, \"coherent\": %s, \"cycles\": %llu, "
+                    "\"insts\": %llu, \"aggregate_ipc\": %.6f, "
+                    "\"finished\": %s, \"per_core_ipc\": [",
+                    mc.presetName.c_str(), workload_name.c_str(),
+                    r.cores, mc.mem.coh.enabled ? "true" : "false",
+                    static_cast<unsigned long long>(r.cycles),
+                    static_cast<unsigned long long>(r.totalInsts),
+                    r.aggregateIpc, r.finished ? "true" : "false");
+        for (std::size_t i = 0; i < r.perCoreIpc.size(); ++i)
+            std::printf("%s%.6f", i ? ", " : "", r.perCoreIpc[i]);
+        std::printf("]}\n");
+    } else {
+        Table t("sstsim cmp: " + workload_name + " on " + mc.presetName
+                + (mc.mem.coh.enabled ? " (coherent)" : " (salted)"));
+        t.setHeader({"metric", "value"});
+        t.addRow({"cores", std::to_string(r.cores)});
+        t.addRow({"cycles", std::to_string(r.cycles)});
+        t.addRow({"instructions", std::to_string(r.totalInsts)});
+        t.addRow({"aggregate IPC", Table::num(r.aggregateIpc, 4)});
+        for (std::size_t i = 0; i < r.perCoreIpc.size(); ++i)
+            t.addRow({"core" + std::to_string(i) + " IPC",
+                      Table::num(r.perCoreIpc[i], 4)});
+        t.addRow({"finished", r.finished ? "yes"
+                                         : degradeReasonName(r.degrade)});
+        t.print();
+    }
+    if (!r.finished)
+        return r.degrade == DegradeReason::Livelock
+                   ? exit_code::livelock
+                   : exit_code::cycleBudget;
+    return exit_code::ok;
+}
+
+/**
  * `sstsim trace <preset> <workload> [--out FILE] [--cpistack]
  * [--validate] [key=value...]` — run with the structured event ring
  * attached and export a Chrome trace_event JSON.
@@ -975,6 +1129,8 @@ main(int argc, char **argv)
         return serveMain(argc, argv);
     if (argc >= 2 && std::string(argv[1]) == "work")
         return workMain(argc, argv);
+    if (argc >= 2 && std::string(argv[1]) == "cmp")
+        return cmpMain(argc, argv);
     if (argc >= 2 && std::string(argv[1]) == "trace")
         return traceMain(argc, argv);
     if (argc >= 2 && std::string(argv[1]) == "diff")
