@@ -1,0 +1,180 @@
+/**
+ * @file
+ * F18 — parallel CMP tick-engine scaling (infrastructure bench).
+ *
+ * Runs the same chips at -j {1, 2, 4, 8} and measures simulator
+ * wall-clock, asserting along the way that every run is byte-identical
+ * to the -j1 baseline (the engine's determinism contract — scaling
+ * that changed a single stat byte would be worthless). Two chips:
+ *
+ *  - rock16 x spinlock_counter: the coherent 16-core flagship. The
+ *    sync quantum is the minimum coherence latency, so this is the
+ *    hard case: cores must rendezvous every few cycles, and the
+ *    speedup shows what the TickGate + overlay design keeps despite
+ *    that.
+ *  - sst2 x 8 cores x hash_join (salted): independent address spaces,
+ *    long quanta — near-embarrassingly parallel, the scaling ceiling.
+ *
+ * Usage: bench_f18_parallel_cmp [out.json]
+ *        (default bench_f18_parallel_cmp.json)
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hh"
+#include "sim/cmp.hh"
+
+using namespace sst;
+using namespace sst::bench;
+
+namespace
+{
+
+struct ScaleRun
+{
+    unsigned workers = 0;
+    double seconds = 0;
+    Cycle cycles = 0;
+    std::uint64_t insts = 0;
+    std::vector<std::uint8_t> snap;
+};
+
+struct ChipCase
+{
+    std::string label;
+    MachineConfig cfg;
+    std::vector<Workload> workloads; ///< storage for the programs
+    std::vector<const Program *> programs;
+};
+
+ChipCase
+makeRock16Case()
+{
+    ChipCase c;
+    c.label = "rock16/spinlock_counter";
+    c.cfg = makePreset("rock16");
+    WorkloadParams wp = benchWorkloadParams();
+    c.workloads =
+        makeSharedWorkload("spinlock_counter", c.cfg.cmpCores, wp);
+    for (const Workload &w : c.workloads)
+        c.programs.push_back(&w.program);
+    return c;
+}
+
+ChipCase
+makeSaltedCase()
+{
+    ChipCase c;
+    c.label = "sst2x8/hash_join";
+    c.cfg = makePreset("sst2");
+    WorkloadParams wp = benchWorkloadParams();
+    c.workloads.push_back(makeWorkload("hash_join", wp));
+    for (unsigned i = 0; i < 8; ++i)
+        c.programs.push_back(&c.workloads[0].program);
+    return c;
+}
+
+ScaleRun
+runAt(const ChipCase &c, unsigned workers)
+{
+    MachineConfig cfg = c.cfg;
+    cfg.cmpWorkers = workers;
+    Cmp cmp(cfg, c.programs);
+    const auto t0 = std::chrono::steady_clock::now();
+    CmpResult r = cmp.run();
+    const auto t1 = std::chrono::steady_clock::now();
+    fatal_if(!r.finished, "%s at -j%u did not finish", c.label.c_str(),
+             workers);
+    ScaleRun out;
+    out.workers = workers;
+    out.seconds = std::chrono::duration<double>(t1 - t0).count();
+    out.cycles = r.cycles;
+    out.insts = r.totalInsts;
+    out.snap = cmp.snapshot();
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    banner("F18", "parallel CMP tick-engine scaling (byte-identical)");
+    setVerbose(false);
+    const std::string json_path =
+        argc > 1 ? argv[1] : "bench_f18_parallel_cmp.json";
+    const std::vector<unsigned> jays = {1, 2, 4, 8};
+    const unsigned hw = std::thread::hardware_concurrency();
+    std::printf("host hardware threads: %u\n", hw);
+    if (hw < jays.back())
+        std::printf("NOTE: fewer hardware threads than the largest -j; "
+                    "wall-clock speedups below are oversubscribed and "
+                    "NOT representative — only the byte-identity checks "
+                    "are meaningful on this host.\n");
+
+    std::vector<ChipCase> cases;
+    cases.push_back(makeRock16Case());
+    cases.push_back(makeSaltedCase());
+
+    std::string json = "[\n";
+    std::vector<std::vector<std::string>> csv;
+    double rock16Speedup8 = 0;
+    for (std::size_t ci = 0; ci < cases.size(); ++ci) {
+        const ChipCase &c = cases[ci];
+        std::vector<ScaleRun> runs;
+        for (unsigned j : jays)
+            runs.push_back(runAt(c, j));
+        const ScaleRun &base = runs.front();
+        Table t(c.label + " (" + std::to_string(c.programs.size())
+                + " cores, " + std::to_string(base.cycles) + " cycles)");
+        t.setHeader({"-j", "wall s", "speedup", "identical"});
+        for (std::size_t i = 0; i < runs.size(); ++i) {
+            const ScaleRun &r = runs[i];
+            const bool same = r.snap == base.snap && r.cycles == base.cycles
+                              && r.insts == base.insts;
+            fatal_if(!same, "%s at -j%u is NOT byte-identical to -j1",
+                     c.label.c_str(), r.workers);
+            const double speedup = base.seconds / r.seconds;
+            if (c.label.rfind("rock16", 0) == 0 && r.workers == 8)
+                rock16Speedup8 = speedup;
+            t.addRow({std::to_string(r.workers), Table::num(r.seconds, 3),
+                      Table::num(speedup, 2) + "x", same ? "yes" : "NO"});
+            csv.push_back({c.label, std::to_string(r.workers),
+                           Table::num(r.seconds, 4),
+                           Table::num(speedup, 3)});
+            char buf[320];
+            std::snprintf(buf, sizeof buf,
+                          "  {\"chip\": \"%s\", \"workers\": %u, "
+                          "\"host_hw_threads\": %u, "
+                          "\"wall_seconds\": %.4f, \"speedup\": %.3f, "
+                          "\"cycles\": %llu, \"byte_identical\": true}%s\n",
+                          c.label.c_str(), r.workers, hw, r.seconds,
+                          speedup,
+                          static_cast<unsigned long long>(r.cycles),
+                          ci + 1 < cases.size() || i + 1 < runs.size()
+                              ? ","
+                              : "");
+            json += buf;
+        }
+        t.setCaption("every row's snapshot is compared byte-for-byte "
+                     "against the -j1 run; a mismatch aborts the bench.");
+        t.print();
+    }
+    json += "]\n";
+
+    emitCsv("f18_parallel_cmp", {"chip", "workers", "wall_s", "speedup"},
+            csv);
+    std::ofstream out(json_path);
+    fatal_if(!out, "cannot write %s", json_path.c_str());
+    out << json;
+    std::printf("\nwrote %s\n", json_path.c_str());
+    std::printf("HEADLINE: rock16 -j8 speedup = %.2fx (byte-identical, "
+                "%u hw threads)\n",
+                rock16Speedup8, hw);
+    return 0;
+}

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Synchronization primitives for the deterministic parallel CMP tick
+ * engine (src/sim/cmp.cc).
+ *
+ * The engine runs each core's ticks on a sharded worker thread but
+ * must keep every touch of *shared* simulator state (L2/DRAM timing,
+ * the coherence directory, the fault RNG, the atomic journal) in the
+ * exact order the sequential loop would produce: cycle-major, core-id
+ * minor. TickGate encodes that order directly: a shared-state op by
+ * core i at local cycle t may proceed only when every lower-numbered
+ * core has finished cycle t and every higher-numbered core has
+ * finished cycle t-1 — i.e. when (t, i) is the lexicographic minimum
+ * over all cores still short of that point. At most one core satisfies
+ * its condition at a time, so the gated sections are mutually
+ * exclusive *and* totally ordered identically at any worker count,
+ * without a lock.
+ *
+ * Deadlock freedom requires the workers to advance their owned cores
+ * cycle-lockstep in ascending core id (never running one owned core
+ * ahead while a lower-id owned core lags), which the engine's quantum
+ * loop guarantees.
+ */
+
+#ifndef SSTSIM_COMMON_TICKGATE_HH
+#define SSTSIM_COMMON_TICKGATE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace sst
+{
+
+/** Spins before yielding in the engine's wait loops. Busy-waiting only
+ *  pays when the thread we wait on is actually running on another
+ *  CPU; on an oversubscribed (or single-CPU) host the right move is
+ *  to surrender the timeslice almost immediately. Purely a wall-clock
+ *  heuristic — spin counts can never change simulation results. */
+inline unsigned
+spinBudget(unsigned parties)
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    if (hw <= 1)
+        return 1;
+    return hw >= parties ? 4096 : 256;
+}
+
+/** Orders shared-state operations in (cycle, coreId) sequence. */
+class TickGate
+{
+  public:
+    explicit TickGate(unsigned cores)
+        : slots_(cores), spinBudget_(spinBudget(cores))
+    {
+        for (auto &s : slots_)
+            s.completed.store(0, std::memory_order_relaxed);
+    }
+
+    /**
+     * Publish that core @p i has fully finished every cycle < @p cycle
+     * (it will issue no further shared-state op stamped earlier).
+     * Monotonic; release so a waiter that observes it also observes
+     * the core's shared-state writes.
+     */
+    void completeThrough(unsigned i, Cycle cycle)
+    {
+        slots_[i].completed.store(cycle, std::memory_order_release);
+    }
+
+    /**
+     * Block until a shared-state op by core @p i at cycle @p now is
+     * next in the global (cycle, coreId) order. Re-entering during the
+     * same tick is cheap: once satisfied the condition stays satisfied
+     * (completed counters are monotonic).
+     */
+    void enter(unsigned i, Cycle now) const
+    {
+        for (unsigned j = 0; j < slots_.size(); ++j) {
+            if (j == i)
+                continue;
+            const Cycle need = j < i ? now + 1 : now;
+            if (slots_[j].completed.load(std::memory_order_acquire)
+                >= need)
+                continue;
+            unsigned spins = 0;
+            while (slots_[j].completed.load(std::memory_order_acquire)
+                   < need)
+                if (++spins > spinBudget_) {
+                    std::this_thread::yield();
+                    spins = 0;
+                }
+        }
+    }
+
+  private:
+    struct alignas(64) Slot
+    {
+        /** Count of fully completed cycles: value c means every cycle
+         *  < c is done. */
+        std::atomic<Cycle> completed{0};
+    };
+
+    std::vector<Slot> slots_;
+    const unsigned spinBudget_;
+};
+
+/**
+ * Sense-reversing spin barrier whose last arriver runs a serial phase
+ * (queue drains, stop checks) before releasing the others.
+ */
+class SpinBarrier
+{
+  public:
+    explicit SpinBarrier(unsigned parties)
+        : parties_(parties), spinBudget_(spinBudget(parties))
+    {
+    }
+
+    /**
+     * @return true for exactly one caller per round — the last to
+     * arrive, which must run the serial phase and then release(). All
+     * other callers return false only after release().
+     */
+    bool arrive()
+    {
+        const std::uint64_t gen =
+            generation_.load(std::memory_order_acquire);
+        if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1
+            == parties_)
+            return true;
+        unsigned spins = 0;
+        while (generation_.load(std::memory_order_acquire) == gen)
+            if (++spins > spinBudget_) {
+                std::this_thread::yield();
+                spins = 0;
+            }
+        return false;
+    }
+
+    /** Open the barrier (serial-phase owner only). */
+    void release()
+    {
+        arrived_.store(0, std::memory_order_relaxed);
+        generation_.fetch_add(1, std::memory_order_acq_rel);
+    }
+
+  private:
+    const unsigned parties_;
+    const unsigned spinBudget_;
+    std::atomic<unsigned> arrived_{0};
+    std::atomic<std::uint64_t> generation_{0};
+};
+
+} // namespace sst
+
+#endif // SSTSIM_COMMON_TICKGATE_HH

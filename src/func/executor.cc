@@ -162,14 +162,17 @@ Executor::step(ArchState &state)
       case OpClass::Load: {
         info.effAddr = semantics::effectiveAddr(inst, state.reg(inst.rs1));
         info.memSize = memAccessSize(inst.op);
-        std::uint64_t raw = memory_.read(info.effAddr, info.memSize);
         if (isAtomic(inst.op)) {
-            // AMOSWAP: the read-modify-write is indivisible because a
-            // whole step() runs between core ticks.
+            // AMOSWAP: the read-modify-write must be indivisible even
+            // when cores tick concurrently, so it goes through the
+            // image's atomicSwap (the parallel engine's overlay view
+            // serializes it through a gated journal).
             info.storeValue = state.reg(inst.rs2);
-            memory_.write(info.effAddr, info.storeValue, info.memSize);
-            info.result = raw;
+            info.result = memory_.atomicSwap(info.effAddr,
+                                             info.storeValue,
+                                             info.memSize);
         } else {
+            std::uint64_t raw = memory_.read(info.effAddr, info.memSize);
             info.result = semantics::extendLoad(inst.op, raw);
         }
         state.setReg(inst.rd, info.result);

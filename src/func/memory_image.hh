@@ -36,15 +36,40 @@ class MemoryImage
     static constexpr Addr pageSize = Addr{1} << pageShift;
 
     MemoryImage() = default;
+    virtual ~MemoryImage() = default;
 
-    /** Read @p size (1..8) bytes, little-endian, page-crossing allowed. */
-    std::uint64_t read(Addr addr, unsigned size) const;
+    MemoryImage(const MemoryImage &) = delete;
+    MemoryImage &operator=(const MemoryImage &) = delete;
+    MemoryImage(MemoryImage &&) = default;
+    MemoryImage &operator=(MemoryImage &&) = default;
+
+    /** Read @p size (1..8) bytes, little-endian, page-crossing allowed.
+     *  Virtual so the parallel CMP engine can interpose a per-core
+     *  write-buffering view (OverlayImage) between a core and the
+     *  shared image without the cores knowing. */
+    virtual std::uint64_t read(Addr addr, unsigned size) const;
 
     /** Write the low @p size bytes of @p value at @p addr. */
-    void write(Addr addr, std::uint64_t value, unsigned size);
+    virtual void write(Addr addr, std::uint64_t value, unsigned size);
 
-    std::uint8_t readByte(Addr addr) const;
-    void writeByte(Addr addr, std::uint8_t value);
+    virtual std::uint8_t readByte(Addr addr) const;
+    virtual void writeByte(Addr addr, std::uint8_t value);
+
+    /**
+     * Indivisible read-modify-write (AMOSWAP): read @p size bytes,
+     * store @p value there, return the old bytes. On a plain image a
+     * whole executor step already runs between core ticks, so this is
+     * just read-then-write; the parallel engine's overlay view
+     * overrides it to serialize cross-core atomics through a gated
+     * journal while plain loads/stores stay buffered.
+     */
+    virtual std::uint64_t atomicSwap(Addr addr, std::uint64_t value,
+                                     unsigned size)
+    {
+        std::uint64_t old = read(addr, size);
+        write(addr, value, size);
+        return old;
+    }
 
     /**
      * Observe every write to this image. With one image shared by all

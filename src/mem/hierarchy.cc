@@ -35,6 +35,10 @@ AccessResult
 CorePort::access(AccessType type, Addr addr, Cycle now)
 {
     addr += addressSalt_;
+    // With fault injection armed even an L1 hit draws from the shared
+    // RNG (tlbPressure below), so the whole access must be ordered.
+    if (gateAll_)
+        ordered(now);
     if (type == AccessType::InstFetch)
         return instAccess(addr, now);
     return dataAccess(type, addr, now);
@@ -72,14 +76,20 @@ CorePort::dataAccess(AccessType type, Addr addr, Cycle now)
     auto hit = l1d_.access(addr, isStore, now);
     if (hit.hit) {
         res.readyCycle = std::max(hit.readyCycle, xlat.readyCycle);
-        if (coherent && isStore) {
+        if (coherent && isStore
+            && ownedStoreLines_.count(line) == 0) {
             // A store hit may still owe the directory an upgrade (the
             // line can be shared) or an intervention/invalidate (a
             // remote owner the L1 doesn't know about can't exist — the
             // owner's write would have invalidated us — so this is the
-            // S->M path).
+            // S->M path). Stores to a line this core already owns
+            // exclusively are silent directory no-ops and skip the
+            // lookup (and, under the parallel engine, the gate) — the
+            // common private-data case.
+            ordered(now);
             CohAction act =
                 system_.coherenceAccess(line, coreId_, true, now);
+            noteStoreOwnership(line);
             if (act.latency != 0) {
                 res.readyCycle =
                     std::max(res.readyCycle, now + act.latency);
@@ -105,10 +115,13 @@ CorePort::dataAccess(AccessType type, Addr addr, Cycle now)
     if (pending != invalidCycle) {
         mshrs_.noteMerge();
         res.readyCycle = std::max(pending, xlat.readyCycle);
-        if (coherent && isStore) {
+        if (coherent && isStore
+            && ownedStoreLines_.count(line) == 0) {
             // A store merging into a load's fill still needs ownership.
+            ordered(now);
             CohAction act =
                 system_.coherenceAccess(line, coreId_, true, now);
+            noteStoreOwnership(line);
             if (act.latency != 0) {
                 res.readyCycle =
                     std::max(res.readyCycle, pending + act.latency);
@@ -136,12 +149,15 @@ CorePort::dataAccess(AccessType type, Addr addr, Cycle now)
         return res;
     }
 
+    ordered(now); // miss path: shared L2/DRAM timing + directory
     bool l2Hit = false;
     Cycle dataReady = system_.accessL2(line, now, l2Hit);
     dataReady = system_.faults().perturbFill(now, dataReady);
     if (coherent) {
         CohAction act =
             system_.coherenceAccess(line, coreId_, isStore, now);
+        if (isStore)
+            noteStoreOwnership(line);
         if (act.latency != 0) {
             dataReady += act.latency;
             res.coh = true;
@@ -158,8 +174,10 @@ CorePort::dataAccess(AccessType type, Addr addr, Cycle now)
     auto ev = l1d_.fill(addr, dataReady, isStore);
     if (ev.valid && ev.dirty)
         system_.writebackToL2(ev.lineAddr, now);
-    if (ev.valid && coherent)
+    if (ev.valid && coherent) {
         system_.noteEvict(ev.lineAddr, coreId_);
+        dropStoreOwnership(ev.lineAddr);
+    }
     if (type == AccessType::Prefetch)
         prefetchedLines_.insert(line);
     else
@@ -200,6 +218,7 @@ CorePort::instAccess(Addr addr, Cycle now)
         return res;
     }
 
+    ordered(now); // instruction miss path reaches the shared L2
     bool l2Hit = false;
     Cycle dataReady = system_.accessL2(line, now, l2Hit);
     dataReady = system_.faults().perturbFill(now, dataReady);
@@ -224,6 +243,7 @@ CorePort::issuePrefetches(Cache &cache, Prefetcher &pf, Addr lineAddr,
             continue;
         if (mshrs_.full(now))
             break; // never stall the pipeline for a prefetch
+        ordered(now); // prefetches go to the shared L2
         bool l2Hit = false;
         Cycle ready = system_.accessL2(target, now, l2Hit);
         bool dataSide = &cache == &l1d_;
@@ -238,8 +258,10 @@ CorePort::issuePrefetches(Cache &cache, Prefetcher &pf, Addr lineAddr,
         auto ev = cache.fill(target, ready, false);
         if (ev.valid && ev.dirty)
             system_.writebackToL2(ev.lineAddr, now);
-        if (ev.valid && dataSide && system_.coherent())
+        if (ev.valid && dataSide && system_.coherent()) {
             system_.noteEvict(ev.lineAddr, coreId_);
+            dropStoreOwnership(ev.lineAddr);
+        }
         pf.noteIssued();
         if (dataSide)
             prefetchedLines_.insert(target);
@@ -255,6 +277,7 @@ CorePort::flush()
     mshrs_.reset();
     prefetchedLines_.clear();
     cohInvalidatedLines_.clear();
+    ownedStoreLines_.clear();
     if (system_.coherent())
         system_.directory().dropCore(coreId_);
 }
@@ -265,6 +288,7 @@ CorePort::applyInvalidate(Addr line)
     l1d_.invalidate(line);
     mshrs_.invalidate(line);
     prefetchedLines_.erase(line);
+    ownedStoreLines_.erase(line);
     cohInvalidatedLines_.insert(line);
     ++cohInvalidationsSeen_;
 }
@@ -332,26 +356,47 @@ MemorySystem::writebackToL2(Addr lineAddr, Cycle now)
         dram_.access(ev.lineAddr, start, true);
 }
 
+void
+MemorySystem::deliverInvalidate(Addr line, unsigned victim, Cycle cycle)
+{
+    ports_[victim]->applyInvalidate(line);
+    if (traceBuf_) {
+        trace::TraceEvent ev;
+        ev.cycle = cycle;
+        ev.pc = line;
+        ev.arg = victim;
+        ev.kind = trace::TraceKind::CohInvalidate;
+        ev.strand = trace::TraceStrand::Mem;
+        traceBuf_->record(ev);
+    }
+}
+
 CohAction
 MemorySystem::coherenceAccess(Addr line, unsigned core, bool isStore,
                               Cycle now)
 {
+    // Remember the previous exclusive owner: if this access demotes
+    // it (remote load sharing the line), its port's owned-store hint
+    // must be dropped so its next store goes back to the directory.
+    const int prevOwner = directory_.lineState(line).owner;
     CohAction act = directory_.onAccess(line, core, isStore);
     if (act.invalidateMask != 0) {
         for (unsigned v = 0; v < ports_.size(); ++v) {
             if (((act.invalidateMask >> v) & 1) == 0)
                 continue;
-            ports_[v]->applyInvalidate(line);
-            if (traceBuf_) {
-                trace::TraceEvent ev;
-                ev.cycle = now;
-                ev.pc = line;
-                ev.arg = v;
-                ev.kind = trace::TraceKind::CohInvalidate;
-                ev.strand = trace::TraceStrand::Mem;
-                traceBuf_->record(ev);
-            }
+            if (deferCoh_)
+                cohQueue_.push_back(DeferredCoh{line, v, now, true});
+            else
+                deliverInvalidate(line, v, now);
         }
+    }
+    if (prevOwner >= 0 && prevOwner != static_cast<int>(core)
+        && ((act.invalidateMask >> prevOwner) & 1) == 0) {
+        const auto owner = static_cast<unsigned>(prevOwner);
+        if (deferCoh_)
+            cohQueue_.push_back(DeferredCoh{line, owner, now, false});
+        else
+            ports_[owner]->dropStoreOwnership(line);
     }
     if (traceBuf_ && (act.upgrade || act.intervention)) {
         trace::TraceEvent ev;
@@ -364,6 +409,40 @@ MemorySystem::coherenceAccess(Addr line, unsigned core, bool isStore,
         traceBuf_->record(ev);
     }
     return act;
+}
+
+void
+MemorySystem::beginEngineRun(const TickGate *gate, bool gateAll)
+{
+    for (auto &port : ports_) {
+        port->gate_ = gate;
+        port->gateAll_ = gateAll;
+    }
+    deferCoh_ = coherent();
+}
+
+void
+MemorySystem::endEngineRun()
+{
+    panic_if(!cohQueue_.empty(),
+             "engine run ended with undelivered coherence effects");
+    for (auto &port : ports_) {
+        port->gate_ = nullptr;
+        port->gateAll_ = false;
+    }
+    deferCoh_ = false;
+}
+
+void
+MemorySystem::drainDeferredCoh()
+{
+    for (const DeferredCoh &d : cohQueue_) {
+        if (d.invalidate)
+            deliverInvalidate(d.line, d.victim, d.cycle);
+        else
+            ports_[d.victim]->dropStoreOwnership(d.line);
+    }
+    cohQueue_.clear();
 }
 
 void
@@ -429,6 +508,14 @@ CorePort::save(snap::Writer &w) const
     w.u64(stolen.size());
     for (Addr line : stolen)
         w.u64(line);
+    // The owned-store hint is behavioural state: a resumed run must
+    // skip exactly the directory lookups the uninterrupted run skips.
+    std::vector<Addr> owned(ownedStoreLines_.begin(),
+                            ownedStoreLines_.end());
+    std::sort(owned.begin(), owned.end());
+    w.u64(owned.size());
+    for (Addr line : owned)
+        w.u64(line);
 }
 
 void
@@ -455,6 +542,10 @@ CorePort::load(snap::Reader &r)
     std::uint64_t ns = r.u64();
     for (std::uint64_t i = 0; i < ns; ++i)
         cohInvalidatedLines_.insert(r.u64());
+    ownedStoreLines_.clear();
+    std::uint64_t no = r.u64();
+    for (std::uint64_t i = 0; i < no; ++i)
+        ownedStoreLines_.insert(r.u64());
 }
 
 void

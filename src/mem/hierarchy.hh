@@ -19,6 +19,7 @@
 
 #include "coh/coh.hh"
 #include "common/stats.hh"
+#include "common/tickgate.hh"
 #include "common/types.hh"
 #include "fault/fault.hh"
 #include "mem/cache.hh"
@@ -148,6 +149,22 @@ class CorePort
      *  re-miss is attributed to coherence. */
     void applyInvalidate(Addr line);
 
+    /** Under the parallel engine: block until an op by this core at
+     *  cycle @p now is next in the global (cycle, coreId) order. No-op
+     *  without a gate, and cheap when re-entered within one tick. */
+    void ordered(Cycle now) const
+    {
+        if (gate_)
+            gate_->enter(coreId_, now);
+    }
+
+    /** This core's last store left it the exclusive directory owner of
+     *  @p line; until that changes, further owner stores are silent
+     *  directory no-ops and can skip the gate + lookup entirely. */
+    void noteStoreOwnership(Addr line) { ownedStoreLines_.insert(line); }
+    /** A remote access demoted this core's exclusive ownership. */
+    void dropStoreOwnership(Addr line) { ownedStoreLines_.erase(line); }
+
     MemorySystem &system_;
     unsigned coreId_;
     Addr addressSalt_ = 0;
@@ -165,6 +182,18 @@ class CorePort
      *  (which reports coh=true so the stall lands in the coherence
      *  CPI bucket). */
     std::unordered_set<Addr> cohInvalidatedLines_;
+    /** Lines this core exclusively owns after storing to them (a
+     *  conservative mirror of the directory's owner records, kept so
+     *  the hot private-store path never touches shared state). Part of
+     *  the serialized port state: resumed runs must skip exactly the
+     *  same directory lookups as uninterrupted ones. */
+    std::unordered_set<Addr> ownedStoreLines_;
+    /** Installed by MemorySystem::beginEngineRun during parallel CMP
+     *  runs; null otherwise. */
+    const TickGate *gate_ = nullptr;
+    /** Gate every access (fault injection armed: each access may draw
+     *  from the shared RNG even on an L1 hit). */
+    bool gateAll_ = false;
     Scalar &cohInvalidationsSeen_;
 };
 
@@ -218,6 +247,26 @@ class MemorySystem
     /** Core @p core silently dropped @p line from its L1D. */
     void noteEvict(Addr line, unsigned core);
 
+    /**
+     * Enter parallel-engine mode: install @p gate on every port so
+     * shared-state touches order themselves in (cycle, coreId)
+     * sequence, and (when coherent) defer cross-core invalidation
+     * delivery into a queue drained at quantum barriers. @p gateAll
+     * forces a gate on every access (needed once fault injection is
+     * armed, because any access may then draw from the shared RNG).
+     */
+    void beginEngineRun(const TickGate *gate, bool gateAll);
+    void endEngineRun();
+
+    /** True while invalidation delivery is deferred to barriers. */
+    bool cohDeferred() const { return deferCoh_; }
+
+    /**
+     * Serial barrier phase: deliver every deferred invalidation and
+     * ownership downgrade in the (cycle, coreId) order it was queued.
+     */
+    void drainDeferredCoh();
+
     /** Route coherence trace events into @p buf (null detaches). */
     void setTraceBuffer(trace::TraceBuffer *buf) { traceBuf_ = buf; }
 
@@ -239,6 +288,21 @@ class MemorySystem
     /** Account an L1 dirty-eviction writeback into L2. */
     void writebackToL2(Addr lineAddr, Cycle now);
 
+    /** Drop @p line from @p victim's L1/MSHRs with a trace event at
+     *  @p cycle (shared by the inline and deferred delivery paths). */
+    void deliverInvalidate(Addr line, unsigned victim, Cycle cycle);
+
+    /** One deferred cross-core coherence effect. */
+    struct DeferredCoh
+    {
+        Addr line;
+        std::uint32_t victim;
+        Cycle cycle;
+        /** true: invalidate the victim's copy; false: the victim only
+         *  loses exclusive-ownership (a remote load shared the line). */
+        bool invalidate;
+    };
+
     HierarchyParams params_;
     StatGroup stats_;
     Cache l2_;
@@ -250,6 +314,8 @@ class MemorySystem
     Scalar &cohSquashes_;
     unsigned activeCore_ = 0;
     trace::TraceBuffer *traceBuf_ = nullptr;
+    bool deferCoh_ = false;
+    std::vector<DeferredCoh> cohQueue_;
     std::vector<std::unique_ptr<CorePort>> ports_;
 };
 

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/core.hh"
+#include "func/overlay.hh"
 #include "isa/program.hh"
 #include "mem/hierarchy.hh"
 #include "sim/machine.hh"
@@ -25,7 +26,12 @@ struct CmpResult
 {
     std::string preset;
     unsigned cores = 0;
-    Cycle cycles = 0; ///< cycles until the slowest core finished
+    /** The chip clock when the run stopped (== Cmp::cycles()). When all
+     *  cores halt this equals the slowest core's halt cycle; under a
+     *  cycle budget it equals the budget. Previously this reported the
+     *  max per-core cycle counter, which could disagree with the chip
+     *  clock mid-run. */
+    Cycle cycles = 0;
     std::uint64_t totalInsts = 0;
     double aggregateIpc = 0;
     std::vector<double> perCoreIpc;
@@ -55,9 +61,23 @@ class Cmp
      *  Core i owns [i * stride, (i+1) * stride). */
     static constexpr Addr saltStride = Addr{1} << 30;
 
-    /** Round-robin tick all cores until all halt or the budget ends.
-     *  Resumes from the current state after restore(). */
+    /**
+     * Tick all cores until all halt or the budget ends. Resumes from
+     * the current state after restore().
+     *
+     * Runs on config.cmpWorkers threads (1 = the calling thread, no
+     * threads spawned). Results — stats, traces, snapshots — are
+     * byte-identical at every worker count: cores are sharded across
+     * workers, every shared-state touch is ordered in (cycle, coreId)
+     * sequence by a TickGate, and cross-core effects (coherence
+     * invalidations, functional-write visibility) are deferred into
+     * per-core queues drained in fixed order at quantum barriers. See
+     * docs/INTERNALS.md "Parallel CMP simulation".
+     */
     CmpResult run(std::uint64_t max_cycles = 500'000'000);
+
+    /** Worker threads the engine will use for this chip. */
+    unsigned workers() const;
 
     Core &core(unsigned i) { return *cores_[i]; }
     /** Core @p i's functional image (the one shared image when the
@@ -77,10 +97,19 @@ class Cmp
     Result<void> restoreFromFile(const std::string &path);
 
   private:
+    /** The quantum/barrier tick engine behind run(). */
+    void runEngine(std::uint64_t max_cycles);
+    /** Sync quantum in cycles (config override or mode default). */
+    Cycle quantum() const;
+
     MachineConfig config_;
     const std::vector<const Program *> programs_;
     MemorySystem memsys_;
     std::vector<std::unique_ptr<MemoryImage>> images_;
+    /** Coherent mode only: per-core write-buffering views over
+     *  images_[0], drained at quantum barriers. Empty when salted. */
+    std::vector<std::unique_ptr<OverlayImage>> views_;
+    OverlayShared overlayShared_;
     std::vector<std::unique_ptr<Core>> cores_;
     std::vector<std::unique_ptr<Watchdog>> watchdogs_;
     Cycle cycle_ = 0;

@@ -147,6 +147,13 @@ applyOverrides(MachineConfig &config, const Config &overrides)
 
     config.cmpCores = static_cast<unsigned>(
         overrides.getUint("cmp.cores", config.cmpCores));
+    config.cmpWorkers = static_cast<unsigned>(
+        overrides.getUint("cmp.workers", config.cmpWorkers));
+    fatal_if(config.cmpWorkers == 0 || config.cmpWorkers > kMaxCmpWorkers,
+             "cmp.workers must be between 1 and %u (got %u)",
+             kMaxCmpWorkers, config.cmpWorkers);
+    config.cmpQuantum = static_cast<unsigned>(
+        overrides.getUint("cmp.quantum", config.cmpQuantum));
 
     HierarchyParams &m = config.mem;
     m.l1d.sizeBytes =
@@ -238,6 +245,8 @@ machineConfigKeys()
         "core.line_granular_conflicts",
         "core.elide_locks",
         "cmp.cores",
+        "cmp.workers",
+        "cmp.quantum",
         "coh.enabled",
         "coh.invalidate_latency",
         "coh.intervention_latency",

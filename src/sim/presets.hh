@@ -59,7 +59,18 @@ struct MachineConfig
      *  harness is driven by the number of programs, this is the
      *  preset's intended chip size for the CLI and benches). */
     unsigned cmpCores = 0;
+    /** Worker threads for the CMP tick engine (results are
+     *  byte-identical at any value; 1 = run on the calling thread). */
+    unsigned cmpWorkers = 1;
+    /** Sync quantum in cycles for the parallel CMP engine; 0 picks the
+     *  default (the minimum coherence latency when coherent, a long
+     *  horizon otherwise). */
+    unsigned cmpQuantum = 0;
 };
+
+/** Hard cap on cmp.workers: beyond this the request is a config error,
+ *  not a thread-spawn storm. */
+constexpr unsigned kMaxCmpWorkers = 256;
 
 /** Build a named preset; unknown names are fatal. */
 MachineConfig makePreset(const std::string &name);

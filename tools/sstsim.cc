@@ -78,7 +78,7 @@
  * categories are asserted to sum to the cycle count.
  *
  * CMP mode (shared-memory chip multiprocessor, src/sim/cmp.*):
- *   sstsim cmp <preset> <shared-workload> [--json] [key=value...]
+ *   sstsim cmp <preset> <shared-workload> [--json] [-j N] [key=value...]
  * builds one program per core of a shared-memory workload
  * (spinlock_counter, producer_consumer, shared_table), runs them on a
  * coherent chip (e.g. preset=rock16, or any preset with coh.enabled=
@@ -649,7 +649,9 @@ workMain(int argc, char **argv)
 }
 
 /**
- * `sstsim cmp <preset> <shared-workload> [--json] [key=value...]` —
+ * `sstsim cmp <preset> <shared-workload> [--json] [-j N]
+ * [key=value...]` — -j runs the tick engine on N worker threads
+ * (byte-identical results at any N; cmp.workers=N is the same knob).
  * run a shared-memory workload on a chip multiprocessor. The core
  * count comes from cmp.cores (falling back to the preset's size, then
  * 2). No golden check: a multi-threaded outcome is interleaving-
@@ -667,9 +669,23 @@ cmpMain(int argc, char **argv)
         std::string arg = argv[i];
         if (arg == "--json") {
             json = true;
+        } else if (arg == "-j" || arg == "--jobs") {
+            if (++i >= argc)
+                return fail(Error{arg + " needs a worker count",
+                                  exit_code::usage});
+            auto n = parseCount("-j", argv[i]);
+            if (!n.ok())
+                return fail(n.error());
+            if (n.value() > kMaxCmpWorkers)
+                return fail(Error{
+                    "-j " + std::to_string(n.value())
+                        + " exceeds the worker cap of "
+                        + std::to_string(kMaxCmpWorkers),
+                    exit_code::usage});
+            cfg.set("cmp.workers", std::to_string(n.value()));
         } else if (!arg.empty() && arg[0] == '-') {
             return fail(Error{"unknown cmp option '" + arg
-                                  + "' (know --json)",
+                                  + "' (know --json, -j N)",
                               exit_code::usage});
         } else if (arg.find('=') != std::string::npos) {
             auto parsed = cfg.tryParseAssignment(argv[i]);
@@ -686,7 +702,8 @@ cmpMain(int argc, char **argv)
     }
     if (preset_name.empty() || workload_name.empty())
         return fail(Error{"usage: sstsim cmp <preset> "
-                          "<shared-workload> [--json] [key=value...]",
+                          "<shared-workload> [--json] [-j N] "
+                          "[key=value...]",
                           exit_code::usage});
     if (auto valid = validateKeys(cfg); !valid.ok())
         return fail(valid.error());
