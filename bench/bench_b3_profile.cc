@@ -1,0 +1,215 @@
+/**
+ * @file
+ * B3 — checkpoint-warmed sampling accuracy and speedup (infrastructure
+ * bench).
+ *
+ * For each preset × long-form workload: run the full detailed
+ * simulation once (ground truth + wall-clock baseline), build the
+ * warm-state region snapshot library with one profiling pass, then
+ * serve a sampled estimate entirely from the library and compare.
+ * Asserts that every estimate lands within the wider of its own 95%
+ * confidence interval and a modest relative band of the full-run IPC,
+ * and reports the marginal speedup (full detailed wall-clock over
+ * library-served wall-clock) — the cost a sweep pays per *additional*
+ * point after the library exists, which is what "billion-instruction
+ * sweeps start instantly" cashes out to. The one-time profiling cost
+ * is reported alongside so nothing hides in the setup.
+ *
+ * Usage: bench_b3_profile [out.json]   (default bench_b3_profile.json)
+ * Scale run lengths with SST_BENCH_SCALE (default 1.0). The >= 50x
+ * marginal-speedup assertion only arms at full scale — scaled-down
+ * smoke runs amortise too little work to clear it honestly.
+ */
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "sim/profile.hh"
+#include "sim/sampling.hh"
+
+using namespace sst;
+using namespace sst::bench;
+
+namespace
+{
+
+struct CaseResult
+{
+    std::string preset;
+    std::string workload;
+    std::uint64_t insts = 0;
+    double ipcFull = 0;
+    double ipcSampled = 0;
+    double ci95 = 0;
+    std::size_t windows = 0;
+    double fullSeconds = 0;
+    double profileSeconds = 0;
+    double sampledSeconds = 0;
+    double speedup = 0;
+    bool withinBand = false;
+};
+
+double
+now()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    banner("B3", "checkpoint-warmed sampling: accuracy vs speedup");
+    setVerbose(false);
+    const std::string json_path =
+        argc > 1 ? argv[1] : "bench_b3_profile.json";
+    const double scale = benchScale();
+    const bool fullScale = scale >= 1.0;
+
+    const std::vector<std::string> presets = {"sst2", "sst4",
+                                              "ooo-large"};
+    const std::vector<std::string> workloads = {"oltp_mix", "hash_join",
+                                                "graph_scan"};
+    WorkloadParams wp;
+    wp.lengthScale = 192.0 * scale; // long-form: sampling's home turf
+    WorkloadSet set(wp);
+
+    // The estimate must land within the wider of its own 95% CI and
+    // this relative band. The CI alone is the honest yardstick but can
+    // collapse on very uniform workloads; the band keeps the assert
+    // meaningful there (same 35% envelope the sampling tests use).
+    const double kBand = 0.35;
+    const double kMinSpeedup = 50.0;
+
+    std::vector<CaseResult> results;
+    for (const auto &preset : presets) {
+        for (const auto &wl : workloads) {
+            const Workload &w = set.get(wl);
+            MachineConfig mc = makePreset(preset);
+
+            CaseResult r;
+            r.preset = preset;
+            r.workload = wl;
+
+            double t0 = now();
+            RunResult full = runOn(preset, w.program);
+            r.fullSeconds = now() - t0;
+            fatal_if(!full.finished, "%s/%s full run did not finish",
+                     preset.c_str(), wl.c_str());
+            r.ipcFull = full.ipc;
+            r.insts = full.insts;
+
+            ProfileParams pp;
+            pp.regionInsts = profileRegionHint(w.approxDynInsts);
+            pp.maxRegions = 8;
+            t0 = now();
+            ProfileLibrary lib =
+                buildProfileLibrary(mc, w.program, pp, 1);
+            r.profileSeconds = now() - t0;
+
+            SampleParams sp;
+            sp.detailInsts = 5'000;
+            sp.maxSamples = 5; // top-weight representatives
+            t0 = now();
+            SampledResult s =
+                runSampledFromLibrary(mc, w.program, lib, sp);
+            r.sampledSeconds = now() - t0;
+            r.ipcSampled = s.ipc;
+            r.ci95 = s.ipcCi95();
+            r.windows = s.windowIpc.size();
+            r.speedup = r.sampledSeconds > 0
+                            ? r.fullSeconds / r.sampledSeconds
+                            : 0;
+
+            const double err = std::abs(r.ipcSampled - r.ipcFull);
+            r.withinBand =
+                err <= std::max(r.ci95, kBand * r.ipcFull);
+            results.push_back(r);
+        }
+    }
+
+    Table t("checkpoint-warmed sampling (" + std::to_string(presets.size())
+            + " presets x " + std::to_string(workloads.size())
+            + " workloads, 5 windows x 5k insts)");
+    t.setHeader({"preset", "workload", "insts", "ipc full", "ipc est",
+                 "ci95", "full s", "profile s", "est s", "speedup"});
+    std::string json = "[\n";
+    std::vector<std::vector<std::string>> csv;
+    double geo = 0, worstErr = 0;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const CaseResult &r = results[i];
+        t.addRow({r.preset, r.workload, std::to_string(r.insts),
+                  Table::num(r.ipcFull, 4), Table::num(r.ipcSampled, 4),
+                  Table::num(r.ci95, 4), Table::num(r.fullSeconds, 3),
+                  Table::num(r.profileSeconds, 3),
+                  Table::num(r.sampledSeconds, 4),
+                  Table::num(r.speedup, 1) + "x"});
+        csv.push_back({r.preset, r.workload, Table::num(r.ipcFull, 5),
+                       Table::num(r.ipcSampled, 5), Table::num(r.ci95, 5),
+                       Table::num(r.fullSeconds, 4),
+                       Table::num(r.sampledSeconds, 5),
+                       Table::num(r.speedup, 2)});
+        geo += std::log(std::max(r.speedup, 1e-9));
+        worstErr = std::max(worstErr,
+                            std::abs(r.ipcSampled - r.ipcFull)
+                                / r.ipcFull);
+        char buf[512];
+        std::snprintf(
+            buf, sizeof buf,
+            "  {\"preset\": \"%s\", \"workload\": \"%s\", "
+            "\"insts\": %llu, \"ipc_full\": %.6f, "
+            "\"ipc_sampled\": %.6f, \"ipc_ci95\": %.6f, "
+            "\"windows\": %zu, \"full_seconds\": %.4f, "
+            "\"profile_seconds\": %.4f, \"sampled_seconds\": %.5f, "
+            "\"speedup\": %.2f, \"within_band\": true}%s\n",
+            r.preset.c_str(), r.workload.c_str(),
+            static_cast<unsigned long long>(r.insts), r.ipcFull,
+            r.ipcSampled, r.ci95, r.windows, r.fullSeconds,
+            r.profileSeconds, r.sampledSeconds, r.speedup,
+            i + 1 < results.size() ? "," : "");
+        json += buf;
+    }
+    json += "]\n";
+    t.setCaption("speedup = full detailed wall-clock / library-served "
+                 "sampled wall-clock (the marginal per-point cost; the "
+                 "one-time profiling pass is the 'profile s' column).");
+    t.print();
+
+    // Assert after the table so a failing run still shows its numbers.
+    for (const CaseResult &r : results) {
+        fatal_if(!r.withinBand,
+                 "%s/%s sampled IPC %.4f vs full %.4f is outside both "
+                 "the 95%% CI (%.4f) and the %.0f%% band",
+                 r.preset.c_str(), r.workload.c_str(), r.ipcSampled,
+                 r.ipcFull, r.ci95, kBand * 100);
+        if (fullScale)
+            fatal_if(r.speedup < kMinSpeedup,
+                     "%s/%s marginal speedup %.1fx is below the %.0fx "
+                     "floor",
+                     r.preset.c_str(), r.workload.c_str(), r.speedup,
+                     kMinSpeedup);
+    }
+
+    emitCsv("b3_profile",
+            {"preset", "workload", "ipc_full", "ipc_sampled", "ci95",
+             "full_s", "sampled_s", "speedup"},
+            csv);
+    std::ofstream out(json_path);
+    fatal_if(!out, "cannot write %s", json_path.c_str());
+    out << json;
+    std::printf("\nwrote %s\n", json_path.c_str());
+    std::printf("HEADLINE: geomean marginal speedup = %.1fx, worst IPC "
+                "error = %.1f%% (%zu cases%s)\n",
+                std::exp(geo / results.size()), worstErr * 100,
+                results.size(),
+                fullScale ? "" : ", scaled — speedup floor disarmed");
+    return 0;
+}

@@ -134,6 +134,7 @@ Directory::load(snap::Reader &r)
     r.tag("coh-dir");
     lines_.clear();
     std::uint64_t n = r.u64();
+    lines_.reserve(n); // one rehash, not log2(n) incremental ones
     Addr prev = 0;
     for (std::uint64_t i = 0; i < n; ++i) {
         Addr key = r.u64();

@@ -15,6 +15,7 @@
 #include "fault/chaos.hh"
 #include "func/executor.hh"
 #include "sim/presets.hh"
+#include "sim/profile.hh"
 #include "snap/snap.hh"
 #include "workloads/workloads.hh"
 
@@ -33,6 +34,9 @@ namespace
  *   finished, degrade                     HALT committed / DegradeReason
  *   cycles, insts, ipc                    headline metrics
  *   l1d_miss_rate, demand_mlp, mispredict_rate
+ *   sampled, windows, detailed_insts      sampled-sweep estimate shape
+ *   ipc_stddev, ipc_ci95                  estimate quality
+ *   warm_accesses, warm_hits              profiling-pass warming health
  *   arch_ok                               golden cross-check (or null)
  *   stats                                 full structured core stat tree
  *   fault                                 fault-injector stat tree
@@ -80,6 +84,13 @@ buildRecord(const JobOutcome &out, const Config &effectiveConfig,
     j += ",\"l1d_miss_rate\":" + jsonNumber(r.l1dMissRate);
     j += ",\"demand_mlp\":" + jsonNumber(r.meanDemandMlp);
     j += ",\"mispredict_rate\":" + jsonNumber(r.mispredictRate);
+    j += std::string(",\"sampled\":") + (out.sampled ? "true" : "false");
+    j += ",\"windows\":" + std::to_string(out.windows);
+    j += ",\"detailed_insts\":" + std::to_string(out.detailedInsts);
+    j += ",\"ipc_stddev\":" + jsonNumber(out.ipcStddev);
+    j += ",\"ipc_ci95\":" + jsonNumber(out.ipcCi95);
+    j += ",\"warm_accesses\":" + std::to_string(out.warmAccesses);
+    j += ",\"warm_hits\":" + std::to_string(out.warmHits);
     j += ",\"arch_ok\":";
     j += out.archVerified ? (out.archOk ? "true" : "false") : "null";
     j += ",\"stats\":" + (coreStatsJson.empty() ? "{}" : coreStatsJson);
@@ -180,6 +191,13 @@ outcomeFromRecord(const JobSpec &job, const std::string &text,
     const Json *archOk = j.find("arch_ok");
     out.archVerified = archOk && archOk->kind() == Json::Kind::Bool;
     out.archOk = out.archVerified && archOk->asBool();
+    out.sampled = boolean("sampled");
+    out.windows = static_cast<std::size_t>(num("windows"));
+    out.detailedInsts = static_cast<std::uint64_t>(num("detailed_insts"));
+    out.ipcStddev = num("ipc_stddev");
+    out.ipcCi95 = num("ipc_ci95");
+    out.warmAccesses = static_cast<std::uint64_t>(num("warm_accesses"));
+    out.warmHits = static_cast<std::uint64_t>(num("warm_hits"));
     out.log = str("log");
     out.recordJson = text;
     return true;
@@ -273,6 +291,18 @@ ResultSink::recorded() const
     return recorded_;
 }
 
+std::string
+resolveProfileCache(const SweepSpec &spec, const SweepRunOptions &options)
+{
+    if (!options.profileCache.empty())
+        return options.profileCache;
+    if (!spec.profileCache.empty())
+        return spec.profileCache;
+    if (!options.artifactDir.empty())
+        return options.artifactDir + "/profile-cache";
+    return "";
+}
+
 JobOutcome
 runJob(const SweepSpec &sweep, const JobSpec &job,
        const SweepRunOptions &options)
@@ -298,6 +328,47 @@ runJob(const SweepSpec &sweep, const JobSpec &job,
 
         MachineConfig mc = makePreset(job.preset);
         applyOverrides(mc, effective);
+
+        if (sweep.sample) {
+            // Sampled job: serve every detailed window from a
+            // checkpoint-warmed profile library instead of simulating
+            // the whole program. No chaos/snapshot machinery — the
+            // longest phase (the profiling pass) runs at functional
+            // speed and amortizes across the shared cache.
+            ProfileParams pp;
+            pp.regionInsts = sweep.regionInsts
+                                 ? sweep.regionInsts
+                                 : profileRegionHint(wl.approxDynInsts);
+            pp.maxRegions = sweep.sampleRegions;
+            std::uint64_t configHash = memConfigHash(mc, effective);
+            auto library = ensureProfileLibrary(
+                mc, wl.program, pp, resolveProfileCache(sweep, options),
+                configHash);
+            fatal_if(!library.ok(), "%s",
+                     library.error().message.c_str());
+            SampleParams sp;
+            sp.detailInsts = sweep.sampleDetail;
+            SampledResult s = runSampledFromLibrary(mc, wl.program,
+                                                    library.value(), sp);
+            out.result.preset = mc.presetName;
+            out.result.workload = wl.name;
+            out.result.insts = library.value().totalInsts;
+            out.result.ipc = s.ipc;
+            out.result.cycles =
+                s.ipc > 0 ? static_cast<Cycle>(
+                    static_cast<double>(library.value().totalInsts)
+                    / s.ipc)
+                          : 0;
+            out.result.finished = s.reachedEnd;
+            out.sampled = true;
+            out.windows = s.windowIpc.size();
+            out.detailedInsts = s.detailedInsts;
+            out.ipcStddev = s.ipcStddev();
+            out.ipcCi95 = s.ipcCi95();
+            out.warmAccesses = s.warmAccesses;
+            out.warmHits = s.warmHits;
+            return;
+        }
 
         Machine machine(mc, wl.program);
         if (options.chaos) {

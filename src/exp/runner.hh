@@ -49,6 +49,16 @@ struct JobOutcome
     /** Golden-executor cross-check (verify mode only). */
     bool archVerified = false;
     bool archOk = false;
+    /** Sampled-run extras (sweep.sample mode; zero otherwise). The
+     *  headline RunResult then carries the *estimated* whole-program
+     *  cycles/IPC, and these describe the estimate's quality. */
+    bool sampled = false;
+    std::size_t windows = 0;
+    std::uint64_t detailedInsts = 0;
+    double ipcStddev = 0;
+    double ipcCi95 = 0;
+    std::uint64_t warmAccesses = 0;
+    std::uint64_t warmHits = 0;
     /** warn()/inform() lines captured while the job ran. */
     std::string log;
     /** The canonical structured record (one JSON object). */
@@ -129,7 +139,19 @@ struct SweepRunOptions
      * and crash-recovery test hook. See fault/chaos.hh.
      */
     ChaosMonitor *chaos = nullptr;
+    /**
+     * Profile-library cache directory for sampled sweeps. Resolution
+     * order: this field, then sweep.profile_cache from the manifest,
+     * then "<artifactDir>/profile-cache" when artifacts are enabled,
+     * else none (each job builds its library in memory).
+     */
+    std::string profileCache;
 };
+
+/** The cache directory a sampled sweep will actually use (see
+ *  SweepRunOptions::profileCache); "" when none applies. */
+std::string resolveProfileCache(const SweepSpec &spec,
+                                const SweepRunOptions &options);
 
 /** Record artifact path for job @p index: "<dir>/job-<index>.json". */
 std::string jobRecordPath(const std::string &dir, std::size_t index);

@@ -34,6 +34,9 @@ sweepKeys()
         "sweep.repeats",      "sweep.baseline",
         "sweep.max_cycles",   "sweep.length_scale",
         "sweep.footprint_scale", "sweep.verify",
+        "sweep.sample",       "sweep.sample_detail",
+        "sweep.sample_regions", "sweep.region_insts",
+        "sweep.profile_cache",
         "preset",             "workload",
     };
     return keys;
@@ -183,6 +186,15 @@ SweepSpec::parse(const std::string &text, const std::string &origin)
             driver.getDouble("sweep.footprint_scale", spec.footprintScale);
         spec.verifyGolden = driver.getBool("sweep.verify",
                                            spec.verifyGolden);
+        spec.sample = driver.getBool("sweep.sample", spec.sample);
+        spec.sampleDetail =
+            driver.getUint("sweep.sample_detail", spec.sampleDetail);
+        spec.sampleRegions = static_cast<unsigned>(
+            driver.getUint("sweep.sample_regions", spec.sampleRegions));
+        spec.regionInsts =
+            driver.getUint("sweep.region_insts", spec.regionInsts);
+        spec.profileCache =
+            driver.getString("sweep.profile_cache", spec.profileCache);
     });
     if (!driven.ok())
         return Error{origin + ": " + driven.error().message,
@@ -190,6 +202,15 @@ SweepSpec::parse(const std::string &text, const std::string &origin)
 
     if (spec.repeats == 0)
         return Error{origin + ": sweep.repeats must be >= 1",
+                     exit_code::badInput};
+    if (spec.sample && spec.verifyGolden)
+        return Error{origin + ": sweep.sample and sweep.verify are "
+                              "mutually exclusive (sampled runs estimate "
+                              "IPC, they do not reproduce the golden "
+                              "final state)",
+                     exit_code::badInput};
+    if (spec.sample && spec.sampleDetail == 0)
+        return Error{origin + ": sweep.sample_detail must be >= 1",
                      exit_code::badInput};
     if (!spec.baseline.empty()
         && std::find(spec.presets.begin(), spec.presets.end(),

@@ -87,6 +87,22 @@ struct SweepSpec
     /** Cross-check every job's final arch state against the golden
      *  functional executor (costs one extra functional run per point). */
     bool verifyGolden = false;
+    /** Run every job SMARTS-sampled from a checkpoint-warmed profile
+     *  library (sim/profile.hh) instead of in full detail. Mutually
+     *  exclusive with sweep.verify (sampled runs estimate, they do not
+     *  reproduce the golden final state). */
+    bool sample = false;
+    /** Instructions per detailed sample window (sweep.sample_detail). */
+    std::uint64_t sampleDetail = 20'000;
+    /** Representative regions kept per library, 0 = every region
+     *  (sweep.sample_regions). */
+    unsigned sampleRegions = 8;
+    /** Region stride in instructions; 0 derives it per workload from
+     *  its approximate dynamic length (sweep.region_insts). */
+    std::uint64_t regionInsts = 0;
+    /** Shared on-disk snapshot-library cache for sampled jobs
+     *  (sweep.profile_cache; "" = none, each job builds in memory). */
+    std::string profileCache;
 
     std::vector<std::string> presets;
     std::vector<std::string> workloads;

@@ -186,9 +186,14 @@ MemoryImage::load(snap::Reader &r)
         fatal_if(i > 0 && key <= prev,
                  "snapshot: memory pages out of order (corrupt snapshot)");
         prev = key;
-        auto page = std::make_unique<Page>();
+        // Every byte is overwritten by the copy below, so skip the
+        // value-initialisation memset; keys arrive sorted (checked
+        // above), so the end hint makes each insert O(1). Together
+        // these roughly halve restore time on multi-MB images, which
+        // is the per-window floor for library-served sampling.
+        auto page = std::make_unique_for_overwrite<Page>();
         r.bytes(page->data(), pageSize);
-        pages_.emplace(key, std::move(page));
+        pages_.emplace_hint(pages_.end(), key, std::move(page));
     }
 }
 

@@ -534,16 +534,22 @@ CorePort::load(snap::Reader &r)
     dtlb_.load(r);
     dataPf_.load(r);
     instPf_.load(r);
+    // These sets scale with the workload footprint (one entry per
+    // touched line); reserving up front avoids incremental rehashing,
+    // which dominated warm-window restore on large-footprint members.
     prefetchedLines_.clear();
     std::uint64_t n = r.u64();
+    prefetchedLines_.reserve(n);
     for (std::uint64_t i = 0; i < n; ++i)
         prefetchedLines_.insert(r.u64());
     cohInvalidatedLines_.clear();
     std::uint64_t ns = r.u64();
+    cohInvalidatedLines_.reserve(ns);
     for (std::uint64_t i = 0; i < ns; ++i)
         cohInvalidatedLines_.insert(r.u64());
     ownedStoreLines_.clear();
     std::uint64_t no = r.u64();
+    ownedStoreLines_.reserve(no);
     for (std::uint64_t i = 0; i < no; ++i)
         ownedStoreLines_.insert(r.u64());
 }

@@ -70,6 +70,17 @@ class Watchdog
     std::uint64_t interventions() const { return interventions_; }
     bool gaveUp() const { return gaveUp_; }
 
+    /** Re-anchor the stall window after the core warm-starts at cycle
+     *  @p now; without this a warm start far from cycle 0 looks like a
+     *  full no-retirement window and triggers a spurious intervention
+     *  on the first observe(). */
+    void rebase(Cycle now)
+    {
+        lastInsts_ = core_.instsRetired();
+        windowStart_ = now;
+        fruitless_ = 0;
+    }
+
     /** Serialize progress-tracking state (params stay bound). */
     void save(snap::Writer &w) const;
     void load(snap::Reader &r);
@@ -165,6 +176,7 @@ class Machine
     MemorySystem &memsys() { return memsys_; }
     MemoryImage &image() { return image_; }
     const MachineConfig &config() const { return config_; }
+    const Program &program() const { return program_; }
     Watchdog &watchdog() { return *watchdog_; }
 
     /** Route structured pipeline + cache-fill events from the core and

@@ -22,6 +22,36 @@ SampledResult::ipcStddev() const
     return std::sqrt(acc / static_cast<double>(windowIpc.size() - 1));
 }
 
+double
+SampledResult::ipcCi95() const
+{
+    std::size_t n = windowIpc.size();
+    if (n < 2)
+        return 0.0;
+    bool weighted = windowWeight.size() == n;
+    double wsum = 0, wsq = 0, mean = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        double w = weighted ? windowWeight[i] : 1.0;
+        wsum += w;
+        wsq += w * w;
+        mean += w * windowIpc[i];
+    }
+    if (wsum <= 0)
+        return 0.0;
+    mean /= wsum;
+    double acc = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        double w = weighted ? windowWeight[i] : 1.0;
+        acc += w * (windowIpc[i] - mean) * (windowIpc[i] - mean);
+    }
+    // Bessel-corrected weighted variance and Kish effective sample
+    // size; reduces to 1.96 * s / sqrt(n) for equal weights.
+    double var = acc / wsum * static_cast<double>(n)
+                 / static_cast<double>(n - 1);
+    double neff = wsum * wsum / wsq;
+    return 1.96 * std::sqrt(var / neff);
+}
+
 SampledResult
 runSampled(const MachineConfig &config, const Program &program,
            const SampleParams &params)

@@ -44,6 +44,11 @@ struct SampledResult
     double ipc = 0;
     /** Per-window IPCs (for confidence estimation). */
     std::vector<double> windowIpc;
+    /** Per-window blending weights (instructions each window stands
+     *  for). Empty for plain runSampled() runs, where every window
+     *  weighs the same; parallel to windowIpc for library-served runs
+     *  (sim/profile.hh). */
+    std::vector<double> windowWeight;
     /** Instructions simulated in detail / skipped functionally. */
     std::uint64_t detailedInsts = 0;
     std::uint64_t skippedInsts = 0;
@@ -58,6 +63,12 @@ struct SampledResult
 
     /** Sample standard deviation of the window IPCs. */
     double ipcStddev() const;
+
+    /** Half-width of the 95% confidence interval on the IPC estimate:
+     *  1.96 · weighted stddev / sqrt(effective sample count). Uses
+     *  windowWeight when present, equal weights otherwise; 0 with
+     *  fewer than two windows. */
+    double ipcCi95() const;
 };
 
 /**

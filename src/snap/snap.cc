@@ -1,5 +1,6 @@
 #include "snap/snap.hh"
 
+#include <atomic>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
@@ -31,27 +32,6 @@ Hasher::mixU64(std::uint64_t v)
     for (int i = 0; i < 8; ++i)
         le[i] = static_cast<std::uint8_t>(v >> (8 * i));
     mix(le, sizeof(le));
-}
-
-void
-Writer::u16(std::uint16_t v)
-{
-    u8(static_cast<std::uint8_t>(v));
-    u8(static_cast<std::uint8_t>(v >> 8));
-}
-
-void
-Writer::u32(std::uint32_t v)
-{
-    for (int i = 0; i < 4; ++i)
-        u8(static_cast<std::uint8_t>(v >> (8 * i)));
-}
-
-void
-Writer::u64(std::uint64_t v)
-{
-    for (int i = 0; i < 8; ++i)
-        u8(static_cast<std::uint8_t>(v >> (8 * i)));
 }
 
 void
@@ -91,60 +71,17 @@ Writer::hash() const
 }
 
 void
-Reader::need(std::size_t n) const
+Reader::failNeed(std::size_t n) const
 {
-    fatal_if(size_ - pos_ < n,
-             "snapshot: truncated stream (need %zu bytes at offset %zu, "
-             "have %zu)",
-             n, pos_, size_ - pos_);
+    fatal("snapshot: truncated stream (need %zu bytes at offset %zu, "
+          "have %zu)",
+          n, pos_, size_ - pos_);
 }
 
-std::uint8_t
-Reader::u8()
+void
+Reader::failBool(std::uint8_t v) const
 {
-    need(1);
-    return data_[pos_++];
-}
-
-std::uint16_t
-Reader::u16()
-{
-    need(2);
-    std::uint16_t v = static_cast<std::uint16_t>(data_[pos_]) |
-                      static_cast<std::uint16_t>(data_[pos_ + 1]) << 8;
-    pos_ += 2;
-    return v;
-}
-
-std::uint32_t
-Reader::u32()
-{
-    need(4);
-    std::uint32_t v = 0;
-    for (int i = 0; i < 4; ++i)
-        v |= static_cast<std::uint32_t>(data_[pos_ + i]) << (8 * i);
-    pos_ += 4;
-    return v;
-}
-
-std::uint64_t
-Reader::u64()
-{
-    need(8);
-    std::uint64_t v = 0;
-    for (int i = 0; i < 8; ++i)
-        v |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
-    pos_ += 8;
-    return v;
-}
-
-bool
-Reader::b()
-{
-    std::uint8_t v = u8();
-    fatal_if(v > 1, "snapshot: bad bool encoding 0x%02x at offset %zu", v,
-             pos_ - 1);
-    return v != 0;
+    fatal("snapshot: bad bool encoding 0x%02x at offset %zu", v, pos_ - 1);
 }
 
 double
@@ -201,11 +138,16 @@ writeFile(const std::string &path, const std::vector<std::uint8_t> &bytes)
     // replacement atomic against process death, and the two fsyncs
     // extend that to power loss — without the directory fsync the
     // rename itself can be lost, leaving a stale (or no) checkpoint
-    // after the machine comes back. The pid in the tmp name keeps
-    // concurrent writers of the same target (a re-leased job's new
-    // worker racing its stalled predecessor) from renaming each
-    // other's half-written staging files into place.
-    std::string tmp = path + ".tmp." + std::to_string(::getpid());
+    // after the machine comes back. The pid plus a per-process serial
+    // in the tmp name keeps concurrent writers of the same target — a
+    // re-leased job's new worker racing its stalled predecessor, or
+    // two pool threads populating one profile-cache entry — from
+    // renaming each other's half-written staging files into place.
+    static std::atomic<unsigned long> writeSerial{0};
+    std::string tmp =
+        path + ".tmp." + std::to_string(::getpid()) + "."
+        + std::to_string(
+            writeSerial.fetch_add(1, std::memory_order_relaxed));
     int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
     if (fd < 0)
         return Error{"cannot open '" + tmp + "' for writing: "

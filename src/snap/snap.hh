@@ -58,10 +58,25 @@ class Hasher
 class Writer
 {
   public:
+    // The fixed-width writers are inline: cache and image save loops
+    // emit millions of these and the call overhead across translation
+    // units would dominate the actual byte stores.
     void u8(std::uint8_t v) { buf_.push_back(v); }
-    void u16(std::uint16_t v);
-    void u32(std::uint32_t v);
-    void u64(std::uint64_t v);
+    void u16(std::uint16_t v)
+    {
+        u8(static_cast<std::uint8_t>(v));
+        u8(static_cast<std::uint8_t>(v >> 8));
+    }
+    void u32(std::uint32_t v)
+    {
+        for (int i = 0; i < 4; ++i)
+            u8(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+    void u64(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            u8(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
     void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
     void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
     void b(bool v) { u8(v ? 1 : 0); }
@@ -95,13 +110,52 @@ class Reader
     {
     }
 
-    std::uint8_t u8();
-    std::uint16_t u16();
-    std::uint32_t u32();
-    std::uint64_t u64();
+    // Inline for the same reason as the Writer side: restoring a warm
+    // cache snapshot decodes six fields per line, and an out-of-line
+    // call per field makes restore several times slower than the
+    // underlying memory traffic. Only the cold failure paths stay in
+    // the .cc file.
+    std::uint8_t u8()
+    {
+        need(1);
+        return data_[pos_++];
+    }
+    std::uint16_t u16()
+    {
+        need(2);
+        std::uint16_t v =
+            static_cast<std::uint16_t>(data_[pos_]) |
+            static_cast<std::uint16_t>(data_[pos_ + 1]) << 8;
+        pos_ += 2;
+        return v;
+    }
+    std::uint32_t u32()
+    {
+        need(4);
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<std::uint32_t>(data_[pos_ + i]) << (8 * i);
+        pos_ += 4;
+        return v;
+    }
+    std::uint64_t u64()
+    {
+        need(8);
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+        pos_ += 8;
+        return v;
+    }
     std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
     std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
-    bool b();
+    bool b()
+    {
+        std::uint8_t v = u8();
+        if (v > 1)
+            failBool(v);
+        return v != 0;
+    }
     double f64();
     std::string str();
     void bytes(void *out, std::size_t len);
@@ -116,7 +170,13 @@ class Reader
     void done() const;
 
   private:
-    void need(std::size_t n) const;
+    void need(std::size_t n) const
+    {
+        if (size_ - pos_ < n) [[unlikely]]
+            failNeed(n);
+    }
+    [[noreturn]] void failNeed(std::size_t n) const;
+    [[noreturn]] void failBool(std::uint8_t v) const;
 
     const std::uint8_t *data_;
     std::size_t size_;

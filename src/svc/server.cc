@@ -129,6 +129,22 @@ serveSweep(const exp::SweepSpec &spec, const std::string &manifestText,
              options.artifactDir.c_str(), ec.message().c_str());
         return exit_code::badInput;
     }
+    if (spec.sample) {
+        // Sampled sweeps share one snapshot-library cache across every
+        // worker (exp::resolveProfileCache lands here for each of
+        // them); create it up front so the first concurrent populators
+        // only race on members, never on the directory itself.
+        exp::SweepRunOptions probe;
+        probe.artifactDir = options.artifactDir;
+        std::string cache = exp::resolveProfileCache(spec, probe);
+        std::filesystem::create_directories(cache, ec);
+        if (ec)
+            warn("serve: cannot create profile cache '%s': %s",
+                 cache.c_str(), ec.message().c_str());
+        else
+            inform("serve: sampled sweep; shared profile cache at '%s'",
+                   cache.c_str());
+    }
 
     const std::vector<exp::JobSpec> jobs = spec.expand();
     exp::ResultSink sink(jobs.size());

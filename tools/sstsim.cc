@@ -28,14 +28,29 @@
  *   stats=none|summary|full   reporting depth (default summary)
  *   json=true              machine-readable stats to stdout
  *   sample=true [detail= skip=]  sampled instead of full simulation
+ *   profile_cache=<dir> [regions= region_insts=]  serve sampled runs
+ *                          from a checkpoint-warmed snapshot library
+ *                          (sim/profile.hh); built on first use,
+ *                          reused by every later matching run
+ *   warm_start=<n>         warm-start a full detailed run from the
+ *                          library member nearest instruction n
  *   trace=true             pipeline event trace to stderr
  *   max_cycles=<n>         simulation budget
  *   snap_every=<n> [snap_out=<file>]  periodic machine snapshots
  *   resume=<file>          restore a snapshot before running
  *
+ * Profile mode (checkpoint-warmed sampling, sim/profile.hh):
+ *   sstsim profile <preset> <workload> [--cache DIR] [--regions N]
+ *                  [--region-insts N] [key=value...]
+ * fast-forwards the workload once, selects representative regions
+ * (SimPoint-style basic-block-vector clustering; --regions 0 keeps
+ * every fixed-stride region) and drops warm-state snapshots of each
+ * into DIR, keyed by preset/model/workload/fingerprint/config so
+ * sampled sweeps and warm_start= runs start instantly from them.
+ *
  * Sweep mode (parallel experiment runner, src/exp):
  *   sstsim sweep <manifest> [-j N] [--json FILE] [--verify] [--quiet]
- *                [--resume DIR] [--snap-every N]
+ *                [--resume DIR] [--snap-every N] [--profile-cache DIR]
  * runs the manifest's config x workload x seed matrix on a
  * work-stealing thread pool and reports aggregate tables plus an
  * optional structured JSON document. Per-job records are bit-identical
@@ -104,6 +119,7 @@
 #include "common/config.hh"
 #include "common/logging.hh"
 #include "common/result.hh"
+#include "common/stats.hh"
 #include "common/table.hh"
 #include "exp/json.hh"
 #include "exp/runner.hh"
@@ -113,6 +129,7 @@
 #include "isa/assembler.hh"
 #include "sim/cmp.hh"
 #include "sim/machine.hh"
+#include "sim/profile.hh"
 #include "sim/sampling.hh"
 #include "snap/diff.hh"
 #include "snap/snap.hh"
@@ -137,6 +154,7 @@ driverKeys()
         "footprint_scale",    "stats",  "json",   "sample",
         "detail",   "skip",   "trace",  "max_cycles",
         "snap_every", "snap_out", "resume",
+        "profile_cache", "regions", "region_insts", "warm_start",
     };
     return keys;
 }
@@ -252,6 +270,7 @@ sweepMain(int argc, char **argv)
     std::string jsonPath;
     std::string artifactDir;
     std::string socketPath;
+    std::string profileCache;
     std::uint64_t snapEvery = 0;
     unsigned jobs = 1;
     unsigned distributed = 0;
@@ -351,6 +370,11 @@ sweepMain(int argc, char **argv)
                 return fail(Error{"--json needs an output path",
                                   exit_code::usage});
             jsonPath = argv[i];
+        } else if (arg == "--profile-cache") {
+            if (++i >= argc)
+                return fail(Error{"--profile-cache needs a directory",
+                                  exit_code::usage});
+            profileCache = argv[i];
         } else if (arg == "--verify") {
             forceVerify = true;
         } else if (arg == "--quiet") {
@@ -359,6 +383,7 @@ sweepMain(int argc, char **argv)
             return fail(Error{"unknown sweep option '" + arg
                                   + "' (know -j, --json, --verify, "
                                     "--quiet, --resume, --snap-every, "
+                                    "--profile-cache, "
                                     "--distributed, --socket, "
                                     "--lease-timeout-ms, "
                                     "--max-attempts, --backoff-base-ms, "
@@ -396,6 +421,13 @@ sweepMain(int argc, char **argv)
                 Error{"--verify cannot combine with --distributed; "
                       "set 'sweep.verify = true' in the manifest",
                       exit_code::usage});
+        if (!profileCache.empty())
+            return fail(
+                Error{"--profile-cache cannot combine with "
+                      "--distributed; workers share "
+                      "'<artifacts>/profile-cache' by default (or set "
+                      "'sweep.profile_cache' in the manifest)",
+                      exit_code::usage});
         if (artifactDir.empty())
             return fail(Error{"--distributed needs --resume DIR (the "
                               "workers share artifacts there)",
@@ -423,14 +455,22 @@ sweepMain(int argc, char **argv)
                         so.socketPath.c_str());
         return svc::serveSweep(spec, ss.str(), so);
     }
-    if (forceVerify)
+    if (forceVerify) {
+        if (spec.sample)
+            return fail(Error{"--verify cannot combine with a sampled "
+                              "sweep (sweep.sample estimates IPC, it "
+                              "does not reproduce the golden final "
+                              "state)",
+                              exit_code::usage});
         spec.verifyGolden = true;
+    }
 
     exp::SweepRunOptions options;
     options.jobs = jobs ? jobs : exp::ThreadPool::defaultWorkers();
     options.artifactDir = artifactDir;
     options.snapEvery = snapEvery;
     options.resume = !artifactDir.empty();
+    options.profileCache = profileCache;
 
     if (!quiet)
         std::printf("sweep '%s': %zu points x %zu presets = %zu jobs "
@@ -1135,11 +1175,147 @@ diffMain(int argc, char **argv)
     return exit_code::diverged;
 }
 
+/**
+ * `sstsim profile <preset> <workload> [--cache DIR] [--regions N]
+ * [--region-insts N] [key=value ...]` — fast-forward the workload once
+ * and build (or refresh) its warm-state region snapshot library, so
+ * later sampled or warm_start= runs of the same identity start
+ * instantly. With --cache the library is persisted under DIR (the
+ * entry sampled sweeps and warm_start= look up); without it the pass
+ * just reports what it would snapshot.
+ */
+int
+profileMain(int argc, char **argv)
+{
+    std::string preset_name;
+    std::string workload_name;
+    std::string cacheDir;
+    ProfileParams pp;
+    Config cfg;
+
+    for (int i = 2; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--cache") {
+            if (++i >= argc)
+                return fail(Error{"--cache needs a directory",
+                                  exit_code::usage});
+            cacheDir = argv[i];
+        } else if (arg == "--regions") {
+            if (++i >= argc)
+                return fail(Error{"--regions needs a value",
+                                  exit_code::usage});
+            auto n = parseCount("--regions", argv[i], true);
+            if (!n.ok())
+                return fail(n.error());
+            pp.maxRegions = static_cast<unsigned>(n.value());
+        } else if (arg == "--region-insts") {
+            if (++i >= argc)
+                return fail(Error{"--region-insts needs a value",
+                                  exit_code::usage});
+            auto n = parseCount("--region-insts", argv[i]);
+            if (!n.ok())
+                return fail(n.error());
+            pp.regionInsts = n.value();
+        } else if (!arg.empty() && arg[0] == '-') {
+            return fail(Error{"unknown profile option '" + arg
+                                  + "' (know --cache, --regions, "
+                                    "--region-insts)",
+                              exit_code::usage});
+        } else if (arg.find('=') != std::string::npos) {
+            if (auto p = cfg.tryParseAssignment(arg); !p.ok())
+                return fail(p.error());
+        } else if (preset_name.empty()) {
+            preset_name = arg;
+        } else if (workload_name.empty()) {
+            workload_name = arg;
+        } else {
+            return fail(Error{"unexpected argument '" + arg + "'",
+                              exit_code::usage});
+        }
+    }
+    if (preset_name.empty() || workload_name.empty())
+        return fail(Error{"usage: sstsim profile <preset> <workload> "
+                          "[--cache DIR] [--regions N] "
+                          "[--region-insts N] [key=value ...]",
+                          exit_code::usage});
+
+    std::string category;
+    Config load_cfg = cfg;
+    load_cfg.set("workload", workload_name);
+    auto loaded = loadProgram(load_cfg, category);
+    if (!loaded.ok())
+        return fail(loaded.error());
+    Program program = loaded.take();
+
+    auto made = trapFatal(
+        [&] {
+            MachineConfig mc = makePreset(preset_name);
+            applyOverrides(mc, cfg);
+            return mc;
+        },
+        exit_code::usage);
+    if (!made.ok()) {
+        Error e = made.error();
+        std::string near = closestMatch(preset_name, presetNames());
+        if (!near.empty())
+            e.message += "; did you mean '" + near + "'?";
+        return fail(e);
+    }
+    MachineConfig mc = made.take();
+
+    if (pp.regionInsts == 0) {
+        // Resolve the auto stride here (it is part of the cache key):
+        // one functional counting pass, then the same hint sampled
+        // sweeps use.
+        MemoryImage countMem;
+        countMem.loadSegments(program);
+        Executor counter(program, countMem);
+        ArchState countState;
+        std::uint64_t n = counter.run(countState, pp.maxInsts);
+        if (!countState.halted)
+            return fail(Error{"program does not halt functionally "
+                              "within the profiling budget",
+                              exit_code::badInput});
+        pp.regionInsts = profileRegionHint(n);
+    }
+
+    std::uint64_t configHash = memConfigHash(mc, cfg);
+    auto built =
+        ensureProfileLibrary(mc, program, pp, cacheDir, configHash);
+    if (!built.ok())
+        return fail(built.error());
+    const ProfileLibrary &lib = built.value();
+
+    std::size_t selected = 0;
+    for (const auto &r : lib.regions)
+        if (r.selected)
+            ++selected;
+    std::printf("profile: preset=%s workload=%s insts=%llu "
+                "regions=%zu selected=%zu stride=%llu warm=%llu/%llu\n",
+                mc.presetName.c_str(), program.name().c_str(),
+                static_cast<unsigned long long>(lib.totalInsts),
+                lib.regions.size(), selected,
+                static_cast<unsigned long long>(lib.regionInsts),
+                static_cast<unsigned long long>(lib.warmHits),
+                static_cast<unsigned long long>(lib.warmAccesses));
+    if (!cacheDir.empty())
+        std::printf("profile: library cached under '%s'\n",
+                    profileCacheDir(cacheDir, mc, program, pp,
+                                    configHash)
+                        .c_str());
+    else
+        std::printf("profile: no --cache given; library built in "
+                    "memory and discarded\n");
+    return exit_code::ok;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
+    if (argc >= 2 && std::string(argv[1]) == "profile")
+        return profileMain(argc, argv);
     if (argc >= 2 && std::string(argv[1]) == "sweep")
         return sweepMain(argc, argv);
     if (argc >= 2 && std::string(argv[1]) == "serve")
@@ -1194,13 +1370,79 @@ main(int argc, char **argv)
         SampleParams sp;
         sp.detailInsts = cfg.getUint("detail", 20000);
         sp.skipInsts = cfg.getUint("skip", 80000);
-        SampledResult r = runSampled(mc, program, sp);
+        std::string cacheDir = cfg.getString("profile_cache", "");
+        std::uint64_t regionInsts = cfg.getUint("region_insts", 0);
+        bool fromLibrary = !cacheDir.empty() || regionInsts != 0;
+
+        SampledResult r;
+        if (fromLibrary) {
+            // Serve the windows from a checkpoint-warmed snapshot
+            // library instead of fast-forwarding from cycle 0.
+            ProfileParams pp;
+            pp.maxRegions = static_cast<unsigned>(
+                cfg.getUint("regions", 8));
+            if (regionInsts) {
+                pp.regionInsts = regionInsts;
+            } else {
+                MemoryImage countMem;
+                countMem.loadSegments(program);
+                Executor counter(program, countMem);
+                ArchState countState;
+                std::uint64_t n =
+                    counter.run(countState, 2'000'000'000ULL);
+                if (!countState.halted)
+                    return fail(
+                        Error{"program does not halt functionally",
+                              exit_code::badInput});
+                pp.regionInsts = profileRegionHint(n);
+            }
+            std::uint64_t configHash = memConfigHash(mc, cfg);
+            auto library = ensureProfileLibrary(mc, program, pp,
+                                                cacheDir, configHash);
+            if (!library.ok())
+                return fail(library.error());
+            auto sampled = trapFatal([&] {
+                return runSampledFromLibrary(mc, program,
+                                             library.value(), sp);
+            });
+            if (!sampled.ok())
+                return fail(sampled.error());
+            r = sampled.take();
+        } else {
+            r = runSampled(mc, program, sp);
+        }
+
+        if (cfg.getBool("json", false)) {
+            std::string j = "{\"mode\":\"sampled\"";
+            j += ",\"preset\":\"" + jsonEscape(mc.presetName) + '"';
+            j += ",\"workload\":\"" + jsonEscape(program.name()) + '"';
+            j += std::string(",\"from_library\":")
+                 + (fromLibrary ? "true" : "false");
+            j += ",\"ipc\":" + jsonNumber(r.ipc);
+            j += ",\"windows\":" + std::to_string(r.windowIpc.size());
+            j += ",\"ipc_stddev\":" + jsonNumber(r.ipcStddev());
+            j += ",\"ipc_ci95\":" + jsonNumber(r.ipcCi95());
+            j += ",\"detailed_insts\":"
+                 + std::to_string(r.detailedInsts);
+            j += ",\"skipped_insts\":" + std::to_string(r.skippedInsts);
+            j += ",\"warm_accesses\":" + std::to_string(r.warmAccesses);
+            j += ",\"warm_hits\":" + std::to_string(r.warmHits);
+            j += std::string(",\"reached_end\":")
+                 + (r.reachedEnd ? "true" : "false");
+            j += "}\n";
+            std::fputs(j.c_str(), stdout);
+            return exit_code::ok;
+        }
         std::printf("sampled: preset=%s workload=%s ipc=%.4f "
-                    "windows=%zu stddev=%.4f detail=%llu skip=%llu%s\n",
+                    "windows=%zu stddev=%.4f ci95=%.4f warm=%llu/%llu "
+                    "detail=%llu skip=%llu%s%s\n",
                     mc.presetName.c_str(), program.name().c_str(), r.ipc,
-                    r.windowIpc.size(), r.ipcStddev(),
+                    r.windowIpc.size(), r.ipcStddev(), r.ipcCi95(),
+                    static_cast<unsigned long long>(r.warmHits),
+                    static_cast<unsigned long long>(r.warmAccesses),
                     static_cast<unsigned long long>(r.detailedInsts),
                     static_cast<unsigned long long>(r.skippedInsts),
+                    fromLibrary ? " (library)" : "",
                     r.reachedEnd ? "" : " (budget)");
         return exit_code::ok;
     }
@@ -1222,12 +1464,50 @@ main(int argc, char **argv)
         });
 
     std::string resume_path = cfg.getString("resume", "");
+    if (!resume_path.empty() && !cfg.getString("warm_start", "").empty())
+        return fail(Error{"warm_start= cannot combine with resume= "
+                          "(both pick the starting state)",
+                          exit_code::usage});
     if (!resume_path.empty()) {
         auto restored = machine.restoreFromFile(resume_path);
         if (!restored.ok())
             return fail(restored.error());
         std::fprintf(stderr, "sstsim: resumed from '%s' at cycle %llu\n",
                      resume_path.c_str(),
+                     static_cast<unsigned long long>(
+                         machine.core().cycles()));
+    }
+
+    // warm_start=N: skip the program's first N-ish instructions by
+    // restoring the profile-library member nearest below N (building
+    // the library on first use). The golden cross-check still holds —
+    // the warm prefix ran on the same golden executor — with the
+    // retired-instruction count adjusted by the member's offset.
+    std::uint64_t warmSkipped = 0;
+    std::string warm_key = cfg.getString("warm_start", "");
+    if (!warm_key.empty()) {
+        auto target = parseCount("warm_start", warm_key.c_str(), true);
+        if (!target.ok())
+            return fail(target.error());
+        ProfileParams pp;
+        pp.maxRegions =
+            static_cast<unsigned>(cfg.getUint("regions", 8));
+        pp.regionInsts = cfg.getUint("region_insts", 0);
+        if (pp.regionInsts == 0)
+            pp.regionInsts = profileRegionHint(golden_insts);
+        auto library = ensureProfileLibrary(
+            mc, program, pp, cfg.getString("profile_cache", ""),
+            memConfigHash(mc, cfg));
+        if (!library.ok())
+            return fail(library.error());
+        auto warmed = warmStartMachine(machine, library.value(),
+                                       target.value(), &warmSkipped);
+        if (!warmed.ok())
+            return fail(warmed.error());
+        std::fprintf(stderr,
+                     "sstsim: warm-started at instruction %llu "
+                     "(cycle %llu) from the profile library\n",
+                     static_cast<unsigned long long>(warmSkipped),
                      static_cast<unsigned long long>(
                          machine.core().cycles()));
     }
@@ -1251,7 +1531,7 @@ main(int argc, char **argv)
 
     bool arch_ok = machine.core().archState().regsEqual(golden_state)
                    && machine.image().contentEquals(golden_mem)
-                   && r.insts == golden_insts;
+                   && r.insts == golden_insts - warmSkipped;
 
     if (cfg.getBool("json", false)) {
         std::fputs(machine.core().stats().dumpJson().c_str(), stdout);
