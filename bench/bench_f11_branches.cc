@@ -8,9 +8,12 @@
  * harder than a conventional pipeline. Expected shape: SST's speedup
  * over in-order grows with predictor quality on branchy workloads, and
  * the deferred-branch fail rate falls.
+ *
+ * Usage: bench_f11_branches [out.json] (default bench_f11_branches.json)
  */
 
 #include <cstdio>
+#include <fstream>
 
 #include "bench_util.hh"
 
@@ -18,10 +21,12 @@ using namespace sst;
 using namespace sst::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     banner("F11", "SST sensitivity to branch predictor quality");
     setVerbose(false);
+    const std::string json_path =
+        argc > 1 ? argv[1] : "bench_f11_branches.json";
 
     const std::vector<std::string> predictors = {"static", "bimodal",
                                                  "gshare", "tournament"};
@@ -39,6 +44,7 @@ main()
     fails.setHeader(header);
 
     std::vector<std::vector<std::string>> csv;
+    std::string json = "[\n";
     for (const auto &wname : workloads) {
         const Workload &wl = set.get(wname);
         std::vector<std::string> row = {wname};
@@ -57,11 +63,22 @@ main()
             double fb = statOf(r, ".fail_branch") * 100000.0
                         / static_cast<double>(r.insts);
             frow.push_back(Table::num(fb, 1));
+            char buf[256];
+            std::snprintf(
+                buf, sizeof buf,
+                "  {\"workload\": \"%s\", \"predictor\": \"%s\", "
+                "\"speedup\": %.4f, \"fail_branch_per_100k\": %.2f}%s\n",
+                wname.c_str(), pred.c_str(), speedup, fb,
+                wname == workloads.back() && pred == predictors.back()
+                    ? ""
+                    : ",");
+            json += buf;
         }
         t.addRow(row);
         fails.addRow(frow);
         csv.push_back(csv_row);
     }
+    json += "]\n";
     t.print();
     fails.setCaption("btree_lookup's branches are data-random: no "
                      "predictor can save those rollbacks.");
@@ -71,5 +88,10 @@ main()
     for (const auto &p : predictors)
         csv_header.push_back(p);
     emitCsv("f11_branches", csv_header, csv);
+
+    std::ofstream out(json_path);
+    fatal_if(!out, "cannot write %s", json_path.c_str());
+    out << json;
+    std::printf("\nwrote %s\n", json_path.c_str());
     return 0;
 }

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * F19 — load-value prediction in the ahead strand (extension).
+ *
+ * Without value prediction an NA-consuming dependence chain behind a
+ * deferred miss stalls the ahead strand (or defers transitively) until
+ * the fill arrives. With core.value_pred=last|stride the ahead strand
+ * keeps executing on a confidence-gated predicted value and the DQ
+ * replay verifies the guess against the real fill — a wrong guess
+ * costs a rollback (value_pred_waste in the CPI stack), a right one
+ * converts deferred-stall cycles into overlapped work (value_pred).
+ *
+ * Expected shape: stride-friendly pointer-walking and scan kernels
+ * convert a visible slice of their replay/deferral cycles; the CPI
+ * stack's value_pred bucket accounts the converted cycles, and the
+ * Pareto table shows SST+VP moving toward (sometimes past) the bigger
+ * OoO cores at a fraction of their checkpoint/window cost.
+ *
+ * Usage: bench_f19_valuepred [out.json] (default bench_f19_valuepred.json)
+ */
+
+#include <cstdio>
+#include <fstream>
+
+#include "bench_util.hh"
+#include "trace/cpistack.hh"
+
+using namespace sst;
+using namespace sst::bench;
+
+namespace
+{
+
+struct VpRun
+{
+    Cycle cycles = 0;
+    double ipc = 0;
+    double predictions = 0;
+    double correct = 0;
+    double rollbacks = 0;
+    double vpCycles = 0;    ///< CpiCat::ValuePred (converted)
+    double wasteCycles = 0; ///< CpiCat::ValuePredWaste (squashed)
+};
+
+VpRun
+toRun(const RunResult &r)
+{
+    VpRun out;
+    out.cycles = r.cycles;
+    out.ipc = r.ipc;
+    out.predictions = statOf(r, ".vp_predictions");
+    out.correct = statOf(r, ".vp_correct");
+    out.rollbacks = statOf(r, ".fail_vpred");
+    out.vpCycles = statOf(r, ".cpi_stack.value_pred");
+    out.wasteCycles = statOf(r, ".cpi_stack.value_pred_waste");
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    banner("F19", "load-value prediction in the SST ahead strand");
+    setVerbose(false);
+    const std::string json_path =
+        argc > 1 ? argv[1] : "bench_f19_valuepred.json";
+
+    const std::vector<std::string> modes = {"off", "last", "stride"};
+    const std::vector<std::string> workloads = {
+        "list_walk", "pointer_chase", "stream", "column_scan",
+        "hash_join", "btree_lookup"};
+    const std::string preset = "sst4";
+
+    WorkloadSet set;
+    for (const auto &w : workloads)
+        set.get(w); // pre-populate: forEachIndex reads it concurrently
+
+    // Row-major [workload][mode]; the last two columns are the OoO
+    // comparators for the Pareto framing.
+    std::vector<VpRun> runs(workloads.size() * modes.size());
+    std::vector<Cycle> oooSmall(workloads.size()),
+        oooLarge(workloads.size());
+    forEachIndex(workloads.size() * (modes.size() + 2),
+                 [&](std::size_t i) {
+                     std::size_t w = i / (modes.size() + 2);
+                     std::size_t m = i % (modes.size() + 2);
+                     const Workload &wl = set.get(workloads[w]);
+                     if (m < modes.size()) {
+                         runs[w * modes.size() + m] =
+                             toRun(runConfigured(
+                                 preset, wl, [&](MachineConfig &cfg) {
+                                     cfg.core.valuePred = modes[m];
+                                 }));
+                     } else if (m == modes.size()) {
+                         oooSmall[w] = runPreset("ooo-small", wl).cycles;
+                     } else {
+                         oooLarge[w] = runPreset("ooo-large", wl).cycles;
+                     }
+                 });
+
+    Table t(preset + " with core.value_pred=off|last|stride");
+    t.setHeader({"workload", "off cyc", "last cyc", "stride cyc",
+                 "stride speedup", "accuracy", "vp cyc", "waste cyc",
+                 "squashes"});
+    std::vector<std::vector<std::string>> csv;
+    std::vector<double> speedups;
+    std::string json = "[\n";
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+        const VpRun &off = runs[w * modes.size() + 0];
+        const VpRun &last = runs[w * modes.size() + 1];
+        const VpRun &stride = runs[w * modes.size() + 2];
+        double speedup = static_cast<double>(off.cycles)
+                         / static_cast<double>(stride.cycles);
+        speedups.push_back(speedup);
+        double acc = stride.predictions
+                         ? 100.0 * stride.correct / stride.predictions
+                         : 0.0;
+        t.addRow({workloads[w], std::to_string(off.cycles),
+                  std::to_string(last.cycles),
+                  std::to_string(stride.cycles),
+                  Table::num(speedup, 3) + "x",
+                  Table::num(acc, 1) + "%",
+                  Table::num(stride.vpCycles, 0),
+                  Table::num(stride.wasteCycles, 0),
+                  Table::num(stride.rollbacks, 0)});
+        csv.push_back({workloads[w], std::to_string(off.cycles),
+                       std::to_string(last.cycles),
+                       std::to_string(stride.cycles),
+                       Table::num(speedup, 4)});
+        char buf[512];
+        std::snprintf(
+            buf, sizeof buf,
+            "  {\"workload\": \"%s\", \"preset\": \"%s\",\n"
+            "   \"off_cycles\": %llu, \"last_cycles\": %llu, "
+            "\"stride_cycles\": %llu,\n"
+            "   \"stride_speedup\": %.4f, \"vp_accuracy\": %.4f,\n"
+            "   \"vp_predictions\": %.0f, \"vp_correct\": %.0f, "
+            "\"vp_squashes\": %.0f,\n"
+            "   \"value_pred_cycles\": %.0f, "
+            "\"value_pred_waste_cycles\": %.0f,\n"
+            "   \"ooo_small_cycles\": %llu, "
+            "\"ooo_large_cycles\": %llu}%s\n",
+            workloads[w].c_str(), preset.c_str(),
+            static_cast<unsigned long long>(off.cycles),
+            static_cast<unsigned long long>(last.cycles),
+            static_cast<unsigned long long>(stride.cycles), speedup,
+            acc / 100.0, stride.predictions, stride.correct,
+            stride.rollbacks, stride.vpCycles, stride.wasteCycles,
+            static_cast<unsigned long long>(oooSmall[w]),
+            static_cast<unsigned long long>(oooLarge[w]),
+            w + 1 < workloads.size() ? "," : "");
+        json += buf;
+    }
+    json += "]\n";
+    t.setCaption("vp cyc = committed speculation cycles that ran on a "
+                 "predicted value (converted deferral stalls); waste "
+                 "cyc = cycles squashed by a wrong guess.");
+    t.print();
+
+    Table pareto("Pareto framing: cycles vs the OoO comparators");
+    pareto.setHeader({"workload", "sst4+stride", "ooo-small",
+                      "ooo-large", "vs ooo-large"});
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+        const VpRun &stride = runs[w * modes.size() + 2];
+        pareto.addRow(
+            {workloads[w], std::to_string(stride.cycles),
+             std::to_string(oooSmall[w]), std::to_string(oooLarge[w]),
+             Table::num(static_cast<double>(oooLarge[w])
+                            / static_cast<double>(stride.cycles),
+                        3)
+                 + "x"});
+    }
+    pareto.print();
+
+    emitCsv("f19_valuepred",
+            {"workload", "off_cycles", "last_cycles", "stride_cycles",
+             "speedup"},
+            csv);
+
+    std::ofstream out(json_path);
+    fatal_if(!out, "cannot write %s", json_path.c_str());
+    out << json;
+    std::printf("\nwrote %s\n", json_path.c_str());
+    std::printf("HEADLINE: geomean stride-VP speedup on %s = %.3fx\n",
+                preset.c_str(), geomean(speedups));
+    return 0;
+}

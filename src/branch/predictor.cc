@@ -1,5 +1,6 @@
 #include "branch/predictor.hh"
 
+#include "common/config.hh"
 #include "common/logging.hh"
 #include "snap/snap.hh"
 
@@ -48,17 +49,19 @@ BimodalPredictor::update(std::uint64_t pc, bool taken)
     bumpCounter(table_[index(pc)], taken);
 }
 
-GsharePredictor::GsharePredictor(unsigned tableBits, unsigned historyBits)
+GsharePredictor::GsharePredictor(unsigned tableBits, unsigned historyBits,
+                                 bool strandAware)
     : table_(std::size_t{1} << tableBits, 2),
       mask_((1u << tableBits) - 1),
-      historyMask_((std::uint64_t{1} << historyBits) - 1)
+      historyMask_((std::uint64_t{1} << historyBits) - 1),
+      strandAware_(strandAware)
 {
 }
 
 unsigned
 GsharePredictor::index(std::uint64_t pc) const
 {
-    return static_cast<unsigned>(pc ^ history_) & mask_;
+    return static_cast<unsigned>(pc ^ history_[strand_]) & mask_;
 }
 
 bool
@@ -91,13 +94,15 @@ GsharePredictor::trainAt(std::uint64_t pc, bool taken,
 void
 GsharePredictor::shiftHistory(bool taken)
 {
-    history_ = ((history_ << 1) | (taken ? 1 : 0)) & historyMask_;
+    history_[strand_] =
+        ((history_[strand_] << 1) | (taken ? 1 : 0)) & historyMask_;
 }
 
 TournamentPredictor::TournamentPredictor(unsigned tableBits,
-                                         unsigned historyBits)
+                                         unsigned historyBits,
+                                         bool strandAware)
     : bimodal_(tableBits),
-      gshare_(tableBits, historyBits),
+      gshare_(tableBits, historyBits, strandAware),
       chooser_(std::size_t{1} << tableBits, 2),
       mask_((1u << tableBits) - 1)
 {
@@ -167,18 +172,32 @@ TournamentPredictor::restoreHistory(std::uint64_t h)
     gshare_.restoreHistory(h);
 }
 
+const std::vector<std::string> &
+predictorNames()
+{
+    static const std::vector<std::string> names = {
+        "static", "bimodal", "gshare", "tournament"};
+    return names;
+}
+
 std::unique_ptr<BranchPredictor>
-makePredictor(const std::string &kind)
+makePredictor(const std::string &kind, bool strandHistory)
 {
     if (kind == "static")
         return std::make_unique<StaticPredictor>();
     if (kind == "bimodal")
         return std::make_unique<BimodalPredictor>();
     if (kind == "gshare")
-        return std::make_unique<GsharePredictor>();
+        return std::make_unique<GsharePredictor>(14, 12, strandHistory);
     if (kind == "tournament")
-        return std::make_unique<TournamentPredictor>();
-    fatal("unknown branch predictor '%s'", kind.c_str());
+        return std::make_unique<TournamentPredictor>(13, 12,
+                                                     strandHistory);
+    std::string msg = "unknown branch predictor '" + kind + "'";
+    std::string near = closestMatch(kind, predictorNames());
+    if (!near.empty())
+        msg += "; did you mean '" + near + "'?";
+    msg += " (known: static|bimodal|gshare|tournament)";
+    fatal("%s", msg.c_str());
 }
 
 Btb::Btb(unsigned entries)
@@ -263,14 +282,18 @@ void
 GsharePredictor::save(snap::Writer &w) const
 {
     saveByteTable(w, table_);
-    w.u64(history_);
+    w.u64(history_[0]);
+    w.u64(history_[1]);
+    w.u32(strand_);
 }
 
 void
 GsharePredictor::load(snap::Reader &r)
 {
     loadByteTable(r, table_);
-    history_ = r.u64();
+    history_[0] = r.u64();
+    history_[1] = r.u64();
+    strand_ = r.u32();
 }
 
 void

@@ -80,12 +80,25 @@ class BranchPredictor
     /**
      * Checkpoint/restore of speculative history (global history
      * registers); table state is left speculatively updated, as real
-     * hardware does.
+     * hardware does. Both act on the *active strand's* register when
+     * per-strand history is enabled.
      */
     virtual std::uint64_t snapshotHistory() const { return 0; }
     virtual void restoreHistory(std::uint64_t) {}
 
+    /**
+     * Select the active global-history register. Strand 0 is the
+     * committed (main) stream, strand 1 the SST ahead strand. A no-op
+     * unless the predictor was built with strand-aware history, so
+     * cores may call it unconditionally.
+     */
+    virtual void setStrand(unsigned /*strand*/) {}
+
     virtual const char *name() const = 0;
+
+    /** Strand indices for setStrand(). */
+    static constexpr unsigned mainStrand = 0;
+    static constexpr unsigned aheadStrand = 1;
 };
 
 /** Always-predict-not-taken strawman. */
@@ -116,12 +129,19 @@ class BimodalPredictor : public BranchPredictor
     unsigned mask_;
 };
 
-/** Gshare: global history XOR pc indexing a 2-bit table. */
+/**
+ * Gshare: global history XOR pc indexing a 2-bit table. With
+ * @p strandAware the predictor keeps one history register per strand
+ * (main/ahead) over a shared table, so ahead-strand speculation does
+ * not pollute the committed stream's history; setStrand() selects the
+ * active register.
+ */
 class GsharePredictor : public BranchPredictor
 {
   public:
     explicit GsharePredictor(unsigned tableBits = 14,
-                             unsigned historyBits = 12);
+                             unsigned historyBits = 12,
+                             bool strandAware = false);
 
     bool predict(std::uint64_t pc) override;
     void update(std::uint64_t pc, bool taken) override;
@@ -129,8 +149,18 @@ class GsharePredictor : public BranchPredictor
     void trainAt(std::uint64_t pc, bool taken,
                  std::uint64_t history) override;
     void shiftHistory(bool taken) override;
-    std::uint64_t snapshotHistory() const override { return history_; }
-    void restoreHistory(std::uint64_t h) override { history_ = h; }
+    std::uint64_t snapshotHistory() const override
+    {
+        return history_[strand_];
+    }
+    void restoreHistory(std::uint64_t h) override
+    {
+        history_[strand_] = h;
+    }
+    void setStrand(unsigned strand) override
+    {
+        strand_ = (strandAware_ && strand != 0) ? 1 : 0;
+    }
     const char *name() const override { return "gshare"; }
 
     void save(snap::Writer &w) const override;
@@ -140,15 +170,18 @@ class GsharePredictor : public BranchPredictor
     unsigned index(std::uint64_t pc) const;
     std::vector<std::uint8_t> table_;
     unsigned mask_;
-    std::uint64_t history_ = 0;
+    std::uint64_t history_[2] = {0, 0};
     std::uint64_t historyMask_;
+    unsigned strand_ = 0;
+    bool strandAware_;
 };
 
 /** Tournament: bimodal vs gshare with a 2-bit chooser. */
 class TournamentPredictor : public BranchPredictor
 {
   public:
-    TournamentPredictor(unsigned tableBits = 13, unsigned historyBits = 12);
+    TournamentPredictor(unsigned tableBits = 13, unsigned historyBits = 12,
+                        bool strandAware = false);
 
     bool predict(std::uint64_t pc) override;
     void update(std::uint64_t pc, bool taken) override;
@@ -158,6 +191,10 @@ class TournamentPredictor : public BranchPredictor
     void shiftHistory(bool taken) override;
     std::uint64_t snapshotHistory() const override;
     void restoreHistory(std::uint64_t h) override;
+    void setStrand(unsigned strand) override
+    {
+        gshare_.setStrand(strand);
+    }
     const char *name() const override { return "tournament"; }
 
     void save(snap::Writer &w) const override;
@@ -172,8 +209,17 @@ class TournamentPredictor : public BranchPredictor
     bool lastGshare_ = false;
 };
 
-/** Construct a predictor by name ("static|bimodal|gshare|tournament"). */
-std::unique_ptr<BranchPredictor> makePredictor(const std::string &kind);
+/** All valid predictor kind names, for factories and CLI suggestions. */
+const std::vector<std::string> &predictorNames();
+
+/**
+ * Construct a predictor by name ("static|bimodal|gshare|tournament").
+ * Unknown kinds fatal() with a nearest-name suggestion. @p strandHistory
+ * enables per-strand global-history registers (core.strand_history); it
+ * is a no-op for history-less predictors.
+ */
+std::unique_ptr<BranchPredictor> makePredictor(const std::string &kind,
+                                               bool strandHistory = false);
 
 /**
  * Branch target buffer: maps branch PC to target PC for fetch redirect

@@ -1,0 +1,186 @@
+#include "branch/valuepred.hh"
+
+#include "common/config.hh"
+#include "common/logging.hh"
+#include "snap/snap.hh"
+
+namespace sst
+{
+
+const std::vector<std::string> &
+valuePredNames()
+{
+    static const std::vector<std::string> names = {"off", "last",
+                                                   "stride"};
+    return names;
+}
+
+ValuePredKind
+valuePredKindFromString(const std::string &name)
+{
+    if (name == "off")
+        return ValuePredKind::Off;
+    if (name == "last")
+        return ValuePredKind::LastValue;
+    if (name == "stride")
+        return ValuePredKind::Stride;
+    std::string msg = "unknown value predictor '" + name + "'";
+    std::string near = closestMatch(name, valuePredNames());
+    if (!near.empty())
+        msg += "; did you mean '" + near + "'?";
+    msg += " (core.value_pred=off|last|stride)";
+    fatal("%s", msg.c_str());
+}
+
+const char *
+valuePredKindName(ValuePredKind kind)
+{
+    switch (kind) {
+      case ValuePredKind::Off:
+        return "off";
+      case ValuePredKind::LastValue:
+        return "last";
+      case ValuePredKind::Stride:
+        return "stride";
+    }
+    return "?";
+}
+
+ValuePredictor::ValuePredictor(ValuePredKind kind, unsigned tableBits)
+    : kind_(kind),
+      table_(std::size_t{1} << tableBits),
+      mask_((1u << tableBits) - 1)
+{
+}
+
+std::uint64_t
+ValuePredictor::predictedFor(const Entry &e) const
+{
+    if (kind_ == ValuePredKind::Stride)
+        return e.lastValue + static_cast<std::uint64_t>(e.stride);
+    return e.lastValue;
+}
+
+bool
+ValuePredictor::predict(std::uint64_t pc, std::uint64_t &value)
+{
+    if (kind_ == ValuePredKind::Off)
+        return false;
+    Entry &e = table_[static_cast<unsigned>(pc) & mask_];
+    if (e.tag != pc || e.confidence < kConfident || e.needAnchor)
+        return false;
+    // The frontier is tipDistance instances past the last trained
+    // value (training happens in replay/program order; the ahead
+    // strand runs ahead of it by every in-flight instance of this PC),
+    // so extrapolate across the whole gap — predicting lastValue +
+    // stride here would be systematically one-to-N instances stale.
+    if (kind_ == ValuePredKind::Stride)
+        value = e.lastValue
+                + (e.tipDistance + 1)
+                      * static_cast<std::uint64_t>(e.stride);
+    else
+        value = e.lastValue;
+    ++e.tipDistance;
+    return true;
+}
+
+void
+ValuePredictor::train(std::uint64_t pc, std::uint64_t value)
+{
+    if (kind_ == ValuePredKind::Off)
+        return;
+    Entry &e = table_[static_cast<unsigned>(pc) & mask_];
+    if (e.tag != pc) {
+        e = Entry{};
+        e.tag = pc;
+        e.lastValue = value;
+        return;
+    }
+    // Judge the value the predictor *would have* produced before this
+    // observation, so confidence tracks real prediction accuracy.
+    bool agreed = predictedFor(e) == value;
+    if (agreed) {
+        if (e.confidence < 7)
+            ++e.confidence;
+    } else {
+        e.confidence = 0;
+    }
+    e.stride = static_cast<std::int64_t>(value - e.lastValue);
+    e.lastValue = value;
+    e.needAnchor = false;
+}
+
+void
+ValuePredictor::notePendingDefer(std::uint64_t pc)
+{
+    if (kind_ == ValuePredKind::Off)
+        return;
+    Entry &e = table_[static_cast<unsigned>(pc) & mask_];
+    if (e.tag != pc) {
+        e = Entry{};
+        e.tag = pc;
+    }
+    ++e.tipDistance;
+}
+
+void
+ValuePredictor::noteDeferResolved(std::uint64_t pc)
+{
+    if (kind_ == ValuePredKind::Off)
+        return;
+    Entry &e = table_[static_cast<unsigned>(pc) & mask_];
+    if (e.tag == pc && e.tipDistance > 0)
+        --e.tipDistance;
+}
+
+void
+ValuePredictor::squash()
+{
+    if (kind_ == ValuePredKind::Off)
+        return;
+    for (Entry &e : table_) {
+        e.tipDistance = 0;
+        e.needAnchor = true;
+    }
+}
+
+void
+ValuePredictor::reset()
+{
+    for (Entry &e : table_)
+        e = Entry{};
+}
+
+void
+ValuePredictor::save(snap::Writer &w) const
+{
+    w.u32(static_cast<std::uint32_t>(table_.size()));
+    for (const Entry &e : table_) {
+        w.u64(e.tag);
+        w.u64(e.lastValue);
+        w.u64(static_cast<std::uint64_t>(e.stride));
+        w.u32(e.tipDistance);
+        w.u8(e.confidence);
+        w.u8(e.needAnchor ? 1 : 0);
+    }
+}
+
+void
+ValuePredictor::load(snap::Reader &r)
+{
+    std::uint32_t n = r.u32();
+    fatal_if(n != table_.size(),
+             "snapshot: value-predictor table has %u entries, expected "
+             "%zu (configuration mismatch)",
+             n, table_.size());
+    for (Entry &e : table_) {
+        e.tag = r.u64();
+        e.lastValue = r.u64();
+        e.stride = static_cast<std::int64_t>(r.u64());
+        e.tipDistance = r.u32();
+        e.confidence = r.u8();
+        e.needAnchor = r.u8() != 0;
+    }
+}
+
+} // namespace sst

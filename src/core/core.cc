@@ -16,7 +16,7 @@ Core::Core(const CoreParams &params, const Program &program,
       program_(program),
       memory_(memory),
       port_(port),
-      predictor_(makePredictor(params.predictor)),
+      predictor_(makePredictor(params.predictor, params.strandHistory)),
       stats_(params.name),
       cpiStack_(stats_),
       committed_(stats_.addScalar("committed_insts",

@@ -39,6 +39,9 @@ struct CoreParams
     unsigned fetchWidth = 2;
     unsigned pipelineDepth = 12;   ///< mispredict redirect penalty
     std::string predictor = "gshare";
+    /** Per-strand (main/ahead) global-history registers instead of one
+     *  interleaved stream (core.strand_history; gshare/tournament). */
+    bool strandHistory = false;
 
     // In-order store buffer.
     unsigned storeBufferEntries = 8;
@@ -53,6 +56,10 @@ struct CoreParams
     unsigned checkpoints = 4;
     unsigned dqEntries = 64;
     unsigned ssqEntries = 32;
+    /** Load-value prediction in the ahead strand: a confident predicted
+     *  value stands in for an L1-missing load's NA result until the DQ
+     *  replay verifies it on fill ("off"|"last"|"stride"). */
+    std::string valuePred = "off";
     /** Hardware-scout mode: discard all speculative work on miss return
      *  (1-checkpoint runahead prefetcher). */
     bool discardSpecWork = false;

@@ -53,6 +53,15 @@ SstCore::SstCore(const CoreParams &params, const Program &program,
       failCoh_(stats_.addScalar("fail_coh",
                                 "rollbacks: remote write hit the "
                                 "speculative read set")),
+      failVpred_(stats_.addScalar("fail_vpred",
+                                  "rollbacks: predicted load value "
+                                  "wrong at fill verify")),
+      vpPredictions_(stats_.addScalar("vp_predictions",
+                                      "load values supplied by the "
+                                      "value predictor")),
+      vpCorrect_(stats_.addScalar("vp_correct",
+                                  "value predictions verified correct "
+                                  "at replay")),
       sleElisions_(stats_.addScalar("sle_elisions",
                                     "lock acquires executed past "
                                     "speculatively")),
@@ -95,6 +104,7 @@ SstCore::SstCore(const CoreParams &params, const Program &program,
                                  "instructions committed per epoch",
                                  4096, 32))
 {
+    vpred_ = ValuePredictor(valuePredKindFromString(params.valuePred));
     fatal_if(params.checkpoints == 0, "SST needs at least one checkpoint");
     fatal_if(params.discardSpecWork && params.checkpoints != 1,
              "hardware-scout mode is single-checkpoint by definition");
@@ -360,7 +370,9 @@ SstCore::idleAdvance(Cycle n)
         trace::CpiCat cat = (idle_.cat == trace::CpiCat::DqFull
                              || idle_.cat == trace::CpiCat::SsqFull)
                                 ? idle_.cat
-                                : trace::CpiCat::Replay;
+                                : (vpOutstanding_ > 0
+                                       ? trace::CpiCat::ValuePred
+                                       : trace::CpiCat::Replay);
         pendingSpec_[static_cast<std::size_t>(cat)] += n;
         return;
     }
@@ -558,13 +570,20 @@ SstCore::classifyIdle() const
         if (inst.op == Opcode::JALR) {
             bool is_return =
                 inst.rd == 0 && inst.rs1 == 1 && inst.imm == 0;
-            if (is_return && !ras_.empty())
-                return ic; // the RAS pop mutates state every attempt
-            // Non-return, or a return with an empty RAS: unpredictable
-            // target, a pure stall until replay resolves the register.
-            ic.counter = &naJumpStallCycles_;
-            ic.wake = wake;
-            return ic;
+            if (!is_return || ras_.empty()) {
+                // Unpredictable target: a pure stall until replay
+                // resolves the register.
+                ic.counter = &naJumpStallCycles_;
+                ic.wake = wake;
+                return ic;
+            }
+            if (params_.maxDeferredBranches != 0
+                && unverifiedBranches_ >= params_.maxDeferredBranches) {
+                ic.counter = &branchThrottleStallCycles_;
+                ic.wake = wake;
+                return ic;
+            }
+            return ic; // defers (pops the RAS) this cycle
         }
         if (isCondBranch(inst.op) && params_.maxDeferredBranches != 0
             && unverifiedBranches_ >= params_.maxDeferredBranches) {
@@ -725,6 +744,10 @@ SstCore::normalIssueOne()
             suppressTriggerPc_ = ~std::uint64_t{0};
             consecutiveFails_ = 0;
         }
+        if (vpred_.enabled())
+            vpred_.train(pc, semantics::extendLoad(
+                                 inst.op,
+                                 memory_.read(addr, memAccessSize(inst.op))));
         Executor exec(program_, memory_);
         exec.step(arch_);
         ++loadsExecuted_;
@@ -783,6 +806,13 @@ SstCore::enterSpeculation(std::uint64_t trigger_pc, Cycle trigger_ready)
 {
     bool ok = takeCheckpoint(trigger_pc, nextSeq_);
     panic_if(!ok, "enterSpeculation with no free checkpoint");
+    // Hand the predictor to the ahead strand, seeding its history
+    // register from the committed stream's. No-ops without
+    // core.strand_history (setStrand does nothing and the restore
+    // rewrites the single register with itself).
+    std::uint64_t hist = predictor_->snapshotHistory();
+    predictor_->setStrand(BranchPredictor::aheadStrand);
+    predictor_->restoreHistory(hist);
     // Scout regions end when the trigger data returns; record it here
     // because the ahead strand's re-execution of the load may already
     // hit (the fill can land before the strand reaches it).
@@ -820,6 +850,7 @@ SstCore::takeCheckpoint(std::uint64_t trigger_pc, SeqNum start_seq)
         e.naWriter = naWriter_;
     }
     e.predictorHistory = predictor_->snapshotHistory();
+    e.ras = ras_;
     record(trace::TraceKind::Checkpoint, trace::TraceStrand::Ahead,
            trigger_pc, start_seq, e.id);
     if (tracing())
@@ -947,18 +978,19 @@ SstCore::aheadIssueOne()
             // until the replay resolves the register.
             bool is_return =
                 inst.rd == 0 && inst.rs1 == 1 && inst.imm == 0;
-            std::uint64_t pred = is_return
-                                     ? ras_.pop()
-                                     : ReturnAddressStack::invalidTarget;
-            if (pred == ReturnAddressStack::invalidTarget) {
+            if (!is_return || ras_.empty()) {
                 ++naJumpStallCycles_;
                 return false;
             }
+            // Check the throttle before popping: a failing attempt must
+            // not mutate the RAS (it would drain an entry per stalled
+            // cycle).
             if (params_.maxDeferredBranches != 0
                 && unverifiedBranches_ >= params_.maxDeferredBranches) {
                 ++branchThrottleStallCycles_;
                 return false;
             }
+            std::uint64_t pred = ras_.pop();
             ++unverifiedBranches_;
             entry.seq = nextSeq_++;
             entry.src1 = make_operand(true, na1, inst.rs1, v1);
@@ -999,9 +1031,42 @@ SstCore::aheadIssueOne()
             return true;
         }
 
-        if (info.writesRd && inst.rd != 0) {
-            na_[inst.rd] = true;
-            naWriter_[inst.rd] = entry.seq;
+        std::uint64_t pv = 0;
+        if (info.cls == OpClass::Load && !discard && inst.rd != 0
+            && vpred_.predict(pc, pv)) {
+            // NA-address load: the pointer chain itself is NA, but a
+            // confident prediction of the *result* re-arms the chain —
+            // rd stays available, so the next iteration's loads carry
+            // (predicted) addresses and issue real misses. This is
+            // where the MLP of a linked-list walk comes from; without
+            // it, one cold defer leaves every later load NA and the
+            // core degenerates to one replay per memory latency. The
+            // address is unknown here, so both the read-set entry and
+            // the verify happen at replay, once it resolves.
+            entry.valuePredicted = true;
+            entry.predValue = pv;
+            specRegs_[inst.rd] = pv;
+            specReady_[inst.rd] = now_ + 1;
+            kill_na(inst.rd);
+            ++vpPredictions_;
+            ++vpOutstanding_;
+            record(trace::TraceKind::Exec, trace::TraceStrand::Ahead,
+                   pc, entry.seq, 2);
+            if (tracing())
+                trace("VPRED seq=%llu pc=%llu val=%llu (na-addr)",
+                      static_cast<unsigned long long>(entry.seq),
+                      static_cast<unsigned long long>(pc),
+                      static_cast<unsigned long long>(pv));
+        } else {
+            // An unpredicted load defer de-anchors the value chain: its
+            // replay will train the table, so until then lastValue lags
+            // the ahead strand's position in the value sequence.
+            if (info.cls == OpClass::Load && !discard)
+                vpred_.notePendingDefer(pc);
+            if (info.writesRd && inst.rd != 0) {
+                na_[inst.rd] = true;
+                naWriter_[inst.rd] = entry.seq;
+            }
         }
         defer(std::move(entry), is_store);
         aheadPc_ = pc + 1;
@@ -1044,6 +1109,7 @@ SstCore::aheadIssueOne()
             entry.src2.used = true;
             entry.src2.captured = false;
             entry.src2.producer = mem_producer;
+            vpred_.notePendingDefer(pc);
             if (inst.rd != 0) {
                 na_[inst.rd] = true;
                 naWriter_[inst.rd] = entry.seq;
@@ -1080,9 +1146,37 @@ SstCore::aheadIssueOne()
             entry.src1 = make_operand(true, false, inst.rs1, v1);
             entry.requestIssued = true;
             entry.readyCycle = res.readyCycle;
-            if (inst.rd != 0) {
-                na_[inst.rd] = true;
-                naWriter_[inst.rd] = seq;
+            std::uint64_t pv = 0;
+            if (!discard && inst.rd != 0 && vpred_.predict(pc, pv)) {
+                // Confident value prediction: rd stays available with
+                // the predicted value instead of going NA, so the
+                // dependents keep executing; the DQ replay verifies the
+                // prediction against the fill and a mismatch squashes
+                // back to this region's checkpoint. The predicted value
+                // enters the speculative read set now — a remote write
+                // to the line must squash just as for an executed load.
+                entry.valuePredicted = true;
+                entry.predValue = pv;
+                specRegs_[inst.rd] = pv;
+                specReady_[inst.rd] = now_ + 1;
+                kill_na(inst.rd);
+                logSpecLoad(seq, addr, size);
+                ++vpPredictions_;
+                ++vpOutstanding_;
+                record(trace::TraceKind::Exec, trace::TraceStrand::Ahead,
+                       pc, seq, 2);
+                if (tracing())
+                    trace("VPRED seq=%llu pc=%llu val=%llu",
+                          static_cast<unsigned long long>(seq),
+                          static_cast<unsigned long long>(pc),
+                          static_cast<unsigned long long>(pv));
+            } else {
+                if (!discard)
+                    vpred_.notePendingDefer(pc);
+                if (inst.rd != 0) {
+                    na_[inst.rd] = true;
+                    naWriter_[inst.rd] = seq;
+                }
             }
             defer(std::move(entry), false);
             aheadPc_ = pc + 1;
@@ -1093,6 +1187,7 @@ SstCore::aheadIssueOne()
         SeqNum seq = nextSeq_++;
         std::uint64_t raw = specMemRead(addr, size, seq);
         std::uint64_t val = semantics::extendLoad(inst.op, raw);
+        vpred_.train(pc, val);
         if (inst.rd != 0) {
             specRegs_[inst.rd] = val;
             specReady_[inst.rd] = res.readyCycle;
@@ -1292,7 +1387,37 @@ SstCore::replayStrand(unsigned slots)
             }
             std::uint64_t raw = specMemRead(addr, size, entry.seq);
             std::uint64_t val = semantics::extendLoad(inst.op, raw);
-            logSpecLoad(entry.seq, addr, size);
+            // Replays run in program order, so this train is the oldest
+            // in-flight instance of the PC resolving: the tip is one
+            // instance closer to the trained value.
+            vpred_.train(entry.pc, val);
+            vpred_.noteDeferResolved(entry.pc);
+            if (entry.valuePredicted) {
+                // An NA-address prediction couldn't enter the read set
+                // at prediction time; its address only resolved here.
+                if (!entry.src1.captured)
+                    logSpecLoad(entry.seq, addr, size);
+                // Verify-on-fill: the ahead strand ran on predValue.
+                if (vpOutstanding_ > 0)
+                    --vpOutstanding_;
+                if (val != entry.predValue) {
+                    if (tracing())
+                        trace("VPFAIL seq=%llu pc=%llu pred=%llu "
+                              "actual=%llu",
+                              static_cast<unsigned long long>(entry.seq),
+                              static_cast<unsigned long long>(entry.pc),
+                              static_cast<unsigned long long>(
+                                  entry.predValue),
+                              static_cast<unsigned long long>(val));
+                    rollback(FailKind::ValueMispredict);
+                    return used;
+                }
+                ++vpCorrect_;
+            } else {
+                // A predicted load already entered the read set at
+                // prediction time (same address: src1 was captured).
+                logSpecLoad(entry.seq, addr, size);
+            }
             replayResults_[entry.seq] =
                 ReplayResult{val, res.readyCycle};
             publishReplayValue(entry.seq, inst.rd, val, res.readyCycle);
@@ -1507,6 +1632,11 @@ SstCore::commitAll()
     regReady_ = specReady_;
     frontEndReadyAt_ = aheadFrontEndReadyAt_;
     divBusyUntil_ = aheadDivBusyUntil_;
+    // The ahead strand's branch history is now architectural: the main
+    // strand adopts it (no-op without core.strand_history).
+    std::uint64_t hist = predictor_->snapshotHistory();
+    predictor_->setStrand(BranchPredictor::mainStrand);
+    predictor_->restoreHistory(hist);
     if (aheadHalted_)
         arch_.halted = true;
     ++epochsCommitted_;
@@ -1532,6 +1662,7 @@ SstCore::rollback(FailKind kind)
       case FailKind::ScoutEnd: ++scoutEnds_; break;
       case FailKind::Forced: ++failForced_; break;
       case FailKind::CohConflict: ++failCoh_; break;
+      case FailKind::ValueMispredict: ++failVpred_; break;
     }
 
     if (sleActive_) {
@@ -1557,14 +1688,23 @@ SstCore::rollback(FailKind kind)
               static_cast<unsigned long long>(nextSeq_
                                               - front.startSeq));
     // Every speculation cycle of this region was wasted work; when a
-    // remote write caused it, the waste is coherence contention.
-    flushPendingSpec(true, kind == FailKind::CohConflict
-                               ? trace::CpiCat::Coherence
-                               : trace::CpiCat::RollbackDiscard);
+    // remote write caused it, the waste is coherence contention, and
+    // when a predicted load value caused it, the waste belongs to the
+    // value predictor's CPI bucket.
+    trace::CpiCat discard_cat = trace::CpiCat::RollbackDiscard;
+    if (kind == FailKind::CohConflict)
+        discard_cat = trace::CpiCat::Coherence;
+    else if (kind == FailKind::ValueMispredict)
+        discard_cat = trace::CpiCat::ValuePredWaste;
+    flushPendingSpec(true, discard_cat);
     // Committed state is exactly the front checkpoint; re-execute from
-    // its trigger PC (whose data has normally arrived by now).
+    // its trigger PC (whose data has normally arrived by now). The
+    // speculative-state repair covers the PC, the global branch
+    // history (into the main strand's register) and the RAS.
     arch_.pc = front.pc;
+    predictor_->setStrand(BranchPredictor::mainStrand);
     predictor_->restoreHistory(front.predictorHistory);
+    ras_ = front.ras;
 
     // "No meaningful progress" = fewer than a handful of instructions
     // retired since the previous rollback at this PC; a tiny commit
@@ -1587,6 +1727,8 @@ SstCore::rollback(FailKind kind)
     replayResults_.clear();
     aheadHalted_ = false;
     unverifiedBranches_ = 0;
+    vpOutstanding_ = 0;
+    vpred_.squash();
     na_.fill(false);
     naWriter_.fill(0);
 }
@@ -1603,7 +1745,9 @@ SstCore::accountCycle(std::uint64_t retired)
         trace::CpiCat cat = (stallCat_ == trace::CpiCat::DqFull
                              || stallCat_ == trace::CpiCat::SsqFull)
                                 ? stallCat_
-                                : trace::CpiCat::Replay;
+                                : (vpOutstanding_ > 0
+                                       ? trace::CpiCat::ValuePred
+                                       : trace::CpiCat::Replay);
         ++pendingSpec_[static_cast<std::size_t>(cat)];
         return;
     }
@@ -1667,6 +1811,8 @@ SstCore::saveExtra(snap::Writer &w) const
             w.u64(e.predTarget);
             w.b(e.requestIssued);
             w.u64(e.readyCycle);
+            w.b(e.valuePredicted);
+            w.u64(e.predValue);
         }
     };
 
@@ -1707,6 +1853,7 @@ SstCore::saveExtra(snap::Writer &w) const
         for (SeqNum v : ep.naWriter)
             w.u64(v);
         w.u64(ep.predictorHistory);
+        ep.ras.save(w);
         w.u64(ep.triggerReady);
         saveDq(ep.dq);
         saveDq(ep.redeferred);
@@ -1761,6 +1908,9 @@ SstCore::saveExtra(snap::Writer &w) const
     w.u64(sleLockAddr_);
     w.b(sleReleaseSeen_);
     w.u64(sleSuppressPc_);
+
+    vpred_.save(w);
+    w.u32(vpOutstanding_);
 }
 
 void
@@ -1785,6 +1935,8 @@ SstCore::loadExtra(snap::Reader &r)
             e.predTarget = r.u64();
             e.requestIssued = r.b();
             e.readyCycle = r.u64();
+            e.valuePredicted = r.b();
+            e.predValue = r.u64();
         }
     };
 
@@ -1827,6 +1979,7 @@ SstCore::loadExtra(snap::Reader &r)
         for (SeqNum &v : ep.naWriter)
             v = r.u64();
         ep.predictorHistory = r.u64();
+        ep.ras.load(r);
         ep.triggerReady = r.u64();
         loadDq(ep.dq);
         loadDq(ep.redeferred);
@@ -1884,6 +2037,9 @@ SstCore::loadExtra(snap::Reader &r)
     sleLockAddr_ = r.u64();
     sleReleaseSeen_ = r.b();
     sleSuppressPc_ = r.u64();
+
+    vpred_.load(r);
+    vpOutstanding_ = r.u32();
 }
 
 } // namespace sst

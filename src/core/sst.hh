@@ -43,6 +43,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "branch/valuepred.hh"
 #include "core/core.hh"
 
 namespace sst
@@ -114,6 +115,8 @@ class SstCore : public Core, public CohClient
         std::uint64_t predTarget = 0;   ///< deferred-JALR prediction
         bool requestIssued = false;     ///< trigger load: miss in flight
         Cycle readyCycle = 0;           ///< fill completion when issued
+        bool valuePredicted = false;    ///< rd carries a predicted value
+        std::uint64_t predValue = 0;    ///< verified against the fill
     };
 
     /** A speculative store (or a reservation for a deferred one). */
@@ -151,6 +154,10 @@ class SstCore : public Core, public CohClient
         std::array<bool, numArchRegs> na{};
         std::array<SeqNum, numArchRegs> naWriter{};
         std::uint64_t predictorHistory = 0;
+        /** RAS snapshot: rollback must repair the return-address stack
+         *  alongside the global branch history, or every rollback
+         *  leaves it corrupted relative to the restored PC. */
+        ReturnAddressStack ras;
         Cycle triggerReady = 0; ///< scout: when the trigger returns
         std::deque<DqEntry> dq;
         std::deque<DqEntry> redeferred;
@@ -163,8 +170,9 @@ class SstCore : public Core, public CohClient
         JumpMispredict,
         MemConflict,
         ScoutEnd,
-        Forced,     ///< injected fault or watchdog degradation
-        CohConflict ///< remote write hit the speculative read set
+        Forced,      ///< injected fault or watchdog degradation
+        CohConflict, ///< remote write hit the speculative read set
+        ValueMispredict ///< predicted load value wrong at fill verify
     };
 
     // --- strand bodies ---
@@ -261,6 +269,15 @@ class SstCore : public Core, public CohClient
      *  the lock conventionally (requester-wins forward progress). */
     std::uint64_t sleSuppressPc_ = ~std::uint64_t{0};
 
+    /** Load-value predictor (core.value_pred). Trained on every
+     *  resolved load value; consulted only at ahead-strand miss-defer
+     *  points, where a confident prediction keeps rd available. */
+    ValuePredictor vpred_;
+    /** Predictions standing in for unverified fills right now. While
+     *  nonzero, in-speculation stall cycles are provisionally charged
+     *  to the value_pred CPI bucket instead of replay. */
+    unsigned vpOutstanding_ = 0;
+
     SeqNum nextSeq_ = 1;
     unsigned nextEpochId_ = 0;
     /** Effective queue capacities (params minus any fault squeeze). */
@@ -311,6 +328,9 @@ class SstCore : public Core, public CohClient
     Scalar &failMem_;
     Scalar &failForced_;
     Scalar &failCoh_;
+    Scalar &failVpred_;
+    Scalar &vpPredictions_;
+    Scalar &vpCorrect_;
     Scalar &sleElisions_;
     Scalar &sleCommits_;
     Scalar &sleAborts_;

@@ -1,5 +1,10 @@
 #include "sim/presets.hh"
 
+#include <algorithm>
+
+#include "branch/predictor.hh"
+#include "branch/valuepred.hh"
+#include "common/config.hh"
 #include "common/logging.hh"
 
 namespace sst
@@ -121,6 +126,23 @@ applyOverrides(MachineConfig &config, const Config &overrides)
     c.pipelineDepth = static_cast<unsigned>(
         overrides.getUint("core.pipeline_depth", c.pipelineDepth));
     c.predictor = overrides.getString("core.predictor", c.predictor);
+    {
+        const auto &names = predictorNames();
+        if (std::find(names.begin(), names.end(), c.predictor)
+            == names.end()) {
+            std::string hint = closestMatch(c.predictor, names);
+            fatal("unknown branch predictor '%s'%s%s",
+                  c.predictor.c_str(),
+                  hint.empty() ? "" : "; did you mean '",
+                  hint.empty() ? "" : (hint + "'?").c_str());
+        }
+    }
+    c.strandHistory =
+        overrides.getBool("core.strand_history", c.strandHistory);
+    c.valuePred = overrides.getString("core.value_pred", c.valuePred);
+    // Validate eagerly so sweep manifests fail at parse time, not
+    // mid-run inside a worker.
+    (void)valuePredKindFromString(c.valuePred);
     c.storeBufferEntries = static_cast<unsigned>(overrides.getUint(
         "core.store_buffer_entries", c.storeBufferEntries));
     c.robEntries = static_cast<unsigned>(
@@ -232,6 +254,8 @@ machineConfigKeys()
         "core.fetch_width",
         "core.pipeline_depth",
         "core.predictor",
+        "core.strand_history",
+        "core.value_pred",
         "core.store_buffer_entries",
         "core.rob_entries",
         "core.iq_entries",

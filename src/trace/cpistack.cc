@@ -18,6 +18,8 @@ cpiCatName(CpiCat cat)
       case CpiCat::Replay: return "replay";
       case CpiCat::RollbackDiscard: return "rollback_discard";
       case CpiCat::Coherence: return "coherence";
+      case CpiCat::ValuePred: return "value_pred";
+      case CpiCat::ValuePredWaste: return "value_pred_waste";
       case CpiCat::Other: return "other";
       case CpiCat::NumCats: break;
     }
@@ -44,6 +46,11 @@ cpiCatDesc(CpiCat cat)
         return "speculation cycles discarded by rollback";
       case CpiCat::Coherence:
         return "cycles stalled on cross-core coherence traffic";
+      case CpiCat::ValuePred:
+        return "committed speculation cycles running on a predicted "
+               "load value";
+      case CpiCat::ValuePredWaste:
+        return "speculation cycles discarded by a value mispredict";
       case CpiCat::Other: return "unattributed cycles";
       case CpiCat::NumCats: break;
     }

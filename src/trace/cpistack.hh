@@ -25,6 +25,11 @@
  *  - coherence: nothing retired; the binding operand came from a load
  *    whose latency was inflated by coherence traffic (invalidation,
  *    intervention or upgrade), or from a line a remote writer stole.
+ *  - value_pred: committed in-speculation cycles that ran while at
+ *    least one predicted load value stood in for an unverified fill
+ *    (the cycles value prediction converted from deferred stalls).
+ *  - value_pred_waste: speculation cycles discarded because a
+ *    predicted load value was wrong at fill verification.
  *  - other:    residual (e.g. a cycle spent performing a rollback).
  */
 
@@ -51,6 +56,8 @@ enum class CpiCat : std::uint8_t
     Replay,
     RollbackDiscard,
     Coherence,
+    ValuePred,
+    ValuePredWaste,
     Other,
     NumCats
 };

@@ -351,6 +351,56 @@ makePointerChase(const WorkloadParams &params)
 }
 
 Workload
+makeListWalk(const WorkloadParams &params)
+{
+    Rng rng(params.seed + 11);
+    // Allocation-order linked list: node i lives at i * 5 lines, so
+    // the next pointers form an arithmetic sequence (what a bump
+    // allocator produces) while the 5-line stride stays outside the
+    // next-line prefetcher's reach. The address chain is serially
+    // dependent like pointer_chase, but the link *values* are
+    // stride-predictable — the case load-value prediction converts.
+    // ~1/32 of the links splice forward over a random run of nodes (a
+    // freelist reuse), so a confident value predictor still pays for
+    // occasional wrong guesses. Splices only ever skip ahead: a
+    // backward link would close a short deterministic cycle and
+    // collapse the working set.
+    constexpr std::uint64_t nodeBytes = 5 * 64;
+    const std::uint64_t nodes =
+        scalePow2(1 << 15, params.footprintScale, 1 << 10);
+    const std::uint64_t steps = scaleCount(20000, params.lengthScale);
+
+    constexpr std::uint64_t nodeWords = nodeBytes / 8;
+    std::vector<std::uint64_t> image(nodes * nodeWords, 0);
+    for (std::uint64_t i = 0; i < nodes; ++i) {
+        std::uint64_t skip = rng.below(32) == 0 ? 1 + rng.below(63) : 0;
+        std::uint64_t next = (i + 1 + skip) % nodes;
+        image[i * nodeWords] = dataBase + next * nodeBytes;
+        image[i * nodeWords + 1] = rng.next();
+    }
+
+    Builder b("list_walk");
+    b.li(5, static_cast<std::int64_t>(dataBase)); // current node
+    b.li(6, 0);                                   // checksum
+    b.li(7, static_cast<std::int64_t>(steps));    // steps left
+    b.label("loop");
+    b.ld(8, 5, 8); // payload
+    b.add(6, 6, 8);
+    b.ld(5, 5, 0); // next link: dependent, but value-predictable
+    b.addi(7, 7, -1);
+    b.bne(7, 0, "loop");
+    emitEpilogue(b, 6);
+    b.words(dataBase, image);
+
+    Workload w;
+    w.name = "list_walk";
+    w.category = "commercial";
+    w.approxDynInsts = steps * 5;
+    w.program = b.finish();
+    return w;
+}
+
+Workload
 makeHashJoin(const WorkloadParams &params)
 {
     Rng rng(params.seed + 1);
@@ -843,17 +893,17 @@ makeMatrixBlocked(const WorkloadParams &params)
 std::vector<std::string>
 allWorkloadNames()
 {
-    return {"pointer_chase", "hash_join",      "btree_lookup",
-            "oltp_mix",      "graph_scan",     "column_scan",
-            "stream",        "compute_kernel", "sorted_merge",
-            "matrix_blocked"};
+    return {"pointer_chase", "list_walk",      "hash_join",
+            "btree_lookup",  "oltp_mix",       "graph_scan",
+            "column_scan",   "stream",         "compute_kernel",
+            "sorted_merge",  "matrix_blocked"};
 }
 
 std::vector<std::string>
 commercialWorkloadNames()
 {
-    return {"pointer_chase", "hash_join", "btree_lookup", "oltp_mix",
-            "graph_scan", "column_scan"};
+    return {"pointer_chase", "list_walk", "hash_join", "btree_lookup",
+            "oltp_mix", "graph_scan", "column_scan"};
 }
 
 std::vector<std::string>
@@ -868,6 +918,8 @@ makeWorkload(const std::string &name, const WorkloadParams &params)
 {
     if (name == "pointer_chase")
         return makePointerChase(params);
+    if (name == "list_walk")
+        return makeListWalk(params);
     if (name == "hash_join")
         return makeHashJoin(params);
     if (name == "btree_lookup")

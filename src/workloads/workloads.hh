@@ -16,6 +16,8 @@
  * | name           | class      | memory behaviour        | control    |
  * |----------------|------------|-------------------------|------------|
  * | pointer_chase  | commercial | dependent DRAM misses   | trivial    |
+ * | list_walk      | commercial | dependent misses, value-|            |
+ * |                |            | predictable next links  | trivial    |
  * | hash_join      | commercial | independent DRAM misses | trivial    |
  * | btree_lookup   | commercial | dependent misses        | data-dep   |
  * | oltp_mix       | commercial | independent misses + upd| mixed      |

@@ -173,6 +173,36 @@ TEST(ParallelCmp, SaltedMatrixIsByteIdenticalAcrossWorkerCounts)
     }
 }
 
+TEST(ParallelCmp, ValuePredAndStrandHistoryAreByteIdenticalAcrossWorkers)
+{
+    // The predictor frontier adds per-worker-visible state (value
+    // predictor table, per-strand GHRs, per-epoch RAS copies); all of
+    // it must stay inside the deterministic tick so -j remains
+    // invisible. list_walk keeps the value predictor genuinely hot.
+    auto run = [&](unsigned workers) {
+        WorkloadParams wp;
+        wp.lengthScale = 0.02;
+        Workload w = makeWorkload("list_walk", wp);
+        std::vector<const Program *> programs(4, &w.program);
+        MachineConfig mc = makePreset("sst4");
+        mc.mem.coh.enabled = false;
+        mc.cmpWorkers = workers;
+        mc.core.valuePred = "stride";
+        mc.core.strandHistory = true;
+        Cmp cmp(mc, programs);
+        RunOut o;
+        o.res = cmp.run(40'000'000);
+        o.snap = cmp.snapshot();
+        o.chipCycles = cmp.cycles();
+        return o;
+    };
+    RunOut j1 = run(1);
+    ASSERT_TRUE(j1.res.finished);
+    for (unsigned j : {2u, 8u})
+        expectSameRun(j1, run(j),
+                      "sst4+vp/list_walk -j" + std::to_string(j));
+}
+
 // --- coherent rock16 differential ----------------------------------
 
 TEST(ParallelCmp, Rock16SpinlockIsByteIdenticalAcrossWorkerCounts)

@@ -230,3 +230,79 @@ TEST(Ras, ResetEmpties)
     ras.reset();
     EXPECT_EQ(ras.pop(), ReturnAddressStack::invalidTarget);
 }
+
+TEST(FactoryDeath, UnknownKindSuggestsNearestName)
+{
+    EXPECT_DEATH((void)makePredictor("gshore"),
+                 "did you mean 'gshare'");
+    EXPECT_DEATH((void)makePredictor("tornament"),
+                 "did you mean 'tournament'");
+}
+
+TEST(Tournament, TrainAtConvergesDeferredBranch)
+{
+    // The deferred-branch discipline: predict with the live history,
+    // shift speculatively, verify later with trainAt() against the
+    // captured history. Repeated wrong verifications must converge the
+    // tournament (chooser + components) onto the branch even though
+    // update() is never called.
+    TournamentPredictor p;
+    std::uint64_t h0 = p.snapshotHistory();
+    int wrong = 0;
+    for (int i = 0; i < 64; ++i) {
+        p.restoreHistory(h0);
+        std::uint64_t at = p.snapshotHistory();
+        bool guess = p.predict(9);
+        if (!guess)
+            ++wrong;
+        p.shiftHistory(guess);
+        p.trainAt(9, true, at); // branch is always taken
+    }
+    p.restoreHistory(h0);
+    EXPECT_TRUE(p.predict(9)) << "trainAt never converged";
+    EXPECT_LT(wrong, 8) << "convergence took implausibly long";
+}
+
+TEST(Gshare, StrandHistoriesAreIsolated)
+{
+    GsharePredictor p(14, 12, /*strandAware=*/true);
+    p.setStrand(BranchPredictor::mainStrand);
+    p.shiftHistory(true);
+    p.shiftHistory(false);
+    std::uint64_t mainH = p.snapshotHistory();
+
+    // Ahead-strand pollution must not leak into the main history.
+    p.setStrand(BranchPredictor::aheadStrand);
+    for (int i = 0; i < 10; ++i)
+        p.shiftHistory(true);
+    std::uint64_t aheadH = p.snapshotHistory();
+    EXPECT_NE(aheadH, mainH);
+
+    p.setStrand(BranchPredictor::mainStrand);
+    EXPECT_EQ(p.snapshotHistory(), mainH);
+}
+
+TEST(Gshare, StrandSelectIsNoopWhenNotStrandAware)
+{
+    GsharePredictor p(14, 12, /*strandAware=*/false);
+    p.shiftHistory(true);
+    std::uint64_t h = p.snapshotHistory();
+    p.setStrand(BranchPredictor::aheadStrand);
+    EXPECT_EQ(p.snapshotHistory(), h)
+        << "without core.strand_history both strands share one GHR";
+    p.shiftHistory(false);
+    p.setStrand(BranchPredictor::mainStrand);
+    EXPECT_NE(p.snapshotHistory(), h);
+}
+
+TEST(Tournament, StrandSelectForwardsToGshare)
+{
+    TournamentPredictor p(13, 12, /*strandAware=*/true);
+    p.shiftHistory(true);
+    std::uint64_t mainH = p.snapshotHistory();
+    p.setStrand(BranchPredictor::aheadStrand);
+    p.shiftHistory(true);
+    p.shiftHistory(true);
+    p.setStrand(BranchPredictor::mainStrand);
+    EXPECT_EQ(p.snapshotHistory(), mainH);
+}

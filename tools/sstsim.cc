@@ -116,6 +116,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "branch/predictor.hh"
+#include "branch/valuepred.hh"
 #include "common/config.hh"
 #include "common/logging.hh"
 #include "common/result.hh"
@@ -200,6 +202,36 @@ validateKeys(const Config &cfg)
         msg += " (workload=list / preset=list show run targets)";
         return Error{msg, exit_code::usage};
     }
+    // Enumerated values get the same treatment as keys: reject with a
+    // nearest-match suggestion and the usage exit code, before any
+    // machine is built.
+    auto checkEnum = [&](const char *key,
+                         const std::vector<std::string> &values,
+                         const char *what) -> Result<void> {
+        std::string v = cfg.getString(key, "");
+        if (v.empty()
+            || std::find(values.begin(), values.end(), v)
+                   != values.end())
+            return {};
+        std::string msg = std::string("unknown ") + what + " '" + v
+                          + "' for " + key;
+        std::string near = closestMatch(v, values);
+        if (!near.empty())
+            msg += "; did you mean '" + near + "'?";
+        msg += " (known:";
+        for (const auto &name : values)
+            msg += " " + name;
+        msg += ")";
+        return Error{msg, exit_code::usage};
+    };
+    if (auto r = checkEnum("core.predictor", predictorNames(),
+                           "branch predictor");
+        !r.ok())
+        return r;
+    if (auto r = checkEnum("core.value_pred", valuePredNames(),
+                           "value predictor");
+        !r.ok())
+        return r;
     return {};
 }
 
